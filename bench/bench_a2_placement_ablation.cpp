@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A2 — Ablation: packing heuristic.
+ *
+ * Design-choice study from DESIGN.md: destination choice during balancing
+ * and evacuation. Best-fit packs tightly (more hosts become empty),
+ * worst-fit spreads (better transient headroom, fewer sleeps).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/placement.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("A2", "ablation: packing heuristic",
+                  "8 hosts, 40 VMs, 24 h diurnal day, PM+S3");
+
+    mgmt::ScenarioConfig base;
+    base.hostCount = 8;
+    base.vmCount = 40;
+    base.duration = sim::SimTime::hours(24.0);
+    base.manager = mgmt::makePolicy(mgmt::PolicyKind::NoPM);
+    const double baseline_kwh = mgmt::runScenario(base).metrics.energyKwh;
+
+    stats::Table table("PM+S3 outcome by packing heuristic",
+                       {"heuristic", "energy vs NoPM", "satisfaction",
+                        "SLA viol", "avg hosts on", "migr",
+                        "pwr actions"});
+
+    for (const mgmt::PackingHeuristic heuristic :
+         {mgmt::PackingHeuristic::FirstFitDecreasing,
+          mgmt::PackingHeuristic::BestFitDecreasing,
+          mgmt::PackingHeuristic::WorstFit}) {
+        mgmt::ScenarioConfig config = base;
+        config.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+        config.manager.heuristic = heuristic;
+        const mgmt::ScenarioResult result = mgmt::runScenario(config);
+
+        table.addRow({toString(heuristic),
+                      stats::fmtPercent(result.metrics.energyKwh /
+                                        baseline_kwh, 1),
+                      stats::fmtPercent(result.metrics.satisfaction, 2),
+                      stats::fmtPercent(result.metrics.violationFraction,
+                                        2),
+                      stats::fmt(result.metrics.averageHostsOn, 1),
+                      std::to_string(result.metrics.migrations),
+                      std::to_string(result.metrics.powerActions)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: tight packers (FFD/BFD) empty hosts faster "
+                 "and save more energy;\nworst-fit trades savings for "
+                 "headroom. With low-latency states the penalty for\n"
+                 "packing too tightly is small, so tight wins.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A4 — Ablation: the energy cost of anti-affinity constraints.
+ *
+ * HA replica groups must stay on pairwise distinct hosts, which puts a
+ * floor under consolidation: a k-way group keeps at least k hosts on. We
+ * sweep the number of 3-way replica groups in a 40-VM fleet and measure
+ * how much of the PM+S3 savings survives.
+ *
+ * Shape to validate: savings degrade gracefully with constraint density
+ * until the groups alone dictate the host count; SLA is never the thing
+ * that pays.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("A4", "ablation: anti-affinity constraint density",
+                  "8 hosts, 40 VMs at 60% load scale, 24 h, PM+S3; n "
+                  "disjoint 3-way replica groups (VM ids 0..3n-1)");
+
+    mgmt::ScenarioConfig base;
+    base.hostCount = 8;
+    base.vmCount = 40;
+    base.duration = sim::SimTime::hours(24.0);
+    base.mix.loadScale = 0.6;
+    base.manager = mgmt::makePolicy(mgmt::PolicyKind::NoPM);
+    const double baseline_kwh = mgmt::runScenario(base).metrics.energyKwh;
+
+    stats::Table table("PM+S3 outcome vs number of 3-way replica groups",
+                       {"groups", "constrained VMs", "energy vs NoPM",
+                        "satisfaction", "avg hosts on", "migr"});
+
+    for (const int groups : {0, 2, 4, 8, 12}) {
+        mgmt::ScenarioConfig config = base;
+        config.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+        for (int g = 0; g < groups; ++g) {
+            config.manager.antiAffinityGroups.push_back(
+                {3 * g, 3 * g + 1, 3 * g + 2});
+        }
+
+        const mgmt::ScenarioResult result = mgmt::runScenario(config);
+        table.addRow({std::to_string(groups),
+                      std::to_string(3 * groups),
+                      stats::fmtPercent(result.metrics.energyKwh /
+                                        baseline_kwh, 1),
+                      stats::fmtPercent(result.metrics.satisfaction, 2),
+                      stats::fmt(result.metrics.averageHostsOn, 1),
+                      std::to_string(result.metrics.migrations)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: replica spreading taxes consolidation "
+                 "predictably — every additional\n3-way group holds "
+                 "capacity hostage, but the manager honours the "
+                 "constraints\nwithout ever paying in SLA.\n";
+    return 0;
+}

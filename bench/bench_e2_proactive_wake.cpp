@@ -1,0 +1,101 @@
+/**
+ * @file
+ * E2 — Extension: proactive wake via time-of-day profile learning.
+ *
+ * The paper's management loop is reactive; its framing invites the obvious
+ * next step — learn the daily rhythm and wake capacity *before* the
+ * morning surge. We overlay a sharp 9:00 logon surge on every day of a
+ * 4-day run and compare the reactive window-max predictor against the
+ * periodic-profile predictor (which anticipates after one observed day).
+ *
+ * Shape to validate: day 1 hurts both equally (nothing to learn from);
+ * from day 2 the proactive arm pre-provisions and its surge-window SLA
+ * dips shrink dramatically, at equal or better energy.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/predictor.hpp"
+#include "workload/demand_trace.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    constexpr int days = 4;
+
+    bench::banner("E2", "extension: proactive wake via periodicity",
+                  "8 hosts, 40 VMs at 40% load scale; a 9:00 surge to 80% "
+                  "for 45 min every day; 4 days, 5 min manager period");
+
+    stats::Table table("reactive vs proactive, per surge day",
+                       {"predictor", "day-1 surge viol", "day-2",
+                        "day-3", "day-4", "energy kWh", "satisfaction"});
+
+    for (const mgmt::PredictorKind kind :
+         {mgmt::PredictorKind::WindowMax,
+          mgmt::PredictorKind::PeriodicProfile}) {
+        mgmt::ScenarioConfig config;
+        config.hostCount = 8;
+        config.vmCount = 40;
+        config.duration = sim::SimTime::hours(24.0 * days);
+        config.mix.loadScale = 0.4;
+        config.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+        config.manager.predictor = kind;
+
+        config.transformFleet =
+            [&](std::vector<workload::VmWorkloadSpec> &fleet) {
+                for (auto &spec : fleet) {
+                    for (int day = 0; day < days; ++day) {
+                        spec.trace =
+                            std::make_shared<workload::SpikeTrace>(
+                                spec.trace,
+                                sim::SimTime::hours(day * 24.0 + 9.0),
+                                sim::SimTime::minutes(45.0), 0.80);
+                    }
+                }
+            };
+
+        // Per-day SLA inside a window around the surge.
+        std::vector<stats::SlaTracker> surge_sla(
+            days, stats::SlaTracker(0.99));
+        config.evaluationProbe = [&](const dc::Cluster &cluster,
+                                     sim::SimTime now) {
+            const int day = static_cast<int>(now.toHours() / 24.0);
+            if (day < 0 || day >= days)
+                return;
+            const double hour_of_day = now.toHours() - day * 24.0;
+            if (hour_of_day < 9.0 || hour_of_day > 10.0)
+                return;
+            double demand = 0.0, granted = 0.0;
+            for (const auto &vm_ptr : cluster.vms()) {
+                demand += vm_ptr->currentDemandMhz();
+                granted += vm_ptr->grantedMhz();
+            }
+            surge_sla[static_cast<std::size_t>(day)].record(demand,
+                                                            granted);
+        };
+
+        const mgmt::ScenarioResult result = mgmt::runScenario(config);
+
+        std::vector<std::string> row{toString(kind)};
+        for (int day = 0; day < days; ++day) {
+            row.push_back(stats::fmtPercent(
+                surge_sla[static_cast<std::size_t>(day)]
+                    .violationFraction(), 1));
+        }
+        row.push_back(stats::fmt(result.metrics.energyKwh));
+        row.push_back(stats::fmtPercent(result.metrics.satisfaction, 2));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: the profile learner pays the same day-1 dip "
+                 "as the reactive manager,\nthen pre-wakes for every "
+                 "following morning — recurring surges stop costing\n"
+                 "performance once the system has seen one day.\n";
+    return 0;
+}

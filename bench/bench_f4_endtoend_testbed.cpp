@@ -1,0 +1,57 @@
+/**
+ * @file
+ * F4 — End-to-end testbed comparison of management policies.
+ *
+ * Paper analogue: the end-to-end evaluation on the real cluster — one
+ * diurnal enterprise day under each management policy, reporting energy,
+ * performance and management overhead side by side.
+ *
+ * Shape to reproduce: PM+S3 cuts energy far below NoPM/DRM while keeping
+ * satisfaction and migration counts in the same ballpark as DRM-only (the
+ * paper's headline "same overhead class, much better energy"); PM+S5
+ * saves less because its latency forces conservatism.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("F4", "end-to-end policy comparison (testbed scale)",
+                  "8 hosts, 40 VMs, 24 h diurnal enterprise mix, "
+                  "5 min manager period");
+
+    stats::Table table("policy comparison over one enterprise day",
+                       bench::policyHeader());
+
+    double baseline_kwh = 0.0;
+    double ideal_kwh = 0.0;
+    for (const mgmt::PolicyKind policy : mgmt::allPolicies) {
+        mgmt::ScenarioConfig config;
+        config.hostCount = 8;
+        config.vmCount = 40;
+        config.duration = sim::SimTime::hours(24.0);
+        config.manager = mgmt::makePolicy(policy);
+        const mgmt::ScenarioResult result = mgmt::runScenario(config);
+
+        if (policy == mgmt::PolicyKind::NoPM) {
+            baseline_kwh = result.metrics.energyKwh;
+            ideal_kwh = result.idealProportionalKwh;
+        }
+        table.addRow(bench::policyRow(toString(policy), result,
+                                      baseline_kwh));
+    }
+    table.print(std::cout);
+
+    std::printf("\nideal energy-proportional reference: %.2f kWh (%.1f%% "
+                "of NoPM)\n", ideal_kwh,
+                100.0 * ideal_kwh / baseline_kwh);
+    std::cout << "\nTakeaway: PM+S3 approaches the proportional reference "
+                 "with DRM-class overheads;\nPM+S5's long transitions force "
+                 "bigger buffers and leave savings on the table.\n";
+    return 0;
+}

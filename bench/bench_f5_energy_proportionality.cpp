@@ -1,0 +1,77 @@
+/**
+ * @file
+ * F5 — Energy proportionality: cluster power vs. offered load.
+ *
+ * Paper analogue: the figure plotting average cluster power against load
+ * level for each policy, with the ideal energy-proportional line as the
+ * reference. We sweep the workload's load scale and report the mean
+ * cluster power per policy.
+ *
+ * Shape to reproduce: NoPM/DRM sit on a high, nearly flat line (idle power
+ * dominates); PM+S3 bends down toward the ideal proportional line at low
+ * load; PM+S5 lands in between.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("F5", "cluster power vs offered load (proportionality)",
+                  "8 hosts, 40 VMs, 24 h, load scale sweep; mean cluster "
+                  "power in watts");
+
+    const std::vector<double> load_scales = {0.25, 0.5, 0.75, 1.0,
+                                             1.5,  2.0, 2.5,  3.0};
+    const mgmt::PolicyKind policies[] = {
+        mgmt::PolicyKind::NoPM, mgmt::PolicyKind::DrmOnly,
+        mgmt::PolicyKind::PmS5, mgmt::PolicyKind::PmS3};
+
+    stats::Table table("mean cluster power (W) by offered load and policy",
+                       {"load frac", "ideal W", "NoPM W", "DRM W",
+                        "PM+S5 W", "PM+S3 W", "PM+S3 SLA viol"});
+
+    for (const double scale : load_scales) {
+        std::vector<std::string> row;
+        double load_fraction = 0.0;
+        double ideal_w = 0.0;
+        std::vector<double> powers;
+        double s3_viol = 0.0;
+
+        for (const mgmt::PolicyKind policy : policies) {
+            mgmt::ScenarioConfig config;
+            config.hostCount = 8;
+            config.vmCount = 40;
+            config.duration = sim::SimTime::hours(24.0);
+            config.mix.loadScale = scale;
+            config.manager = mgmt::makePolicy(policy);
+            const mgmt::ScenarioResult result = mgmt::runScenario(config);
+
+            load_fraction = result.offeredLoadFraction;
+            ideal_w = result.idealProportionalKwh * 1000.0 /
+                      result.metrics.simulatedHours;
+            powers.push_back(result.metrics.averagePowerWatts);
+            if (policy == mgmt::PolicyKind::PmS3)
+                s3_viol = result.metrics.violationFraction;
+        }
+
+        row.push_back(stats::fmtPercent(load_fraction, 1));
+        row.push_back(stats::fmt(ideal_w, 0));
+        for (const double w : powers)
+            row.push_back(stats::fmt(w, 0));
+        row.push_back(stats::fmtPercent(s3_viol, 2));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: without power management the cluster burns "
+                 "near-constant power\nregardless of load; PM+S3 tracks the "
+                 "ideal proportional line closely at low and\nmoderate load "
+                 "with negligible SLA impact.\n";
+    return 0;
+}

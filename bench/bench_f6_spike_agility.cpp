@@ -1,0 +1,105 @@
+/**
+ * @file
+ * F6 — Agility: response to a load spike from a consolidated trough.
+ *
+ * Paper analogue: the experiment demonstrating why exit latency is the
+ * crux — the cluster is consolidated during a trough when load surges;
+ * the manager must wake capacity and re-spread VMs. We overlay a step
+ * spike on every VM at t = 8 h and measure how long each policy takes to
+ * serve full demand again and how much performance is lost meanwhile.
+ *
+ * Shape to reproduce: PM+S3 restores service within roughly a management
+ * period plus seconds; PM+S5 adds minutes of reboot on top, with a
+ * correspondingly deeper and longer SLA dip. DRM (never sleeps) is the
+ * no-dip reference.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "workload/demand_trace.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    const sim::SimTime spike_start = sim::SimTime::hours(8.0);
+    const sim::SimTime spike_width = sim::SimTime::hours(2.0);
+
+    bench::banner("F6", "spike agility from a consolidated trough",
+                  "8 hosts, 40 VMs at 40% load scale; all VMs spike to "
+                  "85% at t=8h for 2h; 1 min manager period");
+
+    stats::Table table("spike response by policy",
+                       {"policy", "hosts on pre-spike", "recovery time",
+                        "spike-window SLA viol", "spike worst perf",
+                        "overall satisfaction"});
+
+    for (const mgmt::PolicyKind policy :
+         {mgmt::PolicyKind::DrmOnly, mgmt::PolicyKind::PmS3,
+          mgmt::PolicyKind::PmS5}) {
+        mgmt::ScenarioConfig config;
+        config.hostCount = 8;
+        config.vmCount = 40;
+        config.duration = sim::SimTime::hours(12.0);
+        config.mix.loadScale = 0.4;
+        config.manager = mgmt::makePolicy(policy);
+        config.manager.period = sim::SimTime::minutes(1.0);
+
+        config.transformFleet =
+            [&](std::vector<workload::VmWorkloadSpec> &fleet) {
+                for (auto &spec : fleet) {
+                    spec.trace = std::make_shared<workload::SpikeTrace>(
+                        spec.trace, spike_start, spike_width, 0.85);
+                }
+            };
+
+        // Probe: hosts on just before the spike, recovery time, and the
+        // SLA seen inside the spike window.
+        int hosts_pre_spike = -1;
+        sim::SimTime recovered_at = sim::SimTime::max();
+        stats::SlaTracker spike_sla(0.99);
+        config.evaluationProbe = [&](const dc::Cluster &cluster,
+                                     sim::SimTime now) {
+            if (now < spike_start) {
+                hosts_pre_spike = cluster.hostsOn();
+                return;
+            }
+            if (now >= spike_start + spike_width)
+                return;
+
+            double demand = 0.0, granted = 0.0;
+            for (const auto &vm_ptr : cluster.vms()) {
+                demand += vm_ptr->currentDemandMhz();
+                granted += vm_ptr->grantedMhz();
+            }
+            spike_sla.record(demand, granted);
+            if (recovered_at == sim::SimTime::max() &&
+                granted >= demand * 0.999) {
+                recovered_at = now;
+            }
+        };
+
+        const mgmt::ScenarioResult result = mgmt::runScenario(config);
+
+        const std::string recovery =
+            recovered_at == sim::SimTime::max()
+                ? "never"
+                : (recovered_at - spike_start).toString();
+        table.addRow({toString(policy), std::to_string(hosts_pre_spike),
+                      recovery,
+                      stats::fmtPercent(spike_sla.violationFraction(), 1),
+                      stats::fmt(spike_sla.worstPerformance(), 3),
+                      stats::fmtPercent(result.metrics.satisfaction, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: from the same consolidated state, the "
+                 "low-latency policy restores full\nservice in seconds-to-a-"
+                 "minute; the traditional policy pays its reboot latency\n"
+                 "in end-user performance. DRM never dips but never saved "
+                 "energy either.\n";
+    return 0;
+}

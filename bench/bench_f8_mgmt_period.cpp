@@ -1,0 +1,64 @@
+/**
+ * @file
+ * F8 — Sensitivity to the management period.
+ *
+ * Paper analogue: the knob study on how often the manager runs. Short
+ * periods react faster (better SLA, deeper savings) at the cost of more
+ * management traffic; long periods leave hosts on through troughs and
+ * react late to ramps.
+ *
+ * Shape to reproduce: energy is fairly flat until the period gets long;
+ * SLA violations and spike exposure grow with the period; migrations per
+ * day fall as the period grows.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+
+    bench::banner("F8", "sensitivity: management period",
+                  "8 hosts, 40 VMs, 24 h diurnal day, PM+S3 with the "
+                  "period swept");
+
+    stats::Table table("PM+S3 outcome vs management period",
+                       {"period", "energy kWh", "vs NoPM", "satisfaction",
+                        "SLA viol", "migr", "pwr actions"});
+
+    // NoPM baseline for normalization.
+    mgmt::ScenarioConfig base;
+    base.hostCount = 8;
+    base.vmCount = 40;
+    base.duration = sim::SimTime::hours(24.0);
+    base.manager = mgmt::makePolicy(mgmt::PolicyKind::NoPM);
+    const double baseline_kwh =
+        mgmt::runScenario(base).metrics.energyKwh;
+
+    for (const double minutes : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+        mgmt::ScenarioConfig config = base;
+        config.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+        config.manager.period = sim::SimTime::minutes(minutes);
+        const mgmt::ScenarioResult result = mgmt::runScenario(config);
+
+        table.addRow({sim::SimTime::minutes(minutes).toString(),
+                      stats::fmt(result.metrics.energyKwh),
+                      stats::fmtPercent(result.metrics.energyKwh /
+                                        baseline_kwh, 1),
+                      stats::fmtPercent(result.metrics.satisfaction, 2),
+                      stats::fmtPercent(result.metrics.violationFraction,
+                                        2),
+                      std::to_string(result.metrics.migrations),
+                      std::to_string(result.metrics.powerActions)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTakeaway: with seconds-scale power states the policy "
+                 "tolerates a wide range of\nmanagement periods — savings "
+                 "barely move, and even the 1-minute period's extra\n"
+                 "traffic stays modest.\n";
+    return 0;
+}

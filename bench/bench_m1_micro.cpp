@@ -1,0 +1,116 @@
+/**
+ * @file
+ * M1 — Engineering microbenchmarks (google-benchmark).
+ *
+ * Not a paper figure: throughput of the building blocks, so regressions
+ * in the simulator core show up before they distort experiment runtimes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/placement.hpp"
+#include "core/scenario.hpp"
+#include "simcore/event_queue.hpp"
+#include "simcore/random.hpp"
+#include "simcore/simulator.hpp"
+#include "workload/diurnal.hpp"
+
+namespace {
+
+using namespace vpm;
+
+void
+BM_EventQueueScheduleAndPop(benchmark::State &state)
+{
+    const auto n = static_cast<int>(state.range(0));
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        for (int i = 0; i < n; ++i) {
+            queue.schedule(
+                sim::SimTime::micros(
+                    static_cast<std::int64_t>(rng.next() % 1000000)),
+                [] {});
+        }
+        while (!queue.empty())
+            benchmark::DoNotOptimize(queue.pop().when);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void
+BM_SimulatorEventDispatch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator simulator;
+        int remaining = 10000;
+        std::function<void()> tick = [&] {
+            if (--remaining > 0)
+                simulator.schedule(sim::SimTime::micros(10), tick);
+        };
+        simulator.schedule(sim::SimTime(), tick);
+        simulator.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void
+BM_DiurnalTraceQuery(benchmark::State &state)
+{
+    workload::DiurnalConfig config;
+    const workload::DiurnalTrace trace(config);
+    std::int64_t minute = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            trace.utilizationAt(sim::SimTime::minutes(
+                static_cast<double>(minute++ % 10000))));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiurnalTraceQuery);
+
+void
+BM_PlanRebalance(benchmark::State &state)
+{
+    const auto hosts_n = static_cast<int>(state.range(0));
+    sim::Rng rng(3);
+    std::vector<mgmt::PlannedHost> hosts;
+    for (int h = 0; h < hosts_n; ++h)
+        hosts.push_back({h, 32000.0, 131072.0, true});
+    std::vector<mgmt::PlannedVm> vms;
+    for (int v = 0; v < hosts_n * 5; ++v) {
+        vms.push_back({v, static_cast<int>(rng.uniformInt(0, hosts_n - 1)),
+                       rng.uniform(500.0, 8000.0),
+                       rng.uniform(1024.0, 8192.0), true});
+    }
+    for (auto _ : state) {
+        mgmt::PlacementModel model(hosts, vms);
+        benchmark::DoNotOptimize(
+            mgmt::planRebalance(model, 0.8, 0.25, hosts_n,
+                                mgmt::PackingHeuristic::BestFitDecreasing));
+    }
+    state.SetItemsProcessed(state.iterations() * hosts_n);
+}
+BENCHMARK(BM_PlanRebalance)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_EndToEndScenarioHour(benchmark::State &state)
+{
+    for (auto _ : state) {
+        mgmt::ScenarioConfig config;
+        config.hostCount = 8;
+        config.vmCount = 40;
+        config.duration = sim::SimTime::hours(1.0);
+        config.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+        benchmark::DoNotOptimize(mgmt::runScenario(config).metrics.energyKwh);
+    }
+}
+BENCHMARK(BM_EndToEndScenarioHour)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

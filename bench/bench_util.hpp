@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: standard policy rows and the
+ * banner each bench prints so outputs are self-describing.
+ */
+
+#ifndef VPM_BENCH_BENCH_UTIL_HPP
+#define VPM_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "stats/table.hpp"
+
+namespace vpm::bench {
+
+/** Print the experiment banner (id, paper analogue, setup). */
+inline void
+banner(const std::string &id, const std::string &title,
+       const std::string &setup)
+{
+    std::printf("############################################################"
+                "####################\n");
+    std::printf("# %s — %s\n", id.c_str(), title.c_str());
+    std::printf("# setup: %s\n", setup.c_str());
+    std::printf("############################################################"
+                "####################\n\n");
+}
+
+/** Standard per-policy metrics row used by several benches. */
+inline std::vector<std::string>
+policyRow(const char *label, const mgmt::ScenarioResult &result,
+          double baseline_kwh)
+{
+    return {label,
+            stats::fmt(result.metrics.energyKwh),
+            stats::fmtPercent(baseline_kwh > 0.0
+                                  ? result.metrics.energyKwh / baseline_kwh
+                                  : 1.0),
+            stats::fmtPercent(result.metrics.satisfaction, 2),
+            stats::fmtPercent(result.metrics.violationFraction, 2),
+            stats::fmt(result.metrics.p95LatencyFactor, 2) + "x",
+            std::to_string(result.metrics.migrations),
+            std::to_string(result.metrics.powerActions),
+            stats::fmt(result.metrics.averageHostsOn, 1)};
+}
+
+/** Header matching policyRow(). */
+inline std::vector<std::string>
+policyHeader()
+{
+    return {"policy",      "energy kWh", "vs NoPM", "satisfaction",
+            "SLA viol",    "p95 latency", "migr",   "pwr actions",
+            "avg hosts on"};
+}
+
+} // namespace vpm::bench
+
+#endif // VPM_BENCH_BENCH_UTIL_HPP

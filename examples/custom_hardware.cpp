@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Example: bring your own server model.
+ *
+ * Shows the full path a downstream user takes to evaluate power management
+ * on *their* hardware: define a utilization-to-power curve and sleep
+ * states from measurements, sanity-check them with the testbed harness and
+ * break-even analysis, then run the manager on a cluster of them — all
+ * without touching library code.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "power/breakeven.hpp"
+#include "prototype/testbed.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+/** A hypothetical dense microserver: low power, modest S3. */
+vpm::power::HostPowerSpec
+myMicroserver()
+{
+    using namespace vpm;
+    using sim::SimTime;
+
+    // Eleven measured SPECpower-style points, 60 W idle to 140 W peak.
+    const auto curve = std::make_shared<power::PiecewisePowerCurve>(
+        std::vector<double>{60.0, 69.0, 77.0, 84.0, 91.0, 98.0, 106.0,
+                            114.0, 122.0, 131.0, 140.0});
+
+    power::SleepStateSpec s3;
+    s3.name = "S3";
+    s3.sleepPowerWatts = 4.0;
+    s3.entryLatency = SimTime::seconds(3.0);
+    s3.exitLatency = SimTime::seconds(6.0);
+    s3.entryPowerWatts = 66.0;
+    s3.exitPowerWatts = 95.0;
+
+    power::SleepStateSpec s5;
+    s5.name = "S5";
+    s5.sleepPowerWatts = 2.0;
+    s5.entryLatency = SimTime::seconds(20.0);
+    s5.exitLatency = SimTime::seconds(75.0);
+    s5.entryPowerWatts = 58.0;
+    s5.exitPowerWatts = 100.0;
+
+    return power::HostPowerSpec("my-microserver", curve, {s3, s5});
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vpm;
+
+    const power::HostPowerSpec spec = myMicroserver();
+
+    // Step 1: characterize, exactly like the paper characterized its
+    // prototype — and like bench_t1 does for the built-in blade.
+    proto::Testbed testbed(spec);
+    stats::Table states("my-microserver characterization",
+                        {"state", "sleep W", "entry s", "exit s",
+                         "break-even s"});
+    for (const proto::StateCharacterization &c :
+         testbed.characterizeAll()) {
+        states.addRow({c.name, stats::fmt(c.sleepWatts, 1),
+                       stats::fmt(c.entrySeconds, 1),
+                       stats::fmt(c.exitSeconds, 1),
+                       stats::fmt(c.breakEvenSeconds, 1)});
+    }
+    states.print(std::cout);
+    std::cout << '\n';
+
+    // Step 2: run the manager on a cluster of them. Microservers are
+    // smaller, so size the host config accordingly.
+    dc::HostConfig host_config;
+    host_config.cpuCapacityMhz = 16000.0;
+    host_config.memoryCapacityMb = 65536.0;
+
+    stats::Table outcome("one enterprise day on 12 microservers",
+                         {"policy", "energy kWh", "vs NoPM",
+                          "satisfaction", "avg hosts on"});
+    double baseline = 0.0;
+    for (const mgmt::PolicyKind policy :
+         {mgmt::PolicyKind::NoPM, mgmt::PolicyKind::PmS3}) {
+        mgmt::ScenarioConfig config;
+        config.hostCount = 12;
+        config.vmCount = 36;
+        config.hostConfig = host_config;
+        config.powerSpec = spec;
+        config.mix.cpuSizesMhz = {1000.0, 2000.0, 4000.0};
+        config.duration = sim::SimTime::hours(24.0);
+        config.manager = mgmt::makePolicy(policy);
+
+        const mgmt::ScenarioResult result = mgmt::runScenario(config);
+        if (policy == mgmt::PolicyKind::NoPM)
+            baseline = result.metrics.energyKwh;
+        outcome.addRow({toString(policy),
+                        stats::fmt(result.metrics.energyKwh),
+                        stats::fmtPercent(result.metrics.energyKwh /
+                                          baseline, 1),
+                        stats::fmtPercent(result.metrics.satisfaction, 2),
+                        stats::fmt(result.metrics.averageHostsOn, 1)});
+    }
+    outcome.print(std::cout);
+
+    std::cout << "\nSwap myMicroserver() for your own measurements to "
+                 "evaluate your fleet.\n";
+    return 0;
+}

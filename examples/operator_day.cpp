@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Example: a day in the operator's seat.
+ *
+ * Demonstrates the operational API around the manager: a cluster power
+ * cap, a host pulled into maintenance mid-day (firmware update), and
+ * released afterwards — while the power manager keeps consolidating
+ * around these constraints. Build your own runbooks the same way: drive
+ * VpmManager from scheduled events.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/manager.hpp"
+#include "core/policies.hpp"
+#include "core/scenario.hpp"
+#include "power/server_models.hpp"
+#include "stats/table.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/mix.hpp"
+
+int
+main()
+{
+    using namespace vpm;
+    using sim::SimTime;
+
+    sim::Simulator simulator;
+    dc::Cluster cluster(simulator);
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    for (int h = 0; h < 8; ++h)
+        cluster.addHost(dc::HostConfig{}, spec);
+
+    sim::Rng rng(7);
+    for (auto &vm_spec : workload::makeEnterpriseMix(rng, 40)) {
+        cluster.addVm(std::move(vm_spec));
+    }
+    mgmt::staticInitialPlacement(cluster);
+
+    dc::MigrationEngine migration(simulator, cluster);
+    dc::DatacenterSim dcsim(simulator, cluster, migration);
+
+    mgmt::VpmConfig policy = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+    policy.clusterPowerCapWatts = 1600.0; // branch-circuit budget
+    mgmt::VpmManager manager(simulator, cluster, migration, dcsim, policy);
+    manager.start();
+
+    stats::Table log("operator day (power cap 1600 W)",
+                     {"t", "event", "hosts on", "cluster W"});
+    const auto note = [&](const std::string &event) {
+        log.addRow({simulator.now().toString(), event,
+                    std::to_string(cluster.hostsOn()),
+                    stats::fmt(cluster.totalPowerWatts(), 0)});
+    };
+
+    // 10:00 — host003 needs a firmware update.
+    simulator.scheduleAt(SimTime::hours(10.0), [&] {
+        manager.requestMaintenance(3);
+        note("maintenance requested for host003");
+    });
+
+    // Poll until the host is evacuated, then "service" it for an hour.
+    std::function<void()> poll = [&] {
+        if (manager.maintenanceReady(3)) {
+            note("host003 evacuated; service window opens");
+            simulator.schedule(SimTime::hours(1.0), [&] {
+                manager.endMaintenance(3);
+                note("host003 returned to the pool");
+            });
+        } else {
+            simulator.schedule(SimTime::minutes(2.0), poll);
+        }
+    };
+    simulator.scheduleAt(SimTime::hours(10.0) + SimTime::minutes(2.0),
+                         poll);
+
+    // Checkpoints through the day.
+    for (const double hour : {0.0, 6.0, 12.0, 18.0, 23.9}) {
+        simulator.scheduleAt(SimTime::hours(hour) + SimTime::seconds(30.0),
+                             [&] { note("checkpoint"); });
+    }
+
+    const dc::RunMetrics metrics = dcsim.runFor(SimTime::hours(24.0));
+    log.print(std::cout);
+
+    std::printf("\nday totals: %.2f kWh, satisfaction %.2f%%, "
+                "%llu migrations, %llu power actions,\n"
+                "%llu wakes denied by the cap\n",
+                metrics.energyKwh, metrics.satisfaction * 100.0,
+                static_cast<unsigned long long>(metrics.migrations),
+                static_cast<unsigned long long>(metrics.powerActions),
+                static_cast<unsigned long long>(
+                    manager.stats().wakesDeniedByCap));
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "core/dvfs.hpp"
+
+#include <algorithm>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::mgmt {
+
+DvfsController::DvfsController(dc::Cluster &cluster,
+                               dc::DatacenterSim &dcsim,
+                               const DvfsConfig &config)
+    : cluster_(cluster), dcsim_(dcsim), config_(config)
+{
+    if (config_.levels.empty())
+        sim::fatal("DvfsController: no frequency levels");
+    for (std::size_t i = 0; i < config_.levels.size(); ++i) {
+        const double f = config_.levels[i];
+        if (f <= 0.0 || f > 1.0)
+            sim::fatal("DvfsController: level %g outside (0, 1]", f);
+        if (i > 0 && f <= config_.levels[i - 1])
+            sim::fatal("DvfsController: levels must be ascending");
+    }
+    if (config_.levels.back() != 1.0)
+        sim::fatal("DvfsController: highest level must be 1.0 (nominal)");
+    if (config_.targetUtilization <= 0.0 ||
+        config_.targetUtilization > 1.0) {
+        sim::fatal("DvfsController: target utilization %g outside (0, 1]",
+                   config_.targetUtilization);
+    }
+    if (config_.period <= sim::SimTime())
+        sim::fatal("DvfsController: period must be positive");
+    if (config_.period.micros() %
+            dcsim_.config().evaluationInterval.micros() != 0) {
+        sim::fatal("DvfsController: period must be a multiple of the "
+                   "evaluation interval");
+    }
+}
+
+void
+DvfsController::start()
+{
+    if (started_)
+        sim::panic("DvfsController::start called twice");
+    started_ = true;
+    evaluationsPerCycle_ = static_cast<std::uint64_t>(
+        config_.period.micros() /
+        dcsim_.config().evaluationInterval.micros());
+
+    dcsim_.addEvaluationHook([this] {
+        ++evaluationsSeen_;
+        if ((evaluationsSeen_ - 1) % evaluationsPerCycle_ == 0)
+            controlCycle();
+    });
+}
+
+void
+DvfsController::controlCycle()
+{
+    for (const auto &host_ptr : cluster_.hosts()) {
+        if (!host_ptr->isOn())
+            continue;
+
+        // Lowest level whose scaled capacity covers demand with headroom.
+        const double demand =
+            host_ptr->vmDemandMhz() + host_ptr->migrationOverheadMhz();
+        double chosen = config_.levels.back();
+        for (const double f : config_.levels) {
+            if (demand <= config_.targetUtilization *
+                              host_ptr->cpuCapacityMhz() * f) {
+                chosen = f;
+                break;
+            }
+        }
+
+        if (host_ptr->frequencyFraction() != chosen) {
+            host_ptr->setFrequencyFraction(chosen);
+            ++transitions_;
+        }
+    }
+
+    // Frequencies moved: grants and power draws must follow.
+    dcsim_.reallocate();
+}
+
+} // namespace vpm::mgmt

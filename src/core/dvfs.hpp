@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DVFS controller: the classic alternative power knob (E5 extension).
+ *
+ * Before low-latency sleep states, the standard dynamic power lever was
+ * per-host frequency/voltage scaling. This controller implements it so
+ * the evaluation can compare and combine the two: every period it sets
+ * each powered-on host to the lowest discrete frequency whose scaled
+ * capacity still covers recent demand with headroom. Because idle power
+ * is static, DVFS alone cannot approach proportionality — which is
+ * exactly the comparison the E5 bench draws.
+ */
+
+#ifndef VPM_CORE_DVFS_HPP
+#define VPM_CORE_DVFS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "datacenter/datacenter_sim.hpp"
+
+namespace vpm::mgmt {
+
+/** DVFS policy knobs. */
+struct DvfsConfig
+{
+    /** Selectable frequency fractions, ascending, each in (0, 1], last
+     *  must be 1.0 (nominal). */
+    std::vector<double> levels{0.6, 0.7, 0.8, 0.9, 1.0};
+
+    /** Demand headroom kept at the chosen level: pick the lowest f with
+     *  demand <= target * capacity * f. */
+    double targetUtilization = 0.85;
+
+    /** Controller period; must be a multiple of the evaluation interval. */
+    sim::SimTime period = sim::SimTime::minutes(1.0);
+};
+
+/** Per-host frequency governor driven off the evaluation cadence. */
+class DvfsController
+{
+  public:
+    DvfsController(dc::Cluster &cluster, dc::DatacenterSim &dcsim,
+                   const DvfsConfig &config = {});
+
+    DvfsController(const DvfsController &) = delete;
+    DvfsController &operator=(const DvfsController &) = delete;
+
+    /** Hook onto the evaluation cadence. Call exactly once. */
+    void start();
+
+    /** Run one control step immediately (tests drive this directly). */
+    void controlCycle();
+
+    /** Frequency-change commands issued so far. */
+    std::uint64_t transitions() const { return transitions_; }
+
+    const DvfsConfig &config() const { return config_; }
+
+  private:
+    dc::Cluster &cluster_;
+    dc::DatacenterSim &dcsim_;
+    DvfsConfig config_;
+    bool started_ = false;
+    std::uint64_t evaluationsSeen_ = 0;
+    std::uint64_t evaluationsPerCycle_ = 1;
+    std::uint64_t transitions_ = 0;
+};
+
+} // namespace vpm::mgmt
+
+#endif // VPM_CORE_DVFS_HPP

@@ -1,0 +1,651 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::mgmt {
+
+VpmManager::VpmManager(sim::Simulator &simulator, dc::Cluster &cluster,
+                       dc::MigrationEngine &migration,
+                       dc::DatacenterSim &dcsim, const VpmConfig &config)
+    : simulator_(simulator), cluster_(cluster), migration_(migration),
+      dcsim_(dcsim), config_(config),
+      expectedIdle_(config.expectedIdleSeed)
+{
+    if (config_.period <= sim::SimTime())
+        sim::fatal("VpmManager: period must be positive");
+    const std::int64_t period_us = config_.period.micros();
+    const std::int64_t eval_us =
+        dcsim_.config().evaluationInterval.micros();
+    if (period_us % eval_us != 0)
+        sim::fatal("VpmManager: period (%lld us) must be a multiple of the "
+                   "evaluation interval (%lld us)",
+                   static_cast<long long>(period_us),
+                   static_cast<long long>(eval_us));
+    if (config_.targetUtilization <= 0.0 || config_.targetUtilization > 1.0)
+        sim::fatal("VpmManager: target utilization %g outside (0, 1]",
+                   config_.targetUtilization);
+    if (config_.capacityBuffer < 0.0)
+        sim::fatal("VpmManager: negative capacity buffer %g",
+                   config_.capacityBuffer);
+    if (config_.hysteresisCycles < 1)
+        sim::fatal("VpmManager: hysteresis must be >= 1 cycle");
+    if (config_.maxMigrationsPerCycle < 1)
+        sim::fatal("VpmManager: need at least one migration per cycle");
+    if (config_.maxEvacuationsPerCycle < 0)
+        sim::fatal("VpmManager: negative evacuation budget");
+    if (config_.spareHostsFloor < 0)
+        sim::fatal("VpmManager: negative spare-hosts floor");
+
+    aggregatePredictor_ = makeConfiguredPredictor();
+}
+
+std::unique_ptr<DemandPredictor>
+VpmManager::makeConfiguredPredictor() const
+{
+    if (config_.predictor == PredictorKind::PeriodicProfile) {
+        const auto slots = static_cast<std::size_t>(
+            sim::SimTime::hours(24.0).micros() / config_.period.micros());
+        return std::make_unique<PeriodicProfilePredictor>(
+            std::max<std::size_t>(slots, 2));
+    }
+    return makePredictor(config_.predictor);
+}
+
+void
+VpmManager::start()
+{
+    if (started_)
+        sim::panic("VpmManager::start called twice");
+    started_ = true;
+
+    evaluationsPerCycle_ = static_cast<std::uint64_t>(
+        config_.period.micros() /
+        dcsim_.config().evaluationInterval.micros());
+
+    dcsim_.addEvaluationHook([this] {
+        ++evaluationsSeen_;
+        if ((evaluationsSeen_ - 1) % evaluationsPerCycle_ == 0)
+            managementCycle();
+    });
+}
+
+void
+VpmManager::attachProvisioning(dc::ProvisioningEngine &provisioning)
+{
+    provisioning_ = &provisioning;
+}
+
+void
+VpmManager::attachTopology(const dc::Topology &topology)
+{
+    topology_ = &topology;
+}
+
+void
+VpmManager::managementCycle()
+{
+    ++stats_.cycles;
+    observeDemand();
+    if (config_.haRestart)
+        restartStrandedVms();
+    if (config_.powerManage) {
+        ensureCapacity();
+        ensurePlacementHeadroom();
+    }
+    rebalanceAndConsolidate();
+    if (config_.powerManage)
+        completeDrains();
+}
+
+void
+VpmManager::observeDemand()
+{
+    double total = 0.0;
+    for (const auto &vm_ptr : cluster_.vms()) {
+        if (vm_ptr->retired()) {
+            vmPredictors_.erase(vm_ptr->id());
+            continue;
+        }
+        if (!vm_ptr->placed())
+            continue; // pending arrivals count via the provisioning hook
+        auto [it, inserted] =
+            vmPredictors_.try_emplace(vm_ptr->id(), nullptr);
+        if (inserted)
+            it->second = makeConfiguredPredictor();
+        it->second->observe(vm_ptr->currentDemandMhz());
+        total += vm_ptr->currentDemandMhz();
+    }
+    aggregatePredictor_->observe(total);
+}
+
+double
+VpmManager::predictedVmMhz(const dc::Vm &vm) const
+{
+    const auto it = vmPredictors_.find(vm.id());
+    if (it == vmPredictors_.end())
+        return vm.currentDemandMhz();
+    return std::clamp(it->second->predict(), 0.0, vm.cpuMhz());
+}
+
+double
+VpmManager::requiredCapacityMhz() const
+{
+    double required =
+        aggregatePredictor_->predict() * (1.0 + config_.capacityBuffer);
+    // Arrivals waiting for a host need full-size room right now.
+    if (provisioning_)
+        required += provisioning_->pendingDemandMhz();
+    return required;
+}
+
+double
+VpmManager::committedCapacityMhz() const
+{
+    double total = 0.0;
+    for (const auto &host_ptr : cluster_.hosts()) {
+        const power::PowerPhase phase = host_ptr->powerFsm().phase();
+        const bool arriving =
+            phase == power::PowerPhase::Exiting ||
+            (phase == power::PowerPhase::Entering &&
+             host_ptr->powerFsm().wakePending());
+        const bool on_and_staying =
+            phase == power::PowerPhase::On && hostUsable(*host_ptr);
+        if (on_and_staying || arriving)
+            total += host_ptr->cpuCapacityMhz();
+    }
+    return total;
+}
+
+void
+VpmManager::restartStrandedVms()
+{
+    // VMs on a host that is Asleep or Entering are dead in the water
+    // (crash, or a scripted fault); VMs on an Exiting host will be served
+    // again within one boot, so leave them be.
+    std::vector<dc::VmId> stranded;
+    for (const auto &vm_ptr : cluster_.vms()) {
+        if (!vm_ptr->placed() || vm_ptr->retired())
+            continue;
+        if (migration_.involved(vm_ptr->id()))
+            continue; // the engine aborts and we catch it next cycle
+        const power::PowerPhase phase =
+            cluster_.host(vm_ptr->host()).powerFsm().phase();
+        if (phase == power::PowerPhase::Asleep ||
+            phase == power::PowerPhase::Entering) {
+            stranded.push_back(vm_ptr->id());
+        }
+    }
+    if (stranded.empty())
+        return;
+
+    PlacementModel model = buildModel();
+    for (const dc::VmId vm_id : stranded) {
+        const PlannedVm &planned = model.vm(vm_id);
+        dc::HostId dest = dc::invalidHostId;
+        for (const auto &host_ptr : cluster_.hosts()) {
+            if (!host_ptr->isOn() || !hostUsable(*host_ptr))
+                continue;
+            if (model.fits(planned, host_ptr->id(),
+                           config_.targetUtilization)) {
+                dest = host_ptr->id();
+                break;
+            }
+        }
+        if (dest == dc::invalidHostId) {
+            // No live home yet; ensureCapacity below will wake hosts
+            // (the floor erosion shows up as a shortfall) — retry next
+            // cycle.
+            surplusStreak_ = 0;
+            wakeOneHost();
+            continue;
+        }
+        model.apply({vm_id, planned.host, dest});
+        model.pin(vm_id);
+        cluster_.moveVm(vm_id, dest); // HA restart: instant re-place
+        ++stats_.haRestarts;
+        sim::inform("HA restarted VM '%s' onto '%s'",
+                    cluster_.vm(vm_id).name().c_str(),
+                    cluster_.host(dest).name().c_str());
+    }
+    dcsim_.reallocate();
+}
+
+double
+VpmManager::spareFloorMhz() const
+{
+    if (config_.spareHostsFloor == 0 || cluster_.hostCount() == 0)
+        return 0.0;
+    // Homogeneous-size assumption, documented on the knob.
+    return config_.spareHostsFloor * cluster_.host(0).cpuCapacityMhz() *
+           config_.targetUtilization;
+}
+
+void
+VpmManager::ensureCapacity()
+{
+    const double required = requiredCapacityMhz() + spareFloorMhz();
+    const double limit = config_.targetUtilization;
+    double committed = committedCapacityMhz();
+
+    if (required <= limit * committed)
+        return;
+
+    ++stats_.shortfallCycles;
+    surplusStreak_ = 0;
+
+    // Cheapest capacity first: draining hosts are still on — keep them.
+    const std::vector<dc::HostId> draining_now(draining_.begin(),
+                                               draining_.end());
+    for (dc::HostId host_id : draining_now) {
+        if (required <= limit * committed)
+            return;
+        cancelDrain(host_id);
+        committed += cluster_.host(host_id).cpuCapacityMhz();
+    }
+
+    // Then wake sleeping hosts, fastest exit first.
+    while (required > limit * committed) {
+        if (!wakeOneHost())
+            break; // nothing left to wake; DRM absorbs the overload
+        committed = committedCapacityMhz();
+    }
+}
+
+void
+VpmManager::ensurePlacementHeadroom()
+{
+    // CPU arithmetic alone can miss a memory-bound placement stall: an
+    // arrival can find no host with memory headroom even though the
+    // cluster has plenty of spare cycles. If any pending VM fits nowhere,
+    // wake a host (which arrives with zero committed memory).
+    if (!provisioning_ || provisioning_->pendingCount() == 0)
+        return;
+
+    for (dc::VmId vm_id : provisioning_->pendingVms()) {
+        const dc::Vm &vm = cluster_.vm(vm_id);
+        bool fits_somewhere = false;
+        for (const auto &host_ptr : cluster_.hosts()) {
+            if (!host_ptr->isOn() || !hostUsable(*host_ptr))
+                continue;
+            if (cluster_.memoryFits(vm, *host_ptr)) {
+                fits_somewhere = true;
+                break;
+            }
+        }
+        if (!fits_somewhere) {
+            surplusStreak_ = 0; // capacity is tight; hold consolidation
+            wakeOneHost();
+            return; // one per cycle; re-check next cycle
+        }
+    }
+}
+
+dc::Host *
+VpmManager::findWakeCandidate() const
+{
+    // Candidates: asleep, or still entering without a latched wake.
+    // Maintenance hosts are never woken on the manager's initiative.
+    dc::Host *best = nullptr;
+    for (const auto &host_ptr : cluster_.hosts()) {
+        if (maintenance_.contains(host_ptr->id()))
+            continue;
+        const auto &fsm = host_ptr->powerFsm();
+        if (fsm.wakeInhibited())
+            continue; // crashed hardware under repair
+        const power::PowerPhase phase = fsm.phase();
+        const bool wakeable =
+            phase == power::PowerPhase::Asleep ||
+            (phase == power::PowerPhase::Entering && !fsm.wakePending());
+        if (!wakeable)
+            continue;
+        if (!best ||
+            fsm.timeToAvailable() < best->powerFsm().timeToAvailable()) {
+            best = host_ptr.get();
+        }
+    }
+    return best;
+}
+
+double
+VpmManager::projectedPeakWatts(const dc::Host *extra) const
+{
+    double total = 0.0;
+    for (const auto &host_ptr : cluster_.hosts()) {
+        const auto &fsm = host_ptr->powerFsm();
+        const power::PowerPhase phase = fsm.phase();
+        const bool committed =
+            host_ptr.get() == extra || phase == power::PowerPhase::On ||
+            phase == power::PowerPhase::Exiting ||
+            (phase == power::PowerPhase::Entering && fsm.wakePending());
+        if (committed) {
+            total += fsm.spec().peakPowerWatts();
+        } else if (fsm.sleepState()) {
+            total += fsm.sleepState()->sleepPowerWatts;
+        } else {
+            total += fsm.spec().idlePowerWatts();
+        }
+    }
+    return total;
+}
+
+bool
+VpmManager::wakeOneHost()
+{
+    dc::Host *best = findWakeCandidate();
+    if (!best)
+        return false;
+
+    if (config_.clusterPowerCapWatts > 0.0 &&
+        projectedPeakWatts(best) > config_.clusterPowerCapWatts) {
+        ++stats_.wakesDeniedByCap;
+        return false;
+    }
+
+    if (!cluster_.requestHostWake(best->id())) {
+        // The hardware died between selection and command (or a similar
+        // race); skip this cycle rather than crash.
+        sim::warn("VpmManager: wake of '%s' refused", best->name().c_str());
+        return false;
+    }
+    ++stats_.wakesIssued;
+
+    // Update the idle-interval estimate from the completed sleep episode.
+    if (const auto it = sleepStartedAt_.find(best->id());
+        it != sleepStartedAt_.end()) {
+        const sim::SimTime observed = simulator_.now() - it->second;
+        expectedIdle_ = expectedIdle_ * 0.7 + observed * 0.3;
+        sleepStartedAt_.erase(it);
+    }
+    return true;
+}
+
+PlacementModel
+VpmManager::buildModel() const
+{
+    std::vector<PlannedHost> hosts;
+    hosts.reserve(cluster_.hostCount());
+    for (const auto &host_ptr : cluster_.hosts()) {
+        PlannedHost planned;
+        planned.id = host_ptr->id();
+        planned.cpuCapacityMhz = host_ptr->cpuCapacityMhz();
+        planned.memoryCapacityMb = host_ptr->memoryCapacityMb();
+        planned.usable = host_ptr->isOn() && hostUsable(*host_ptr);
+        planned.rack = topology_ ? topology_->rackOf(planned.id) : 0;
+        hosts.push_back(planned);
+    }
+
+    std::vector<PlannedVm> vms;
+    vms.reserve(cluster_.vmCount());
+    for (const auto &vm_ptr : cluster_.vms()) {
+        if (!vm_ptr->placed())
+            continue;
+        PlannedVm planned;
+        planned.id = vm_ptr->id();
+        planned.cpuMhz = predictedVmMhz(*vm_ptr);
+        planned.memoryMb = vm_ptr->memoryMb();
+        // Plan a VM that is already heading somewhere at its destination
+        // (pinned), so its CPU and memory are not double-booked there.
+        const dc::HostId inbound = migration_.destinationOf(vm_ptr->id());
+        planned.movable = inbound == dc::invalidHostId;
+        planned.host = planned.movable ? vm_ptr->host() : inbound;
+        vms.push_back(planned);
+    }
+    PlacementModel model(std::move(hosts), std::move(vms));
+    if (!config_.antiAffinityGroups.empty())
+        model.setAntiAffinityGroups(config_.antiAffinityGroups);
+    return model;
+}
+
+void
+VpmManager::rebalanceAndConsolidate()
+{
+    PlacementModel model = buildModel();
+    int budget = config_.maxMigrationsPerCycle;
+
+    const auto issue = [&](const std::vector<Move> &moves) {
+        int issued = 0;
+        for (const Move &move : moves) {
+            if (budget <= 0)
+                break;
+            // Belt-and-braces: planners pin moved VMs, so a duplicate
+            // here indicates a planning bug, not expected churn.
+            if (migration_.involved(move.vm)) {
+                sim::warn("VpmManager: duplicate move planned for VM %d",
+                          move.vm);
+                continue;
+            }
+            if (migration_.request(move.vm, move.to)) {
+                ++stats_.migrationsRequested;
+                --budget;
+                ++issued;
+            }
+        }
+        return issued;
+    };
+
+    if (config_.loadBalance) {
+        const std::vector<Move> moves =
+            planRebalance(model, config_.targetUtilization,
+                          config_.imbalanceThreshold, budget,
+                          config_.heuristic, config_.rackAffinity);
+        stats_.balanceMoves += static_cast<std::uint64_t>(issue(moves));
+    }
+
+    if (!config_.powerManage)
+        return;
+
+    // Continue evacuating hosts already draining (a prior cycle may have
+    // run out of budget, or a queued migration may have been dropped) and
+    // hosts the operator wants empty for maintenance.
+    std::vector<dc::HostId> evacuating(draining_.begin(), draining_.end());
+    evacuating.insert(evacuating.end(), maintenance_.begin(),
+                      maintenance_.end());
+    for (dc::HostId host_id : evacuating) {
+        const dc::Host &host = cluster_.host(host_id);
+        if (host.empty() || !host.isOn())
+            continue;
+        const auto plan = planEvacuation(model, host_id,
+                                         config_.targetUtilization,
+                                         config_.heuristic,
+                                         config_.rackAffinity);
+        if (plan) {
+            issue(*plan);
+        } else if (host.activeMigrations() == 0 &&
+                   draining_.contains(host_id)) {
+            // Stuck with no migrations in flight: the cluster can no
+            // longer absorb this host's VMs. Abandon the drain.
+            // (Maintenance evacuations are operator orders: keep trying.)
+            cancelDrain(host_id);
+            ++stats_.evacuationsAbandoned;
+        }
+    }
+
+    // Consider a new evacuation only after a sustained surplus.
+    const double required = requiredCapacityMhz();
+    double staying_capacity = 0.0;
+    for (const auto &host_ptr : cluster_.hosts()) {
+        if (host_ptr->isOn() && hostUsable(*host_ptr))
+            staying_capacity += host_ptr->cpuCapacityMhz();
+    }
+
+    const dc::Host *candidate = chooseEvacuationCandidate(model);
+    const bool surplus =
+        candidate &&
+        required + spareFloorMhz() <=
+            config_.targetUtilization *
+                (staying_capacity - candidate->cpuCapacityMhz());
+    if (!surplus) {
+        surplusStreak_ = 0;
+        return;
+    }
+    ++surplusStreak_;
+    if (surplusStreak_ < config_.hysteresisCycles)
+        return;
+
+    int evacuations = 0;
+    while (evacuations < config_.maxEvacuationsPerCycle && candidate) {
+        // Adaptive mode may conclude sleeping cannot pay off right now.
+        if (!chooseSleepState(*candidate))
+            break;
+
+        const auto plan = planEvacuation(model, candidate->id(),
+                                         config_.targetUtilization,
+                                         config_.heuristic,
+                                         config_.rackAffinity);
+        if (!plan || static_cast<int>(plan->size()) > budget)
+            break; // retry next cycle with a fresh budget
+
+        issue(*plan);
+        draining_.insert(candidate->id());
+        ++stats_.evacuationsStarted;
+        ++evacuations;
+
+        // Find the next candidate, if the surplus is deep enough.
+        staying_capacity -= candidate->cpuCapacityMhz();
+        candidate = chooseEvacuationCandidate(model);
+        if (candidate &&
+            required + spareFloorMhz() >
+                config_.targetUtilization *
+                    (staying_capacity - candidate->cpuCapacityMhz())) {
+            candidate = nullptr;
+        }
+    }
+}
+
+const dc::Host *
+VpmManager::chooseEvacuationCandidate(const PlacementModel &model) const
+{
+    // Pass 1: the lightest on, usable host.
+    const dc::Host *lightest = nullptr;
+    double min_load = 0.0;
+    for (const auto &host_ptr : cluster_.hosts()) {
+        if (!host_ptr->isOn() || !hostUsable(*host_ptr))
+            continue;
+        const double load = model.cpuUsedMhz(host_ptr->id());
+        if (!lightest || load < min_load) {
+            lightest = host_ptr.get();
+            min_load = load;
+        }
+    }
+    if (!lightest || !config_.heterogeneityAware)
+        return lightest;
+
+    // Pass 2 (heterogeneity-aware): among hosts whose load is comparable
+    // to the lightest (so evacuation stays cheap and feasible), prefer
+    // the one with the most parkable watts. A power-hungry relic beats a
+    // slightly emptier efficient host; a heavily loaded one never does.
+    const auto savable_watts = [](const dc::Host &host) {
+        const power::HostPowerSpec &spec = host.powerFsm().spec();
+        double floor_w = spec.idlePowerWatts();
+        for (const power::SleepStateSpec &state : spec.sleepStates())
+            floor_w = std::min(floor_w, state.sleepPowerWatts);
+        return spec.idlePowerWatts() - floor_w;
+    };
+
+    const dc::Host *best = lightest;
+    double best_watts = savable_watts(*lightest);
+    for (const auto &host_ptr : cluster_.hosts()) {
+        if (!host_ptr->isOn() || !hostUsable(*host_ptr))
+            continue;
+        const double load = model.cpuUsedMhz(host_ptr->id());
+        const double slack = 0.15 * host_ptr->cpuCapacityMhz();
+        if (load > min_load + slack)
+            continue;
+        const double watts = savable_watts(*host_ptr);
+        if (watts > best_watts + 1e-9) {
+            best = host_ptr.get();
+            best_watts = watts;
+        }
+    }
+    return best;
+}
+
+const power::SleepStateSpec *
+VpmManager::chooseSleepState(const dc::Host &host) const
+{
+    const power::HostPowerSpec &spec = host.powerFsm().spec();
+    if (!config_.sleepState.empty()) {
+        const power::SleepStateSpec *state =
+            spec.findSleepState(config_.sleepState);
+        if (!state)
+            sim::warn("VpmManager: host '%s' lacks sleep state '%s'",
+                      host.name().c_str(), config_.sleepState.c_str());
+        return state;
+    }
+    // Adaptive: deepest state whose break-even beats the idle estimate.
+    return power::bestStateForInterval(spec, expectedIdle_.toSeconds());
+}
+
+void
+VpmManager::completeDrains()
+{
+    const std::vector<dc::HostId> draining_now(draining_.begin(),
+                                               draining_.end());
+    for (dc::HostId host_id : draining_now) {
+        dc::Host &host = cluster_.host(host_id);
+        if (!host.empty() || host.activeMigrations() > 0 || !host.isOn())
+            continue;
+
+        const power::SleepStateSpec *state = chooseSleepState(host);
+        if (!state) {
+            cancelDrain(host_id);
+            continue;
+        }
+        if (cluster_.requestHostSleep(host_id, state->name)) {
+            ++stats_.sleepsIssued;
+            sleepStartedAt_[host_id] = simulator_.now();
+            draining_.erase(host_id);
+        }
+    }
+}
+
+bool
+VpmManager::hostUsable(const dc::Host &host) const
+{
+    return !draining_.contains(host.id()) &&
+           !maintenance_.contains(host.id());
+}
+
+bool
+VpmManager::requestMaintenance(dc::HostId host)
+{
+    if (!maintenance_.insert(host).second)
+        return false;
+    // Maintenance supersedes any in-progress consolidation drain.
+    draining_.erase(host);
+    sim::inform("host '%s' entering maintenance",
+                cluster_.host(host).name().c_str());
+    return true;
+}
+
+bool
+VpmManager::endMaintenance(dc::HostId host)
+{
+    if (maintenance_.erase(host) == 0)
+        return false;
+    sim::inform("host '%s' left maintenance",
+                cluster_.host(host).name().c_str());
+    return true;
+}
+
+bool
+VpmManager::maintenanceReady(dc::HostId host) const
+{
+    if (!maintenance_.contains(host))
+        return false;
+    const dc::Host &host_ref = cluster_.host(host);
+    return host_ref.isOn() && host_ref.empty() &&
+           host_ref.activeMigrations() == 0;
+}
+
+void
+VpmManager::cancelDrain(dc::HostId host)
+{
+    if (draining_.erase(host) > 0)
+        ++stats_.drainsCancelled;
+}
+
+} // namespace vpm::mgmt

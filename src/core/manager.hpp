@@ -1,0 +1,325 @@
+/**
+ * @file
+ * VpmManager: the end-to-end power-aware virtualization manager — the
+ * paper's primary contribution.
+ *
+ * Every management period the manager:
+ *   1. feeds per-VM and aggregate demand into its predictors;
+ *   2. restores capacity if a shortfall is predicted — first by cancelling
+ *      in-progress drains (free: those hosts are still on), then by waking
+ *      sleeping hosts, lowest-exit-latency states first;
+ *   3. rebalances load across usable hosts (the DRM baseline behaviour);
+ *   4. after a hysteresis streak of surplus cycles, evacuates the least
+ *      loaded host via live migration and marks it draining;
+ *   5. puts fully drained hosts to sleep, choosing the state either by
+ *      policy fiat ("S3"/"S5") or by break-even analysis against the
+ *      observed idle-interval estimate.
+ *
+ * Configured with loadBalance only it *is* the DRM baseline; with neither
+ * flag it is the static NoPM baseline. This is how the paper's policy
+ * comparison stays apples-to-apples: one code path, different knobs.
+ */
+
+#ifndef VPM_CORE_MANAGER_HPP
+#define VPM_CORE_MANAGER_HPP
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/predictor.hpp"
+#include "datacenter/datacenter_sim.hpp"
+#include "datacenter/provisioning.hpp"
+#include "power/breakeven.hpp"
+
+namespace vpm::mgmt {
+
+/** Full policy configuration of the manager. */
+struct VpmConfig
+{
+    /** Management period; must be a multiple of the evaluation interval. */
+    sim::SimTime period = sim::SimTime::minutes(5.0);
+
+    /** Enable DRS-style load balancing (step 3). */
+    bool loadBalance = true;
+
+    /** Enable power management (steps 2, 4, 5). */
+    bool powerManage = true;
+
+    /** Predictor family used for per-VM sizing and the aggregate. */
+    PredictorKind predictor = PredictorKind::WindowMax;
+
+    /** Destination-choice heuristic for packing and balancing. */
+    PackingHeuristic heuristic = PackingHeuristic::BestFitDecreasing;
+
+    /** @name DRM knobs */
+    ///@{
+    /** Per-host predicted-utilization cap enforced by placement. */
+    double targetUtilization = 0.80;
+
+    /** Max-min predicted-utilization spread tolerated before balancing. */
+    double imbalanceThreshold = 0.25;
+
+    /** Migration budget per management cycle (balancing + evacuation). */
+    int maxMigrationsPerCycle = 10;
+    ///@}
+
+    /** @name Power-management knobs */
+    ///@{
+    /** Extra fraction of predicted demand kept as powered-on capacity. */
+    double capacityBuffer = 0.15;
+
+    /** Consecutive surplus cycles required before an evacuation starts. */
+    int hysteresisCycles = 3;
+
+    /** Max evacuations initiated per cycle. */
+    int maxEvacuationsPerCycle = 1;
+
+    /**
+     * Sleep state to use ("S3", "S5", ...); empty string selects the state
+     * adaptively by break-even analysis against the idle-interval estimate.
+     */
+    std::string sleepState = "S3";
+
+    /**
+     * Heterogeneity-aware victim choice: score evacuation candidates by
+     * parkable watts per unit of load to move, instead of load alone, so
+     * mixed clusters park their power-hungry generation first.
+     */
+    bool heterogeneityAware = false;
+
+    /**
+     * Prefer same-rack migration destinations (needs a Topology attached
+     * via attachTopology); falls back to any rack when the home rack is
+     * full. Keeps consolidation traffic off the slow shared uplinks.
+     */
+    bool rackAffinity = false;
+
+    /**
+     * Cluster power cap in watts; 0 disables. Enforcement is on the
+     * admission side: a wake is denied while the projected worst case
+     * (peak power of every committed host plus the sleep floors) would
+     * exceed the cap. Demand on already-running hosts is never throttled
+     * — denials trade SLA for the cap, which is the E4 experiment.
+     */
+    double clusterPowerCapWatts = 0.0;
+
+    /** Seed/floor for the observed idle-interval estimate (adaptive mode).*/
+    sim::SimTime expectedIdleSeed = sim::SimTime::minutes(20.0);
+    ///@}
+
+    /**
+     * Anti-affinity groups: VMs within a group are never placed on the
+     * same host by the planner (HA replicas). Ids referring to departed
+     * VMs are ignored.
+     */
+    std::vector<std::vector<dc::VmId>> antiAffinityGroups;
+
+    /** @name High availability */
+    ///@{
+    /**
+     * Restart VMs stranded on a non-On host (crash) onto live hosts at
+     * the start of every management cycle. On by default: HA restart is
+     * part of the base management stack the paper builds on.
+     */
+    bool haRestart = true;
+
+    /**
+     * Keep this many hosts' worth of spare powered-on capacity beyond
+     * predicted demand (N+k failover headroom). Consolidation will not
+     * dig into the spare, and wakes trigger when it erodes — e.g. after
+     * a crash. Assumes roughly uniform host sizes.
+     */
+    int spareHostsFloor = 0;
+    ///@}
+};
+
+/** Counters exposed for the overhead comparisons (F4/F7). */
+struct ManagerStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t migrationsRequested = 0;
+    std::uint64_t balanceMoves = 0;
+    std::uint64_t evacuationsStarted = 0;
+    std::uint64_t evacuationsAbandoned = 0;
+    std::uint64_t drainsCancelled = 0;
+    std::uint64_t sleepsIssued = 0;
+    std::uint64_t wakesIssued = 0;
+    std::uint64_t wakesDeniedByCap = 0;
+    std::uint64_t shortfallCycles = 0;
+    std::uint64_t haRestarts = 0;
+};
+
+/** The periodic power-aware virtualization management controller. */
+class VpmManager
+{
+  public:
+    VpmManager(sim::Simulator &simulator, dc::Cluster &cluster,
+               dc::MigrationEngine &migration, dc::DatacenterSim &dcsim,
+               const VpmConfig &config = {});
+
+    VpmManager(const VpmManager &) = delete;
+    VpmManager &operator=(const VpmManager &) = delete;
+
+    /**
+     * Hook the manager onto the datacenter's evaluation cadence. The
+     * management cycle runs right after every (period / evaluation
+     * interval)-th evaluation, so it always acts on fresh demand.
+     * Call exactly once, before the simulation runs.
+     */
+    void start();
+
+    /** Run one management cycle immediately (tests drive this directly). */
+    void managementCycle();
+
+    /**
+     * Couple a provisioning engine: the manager counts arrivals waiting
+     * for a host as required capacity, so it wakes hosts for them instead
+     * of leaving placement to starve against a consolidated cluster.
+     */
+    void attachProvisioning(dc::ProvisioningEngine &provisioning);
+
+    /**
+     * Couple the network topology so planners know rack assignments
+     * (enables the rackAffinity policy knob). Must outlive the manager.
+     */
+    void attachTopology(const dc::Topology &topology);
+
+    const ManagerStats &stats() const { return stats_; }
+    const VpmConfig &config() const { return config_; }
+
+    /** @name Operator maintenance mode */
+    ///@{
+    /**
+     * Put a host into maintenance: the manager evacuates it (retrying
+     * every cycle until the cluster can absorb its VMs) and then holds it
+     * On but excluded from placement, balancing, consolidation and wake
+     * candidates, until endMaintenance(). A sleeping host may also enter
+     * maintenance; it simply stays asleep and will not be woken.
+     * @return false if the host is already in maintenance.
+     */
+    bool requestMaintenance(dc::HostId host);
+
+    /**
+     * Release a host from maintenance; it becomes ordinary capacity
+     * again (the next cycles will balance load onto it as needed).
+     * @return false if the host was not in maintenance.
+     */
+    bool endMaintenance(dc::HostId host);
+
+    /** true once a maintenance host is On and fully evacuated. */
+    bool maintenanceReady(dc::HostId host) const;
+
+    const std::set<dc::HostId> &maintenanceHosts() const
+    {
+        return maintenance_;
+    }
+    ///@}
+
+    /** Hosts currently being evacuated for consolidation. */
+    const std::set<dc::HostId> &drainingHosts() const { return draining_; }
+
+    /** Current estimate of a sleeping host's idle interval. */
+    sim::SimTime expectedIdle() const { return expectedIdle_; }
+
+  private:
+    /**
+     * Build a predictor of the configured family. PeriodicProfile
+     * predictors are sized so one revolution equals 24 h of management
+     * cycles at this manager's period.
+     */
+    std::unique_ptr<DemandPredictor> makeConfiguredPredictor() const;
+
+    /** Feed predictors with this cycle's demand. */
+    void observeDemand();
+
+    /** Predicted demand of one VM, clamped to its size, in MHz. */
+    double predictedVmMhz(const dc::Vm &vm) const;
+
+    /** Predicted aggregate demand with the capacity buffer, in MHz. */
+    double requiredCapacityMhz() const;
+
+    /** Capacity that is on or inbound (exiting / pending wake), in MHz. */
+    double committedCapacityMhz() const;
+
+    /** Restart VMs stranded on crashed hosts onto live capacity. */
+    void restartStrandedVms();
+
+    /** Spare powered-on capacity the floor demands, in MHz. */
+    double spareFloorMhz() const;
+
+    /** Steps 2: ensure enough capacity is on or on the way. */
+    void ensureCapacity();
+
+    /** Wake a host if a pending arrival has no memory-feasible home. */
+    void ensurePlacementHeadroom();
+
+    /** Step 3 + 4: plan and issue migrations; returns evacuation victims. */
+    void rebalanceAndConsolidate();
+
+    /** Step 5: put fully drained hosts to sleep. */
+    void completeDrains();
+
+    /** Build the planning snapshot of the current cluster state. */
+    PlacementModel buildModel() const;
+
+    /** Pick the sleep state for @p host; nullptr means "stay on". */
+    const power::SleepStateSpec *chooseSleepState(const dc::Host &host) const;
+
+    /**
+     * Pick the next evacuation victim among on, non-draining hosts, or
+     * nullptr if none qualify. Least predicted load by default;
+     * watts-per-load scoring when heterogeneity-aware.
+     */
+    const dc::Host *chooseEvacuationCandidate(const PlacementModel &model)
+        const;
+
+    /** The most attractive wakeable host, or nullptr. */
+    dc::Host *findWakeCandidate() const;
+
+    /**
+     * Worst-case committed power if @p extra additionally turns on:
+     * peak watts for every on/arriving host, sleep floor for the rest.
+     */
+    double projectedPeakWatts(const dc::Host *extra) const;
+
+    /**
+     * Wake the most attractive sleeping host; false if none exists or
+     * the power cap denies it (counted in wakesDeniedByCap).
+     */
+    bool wakeOneHost();
+
+    void cancelDrain(dc::HostId host);
+
+    sim::Simulator &simulator_;
+    dc::Cluster &cluster_;
+    dc::MigrationEngine &migration_;
+    dc::DatacenterSim &dcsim_;
+    dc::ProvisioningEngine *provisioning_ = nullptr;
+    const dc::Topology *topology_ = nullptr;
+    VpmConfig config_;
+
+    std::map<dc::VmId, std::unique_ptr<DemandPredictor>> vmPredictors_;
+    std::unique_ptr<DemandPredictor> aggregatePredictor_;
+
+    /** true iff the host can hold VMs and take new ones. */
+    bool hostUsable(const dc::Host &host) const;
+
+    std::set<dc::HostId> draining_;
+    std::set<dc::HostId> maintenance_;
+    std::map<dc::HostId, sim::SimTime> sleepStartedAt_;
+    sim::SimTime expectedIdle_;
+    int surplusStreak_ = 0;
+    bool started_ = false;
+    std::uint64_t evaluationsSeen_ = 0;
+    std::uint64_t evaluationsPerCycle_ = 1;
+
+    ManagerStats stats_;
+};
+
+} // namespace vpm::mgmt
+
+#endif // VPM_CORE_MANAGER_HPP

@@ -1,0 +1,61 @@
+#include "core/policies.hpp"
+
+#include "simcore/logging.hpp"
+
+namespace vpm::mgmt {
+
+const char *
+toString(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::NoPM:
+        return "NoPM";
+      case PolicyKind::DrmOnly:
+        return "DRM";
+      case PolicyKind::PmS5:
+        return "PM+S5";
+      case PolicyKind::PmS3:
+        return "PM+S3";
+      case PolicyKind::PmAdaptive:
+        return "PM+adaptive";
+    }
+    sim::panic("toString: invalid PolicyKind %d", static_cast<int>(kind));
+}
+
+VpmConfig
+makePolicy(PolicyKind kind)
+{
+    VpmConfig config;
+    switch (kind) {
+      case PolicyKind::NoPM:
+        config.loadBalance = false;
+        config.powerManage = false;
+        break;
+      case PolicyKind::DrmOnly:
+        config.loadBalance = true;
+        config.powerManage = false;
+        break;
+      case PolicyKind::PmS5:
+        config.loadBalance = true;
+        config.powerManage = true;
+        config.sleepState = "S5";
+        // A minutes-scale exit latency forces conservatism: more spare
+        // capacity and a longer hold before committing to a shutdown.
+        config.capacityBuffer = 0.30;
+        config.hysteresisCycles = 6;
+        break;
+      case PolicyKind::PmS3:
+        config.loadBalance = true;
+        config.powerManage = true;
+        config.sleepState = "S3";
+        break;
+      case PolicyKind::PmAdaptive:
+        config.loadBalance = true;
+        config.powerManage = true;
+        config.sleepState = ""; // break-even-based selection
+        break;
+    }
+    return config;
+}
+
+} // namespace vpm::mgmt

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Named management policies — the four columns of the paper's comparison.
+ *
+ *  - NoPM:       static placement, no management at all.
+ *  - DrmOnly:    distributed resource (load) management, no power actions —
+ *                the widely-adopted baseline whose overhead the paper
+ *                benchmarks against.
+ *  - PmS5:       power management restricted to the traditional soft-off
+ *                state (minutes-scale reboot) — the pre-paper status quo.
+ *  - PmS3:       power management with the paper's low-latency
+ *                suspend-to-RAM state.
+ *  - PmAdaptive: power management with break-even-based state selection
+ *                (the A3 ablation's third arm).
+ */
+
+#ifndef VPM_CORE_POLICIES_HPP
+#define VPM_CORE_POLICIES_HPP
+
+#include "core/manager.hpp"
+
+namespace vpm::mgmt {
+
+/** The policy space compared throughout the evaluation. */
+enum class PolicyKind
+{
+    NoPM,
+    DrmOnly,
+    PmS5,
+    PmS3,
+    PmAdaptive,
+};
+
+/** Human-readable policy name for tables. */
+const char *toString(PolicyKind kind);
+
+/** All policies, in presentation order. */
+inline constexpr PolicyKind allPolicies[] = {
+    PolicyKind::NoPM, PolicyKind::DrmOnly, PolicyKind::PmS5,
+    PolicyKind::PmS3, PolicyKind::PmAdaptive};
+
+/**
+ * Manager configuration for a named policy. For NoPM both management
+ * functions are disabled; the manager still runs (so cycle counting stays
+ * comparable) but issues no actions.
+ */
+VpmConfig makePolicy(PolicyKind kind);
+
+} // namespace vpm::mgmt
+
+#endif // VPM_CORE_POLICIES_HPP

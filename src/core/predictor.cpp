@@ -1,0 +1,205 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::mgmt {
+
+std::unique_ptr<DemandPredictor>
+LastValuePredictor::clone() const
+{
+    return std::make_unique<LastValuePredictor>();
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha)
+{
+    if (alpha <= 0.0 || alpha > 1.0)
+        sim::fatal("EwmaPredictor: alpha %g outside (0, 1]", alpha);
+}
+
+void
+EwmaPredictor::observe(double value)
+{
+    if (!seeded_) {
+        value_ = value;
+        seeded_ = true;
+    } else {
+        value_ = alpha_ * value + (1.0 - alpha_) * value_;
+    }
+}
+
+std::unique_ptr<DemandPredictor>
+EwmaPredictor::clone() const
+{
+    return std::make_unique<EwmaPredictor>(alpha_);
+}
+
+WindowMaxPredictor::WindowMaxPredictor(std::size_t window) : window_(window)
+{
+    if (window == 0)
+        sim::fatal("WindowMaxPredictor: window must be >= 1");
+}
+
+void
+WindowMaxPredictor::observe(double value)
+{
+    values_.push_back(value);
+    if (values_.size() > window_)
+        values_.pop_front();
+}
+
+double
+WindowMaxPredictor::predict() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+std::unique_ptr<DemandPredictor>
+WindowMaxPredictor::clone() const
+{
+    return std::make_unique<WindowMaxPredictor>(window_);
+}
+
+LinearTrendPredictor::LinearTrendPredictor(std::size_t window)
+    : window_(window)
+{
+    if (window < 2)
+        sim::fatal("LinearTrendPredictor: window must be >= 2");
+}
+
+void
+LinearTrendPredictor::observe(double value)
+{
+    values_.push_back(value);
+    if (values_.size() > window_)
+        values_.pop_front();
+}
+
+double
+LinearTrendPredictor::predict() const
+{
+    const std::size_t n = values_.size();
+    if (n == 0)
+        return 0.0;
+    if (n == 1)
+        return values_.front();
+
+    // Least squares of value against index; forecast one step past the end.
+    const double nn = static_cast<double>(n);
+    double sum_x = 0.0, sum_y = 0.0, sum_xy = 0.0, sum_xx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(i);
+        const double y = values_[i];
+        sum_x += x;
+        sum_y += y;
+        sum_xy += x * y;
+        sum_xx += x * x;
+    }
+    const double denom = nn * sum_xx - sum_x * sum_x;
+    if (denom == 0.0)
+        return values_.back();
+    const double slope = (nn * sum_xy - sum_x * sum_y) / denom;
+    const double intercept = (sum_y - slope * sum_x) / nn;
+    return std::max(0.0, intercept + slope * nn);
+}
+
+std::unique_ptr<DemandPredictor>
+LinearTrendPredictor::clone() const
+{
+    return std::make_unique<LinearTrendPredictor>(window_);
+}
+
+PeriodicProfilePredictor::PeriodicProfilePredictor(
+    std::size_t slots_per_period, double alpha,
+    std::size_t lookahead_slots)
+    : alpha_(alpha), lookahead_(lookahead_slots),
+      profile_(slots_per_period, 0.0)
+{
+    if (slots_per_period < 2)
+        sim::fatal("PeriodicProfilePredictor: need >= 2 slots, got %zu",
+                   slots_per_period);
+    if (alpha <= 0.0 || alpha > 1.0)
+        sim::fatal("PeriodicProfilePredictor: alpha %g outside (0, 1]",
+                   alpha);
+    if (lookahead_slots < 1)
+        sim::fatal("PeriodicProfilePredictor: look-ahead must be >= 1");
+}
+
+void
+PeriodicProfilePredictor::observe(double value)
+{
+    const std::size_t slot = count_ % profile_.size();
+    if (count_ < profile_.size()) {
+        profile_[slot] = value; // first revolution seeds the profile
+    } else {
+        profile_[slot] = alpha_ * value + (1.0 - alpha_) * profile_[slot];
+    }
+    last_ = value;
+    ++count_;
+}
+
+double
+PeriodicProfilePredictor::predict() const
+{
+    if (!profileComplete())
+        return last_;
+
+    // Max of the learned profile over the upcoming slots, floored by the
+    // freshest observation so a today-only anomaly is never forecast away.
+    double forecast = last_;
+    for (std::size_t ahead = 0; ahead < lookahead_; ++ahead) {
+        const std::size_t slot = (count_ + ahead) % profile_.size();
+        forecast = std::max(forecast, profile_[slot]);
+    }
+    return forecast;
+}
+
+std::unique_ptr<DemandPredictor>
+PeriodicProfilePredictor::clone() const
+{
+    return std::make_unique<PeriodicProfilePredictor>(profile_.size(),
+                                                      alpha_, lookahead_);
+}
+
+const char *
+toString(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::LastValue:
+        return "last-value";
+      case PredictorKind::Ewma:
+        return "ewma";
+      case PredictorKind::WindowMax:
+        return "window-max";
+      case PredictorKind::LinearTrend:
+        return "linear-trend";
+      case PredictorKind::PeriodicProfile:
+        return "periodic-profile";
+    }
+    sim::panic("toString: invalid PredictorKind %d", static_cast<int>(kind));
+}
+
+std::unique_ptr<DemandPredictor>
+makePredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::LastValue:
+        return std::make_unique<LastValuePredictor>();
+      case PredictorKind::Ewma:
+        return std::make_unique<EwmaPredictor>();
+      case PredictorKind::WindowMax:
+        return std::make_unique<WindowMaxPredictor>();
+      case PredictorKind::LinearTrend:
+        return std::make_unique<LinearTrendPredictor>();
+      case PredictorKind::PeriodicProfile:
+        // Default geometry: a 24 h day of 5-minute management cycles.
+        return std::make_unique<PeriodicProfilePredictor>(288);
+    }
+    sim::panic("makePredictor: invalid PredictorKind %d",
+               static_cast<int>(kind));
+}
+
+} // namespace vpm::mgmt

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Demand predictors for the management layer.
+ *
+ * Every management decision — evacuate a host, wake one — is taken against
+ * a forecast of near-future demand, because acting on stale demand with
+ * slow power states is precisely the failure mode the paper attacks. Four
+ * predictors are provided; the A1 ablation compares them. Aggressive
+ * predictors (last-value) maximize savings but get caught by bursts;
+ * conservative ones (window-max) protect SLA at some energy cost.
+ */
+
+#ifndef VPM_CORE_PREDICTOR_HPP
+#define VPM_CORE_PREDICTOR_HPP
+
+#include <deque>
+#include <vector>
+#include <memory>
+#include <string>
+
+namespace vpm::mgmt {
+
+/** Online scalar forecaster: feed one observation per management cycle. */
+class DemandPredictor
+{
+  public:
+    virtual ~DemandPredictor() = default;
+
+    /** Record the value observed this cycle. */
+    virtual void observe(double value) = 0;
+
+    /** Forecast for the next cycle. Defined after >= 1 observation. */
+    virtual double predict() const = 0;
+
+    /** Fresh instance of the same kind and configuration. */
+    virtual std::unique_ptr<DemandPredictor> clone() const = 0;
+};
+
+/** Naive persistence: tomorrow looks exactly like right now. */
+class LastValuePredictor final : public DemandPredictor
+{
+  public:
+    void observe(double value) override { last_ = value; }
+    double predict() const override { return last_; }
+    std::unique_ptr<DemandPredictor> clone() const override;
+
+  private:
+    double last_ = 0.0;
+};
+
+/** Exponentially weighted moving average. */
+class EwmaPredictor final : public DemandPredictor
+{
+  public:
+    /** @param alpha Weight of the newest sample, in (0, 1]. */
+    explicit EwmaPredictor(double alpha = 0.3);
+
+    void observe(double value) override;
+    double predict() const override { return value_; }
+    std::unique_ptr<DemandPredictor> clone() const override;
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool seeded_ = false;
+};
+
+/**
+ * Maximum over a sliding window — the conservative choice: capacity is
+ * provisioned for the worst recently seen, so bursts within the window
+ * never cause a shortfall.
+ */
+class WindowMaxPredictor final : public DemandPredictor
+{
+  public:
+    /** @param window Number of recent observations retained (>= 1). */
+    explicit WindowMaxPredictor(std::size_t window = 6);
+
+    void observe(double value) override;
+    double predict() const override;
+    std::unique_ptr<DemandPredictor> clone() const override;
+
+  private:
+    std::size_t window_;
+    std::deque<double> values_;
+};
+
+/**
+ * Least-squares linear extrapolation over a sliding window, clamped to be
+ * non-negative. Tracks ramps (diurnal morning rise) better than
+ * persistence.
+ */
+class LinearTrendPredictor final : public DemandPredictor
+{
+  public:
+    /** @param window Number of recent observations fitted (>= 2). */
+    explicit LinearTrendPredictor(std::size_t window = 6);
+
+    void observe(double value) override;
+    double predict() const override;
+    std::unique_ptr<DemandPredictor> clone() const override;
+
+  private:
+    std::size_t window_;
+    std::deque<double> values_;
+};
+
+/**
+ * Time-of-day profile learner with look-ahead.
+ *
+ * Enterprise demand repeats daily. This predictor folds observations into
+ * a circular per-slot EWMA profile (one slot per management cycle, one
+ * revolution per period) and forecasts the *maximum* of the learned
+ * profile over the next few slots. Once it has seen a full day it
+ * anticipates the morning logon ramp — the proactive-wake behaviour the
+ * paper sketches as the natural next step beyond reactive management.
+ * Until one full revolution has been observed it behaves like
+ * last-value.
+ */
+class PeriodicProfilePredictor final : public DemandPredictor
+{
+  public:
+    /**
+     * @param slots_per_period Cycles per repetition period (e.g. 288 for
+     *        a 24 h day at 5 min cycles). Must be >= 2.
+     * @param alpha Per-slot EWMA weight in (0, 1].
+     * @param lookahead_slots How far ahead the forecast peeks (>= 1).
+     */
+    explicit PeriodicProfilePredictor(std::size_t slots_per_period,
+                                      double alpha = 0.3,
+                                      std::size_t lookahead_slots = 3);
+
+    void observe(double value) override;
+    double predict() const override;
+    std::unique_ptr<DemandPredictor> clone() const override;
+
+    /** true once a full period has been observed (profile is trusted). */
+    bool profileComplete() const { return count_ >= profile_.size(); }
+
+  private:
+    double alpha_;
+    std::size_t lookahead_;
+    std::vector<double> profile_;
+    std::size_t count_ = 0;
+    double last_ = 0.0;
+};
+
+/** Predictor families selectable by policy configuration. */
+enum class PredictorKind
+{
+    LastValue,
+    Ewma,
+    WindowMax,
+    LinearTrend,
+    PeriodicProfile,
+};
+
+/** Human-readable name for tables. */
+const char *toString(PredictorKind kind);
+
+/** Factory with each family's default parameters. */
+std::unique_ptr<DemandPredictor> makePredictor(PredictorKind kind);
+
+} // namespace vpm::mgmt
+
+#endif // VPM_CORE_PREDICTOR_HPP

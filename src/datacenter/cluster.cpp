@@ -1,0 +1,261 @@
+#include "datacenter/cluster.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::dc {
+
+Cluster::Cluster(sim::Simulator &simulator) : simulator_(simulator) {}
+
+Host &
+Cluster::addHost(const HostConfig &config,
+                 const power::HostPowerSpec &power_spec)
+{
+    const HostId id = static_cast<HostId>(hosts_.size());
+    char name[32];
+    std::snprintf(name, sizeof(name), "host%03d", id);
+    powerSpecs_.push_back(power_spec);
+    hosts_.push_back(std::make_unique<Host>(simulator_, id, name, config,
+                                            powerSpecs_.back()));
+    return *hosts_.back();
+}
+
+Vm &
+Cluster::addVm(workload::VmWorkloadSpec spec)
+{
+    const VmId id = static_cast<VmId>(vms_.size());
+    vms_.push_back(std::make_unique<Vm>(id, std::move(spec)));
+    return *vms_.back();
+}
+
+Host &
+Cluster::host(HostId id)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= hosts_.size())
+        sim::panic("Cluster::host: invalid host id %d", id);
+    return *hosts_[static_cast<std::size_t>(id)];
+}
+
+const Host &
+Cluster::host(HostId id) const
+{
+    return const_cast<Cluster *>(this)->host(id);
+}
+
+Vm &
+Cluster::vm(VmId id)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= vms_.size())
+        sim::panic("Cluster::vm: invalid VM id %d", id);
+    return *vms_[static_cast<std::size_t>(id)];
+}
+
+const Vm &
+Cluster::vm(VmId id) const
+{
+    return const_cast<Cluster *>(this)->vm(id);
+}
+
+bool
+Cluster::memoryFits(const Vm &vm_ref, const Host &host_ref) const
+{
+    return host_ref.committedMemoryMb() +
+               host_ref.inboundReservedMemoryMb() + vm_ref.memoryMb() <=
+           host_ref.memoryCapacityMb() + 1e-6;
+}
+
+void
+Cluster::placeVm(VmId vm_id, HostId host_id)
+{
+    Vm &vm_ref = vm(vm_id);
+    Host &host_ref = host(host_id);
+
+    if (vm_ref.placed())
+        sim::fatal("placeVm: VM '%s' is already placed",
+                   vm_ref.name().c_str());
+    if (!host_ref.isOn())
+        sim::fatal("placeVm: host '%s' is not on", host_ref.name().c_str());
+    if (!memoryFits(vm_ref, host_ref))
+        sim::fatal("placeVm: VM '%s' (%g MB) does not fit on host '%s'",
+                   vm_ref.name().c_str(), vm_ref.memoryMb(),
+                   host_ref.name().c_str());
+
+    host_ref.addVm(vm_ref);
+    vm_ref.setHost(host_id);
+}
+
+void
+Cluster::moveVm(VmId vm_id, HostId dest_id)
+{
+    Vm &vm_ref = vm(vm_id);
+    Host &dest = host(dest_id);
+
+    if (!vm_ref.placed())
+        sim::panic("moveVm: VM '%s' is not placed", vm_ref.name().c_str());
+    if (!dest.isOn())
+        sim::panic("moveVm: destination '%s' is not on", dest.name().c_str());
+    if (!memoryFits(vm_ref, dest))
+        sim::panic("moveVm: VM '%s' does not fit on host '%s'",
+                   vm_ref.name().c_str(), dest.name().c_str());
+
+    Host &source = host(vm_ref.host());
+    source.removeVm(vm_ref);
+    dest.addVm(vm_ref);
+    vm_ref.setHost(dest_id);
+}
+
+void
+Cluster::retireVm(VmId vm_id)
+{
+    Vm &vm_ref = vm(vm_id);
+    if (vm_ref.retired())
+        sim::panic("retireVm: VM '%s' already retired",
+                   vm_ref.name().c_str());
+    if (vm_ref.migrating())
+        sim::panic("retireVm: VM '%s' is mid-migration",
+                   vm_ref.name().c_str());
+
+    if (vm_ref.placed()) {
+        Host &host_ref = host(vm_ref.host());
+        host_ref.removeVm(vm_ref);
+        vm_ref.setHost(invalidHostId);
+        vm_ref.setCurrentDemandMhz(0.0);
+        vm_ref.setGrantedMhz(0.0);
+        vm_ref.setRetired();
+        host_ref.updatePowerDraw();
+    } else {
+        vm_ref.setCurrentDemandMhz(0.0);
+        vm_ref.setGrantedMhz(0.0);
+        vm_ref.setRetired();
+    }
+}
+
+bool
+Cluster::requestHostSleep(HostId host_id, const std::string &state_name)
+{
+    Host &host_ref = host(host_id);
+    if (!host_ref.isOn()) {
+        sim::warn("requestHostSleep: host '%s' is not on",
+                  host_ref.name().c_str());
+        return false;
+    }
+    if (!host_ref.empty()) {
+        sim::warn("requestHostSleep: host '%s' still has %zu VMs",
+                  host_ref.name().c_str(), host_ref.vms().size());
+        return false;
+    }
+    if (host_ref.activeMigrations() > 0) {
+        sim::warn("requestHostSleep: host '%s' has in-flight migrations",
+                  host_ref.name().c_str());
+        return false;
+    }
+    return host_ref.powerFsm().requestSleep(state_name);
+}
+
+bool
+Cluster::requestHostWake(HostId host_id)
+{
+    return host(host_id).powerFsm().requestWake();
+}
+
+double
+Cluster::totalVmDemandMhz() const
+{
+    double total = 0.0;
+    for (const auto &vm_ptr : vms_)
+        total += vm_ptr->currentDemandMhz();
+    return total;
+}
+
+double
+Cluster::onCpuCapacityMhz() const
+{
+    double total = 0.0;
+    for (const auto &host_ptr : hosts_) {
+        if (host_ptr->isOn())
+            total += host_ptr->cpuCapacityMhz();
+    }
+    return total;
+}
+
+double
+Cluster::totalCpuCapacityMhz() const
+{
+    double total = 0.0;
+    for (const auto &host_ptr : hosts_)
+        total += host_ptr->cpuCapacityMhz();
+    return total;
+}
+
+int
+Cluster::hostsOn() const
+{
+    int count = 0;
+    for (const auto &host_ptr : hosts_)
+        count += host_ptr->isOn() ? 1 : 0;
+    return count;
+}
+
+int
+Cluster::hostsAsleep() const
+{
+    int count = 0;
+    for (const auto &host_ptr : hosts_) {
+        count += host_ptr->powerFsm().phase() == power::PowerPhase::Asleep
+                     ? 1 : 0;
+    }
+    return count;
+}
+
+int
+Cluster::hostsTransitioning() const
+{
+    int count = 0;
+    for (const auto &host_ptr : hosts_) {
+        const power::PowerPhase phase = host_ptr->powerFsm().phase();
+        count += (phase == power::PowerPhase::Entering ||
+                  phase == power::PowerPhase::Exiting)
+                     ? 1 : 0;
+    }
+    return count;
+}
+
+double
+Cluster::totalPowerWatts() const
+{
+    double total = 0.0;
+    for (const auto &host_ptr : hosts_)
+        total += host_ptr->powerWatts();
+    return total;
+}
+
+double
+Cluster::totalEnergyJoules() const
+{
+    double total = 0.0;
+    for (const auto &host_ptr : hosts_)
+        total += host_ptr->meter().joules();
+    return total;
+}
+
+std::uint64_t
+Cluster::powerActionCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &host_ptr : hosts_) {
+        total += host_ptr->powerFsm().sleepCount() +
+                 host_ptr->powerFsm().wakeCount();
+    }
+    return total;
+}
+
+void
+Cluster::finishMetering(sim::SimTime t)
+{
+    for (const auto &host_ptr : hosts_)
+        host_ptr->finishMetering(t);
+}
+
+} // namespace vpm::dc

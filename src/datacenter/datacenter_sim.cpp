@@ -1,0 +1,172 @@
+#include "datacenter/datacenter_sim.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::dc {
+
+DatacenterSim::DatacenterSim(sim::Simulator &simulator, Cluster &cluster,
+                             MigrationEngine &migration,
+                             const DatacenterConfig &config)
+    : simulator_(simulator), cluster_(cluster), migration_(migration),
+      config_(config), sla_(config.slaThreshold),
+      hostsOnTracker_(simulator.now(), 0.0)
+{
+    if (config_.evaluationInterval <= sim::SimTime())
+        sim::fatal("DatacenterSim: evaluation interval must be positive");
+}
+
+void
+DatacenterSim::start()
+{
+    if (started_)
+        sim::panic("DatacenterSim::start called twice");
+    started_ = true;
+    startedAt_ = simulator_.now();
+    hostsOnTracker_ =
+        stats::TimeWeighted(simulator_.now(),
+                            static_cast<double>(cluster_.hostsOn()));
+
+    // Track the hosts-on signal exactly: it changes only on phase edges.
+    for (const auto &host_ptr : cluster_.hosts()) {
+        host_ptr->powerFsm().addObserver(
+            [this](power::PowerPhase, power::PowerPhase) {
+                hostsOnTracker_.update(
+                    simulator_.now(),
+                    static_cast<double>(cluster_.hostsOn()));
+            });
+    }
+
+    migration_.setOnComplete(
+        [this](VmId, HostId, HostId) { reallocate(); });
+
+    simulator_.schedule(sim::SimTime(), [this] { evaluationTick(); },
+                        "dcsim.evaluate");
+}
+
+void
+DatacenterSim::evaluationTick()
+{
+    evaluate();
+    for (const EvaluationHook &hook : hooks_)
+        hook();
+    simulator_.schedule(config_.evaluationInterval,
+                        [this] { evaluationTick(); }, "dcsim.evaluate");
+}
+
+void
+DatacenterSim::evaluate()
+{
+    // Only placed VMs demand CPU: retired VMs are gone, and pending
+    // arrivals have not started working (their wait shows up in the
+    // provisioning engine's placement-delay stats, not in the SLA).
+    const sim::SimTime now = simulator_.now();
+    for (const auto &vm_ptr : cluster_.vms()) {
+        if (vm_ptr->placed())
+            vm_ptr->setCurrentDemandMhz(vm_ptr->demandMhzAt(now));
+    }
+
+    for (const auto &host_ptr : cluster_.hosts())
+        allocateHost(*host_ptr);
+
+    // One SLA sample per placed VM per evaluation. A VM stranded on a
+    // non-On host counts as fully starved.
+    for (const auto &vm_ptr : cluster_.vms()) {
+        if (!vm_ptr->placed())
+            continue;
+        sla_.record(vm_ptr->currentDemandMhz(), vm_ptr->grantedMhz());
+
+        // Response-time inflation of the VM's host, M/M/1-style. Starved
+        // VMs (host off, or rho pinned at the cap) land at the ceiling.
+        const Host &host = cluster_.host(vm_ptr->host());
+        const double rho =
+            host.isOn() ? std::min(host.utilization(), 0.95) : 0.95;
+        const double factor = 1.0 / (1.0 - rho);
+        latencyHist_.add(factor);
+        if (vm_ptr->currentDemandMhz() > 0.0)
+            latencyWeighted_.add(factor);
+    }
+}
+
+void
+DatacenterSim::reallocate()
+{
+    for (const auto &host_ptr : cluster_.hosts())
+        allocateHost(*host_ptr);
+}
+
+void
+DatacenterSim::allocateHost(Host &host)
+{
+    if (!host.isOn()) {
+        // VMs cannot run on a host that is not On. The management layer
+        // never suspends occupied hosts; this branch covers hand-scripted
+        // experiments and failure injection.
+        for (Vm *vm : host.vms())
+            vm->setGrantedMhz(0.0);
+        return;
+    }
+
+    const double available = std::max(
+        host.effectiveCpuCapacityMhz() - host.migrationOverheadMhz(), 0.0);
+    const double demand = host.vmDemandMhz();
+
+    if (demand <= available) {
+        for (Vm *vm : host.vms())
+            vm->setGrantedMhz(vm->currentDemandMhz());
+    } else {
+        // Proportional share under contention, hypervisor-style.
+        const double share = demand > 0.0 ? available / demand : 0.0;
+        for (Vm *vm : host.vms())
+            vm->setGrantedMhz(vm->currentDemandMhz() * share);
+    }
+    host.updatePowerDraw();
+}
+
+RunMetrics
+DatacenterSim::metrics()
+{
+    const sim::SimTime now = simulator_.now();
+    cluster_.finishMetering(now);
+    hostsOnTracker_.finish(now);
+
+    RunMetrics m;
+    m.energyKwh = cluster_.totalEnergyJoules() / 3.6e6;
+    const double span_s = (now - startedAt_).toSeconds();
+    m.averagePowerWatts =
+        span_s > 0.0 ? cluster_.totalEnergyJoules() / span_s : 0.0;
+    m.satisfaction = sla_.satisfaction();
+    m.violationFraction = sla_.violationFraction();
+    m.p5Performance = sla_.performancePercentile(0.05);
+    m.worstPerformance = sla_.worstPerformance();
+    m.meanLatencyFactor =
+        latencyWeighted_.count() > 0 ? latencyWeighted_.mean() : 1.0;
+    m.p95LatencyFactor =
+        latencyHist_.count() > 0 ? latencyHist_.percentile(0.95) : 1.0;
+    m.averageHostsOn = hostsOnTracker_.average();
+    m.migrations = migration_.completedCount();
+    m.powerActions = cluster_.powerActionCount();
+    m.simulatedHours = (now - startedAt_).toHours();
+    return m;
+}
+
+RunMetrics
+DatacenterSim::runFor(sim::SimTime duration)
+{
+    if (!started_)
+        start();
+    simulator_.runUntil(simulator_.now() + duration);
+    return metrics();
+}
+
+void
+DatacenterSim::addEvaluationHook(EvaluationHook hook)
+{
+    if (!hook)
+        sim::panic("DatacenterSim::addEvaluationHook: null hook");
+    hooks_.push_back(std::move(hook));
+}
+
+} // namespace vpm::dc

@@ -1,0 +1,83 @@
+#include "datacenter/failure.hpp"
+
+#include "simcore/logging.hpp"
+
+namespace vpm::dc {
+
+FailureInjector::FailureInjector(sim::Simulator &simulator,
+                                 Cluster &cluster,
+                                 const FailureConfig &config)
+    : simulator_(simulator), cluster_(cluster), config_(config),
+      rng_(config.seed)
+{
+    if (config_.meanTimeToFailure <= sim::SimTime())
+        sim::fatal("FailureInjector: MTTF must be positive");
+    if (config_.meanTimeToRepair <= sim::SimTime())
+        sim::fatal("FailureInjector: MTTR must be positive");
+    if (config_.crashState.empty())
+        sim::fatal("FailureInjector: crash state must be named");
+}
+
+void
+FailureInjector::start()
+{
+    if (started_)
+        sim::panic("FailureInjector::start called twice");
+    started_ = true;
+    for (const auto &host_ptr : cluster_.hosts())
+        scheduleFailure(host_ptr->id());
+}
+
+void
+FailureInjector::scheduleFailure(HostId host)
+{
+    const sim::SimTime ttf = sim::SimTime::hours(
+        rng_.exponential(config_.meanTimeToFailure.toHours()));
+    simulator_.schedule(ttf, [this, host] { maybeCrash(host); },
+                        "failure.crash");
+}
+
+void
+FailureInjector::maybeCrash(HostId host_id)
+{
+    Host &host = cluster_.host(host_id);
+    // Only powered hardware fails this way; a parked host's clock simply
+    // re-arms (approximation: sleeping hosts are near-immortal).
+    if (!host.isOn() || down_.contains(host_id)) {
+        scheduleFailure(host_id);
+        return;
+    }
+
+    ++crashes_;
+    down_.insert(host_id);
+    sim::warn("host '%s' crashed at %s (%zu VMs stranded)",
+              host.name().c_str(), simulator_.now().toString().c_str(),
+              host.vms().size());
+
+    host.powerFsm().forceOff(config_.crashState);
+    host.powerFsm().setWakeInhibited(true);
+    // Stranded VMs get zero grants at the next allocation; the HA layer
+    // (VpmManager::haRestart) moves them on its next cycle.
+
+    const sim::SimTime mttr = sim::SimTime::hours(
+        rng_.exponential(config_.meanTimeToRepair.toHours()));
+    simulator_.schedule(mttr, [this, host_id] { repair(host_id); },
+                        "failure.repair");
+}
+
+void
+FailureInjector::repair(HostId host_id)
+{
+    Host &host = cluster_.host(host_id);
+    ++repairs_;
+    down_.erase(host_id);
+    host.powerFsm().setWakeInhibited(false);
+    // Boot the host back into the pool; the manager re-balances onto it
+    // (or consolidates it away again) on subsequent cycles.
+    host.powerFsm().requestWake();
+    sim::inform("host '%s' repaired at %s; booting",
+                host.name().c_str(), simulator_.now().toString().c_str());
+    scheduleFailure(host_id);
+}
+
+} // namespace vpm::dc

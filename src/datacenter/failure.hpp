@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Host failure injection: crashes and repairs.
+ *
+ * Hosts fail (exponential time-to-failure while On) with an instantaneous
+ * hard power loss — VMs aboard are stranded until the HA layer restarts
+ * them elsewhere. Repair takes an exponential MTTR during which wakes are
+ * inhibited; after repair the host boots and rejoins the pool. This is
+ * the stressor behind the E7 experiment: does aggressive consolidation
+ * leave enough failover capacity?
+ */
+
+#ifndef VPM_DATACENTER_FAILURE_HPP
+#define VPM_DATACENTER_FAILURE_HPP
+
+#include <cstdint>
+#include <set>
+
+#include "datacenter/cluster.hpp"
+#include "simcore/random.hpp"
+#include "simcore/simulator.hpp"
+
+namespace vpm::dc {
+
+/** Failure process knobs. */
+struct FailureConfig
+{
+    /** Mean time to failure per host, counted only while On. */
+    sim::SimTime meanTimeToFailure = sim::SimTime::hours(500.0);
+
+    /** Mean time to repair (wakes inhibited throughout). */
+    sim::SimTime meanTimeToRepair = sim::SimTime::minutes(45.0);
+
+    /** Sleep state a crashed host falls into ("S5": power loss). */
+    std::string crashState = "S5";
+
+    /** Seed of the failure/repair stream. */
+    std::uint64_t seed = 77;
+};
+
+/** Drives host crashes and repairs over a Cluster. */
+class FailureInjector
+{
+  public:
+    FailureInjector(sim::Simulator &simulator, Cluster &cluster,
+                    const FailureConfig &config = {});
+
+    FailureInjector(const FailureInjector &) = delete;
+    FailureInjector &operator=(const FailureInjector &) = delete;
+
+    /** Arm the per-host failure clocks. Call at most once. */
+    void start();
+
+    /** true while the host is crashed and under repair. */
+    bool isDown(HostId host) const { return down_.contains(host); }
+
+    std::uint64_t crashes() const { return crashes_; }
+    std::uint64_t repairs() const { return repairs_; }
+
+  private:
+    void scheduleFailure(HostId host);
+    void maybeCrash(HostId host);
+    void repair(HostId host);
+
+    sim::Simulator &simulator_;
+    Cluster &cluster_;
+    FailureConfig config_;
+    sim::Rng rng_;
+    std::set<HostId> down_;
+    bool started_ = false;
+    std::uint64_t crashes_ = 0;
+    std::uint64_t repairs_ = 0;
+};
+
+} // namespace vpm::dc
+
+#endif // VPM_DATACENTER_FAILURE_HPP

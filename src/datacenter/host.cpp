@@ -1,0 +1,161 @@
+#include "datacenter/host.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::dc {
+
+Host::Host(sim::Simulator &simulator, HostId id, std::string name,
+           const HostConfig &config, const power::HostPowerSpec &power_spec)
+    : simulator_(simulator), id_(id), name_(std::move(name)),
+      config_(config), fsm_(simulator, power_spec),
+      meter_(simulator.now(), power_spec.idlePowerWatts())
+{
+    if (config_.cpuCapacityMhz <= 0.0)
+        sim::fatal("Host '%s': CPU capacity must be positive", name_.c_str());
+    if (config_.memoryCapacityMb <= 0.0)
+        sim::fatal("Host '%s': memory capacity must be positive",
+                   name_.c_str());
+
+    // Keep the meter exact across phase changes.
+    fsm_.addObserver([this](power::PowerPhase, power::PowerPhase) {
+        updatePowerDraw();
+    });
+}
+
+void
+Host::updatePowerDraw()
+{
+    meter_.update(simulator_.now(), powerWatts());
+}
+
+double
+Host::powerWatts() const
+{
+    if (!isOn() || frequencyFraction_ >= 1.0)
+        return fsm_.powerWatts(utilization());
+
+    // DVFS model: static (idle) power is frequency-independent; the
+    // dynamic part scales ~quadratically with frequency (voltage tracks
+    // frequency). Utilization is already relative to scaled capacity.
+    const power::HostPowerSpec &spec = fsm_.spec();
+    const double idle = spec.idlePowerWatts();
+    const double at_full = spec.activePowerWatts(utilization());
+    return idle +
+           (at_full - idle) * frequencyFraction_ * frequencyFraction_;
+}
+
+void
+Host::setFrequencyFraction(double fraction)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        sim::panic("Host '%s': frequency fraction %g outside (0, 1]",
+                   name_.c_str(), fraction);
+    frequencyFraction_ = fraction;
+    updatePowerDraw();
+}
+
+void
+Host::finishMetering(sim::SimTime t)
+{
+    meter_.finish(t);
+}
+
+void
+Host::addVm(Vm &vm)
+{
+    if (std::find(vms_.begin(), vms_.end(), &vm) != vms_.end())
+        sim::panic("Host '%s': VM '%s' added twice", name_.c_str(),
+                   vm.name().c_str());
+    vms_.push_back(&vm);
+}
+
+void
+Host::removeVm(Vm &vm)
+{
+    const auto it = std::find(vms_.begin(), vms_.end(), &vm);
+    if (it == vms_.end())
+        sim::panic("Host '%s': VM '%s' not resident", name_.c_str(),
+                   vm.name().c_str());
+    vms_.erase(it);
+}
+
+double
+Host::vmDemandMhz() const
+{
+    double total = 0.0;
+    for (const Vm *vm : vms_)
+        total += vm->currentDemandMhz();
+    return total;
+}
+
+double
+Host::grantedMhz() const
+{
+    double total = 0.0;
+    for (const Vm *vm : vms_)
+        total += vm->grantedMhz();
+    return total;
+}
+
+double
+Host::committedMemoryMb() const
+{
+    double total = 0.0;
+    for (const Vm *vm : vms_)
+        total += vm->memoryMb();
+    return total;
+}
+
+void
+Host::addMigrationOverheadMhz(double mhz)
+{
+    migrationOverheadMhz_ += mhz;
+    if (migrationOverheadMhz_ < -1e-6)
+        sim::panic("Host '%s': migration overhead went negative (%g MHz)",
+                   name_.c_str(), migrationOverheadMhz_);
+    // Snap accumulation residue so an idle host reads exactly zero.
+    if (migrationOverheadMhz_ < 1e-9)
+        migrationOverheadMhz_ = 0.0;
+}
+
+double
+Host::utilization() const
+{
+    if (!isOn())
+        return 0.0;
+    const double busy = grantedMhz() + migrationOverheadMhz_;
+    return std::clamp(busy / effectiveCpuCapacityMhz(), 0.0, 1.0);
+}
+
+double
+Host::demandUtilization() const
+{
+    const double demand = vmDemandMhz() + migrationOverheadMhz_;
+    return demand / effectiveCpuCapacityMhz();
+}
+
+void
+Host::adjustInboundReservedMemoryMb(double delta_mb)
+{
+    inboundReservedMemoryMb_ += delta_mb;
+    if (inboundReservedMemoryMb_ < -1e-6)
+        sim::panic("Host '%s': inbound memory reservation went negative "
+                   "(%g MB)", name_.c_str(), inboundReservedMemoryMb_);
+    // Snap accumulation residue so a quiescent host reads exactly zero.
+    if (inboundReservedMemoryMb_ < 1e-9)
+        inboundReservedMemoryMb_ = 0.0;
+}
+
+void
+Host::adjustActiveMigrations(int delta)
+{
+    activeMigrations_ += delta;
+    if (activeMigrations_ < 0)
+        sim::panic("Host '%s': active migration count went negative",
+                   name_.c_str());
+}
+
+} // namespace vpm::dc

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Physical host model: capacities, resident VMs, power FSM and energy meter.
+ *
+ * The host is where the power substrate meets the virtualization substrate:
+ * its PowerStateMachine says whether VMs can run, and its EnergyMeter
+ * integrates the exact piecewise-constant power draw (re-held on every
+ * demand re-evaluation and every FSM phase change).
+ */
+
+#ifndef VPM_DATACENTER_HOST_HPP
+#define VPM_DATACENTER_HOST_HPP
+
+#include <string>
+#include <vector>
+
+#include "power/energy_meter.hpp"
+#include "power/power_state_machine.hpp"
+#include "simcore/simulator.hpp"
+#include "datacenter/vm.hpp"
+
+namespace vpm::dc {
+
+/** Sizing of a host (identical across a homogeneous cluster). */
+struct HostConfig
+{
+    /** Total CPU capacity, in MHz (e.g. 16 cores x 2 GHz = 32000). */
+    double cpuCapacityMhz = 32000.0;
+
+    /** Total memory, in MB. */
+    double memoryCapacityMb = 131072.0;
+};
+
+/** A physical server: capacity + resident VMs + power state + energy. */
+class Host
+{
+  public:
+    /**
+     * @param simulator Owning event loop.
+     * @param id Cluster-assigned identifier.
+     * @param name Stable name, e.g. "host07".
+     * @param config Capacities.
+     * @param power_spec Power model; must outlive the host.
+     */
+    Host(sim::Simulator &simulator, HostId id, std::string name,
+         const HostConfig &config, const power::HostPowerSpec &power_spec);
+
+    Host(const Host &) = delete;
+    Host &operator=(const Host &) = delete;
+
+    HostId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    double cpuCapacityMhz() const { return config_.cpuCapacityMhz; }
+    double memoryCapacityMb() const { return config_.memoryCapacityMb; }
+
+    /** @name Power */
+    ///@{
+    power::PowerStateMachine &powerFsm() { return fsm_; }
+    const power::PowerStateMachine &powerFsm() const { return fsm_; }
+
+    /** true iff the host can run VMs right now. */
+    bool isOn() const { return fsm_.isOn(); }
+
+    /** Lifetime energy, integrated exactly. */
+    const power::EnergyMeter &meter() const { return meter_; }
+
+    /**
+     * Re-hold the energy meter at the current power draw. Must be called
+     * whenever granted CPU changes; FSM phase changes re-hold automatically.
+     */
+    void updatePowerDraw();
+
+    /** Instantaneous power draw at the current utilization, in watts. */
+    double powerWatts() const;
+
+    /** Close out the meter at @p t (end of a measurement window). */
+    void finishMetering(sim::SimTime t);
+    ///@}
+
+    /** @name DVFS (maintained by the frequency controller) */
+    ///@{
+    /**
+     * Current frequency as a fraction of nominal, in (0, 1]. Scales the
+     * usable CPU capacity linearly and the *dynamic* power quadratically:
+     * P = idle + (curve(util) - idle) x f^2, with util measured against
+     * the scaled capacity. f = 1 reproduces the plain curve.
+     */
+    double frequencyFraction() const { return frequencyFraction_; }
+
+    /** Set the frequency fraction; must be in (0, 1]. Re-holds power. */
+    void setFrequencyFraction(double fraction);
+
+    /** Usable CPU capacity at the current frequency, in MHz. */
+    double effectiveCpuCapacityMhz() const
+    {
+        return config_.cpuCapacityMhz * frequencyFraction_;
+    }
+    ///@}
+
+    /** @name Resident VMs (maintained by Cluster) */
+    ///@{
+    const std::vector<Vm *> &vms() const { return vms_; }
+    void addVm(Vm &vm);
+    void removeVm(Vm &vm);
+    bool empty() const { return vms_.empty(); }
+    ///@}
+
+    /** @name Aggregate load */
+    ///@{
+    /** Sum of resident VMs' current demand, in MHz (excludes overhead). */
+    double vmDemandMhz() const;
+
+    /** Sum of resident VMs' granted CPU, in MHz. */
+    double grantedMhz() const;
+
+    /** Sum of resident VMs' memory, in MB. */
+    double committedMemoryMb() const;
+
+    /**
+     * Memory reserved for in-flight inbound migrations, in MB. Counted by
+     * every placement-side memory check so concurrent inbound migrations
+     * and new-VM placements cannot jointly overcommit the host.
+     */
+    double inboundReservedMemoryMb() const
+    {
+        return inboundReservedMemoryMb_;
+    }
+    void adjustInboundReservedMemoryMb(double delta_mb);
+
+    /** Migration CPU overhead currently charged to this host, in MHz. */
+    double migrationOverheadMhz() const { return migrationOverheadMhz_; }
+    void addMigrationOverheadMhz(double mhz);
+
+    /**
+     * Utilization used for the power curve: (granted + migration overhead)
+     * / capacity, clamped to [0, 1]. Zero when the host is not On.
+     */
+    double utilization() const;
+
+    /** Demand-based utilization (requested / capacity), for the manager. */
+    double demandUtilization() const;
+
+    /** Number of in-flight migrations touching this host (src or dst). */
+    int activeMigrations() const { return activeMigrations_; }
+    void adjustActiveMigrations(int delta);
+    ///@}
+
+  private:
+    sim::Simulator &simulator_;
+    HostId id_;
+    std::string name_;
+    HostConfig config_;
+    power::PowerStateMachine fsm_;
+    power::EnergyMeter meter_;
+    std::vector<Vm *> vms_;
+    double migrationOverheadMhz_ = 0.0;
+    double inboundReservedMemoryMb_ = 0.0;
+    double frequencyFraction_ = 1.0;
+    int activeMigrations_ = 0;
+};
+
+} // namespace vpm::dc
+
+#endif // VPM_DATACENTER_HOST_HPP

@@ -1,0 +1,283 @@
+#include "datacenter/migration.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::dc {
+
+MigrationEngine::MigrationEngine(sim::Simulator &simulator, Cluster &cluster,
+                                 const MigrationConfig &config)
+    : simulator_(simulator), cluster_(cluster), config_(config)
+{
+    if (config_.bandwidthMbPerSec <= 0.0)
+        sim::fatal("MigrationEngine: bandwidth must be positive");
+    if (config_.dirtyPageFactor < 1.0)
+        sim::fatal("MigrationEngine: dirty-page factor must be >= 1");
+    if (config_.maxConcurrentPerHost < 1)
+        sim::fatal("MigrationEngine: need at least one migration slot");
+    if (config_.utilizationDirtyFactor < 0.0)
+        sim::fatal("MigrationEngine: negative utilization dirty factor");
+    if (config_.cpuTaxFraction < 0.0 || config_.cpuTaxFraction > 1.0)
+        sim::fatal("MigrationEngine: CPU tax fraction %g outside [0, 1]",
+                   config_.cpuTaxFraction);
+    if (config_.fixedOverhead < sim::SimTime())
+        sim::fatal("MigrationEngine: negative fixed overhead");
+}
+
+sim::SimTime
+MigrationEngine::expectedDuration(const Vm &vm) const
+{
+    const double utilization =
+        vm.cpuMhz() > 0.0
+            ? std::min(vm.currentDemandMhz() / vm.cpuMhz(), 1.0)
+            : 0.0;
+    const double dirty_factor =
+        config_.dirtyPageFactor +
+        config_.utilizationDirtyFactor * utilization;
+    const double copy_seconds =
+        vm.memoryMb() * dirty_factor / config_.bandwidthMbPerSec;
+    return config_.fixedOverhead + sim::SimTime::seconds(copy_seconds);
+}
+
+sim::SimTime
+MigrationEngine::expectedDuration(const Vm &vm, HostId source,
+                                  HostId dest) const
+{
+    if (!topology_)
+        return expectedDuration(vm);
+    const double bandwidth = topology_->bandwidthBetween(source, dest);
+    const double flat = config_.bandwidthMbPerSec;
+    const sim::SimTime flat_duration = expectedDuration(vm);
+    // Rescale only the copy portion by the locality bandwidth.
+    const sim::SimTime copy = flat_duration - config_.fixedOverhead;
+    return config_.fixedOverhead + copy * (flat / bandwidth);
+}
+
+bool
+MigrationEngine::validate(const Vm &vm, HostId dest,
+                          bool is_queued_retry) const
+{
+    const char *ctx = is_queued_retry ? "queued migration" : "migration";
+    if (!vm.placed()) {
+        sim::warn("%s of '%s' invalid: VM unplaced", ctx, vm.name().c_str());
+        return false;
+    }
+    if (vm.host() == dest) {
+        sim::warn("%s of '%s' invalid: already on destination", ctx,
+                  vm.name().c_str());
+        return false;
+    }
+    const Host &dest_ref = cluster_.host(dest);
+    if (!dest_ref.isOn()) {
+        sim::warn("%s of '%s' invalid: destination '%s' is not on", ctx,
+                  vm.name().c_str(), dest_ref.name().c_str());
+        return false;
+    }
+    if (!memoryFitsAfterPending(vm, dest)) {
+        sim::warn("%s of '%s' invalid: no memory headroom on '%s' even "
+                  "after pending departures", ctx, vm.name().c_str(),
+                  dest_ref.name().c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+MigrationEngine::memoryFitsAfterPending(const Vm &vm, HostId dest) const
+{
+    // Headroom once every resident VM already booked to leave has left;
+    // in-flight inbound reservations still count.
+    const Host &dest_ref = cluster_.host(dest);
+    double departing_mb = 0.0;
+    for (const Vm *resident : dest_ref.vms()) {
+        const auto it = involved_.find(resident->id());
+        if (it != involved_.end() && it->second != dest)
+            departing_mb += resident->memoryMb();
+    }
+    return dest_ref.committedMemoryMb() +
+               dest_ref.inboundReservedMemoryMb() - departing_mb +
+               vm.memoryMb() <=
+           dest_ref.memoryCapacityMb() + 1e-6;
+}
+
+bool
+MigrationEngine::memoryFitsNow(const Vm &vm, HostId dest) const
+{
+    // The host's reservation already covers concurrent inbound flights.
+    return cluster_.memoryFits(vm, cluster_.host(dest));
+}
+
+bool
+MigrationEngine::slotsFree(HostId source, HostId dest) const
+{
+    if (cluster_.host(source).activeMigrations() >=
+            config_.maxConcurrentPerHost ||
+        cluster_.host(dest).activeMigrations() >=
+            config_.maxConcurrentPerHost) {
+        return false;
+    }
+    return !topology_ || topology_->uplinkSlotsFree(source, dest);
+}
+
+bool
+MigrationEngine::request(VmId vm_id, HostId dest)
+{
+    const Vm &vm = cluster_.vm(vm_id);
+    if (involved_.contains(vm_id)) {
+        sim::warn("migration of '%s' rejected: already migrating or queued",
+                  vm.name().c_str());
+        return false;
+    }
+    if (!validate(vm, dest, false))
+        return false;
+
+    involved_.emplace(vm_id, dest);
+    if (slotsFree(vm.host(), dest) && memoryFitsNow(vm, dest)) {
+        start(vm_id, dest);
+    } else {
+        // Waits for a migration slot, or for a departing VM to free
+        // memory on the destination (dependent moves serialize here).
+        queue_.push_back({vm_id, dest});
+    }
+    return true;
+}
+
+bool
+MigrationEngine::involved(VmId vm) const
+{
+    return involved_.contains(vm);
+}
+
+HostId
+MigrationEngine::destinationOf(VmId vm) const
+{
+    const auto it = involved_.find(vm);
+    return it != involved_.end() ? it->second : invalidHostId;
+}
+
+void
+MigrationEngine::start(VmId vm_id, HostId dest)
+{
+    Vm &vm = cluster_.vm(vm_id);
+    const HostId source = vm.host();
+    Host &src_ref = cluster_.host(source);
+    Host &dest_ref = cluster_.host(dest);
+
+    vm.setMigrating(true);
+    src_ref.adjustActiveMigrations(1);
+    dest_ref.adjustActiveMigrations(1);
+    dest_ref.adjustInboundReservedMemoryMb(vm.memoryMb());
+
+    // Charge the pre-copy CPU tax to both endpoints for the duration.
+    const double tax = config_.cpuTaxFraction * vm.cpuMhz();
+    src_ref.addMigrationOverheadMhz(tax);
+    dest_ref.addMigrationOverheadMhz(tax);
+    src_ref.updatePowerDraw();
+    dest_ref.updatePowerDraw();
+
+    ++started_;
+    ++activeCount_;
+
+    if (topology_)
+        topology_->acquireUplink(source, dest);
+
+    // Freeze the duration at start: the VM's activity at departure is
+    // what determined the pre-copy effort.
+    const sim::SimTime duration = expectedDuration(vm, source, dest);
+    sim::debug("migration of '%s' %s -> %s started (%s)",
+               vm.name().c_str(), src_ref.name().c_str(),
+               dest_ref.name().c_str(), duration.toString().c_str());
+
+    activeDurations_[vm_id] = duration;
+    simulator_.schedule(
+        duration,
+        [this, vm_id, source, dest] { complete(vm_id, source, dest); },
+        "migration.complete");
+}
+
+void
+MigrationEngine::complete(VmId vm_id, HostId source, HostId dest)
+{
+    Vm &vm = cluster_.vm(vm_id);
+    Host &src_ref = cluster_.host(source);
+    Host &dest_ref = cluster_.host(dest);
+
+    const double tax = config_.cpuTaxFraction * vm.cpuMhz();
+    src_ref.addMigrationOverheadMhz(-tax);
+    dest_ref.addMigrationOverheadMhz(-tax);
+    src_ref.adjustActiveMigrations(-1);
+    dest_ref.adjustActiveMigrations(-1);
+    dest_ref.adjustInboundReservedMemoryMb(-vm.memoryMb());
+
+    if (topology_) {
+        topology_->releaseUplink(source, dest);
+        if (!topology_->sameRack(source, dest))
+            ++crossRack_;
+    }
+
+    vm.setMigrating(false);
+    involved_.erase(vm_id);
+    --activeCount_;
+
+    // A crash on either endpoint mid-copy kills the stream: abort, the
+    // VM stays wherever it physically is (the source).
+    if (!src_ref.isOn() || !dest_ref.isOn()) {
+        ++aborted_;
+        activeDurations_.erase(vm_id);
+        sim::warn("migration of '%s' aborted: endpoint lost power",
+                  vm.name().c_str());
+        src_ref.updatePowerDraw();
+        dest_ref.updatePowerDraw();
+        drainQueue();
+        return;
+    }
+
+    ++completed_;
+    durations_.add(activeDurations_.at(vm_id).toSeconds());
+    activeDurations_.erase(vm_id);
+
+    cluster_.moveVm(vm_id, dest);
+    src_ref.updatePowerDraw();
+    dest_ref.updatePowerDraw();
+
+    if (onComplete_)
+        onComplete_(vm_id, source, dest);
+
+    drainQueue();
+}
+
+void
+MigrationEngine::drainQueue()
+{
+    // Start every queued request whose endpoints now have slots. One pass
+    // is enough: slots only free up on completion, which re-drains.
+    std::deque<Request> still_waiting;
+    while (!queue_.empty()) {
+        const Request req = queue_.front();
+        queue_.pop_front();
+
+        const Vm &vm = cluster_.vm(req.vm);
+        if (!validate(vm, req.dest, true)) {
+            involved_.erase(req.vm);
+            ++dropped_;
+            continue;
+        }
+        if (slotsFree(vm.host(), req.dest) &&
+            memoryFitsNow(vm, req.dest)) {
+            start(req.vm, req.dest);
+        } else {
+            still_waiting.push_back(req);
+        }
+    }
+    queue_ = std::move(still_waiting);
+}
+
+void
+MigrationEngine::setOnComplete(CompletionHandler handler)
+{
+    onComplete_ = std::move(handler);
+}
+
+} // namespace vpm::dc

@@ -1,0 +1,189 @@
+#include "datacenter/provisioning.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "simcore/logging.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm::dc {
+
+ProvisioningEngine::ProvisioningEngine(sim::Simulator &simulator,
+                                       Cluster &cluster,
+                                       const ProvisioningConfig &config)
+    : simulator_(simulator), cluster_(cluster), config_(config),
+      rng_(config.seed)
+{
+    if (config_.arrivalsPerHour < 0.0)
+        sim::fatal("ProvisioningEngine: negative arrival rate");
+    if (config_.placementRetry <= sim::SimTime())
+        sim::fatal("ProvisioningEngine: retry cadence must be positive");
+    if (config_.placementUtilizationCap <= 0.0 ||
+        config_.placementUtilizationCap > 1.0) {
+        sim::fatal("ProvisioningEngine: placement cap %g outside (0, 1]",
+                   config_.placementUtilizationCap);
+    }
+    policy_ = [this](const Vm &vm) { return defaultPlacement(vm); };
+}
+
+void
+ProvisioningEngine::start()
+{
+    if (started_)
+        sim::panic("ProvisioningEngine::start called twice");
+    started_ = true;
+    if (config_.arrivalsPerHour > 0.0)
+        scheduleNextArrival();
+}
+
+void
+ProvisioningEngine::setPlacementPolicy(PlacementPolicy policy)
+{
+    if (!policy)
+        sim::panic("ProvisioningEngine: null placement policy");
+    policy_ = std::move(policy);
+}
+
+double
+ProvisioningEngine::pendingDemandMhz() const
+{
+    double total = 0.0;
+    for (const Pending &pending : pending_)
+        total += cluster_.vm(pending.vm).cpuMhz();
+    return total;
+}
+
+std::vector<VmId>
+ProvisioningEngine::pendingVms() const
+{
+    std::vector<VmId> ids;
+    ids.reserve(pending_.size());
+    for (const Pending &pending : pending_)
+        ids.push_back(pending.vm);
+    return ids;
+}
+
+void
+ProvisioningEngine::scheduleNextArrival()
+{
+    const double mean_gap_hours = 1.0 / config_.arrivalsPerHour;
+    const sim::SimTime gap =
+        sim::SimTime::hours(rng_.exponential(mean_gap_hours));
+    simulator_.schedule(gap, [this] { arrive(); }, "provisioning.arrive");
+}
+
+void
+ProvisioningEngine::arrive()
+{
+    // Draw one spec from the mix and shift its trace so the VM's workload
+    // begins at its own arrival, not at simulation time zero.
+    workload::VmWorkloadSpec spec =
+        workload::makeEnterpriseMix(rng_, 1, config_.mix).front();
+    spec.name = "dyn" + std::to_string(arrivals_);
+    spec.trace = std::make_shared<workload::TimeShiftedTrace>(
+        spec.trace, sim::SimTime() - simulator_.now());
+
+    Vm &vm = cluster_.addVm(std::move(spec));
+    ++arrivals_;
+
+    if (config_.meanLifetime > sim::SimTime()) {
+        const sim::SimTime lifetime = sim::SimTime::hours(
+            rng_.exponential(config_.meanLifetime.toHours()));
+        const VmId vm_id = vm.id();
+        simulator_.schedule(lifetime, [this, vm_id] { depart(vm_id); },
+                            "provisioning.depart");
+    }
+
+    pending_.push_back({vm.id(), simulator_.now()});
+    tryPlacePending();
+    scheduleNextArrival();
+}
+
+void
+ProvisioningEngine::tryPlacePending()
+{
+    std::deque<Pending> still_waiting;
+    while (!pending_.empty()) {
+        const Pending pending = pending_.front();
+        pending_.pop_front();
+
+        Vm &vm = cluster_.vm(pending.vm);
+        if (vm.retired())
+            continue; // departed before it ever found a host
+
+        const HostId host = policy_(vm);
+        if (host == invalidHostId) {
+            still_waiting.push_back(pending);
+            continue;
+        }
+        // Do not trust the policy blindly: a stale or buggy choice must
+        // leave the VM pending, not crash the cluster invariants.
+        if (!cluster_.host(host).isOn() ||
+            !cluster_.memoryFits(vm, cluster_.host(host))) {
+            sim::warn("provisioning: policy picked unusable host %d for "
+                      "'%s'; keeping it pending", host, vm.name().c_str());
+            still_waiting.push_back(pending);
+            continue;
+        }
+        cluster_.placeVm(vm.id(), host);
+        vm.setCurrentDemandMhz(vm.demandMhzAt(simulator_.now()));
+        placementDelays_.add(
+            (simulator_.now() - pending.arrivedAt).toSeconds());
+    }
+    pending_ = std::move(still_waiting);
+
+    // Keep exactly one retry ticking while anything waits for capacity.
+    if (!pending_.empty() && !simulator_.pending(retryEvent_)) {
+        retryEvent_ = simulator_.schedule(
+            config_.placementRetry, [this] { tryPlacePending(); },
+            "provisioning.retry");
+    }
+}
+
+void
+ProvisioningEngine::depart(VmId vm_id)
+{
+    Vm &vm = cluster_.vm(vm_id);
+    if (vm.retired())
+        sim::panic("ProvisioningEngine: VM '%s' departing twice",
+                   vm.name().c_str());
+
+    if (vm.migrating()) {
+        // Cannot yank a VM mid-migration; let the copy land first.
+        simulator_.schedule(sim::SimTime::seconds(30.0),
+                            [this, vm_id] { depart(vm_id); },
+                            "provisioning.depart.retry");
+        return;
+    }
+    cluster_.retireVm(vm_id);
+    ++departures_;
+}
+
+HostId
+ProvisioningEngine::defaultPlacement(const Vm &vm) const
+{
+    // Worst-fit over On hosts: pick the host with the most free demand
+    // headroom under the cap, memory respected. Worst-fit keeps arrival
+    // placement from fighting the consolidator for the same tight hosts.
+    HostId best = invalidHostId;
+    double best_headroom = 0.0;
+    for (const auto &host_ptr : cluster_.hosts()) {
+        if (!host_ptr->isOn())
+            continue;
+        if (!cluster_.memoryFits(vm, *host_ptr))
+            continue;
+        const double cap = config_.placementUtilizationCap *
+                           host_ptr->cpuCapacityMhz();
+        const double headroom =
+            cap - host_ptr->vmDemandMhz() - vm.cpuMhz();
+        if (headroom < 0.0)
+            continue;
+        if (best == invalidHostId || headroom > best_headroom) {
+            best = host_ptr->id();
+            best_headroom = headroom;
+        }
+    }
+    return best;
+}
+
+} // namespace vpm::dc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * VM lifecycle churn: arrivals, placements and departures.
+ *
+ * The abstract's opening argument is that virtualization simplified
+ * *provisioning and dynamic management*; a realistic evaluation therefore
+ * needs a fleet that changes under the manager's feet. The engine draws
+ * Poisson VM arrivals with exponential lifetimes, places each arrival on a
+ * powered-on host (retrying while capacity is being woken), and retires
+ * departing VMs. Pending (not-yet-placed) arrivals expose their demand so
+ * the power manager can count them as required capacity.
+ */
+
+#ifndef VPM_DATACENTER_PROVISIONING_HPP
+#define VPM_DATACENTER_PROVISIONING_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "datacenter/cluster.hpp"
+#include "simcore/random.hpp"
+#include "simcore/simulator.hpp"
+#include "stats/summary.hpp"
+#include "workload/mix.hpp"
+
+namespace vpm::dc {
+
+/** Arrival/departure process knobs. */
+struct ProvisioningConfig
+{
+    /** Mean VM arrivals per hour (Poisson process). 0 disables arrivals.*/
+    double arrivalsPerHour = 4.0;
+
+    /** Mean VM lifetime (exponential). Unlimited if zero. */
+    sim::SimTime meanLifetime = sim::SimTime::hours(8.0);
+
+    /** Workload mix new VMs are drawn from. */
+    workload::MixConfig mix{};
+
+    /** Retry cadence for arrivals that found no host with room. */
+    sim::SimTime placementRetry = sim::SimTime::minutes(1.0);
+
+    /** Per-host predicted-utilization cap honoured at placement. */
+    double placementUtilizationCap = 0.85;
+
+    /** Seed of the arrival/lifetime/spec stream. */
+    std::uint64_t seed = 99;
+};
+
+/** Drives VM arrivals and departures over a Cluster. */
+class ProvisioningEngine
+{
+  public:
+    /**
+     * Chooses a host for a new VM.
+     * @return The chosen host, or invalidHostId to leave it pending.
+     */
+    using PlacementPolicy = std::function<HostId(const Vm &)>;
+
+    ProvisioningEngine(sim::Simulator &simulator, Cluster &cluster,
+                      const ProvisioningConfig &config = {});
+
+    ProvisioningEngine(const ProvisioningEngine &) = delete;
+    ProvisioningEngine &operator=(const ProvisioningEngine &) = delete;
+
+    /** Begin the arrival process. Call at most once. */
+    void start();
+
+    /**
+     * Replace the default placement policy (worst-fit over On hosts under
+     * the utilization cap, memory respected).
+     */
+    void setPlacementPolicy(PlacementPolicy policy);
+
+    /** @name Pending arrivals (visible to the power manager) */
+    ///@{
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /** Total CPU size of arrivals still waiting for a host, in MHz. */
+    double pendingDemandMhz() const;
+
+    /** Ids of arrivals still waiting, in arrival order. */
+    std::vector<VmId> pendingVms() const;
+    ///@}
+
+    /** @name Lifetime statistics */
+    ///@{
+    std::uint64_t arrivals() const { return arrivals_; }
+    std::uint64_t departures() const { return departures_; }
+
+    /** Placement waiting times of placed arrivals, in seconds. */
+    const stats::Summary &placementDelays() const
+    {
+        return placementDelays_;
+    }
+    ///@}
+
+  private:
+    void scheduleNextArrival();
+    void arrive();
+    void tryPlacePending();
+    void depart(VmId vm);
+    HostId defaultPlacement(const Vm &vm) const;
+
+    struct Pending
+    {
+        VmId vm;
+        sim::SimTime arrivedAt;
+    };
+
+    sim::Simulator &simulator_;
+    Cluster &cluster_;
+    ProvisioningConfig config_;
+    sim::Rng rng_;
+    PlacementPolicy policy_;
+
+    std::deque<Pending> pending_;
+    sim::EventId retryEvent_ = sim::invalidEventId;
+    bool started_ = false;
+    std::uint64_t arrivals_ = 0;
+    std::uint64_t departures_ = 0;
+    stats::Summary placementDelays_;
+};
+
+} // namespace vpm::dc
+
+#endif // VPM_DATACENTER_PROVISIONING_HPP

@@ -1,0 +1,29 @@
+#include "datacenter/vm.hpp"
+
+#include <utility>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::dc {
+
+Vm::Vm(VmId id, workload::VmWorkloadSpec spec)
+    : id_(id), spec_(std::move(spec))
+{
+    if (!spec_.trace)
+        sim::fatal("Vm '%s': demand trace must be non-null",
+                   spec_.name.c_str());
+    if (spec_.cpuMhz <= 0.0)
+        sim::fatal("Vm '%s': CPU size must be positive (got %g MHz)",
+                   spec_.name.c_str(), spec_.cpuMhz);
+    if (spec_.memoryMb <= 0.0)
+        sim::fatal("Vm '%s': memory must be positive (got %g MB)",
+                   spec_.name.c_str(), spec_.memoryMb);
+}
+
+double
+Vm::demandMhzAt(sim::SimTime t) const
+{
+    return spec_.trace->utilizationAt(t) * spec_.cpuMhz;
+}
+
+} // namespace vpm::dc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Virtual machine model.
+ *
+ * A Vm couples a workload spec (size + demand trace) with runtime placement
+ * state. Demand is what the trace asks for; the granted amount is computed
+ * by the host-level allocator each evaluation interval and may be lower when
+ * capacity is short — the gap is the performance cost the SLA tracker
+ * records.
+ */
+
+#ifndef VPM_DATACENTER_VM_HPP
+#define VPM_DATACENTER_VM_HPP
+
+#include <string>
+
+#include "simcore/sim_time.hpp"
+#include "workload/mix.hpp"
+
+namespace vpm::dc {
+
+/** Dense, stable VM identifier within a Cluster. */
+using VmId = int;
+
+/** Dense, stable host identifier within a Cluster. */
+using HostId = int;
+
+/** Sentinel for "no host". */
+inline constexpr HostId invalidHostId = -1;
+
+/** A virtual machine: immutable workload spec plus mutable placement. */
+class Vm
+{
+  public:
+    /**
+     * @param id Cluster-assigned identifier.
+     * @param spec Workload half (name, size, trace); trace must be non-null.
+     */
+    Vm(VmId id, workload::VmWorkloadSpec spec);
+
+    VmId id() const { return id_; }
+    const std::string &name() const { return spec_.name; }
+
+    /** CPU size (demand at trace level 1.0), in MHz. */
+    double cpuMhz() const { return spec_.cpuMhz; }
+
+    /** Memory footprint, in MB; drives live-migration duration. */
+    double memoryMb() const { return spec_.memoryMb; }
+
+    /** Demanded CPU at time @p t, in MHz. */
+    double demandMhzAt(sim::SimTime t) const;
+
+    /** @name Placement (maintained by Cluster) */
+    ///@{
+    HostId host() const { return host_; }
+    bool placed() const { return host_ != invalidHostId; }
+    void setHost(HostId host) { host_ = host; }
+    ///@}
+
+    /** @name Per-interval allocation (maintained by DatacenterSim) */
+    ///@{
+    /** Demand captured at the last evaluation, in MHz. */
+    double currentDemandMhz() const { return currentDemandMhz_; }
+    void setCurrentDemandMhz(double mhz) { currentDemandMhz_ = mhz; }
+
+    /** CPU granted at the last evaluation, in MHz. */
+    double grantedMhz() const { return grantedMhz_; }
+    void setGrantedMhz(double mhz) { grantedMhz_ = mhz; }
+    ///@}
+
+    /** @name Migration state (maintained by MigrationEngine) */
+    ///@{
+    bool migrating() const { return migrating_; }
+    void setMigrating(bool migrating) { migrating_ = migrating; }
+    ///@}
+
+    /** @name Lifecycle (maintained by Cluster) */
+    ///@{
+    /** true once the VM has departed; it no longer demands anything. */
+    bool retired() const { return retired_; }
+    void setRetired() { retired_ = true; }
+    ///@}
+
+  private:
+    VmId id_;
+    workload::VmWorkloadSpec spec_;
+    HostId host_ = invalidHostId;
+    double currentDemandMhz_ = 0.0;
+    double grantedMhz_ = 0.0;
+    bool migrating_ = false;
+    bool retired_ = false;
+};
+
+} // namespace vpm::dc
+
+#endif // VPM_DATACENTER_VM_HPP

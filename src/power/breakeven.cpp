@@ -1,0 +1,87 @@
+#include "power/breakeven.hpp"
+
+#include <algorithm>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::power {
+
+double
+idleEnergyJoules(const HostPowerSpec &spec, double idle_seconds)
+{
+    if (idle_seconds < 0.0)
+        sim::panic("idleEnergyJoules: negative interval %g s", idle_seconds);
+    return spec.idlePowerWatts() * idle_seconds;
+}
+
+std::optional<double>
+sleepEnergyJoules(const SleepStateSpec &state, double idle_seconds)
+{
+    if (idle_seconds < 0.0)
+        sim::panic("sleepEnergyJoules: negative interval %g s", idle_seconds);
+
+    const double round_trip = state.roundTripLatency().toSeconds();
+    if (idle_seconds < round_trip)
+        return std::nullopt;
+
+    const double asleep = idle_seconds - round_trip;
+    return state.roundTripEnergyJoules() + state.sleepPowerWatts * asleep;
+}
+
+std::optional<double>
+breakEvenSeconds(const HostPowerSpec &spec, const SleepStateSpec &state)
+{
+    const double p_idle = spec.idlePowerWatts();
+    const double p_sleep = state.sleepPowerWatts;
+    if (p_sleep >= p_idle)
+        return std::nullopt;
+
+    // Solve  E_transition + P_sleep * (T - t_rt) = P_idle * T  for T.
+    const double t_rt = state.roundTripLatency().toSeconds();
+    const double numerator = state.roundTripEnergyJoules() - p_sleep * t_rt;
+    const double t_star = numerator / (p_idle - p_sleep);
+
+    // Even if the energy math says "sooner", the state cannot be cycled in
+    // less than its round-trip transition time.
+    return std::max(t_star, t_rt);
+}
+
+const SleepStateSpec *
+bestStateForInterval(const HostPowerSpec &spec, double idle_seconds)
+{
+    const double idle_energy = idleEnergyJoules(spec, idle_seconds);
+
+    const SleepStateSpec *best = nullptr;
+    double best_energy = idle_energy;
+    for (const SleepStateSpec &state : spec.sleepStates()) {
+        const std::optional<double> energy =
+            sleepEnergyJoules(state, idle_seconds);
+        if (energy && *energy < best_energy) {
+            best_energy = *energy;
+            best = &state;
+        }
+    }
+    return best;
+}
+
+double
+sleepSavingsJoules(const HostPowerSpec &spec, const SleepStateSpec &state,
+                   double idle_seconds)
+{
+    const double idle_energy = idleEnergyJoules(spec, idle_seconds);
+    const std::optional<double> sleep_energy =
+        sleepEnergyJoules(state, idle_seconds);
+    if (sleep_energy)
+        return idle_energy - *sleep_energy;
+
+    // Infeasibly short interval: the host spends all of it transitioning.
+    // Charge the prorated transition power over the interval.
+    const double round_trip = state.roundTripLatency().toSeconds();
+    if (round_trip <= 0.0)
+        return 0.0;
+    const double transition_power =
+        state.roundTripEnergyJoules() / round_trip;
+    return idle_energy - transition_power * idle_seconds;
+}
+
+} // namespace vpm::power

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Break-even analysis for sleep-state selection.
+ *
+ * This is the quantitative heart of the paper's feasibility argument: a
+ * sleep state only saves energy if the idle interval is long enough to
+ * amortize its transition energy, and it only preserves agility if its exit
+ * latency is short relative to how fast demand can return. The functions
+ * here answer "for an idle interval of length T, which state wins, and by
+ * how much?" — both for the characterization benches (F2/F3) and for the
+ * online policy inside the power manager (A3 ablation).
+ */
+
+#ifndef VPM_POWER_BREAKEVEN_HPP
+#define VPM_POWER_BREAKEVEN_HPP
+
+#include <optional>
+
+#include "power/power_state.hpp"
+
+namespace vpm::power {
+
+/**
+ * Energy consumed by a host that stays in S0-idle for @p idle_seconds.
+ * @return Energy in joules.
+ */
+double idleEnergyJoules(const HostPowerSpec &spec, double idle_seconds);
+
+/**
+ * Energy consumed by a host that spends an idle interval of
+ * @p idle_seconds in the given sleep state, paying the entry transition at
+ * the start and the exit transition at the end (both inside the interval).
+ *
+ * @return Energy in joules, or nullopt if the interval is shorter than the
+ *         round-trip transition time (the state cannot even be cycled).
+ */
+std::optional<double> sleepEnergyJoules(const SleepStateSpec &state,
+                                        double idle_seconds);
+
+/**
+ * The shortest idle interval for which sleeping in @p state consumes no
+ * more energy than idling, accounting for transition energy and the
+ * round-trip feasibility floor.
+ *
+ * @return Break-even interval in seconds, or nullopt if the state can never
+ *         win (its sleep power is not below the idle power).
+ */
+std::optional<double> breakEvenSeconds(const HostPowerSpec &spec,
+                                       const SleepStateSpec &state);
+
+/**
+ * Which action minimizes energy over an idle interval of @p idle_seconds?
+ *
+ * @return The winning sleep state, or nullptr if staying in S0-idle is the
+ *         cheapest (interval too short for every state).
+ */
+const SleepStateSpec *bestStateForInterval(const HostPowerSpec &spec,
+                                           double idle_seconds);
+
+/**
+ * Net energy saved (joules, may be negative) by sleeping in @p state for an
+ * idle interval of @p idle_seconds versus staying idle. Returns the most
+ * negative representable penalty (the full round-trip energy minus idle
+ * energy) when the interval is infeasibly short — in that case the host
+ * spends the whole interval transitioning.
+ */
+double sleepSavingsJoules(const HostPowerSpec &spec,
+                          const SleepStateSpec &state, double idle_seconds);
+
+} // namespace vpm::power
+
+#endif // VPM_POWER_BREAKEVEN_HPP

@@ -1,0 +1,172 @@
+#include "power/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::power {
+
+namespace {
+
+double
+clamp01(double u)
+{
+    return std::clamp(u, 0.0, 1.0);
+}
+
+} // namespace
+
+LinearFit
+fitLinearPowerCurve(const std::vector<PowerSamplePoint> &samples)
+{
+    if (samples.size() < 2)
+        sim::fatal("fitLinearPowerCurve: need >= 2 samples, got %zu",
+                   samples.size());
+
+    const double n = static_cast<double>(samples.size());
+    double sum_x = 0.0, sum_y = 0.0, sum_xy = 0.0, sum_xx = 0.0;
+    for (const auto &[util, watts] : samples) {
+        const double x = clamp01(util);
+        sum_x += x;
+        sum_y += watts;
+        sum_xy += x * watts;
+        sum_xx += x * x;
+    }
+    const double denom = n * sum_xx - sum_x * sum_x;
+    if (std::abs(denom) < 1e-12)
+        sim::fatal("fitLinearPowerCurve: samples span a single "
+                   "utilization; cannot identify a slope");
+
+    const double slope = (n * sum_xy - sum_x * sum_y) / denom;
+    const double intercept = (sum_y - slope * sum_x) / n;
+
+    LinearFit fit;
+    fit.idleWatts = std::max(intercept, 0.0);
+    fit.peakWatts = std::max(intercept + slope, fit.idleWatts);
+
+    double sq_err = 0.0;
+    for (const auto &[util, watts] : samples) {
+        const double predicted = intercept + slope * clamp01(util);
+        sq_err += (watts - predicted) * (watts - predicted);
+    }
+    fit.rmseWatts = std::sqrt(sq_err / n);
+    return fit;
+}
+
+std::shared_ptr<const PowerCurve>
+makeFittedLinearCurve(const std::vector<PowerSamplePoint> &samples)
+{
+    const LinearFit fit = fitLinearPowerCurve(samples);
+    return std::make_shared<LinearPowerCurve>(fit.idleWatts, fit.peakWatts);
+}
+
+std::vector<double>
+isotonicRegression(std::vector<double> values)
+{
+    // Pool adjacent violators with weights. Each block holds the mean of
+    // a maximal run of pooled points.
+    struct Block
+    {
+        double mean;
+        double weight;
+    };
+    std::vector<Block> blocks;
+    blocks.reserve(values.size());
+
+    for (const double value : values) {
+        blocks.push_back({value, 1.0});
+        while (blocks.size() >= 2 &&
+               blocks[blocks.size() - 2].mean >
+                   blocks[blocks.size() - 1].mean) {
+            const Block back = blocks.back();
+            blocks.pop_back();
+            Block &prev = blocks.back();
+            const double w = prev.weight + back.weight;
+            prev.mean =
+                (prev.mean * prev.weight + back.mean * back.weight) / w;
+            prev.weight = w;
+        }
+    }
+
+    std::vector<double> result;
+    result.reserve(values.size());
+    for (const Block &block : blocks) {
+        for (int i = 0; i < static_cast<int>(block.weight + 0.5); ++i)
+            result.push_back(block.mean);
+    }
+    return result;
+}
+
+std::shared_ptr<const PowerCurve>
+makeFittedPiecewiseCurve(const std::vector<PowerSamplePoint> &samples,
+                         std::size_t breakpoints)
+{
+    if (samples.empty())
+        sim::fatal("makeFittedPiecewiseCurve: no samples");
+    if (breakpoints < 2)
+        sim::fatal("makeFittedPiecewiseCurve: need >= 2 breakpoints");
+
+    // Bucket averaging: breakpoint i covers utilization near i/(n-1).
+    std::vector<double> sums(breakpoints, 0.0);
+    std::vector<double> counts(breakpoints, 0.0);
+    for (const auto &[util, watts] : samples) {
+        const double pos =
+            clamp01(util) * static_cast<double>(breakpoints - 1);
+        const auto bucket = static_cast<std::size_t>(
+            std::min(std::floor(pos + 0.5),
+                     static_cast<double>(breakpoints - 1)));
+        sums[bucket] += watts;
+        counts[bucket] += 1.0;
+    }
+
+    std::vector<double> watts(breakpoints, 0.0);
+    for (std::size_t i = 0; i < breakpoints; ++i) {
+        if (counts[i] > 0.0)
+            watts[i] = sums[i] / counts[i];
+    }
+
+    // Fill empty buckets by linear interpolation between the nearest
+    // populated neighbours (extrapolating flat at the edges).
+    std::ptrdiff_t prev = -1;
+    for (std::size_t i = 0; i < breakpoints; ++i) {
+        if (counts[i] > 0.0) {
+            if (prev < 0) {
+                for (std::size_t j = 0; j < i; ++j)
+                    watts[j] = watts[i];
+            } else if (static_cast<std::size_t>(prev) + 1 < i) {
+                const auto gap =
+                    static_cast<double>(i - static_cast<std::size_t>(prev));
+                for (std::size_t j = static_cast<std::size_t>(prev) + 1;
+                     j < i; ++j) {
+                    const double frac =
+                        static_cast<double>(j -
+                                            static_cast<std::size_t>(prev)) /
+                        gap;
+                    watts[j] =
+                        watts[static_cast<std::size_t>(prev)] +
+                        frac * (watts[i] -
+                                watts[static_cast<std::size_t>(prev)]);
+                }
+            }
+            prev = static_cast<std::ptrdiff_t>(i);
+        }
+    }
+    if (prev < 0) {
+        sim::panic("makeFittedPiecewiseCurve: no populated bucket");
+    } else {
+        for (std::size_t j = static_cast<std::size_t>(prev) + 1;
+             j < breakpoints; ++j) {
+            watts[j] = watts[static_cast<std::size_t>(prev)];
+        }
+    }
+
+    // A noisy meter can produce locally decreasing averages; project onto
+    // the monotone cone so the curve constructor accepts the result.
+    watts = isotonicRegression(std::move(watts));
+    for (double &w : watts)
+        w = std::max(w, 0.0);
+    return std::make_shared<PiecewisePowerCurve>(std::move(watts));
+}
+
+} // namespace vpm::power

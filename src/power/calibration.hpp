@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Curve calibration from wattmeter measurements.
+ *
+ * The paper builds its models from measured servers; downstream users
+ * must do the same. These helpers turn raw (utilization, watts) samples —
+ * noisy, unordered, unevenly spaced — into the curve objects the
+ * simulator consumes: a least-squares linear fit, or a piecewise curve
+ * via bucket averaging followed by isotonic regression (pool adjacent
+ * violators), which guarantees the monotonicity PiecewisePowerCurve
+ * requires no matter how noisy the meter was.
+ */
+
+#ifndef VPM_POWER_CALIBRATION_HPP
+#define VPM_POWER_CALIBRATION_HPP
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "power/power_curve.hpp"
+
+namespace vpm::power {
+
+/** One wattmeter reading: (utilization in [0,1], watts). */
+using PowerSamplePoint = std::pair<double, double>;
+
+/** Result of a linear fit. */
+struct LinearFit
+{
+    double idleWatts = 0.0;
+    double peakWatts = 0.0;
+
+    /** Root-mean-square residual of the fit, in watts. */
+    double rmseWatts = 0.0;
+};
+
+/**
+ * Least-squares linear fit of power against utilization.
+ *
+ * Utilizations are clamped to [0, 1]; needs >= 2 samples spanning more
+ * than a single utilization value (fatal otherwise). The fitted idle
+ * value is clamped at 0 and the peak at the idle value, so the result
+ * always constructs a valid LinearPowerCurve.
+ */
+LinearFit fitLinearPowerCurve(const std::vector<PowerSamplePoint> &samples);
+
+/** Convenience: fit and build the curve object. */
+std::shared_ptr<const PowerCurve>
+makeFittedLinearCurve(const std::vector<PowerSamplePoint> &samples);
+
+/**
+ * Isotonic regression (pool adjacent violators): the best
+ * monotone-non-decreasing fit to @p values in the least-squares sense.
+ * Exposed because it is independently useful and independently testable.
+ */
+std::vector<double> isotonicRegression(std::vector<double> values);
+
+/**
+ * Piecewise calibration: average samples into @p breakpoints equal-width
+ * utilization buckets, fill empty buckets by interpolation from their
+ * neighbours, then enforce monotonicity with isotonic regression.
+ *
+ * @param samples Wattmeter readings; needs >= 1.
+ * @param breakpoints Number of curve breakpoints (>= 2); 11 gives the
+ *        conventional SPECpower shape.
+ */
+std::shared_ptr<const PowerCurve>
+makeFittedPiecewiseCurve(const std::vector<PowerSamplePoint> &samples,
+                         std::size_t breakpoints = 11);
+
+} // namespace vpm::power
+
+#endif // VPM_POWER_CALIBRATION_HPP

@@ -1,0 +1,45 @@
+#include "power/energy_meter.hpp"
+
+#include "simcore/logging.hpp"
+
+namespace vpm::power {
+
+EnergyMeter::EnergyMeter(sim::SimTime start, double initial_watts)
+    : startTime_(start), lastTime_(start), heldWatts_(initial_watts)
+{
+    if (initial_watts < 0.0)
+        sim::panic("EnergyMeter: negative initial power %g W", initial_watts);
+}
+
+void
+EnergyMeter::update(sim::SimTime t, double watts)
+{
+    if (t < lastTime_)
+        sim::panic("EnergyMeter::update: time moved backwards "
+                   "(%lld us < %lld us)",
+                   static_cast<long long>(t.micros()),
+                   static_cast<long long>(lastTime_.micros()));
+    if (watts < 0.0)
+        sim::panic("EnergyMeter::update: negative power %g W", watts);
+
+    joules_ += heldWatts_ * (t - lastTime_).toSeconds();
+    lastTime_ = t;
+    heldWatts_ = watts;
+}
+
+void
+EnergyMeter::finish(sim::SimTime t)
+{
+    update(t, heldWatts_);
+}
+
+double
+EnergyMeter::averageWatts() const
+{
+    const double secs = elapsed().toSeconds();
+    if (secs <= 0.0)
+        return 0.0;
+    return joules_ / secs;
+}
+
+} // namespace vpm::power

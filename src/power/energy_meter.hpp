@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Step-hold energy integrator.
+ *
+ * Simulated power draw is piecewise constant: it only changes when demand is
+ * re-evaluated or a power-state transition begins/ends. The meter therefore
+ * integrates exactly (no sampling error): it holds the last reported power
+ * and accumulates held_watts * dt on every update.
+ */
+
+#ifndef VPM_POWER_ENERGY_METER_HPP
+#define VPM_POWER_ENERGY_METER_HPP
+
+#include "simcore/sim_time.hpp"
+
+namespace vpm::power {
+
+/**
+ * Accumulates energy from a piecewise-constant power signal.
+ *
+ * Usage: construct at the signal's start time with its initial value, call
+ * update() at every change point (and finish()/update() once at the end of
+ * the measurement window), then read joules()/averageWatts().
+ */
+class EnergyMeter
+{
+  public:
+    /**
+     * @param start Time at which measurement begins.
+     * @param initial_watts Power draw holding from the start time.
+     */
+    explicit EnergyMeter(sim::SimTime start = {}, double initial_watts = 0.0);
+
+    /**
+     * Report that the power changed to @p watts at time @p t.
+     * Integrates the previously held power over [last update, t].
+     * @p t must not precede the previous update.
+     */
+    void update(sim::SimTime t, double watts);
+
+    /** Integrate the held power up to @p t without changing it. */
+    void finish(sim::SimTime t);
+
+    /** Total accumulated energy, in joules. */
+    double joules() const { return joules_; }
+
+    /** Total accumulated energy, in watt-hours. */
+    double wattHours() const { return joules_ / 3600.0; }
+
+    /** Total accumulated energy, in kilowatt-hours. */
+    double kiloWattHours() const { return wattHours() / 1000.0; }
+
+    /** Time covered so far (from start to the last update). */
+    sim::SimTime elapsed() const { return lastTime_ - startTime_; }
+
+    /** Mean power over the covered window; 0 if the window is empty. */
+    double averageWatts() const;
+
+    /** Power currently being held (the last reported value). */
+    double heldWatts() const { return heldWatts_; }
+
+  private:
+    sim::SimTime startTime_;
+    sim::SimTime lastTime_;
+    double heldWatts_;
+    double joules_ = 0.0;
+};
+
+} // namespace vpm::power
+
+#endif // VPM_POWER_ENERGY_METER_HPP

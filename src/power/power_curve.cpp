@@ -1,0 +1,69 @@
+#include "power/power_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::power {
+
+namespace {
+
+double
+clamp01(double u)
+{
+    return std::clamp(u, 0.0, 1.0);
+}
+
+} // namespace
+
+LinearPowerCurve::LinearPowerCurve(double idle_watts, double peak_watts)
+    : idleWatts_(idle_watts), peakWatts_(peak_watts)
+{
+    if (idle_watts < 0.0)
+        sim::fatal("LinearPowerCurve: idle power %g W is negative",
+                   idle_watts);
+    if (peak_watts < idle_watts)
+        sim::fatal("LinearPowerCurve: peak power %g W below idle power %g W",
+                   peak_watts, idle_watts);
+}
+
+double
+LinearPowerCurve::powerAt(double utilization) const
+{
+    const double u = clamp01(utilization);
+    return idleWatts_ + (peakWatts_ - idleWatts_) * u;
+}
+
+PiecewisePowerCurve::PiecewisePowerCurve(
+    std::vector<double> watts_at_breakpoints)
+    : watts_(std::move(watts_at_breakpoints))
+{
+    if (watts_.size() < 2)
+        sim::fatal("PiecewisePowerCurve: need at least 2 breakpoints, got %zu",
+                   watts_.size());
+    for (std::size_t i = 0; i < watts_.size(); ++i) {
+        if (watts_[i] < 0.0)
+            sim::fatal("PiecewisePowerCurve: breakpoint %zu is negative (%g)",
+                       i, watts_[i]);
+        if (i > 0 && watts_[i] < watts_[i - 1])
+            sim::fatal("PiecewisePowerCurve: breakpoints must be "
+                       "non-decreasing; %g W at %zu < %g W at %zu",
+                       watts_[i], i, watts_[i - 1], i - 1);
+    }
+}
+
+double
+PiecewisePowerCurve::powerAt(double utilization) const
+{
+    const double u = clamp01(utilization);
+    const double pos = u * static_cast<double>(watts_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    if (lo >= watts_.size() - 1)
+        return watts_.back();
+    const double frac = pos - static_cast<double>(lo);
+    return watts_[lo] + (watts_[lo + 1] - watts_[lo]) * frac;
+}
+
+} // namespace vpm::power

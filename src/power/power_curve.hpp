@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Utilization-to-power curves for active (S0) servers.
+ *
+ * Two families are provided: a simple linear model (idle + slope * util),
+ * which is what most consolidation literature assumes, and a piecewise-linear
+ * model over fixed utilization breakpoints, which can represent the measured
+ * SPECpower-style curves of real servers (sublinear near idle, steeper near
+ * peak).
+ */
+
+#ifndef VPM_POWER_POWER_CURVE_HPP
+#define VPM_POWER_POWER_CURVE_HPP
+
+#include <vector>
+
+namespace vpm::power {
+
+/**
+ * Abstract utilization-to-power mapping for an active server.
+ *
+ * Implementations must be monotonically non-decreasing in utilization;
+ * callers clamp utilization to [0, 1] before querying.
+ */
+class PowerCurve
+{
+  public:
+    virtual ~PowerCurve() = default;
+
+    /**
+     * Power draw at the given utilization.
+     * @param utilization CPU utilization in [0, 1]; values outside the range
+     *        are clamped.
+     * @return Power in watts.
+     */
+    virtual double powerAt(double utilization) const = 0;
+};
+
+/** Classic linear model: P(u) = idle + (peak - idle) * u. */
+class LinearPowerCurve : public PowerCurve
+{
+  public:
+    /**
+     * @param idle_watts Power at zero utilization; must be >= 0.
+     * @param peak_watts Power at full utilization; must be >= idle_watts.
+     */
+    LinearPowerCurve(double idle_watts, double peak_watts);
+
+    double powerAt(double utilization) const override;
+
+  private:
+    double idleWatts_;
+    double peakWatts_;
+};
+
+/**
+ * Piecewise-linear model over equally spaced utilization breakpoints
+ * (0%, 10%, ..., 100% for the conventional 11-point SPECpower form).
+ */
+class PiecewisePowerCurve : public PowerCurve
+{
+  public:
+    /**
+     * @param watts_at_breakpoints Power at utilization i/(n-1) for the i-th
+     *        entry; needs >= 2 entries and must be non-decreasing.
+     */
+    explicit PiecewisePowerCurve(std::vector<double> watts_at_breakpoints);
+
+    double powerAt(double utilization) const override;
+
+  private:
+    std::vector<double> watts_;
+};
+
+} // namespace vpm::power
+
+#endif // VPM_POWER_POWER_CURVE_HPP

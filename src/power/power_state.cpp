@@ -1,0 +1,64 @@
+#include "power/power_state.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::power {
+
+HostPowerSpec::HostPowerSpec(std::string model,
+                             std::shared_ptr<const PowerCurve> curve,
+                             std::vector<SleepStateSpec> sleep_states)
+    : model_(std::move(model)), curve_(std::move(curve)),
+      states_(std::move(sleep_states))
+{
+    if (!curve_)
+        sim::fatal("HostPowerSpec '%s': power curve must be non-null",
+                   model_.c_str());
+
+    std::unordered_set<std::string> names;
+    for (const SleepStateSpec &state : states_) {
+        if (state.name.empty())
+            sim::fatal("HostPowerSpec '%s': sleep state with empty name",
+                       model_.c_str());
+        if (!names.insert(state.name).second)
+            sim::fatal("HostPowerSpec '%s': duplicate sleep state '%s'",
+                       model_.c_str(), state.name.c_str());
+        if (state.sleepPowerWatts < 0.0 || state.entryPowerWatts < 0.0 ||
+            state.exitPowerWatts < 0.0) {
+            sim::fatal("HostPowerSpec '%s': sleep state '%s' has negative "
+                       "power", model_.c_str(), state.name.c_str());
+        }
+        if (state.entryLatency < sim::SimTime() ||
+            state.exitLatency < sim::SimTime()) {
+            sim::fatal("HostPowerSpec '%s': sleep state '%s' has negative "
+                       "latency", model_.c_str(), state.name.c_str());
+        }
+    }
+}
+
+const SleepStateSpec *
+HostPowerSpec::findSleepState(const std::string &name) const
+{
+    for (const SleepStateSpec &state : states_) {
+        if (state.name == name)
+            return &state;
+    }
+    return nullptr;
+}
+
+const SleepStateSpec *
+HostPowerSpec::deepestStateWithin(sim::SimTime max_exit_latency) const
+{
+    const SleepStateSpec *best = nullptr;
+    for (const SleepStateSpec &state : states_) {
+        if (state.exitLatency > max_exit_latency)
+            continue;
+        if (!best || state.sleepPowerWatts < best->sleepPowerWatts)
+            best = &state;
+    }
+    return best;
+}
+
+} // namespace vpm::power

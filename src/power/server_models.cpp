@@ -1,0 +1,111 @@
+#include "power/server_models.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace vpm::power {
+
+namespace {
+
+using sim::SimTime;
+
+/** SPECpower-style 11-point curve: 155 W idle rising to 255 W peak. */
+std::shared_ptr<const PowerCurve>
+bladeCurve()
+{
+    return std::make_shared<PiecewisePowerCurve>(std::vector<double>{
+        155.0, 170.0, 182.0, 192.0, 201.0, 210.0,
+        219.0, 228.0, 237.0, 246.0, 255.0});
+}
+
+SleepStateSpec
+s3State()
+{
+    SleepStateSpec s3;
+    s3.name = "S3";
+    s3.sleepPowerWatts = 12.0;
+    s3.entryLatency = SimTime::seconds(7.0);
+    s3.exitLatency = SimTime::seconds(15.0);
+    s3.entryPowerWatts = 170.0; // flushing and quiescing near idle draw
+    s3.exitPowerWatts = 200.0;  // devices repowering
+    return s3;
+}
+
+SleepStateSpec
+s5State()
+{
+    SleepStateSpec s5;
+    s5.name = "S5";
+    s5.sleepPowerWatts = 6.0; // service processor only
+    s5.entryLatency = SimTime::seconds(45.0);
+    s5.exitLatency = SimTime::seconds(180.0); // POST + OS boot + rejoin
+    s5.entryPowerWatts = 150.0;
+    s5.exitPowerWatts = 210.0;
+    return s5;
+}
+
+} // namespace
+
+HostPowerSpec
+enterpriseBlade2013()
+{
+    return HostPowerSpec("enterprise-blade-2013", bladeCurve(),
+                         {s3State(), s5State()});
+}
+
+HostPowerSpec
+enterpriseBlade2013S5Only()
+{
+    return HostPowerSpec("enterprise-blade-2013-s5only", bladeCurve(),
+                         {s5State()});
+}
+
+HostPowerSpec
+legacyServer2009()
+{
+    const auto curve = std::make_shared<PiecewisePowerCurve>(
+        std::vector<double>{230.0, 246.0, 258.0, 268.0, 277.0, 286.0,
+                            294.0, 301.0, 308.0, 314.0, 320.0});
+
+    SleepStateSpec s3;
+    s3.name = "S3";
+    s3.sleepPowerWatts = 18.0;
+    s3.entryLatency = SimTime::seconds(12.0);
+    s3.exitLatency = SimTime::seconds(25.0);
+    s3.entryPowerWatts = 245.0;
+    s3.exitPowerWatts = 280.0;
+
+    SleepStateSpec s5;
+    s5.name = "S5";
+    s5.sleepPowerWatts = 9.0;
+    s5.entryLatency = SimTime::seconds(60.0);
+    s5.exitLatency = SimTime::seconds(240.0);
+    s5.entryPowerWatts = 225.0;
+    s5.exitPowerWatts = 290.0;
+
+    return HostPowerSpec("legacy-server-2009", curve, {s3, s5});
+}
+
+HostPowerSpec
+energyProportionalIdeal()
+{
+    return HostPowerSpec("energy-proportional-ideal",
+                         std::make_shared<LinearPowerCurve>(0.0, 255.0), {});
+}
+
+HostPowerSpec
+bladeWithSyntheticState(sim::SimTime exit_latency, double sleep_watts)
+{
+    SleepStateSpec synth;
+    synth.name = "SYNTH";
+    synth.sleepPowerWatts = sleep_watts;
+    // Entry cost scales with exit cost but saturates: even slow states
+    // usually enter faster than they exit (suspend < resume, shutdown < boot).
+    synth.entryLatency = exit_latency * 0.35;
+    synth.exitLatency = exit_latency;
+    synth.entryPowerWatts = 165.0;
+    synth.exitPowerWatts = 205.0;
+    return HostPowerSpec("blade-synthetic-state", bladeCurve(), {synth});
+}
+
+} // namespace vpm::power

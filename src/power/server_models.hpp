@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Calibrated host power models.
+ *
+ * These factory functions package the parameter sets the benches and
+ * examples use. enterpriseBlade2013() is the substitution for the paper's
+ * measured IBM prototype: the power magnitudes and transition latencies are
+ * set to the values the paper's characterization reports for 2013-era
+ * enterprise blades — idle around 155 W, peak around 255 W, a low-latency
+ * S3 (suspend-to-RAM) state in the ~10 W range with seconds-scale
+ * transitions, and a traditional S5 (soft-off) state with a minutes-scale
+ * reboot. See DESIGN.md, "Hardware substitution".
+ */
+
+#ifndef VPM_POWER_SERVER_MODELS_HPP
+#define VPM_POWER_SERVER_MODELS_HPP
+
+#include "power/power_state.hpp"
+
+namespace vpm::power {
+
+/**
+ * The reproduction's stand-in for the paper's prototype blade.
+ *
+ * States: "S3" (low-latency suspend-to-RAM; the paper's contribution) and
+ * "S5" (traditional soft-off with full reboot; the baseline power action).
+ * The active curve is piecewise (SPECpower-like): sublinear at low
+ * utilization, steeper near peak.
+ */
+HostPowerSpec enterpriseBlade2013();
+
+/**
+ * The same blade restricted to the traditional S5 state only — what a
+ * pre-paper power manager has to work with.
+ */
+HostPowerSpec enterpriseBlade2013S5Only();
+
+/**
+ * An older-generation server: same capacity class but a far worse power
+ * envelope (idle ~230 W, peak ~320 W) and a slower prototype S3. Mixed
+ * with enterpriseBlade2013() it forms the heterogeneous cluster of the
+ * E3 extension experiment: the consolidator should prefer parking these.
+ */
+HostPowerSpec legacyServer2009();
+
+/**
+ * An idealized perfectly energy-proportional server (zero idle power,
+ * linear to the blade's peak, no sleep states). Used to draw the "ideal"
+ * line in the energy-proportionality figure (F5).
+ */
+HostPowerSpec energyProportionalIdeal();
+
+/**
+ * The blade with a single synthetic sleep state whose exit latency is a
+ * parameter — used by the latency-sensitivity sweep (F9) to interpolate
+ * between S3-like and S5-like behaviour.
+ *
+ * @param exit_latency Resume latency of the synthetic state.
+ * @param sleep_watts Sleep-state power draw.
+ */
+HostPowerSpec bladeWithSyntheticState(sim::SimTime exit_latency,
+                                      double sleep_watts = 10.0);
+
+} // namespace vpm::power
+
+#endif // VPM_POWER_SERVER_MODELS_HPP

@@ -1,0 +1,186 @@
+#include "power/spec_file.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::power {
+
+namespace {
+
+std::string
+trim(const std::string &raw)
+{
+    const auto first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = raw.find_last_not_of(" \t\r");
+    return raw.substr(first, last - first + 1);
+}
+
+double
+parseNumber(const std::string &value, int lineno)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || trim(end) != "")
+        sim::fatal("spec line %d: bad number '%s'", lineno, value.c_str());
+    return parsed;
+}
+
+/** One parsed `[state NAME]` section. */
+struct StateSection
+{
+    std::string name;
+    std::map<std::string, double> values;
+    int lineno = 0;
+};
+
+double
+requireKey(const StateSection &section, const std::string &key)
+{
+    const auto it = section.values.find(key);
+    if (it == section.values.end())
+        sim::fatal("spec: state '%s' (line %d) is missing '%s'",
+                   section.name.c_str(), section.lineno, key.c_str());
+    return it->second;
+}
+
+} // namespace
+
+HostPowerSpec
+parseHostSpec(const std::string &text)
+{
+    std::string model;
+    std::vector<double> curve;
+    std::vector<StateSection> states;
+    StateSection *current = nullptr;
+
+    std::istringstream stream(text);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(stream, raw)) {
+        ++lineno;
+        const std::string line = trim(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                sim::fatal("spec line %d: unterminated section header",
+                           lineno);
+            const std::string header = trim(line.substr(1, line.size() - 2));
+            if (header.rfind("state ", 0) != 0)
+                sim::fatal("spec line %d: unknown section '[%s]'", lineno,
+                           header.c_str());
+            StateSection section;
+            section.name = trim(header.substr(6));
+            section.lineno = lineno;
+            if (section.name.empty())
+                sim::fatal("spec line %d: state needs a name", lineno);
+            states.push_back(section);
+            current = &states.back();
+            continue;
+        }
+
+        const auto equals = line.find('=');
+        if (equals == std::string::npos)
+            sim::fatal("spec line %d: expected 'key = value', got '%s'",
+                       lineno, line.c_str());
+        const std::string key = trim(line.substr(0, equals));
+        const std::string value = trim(line.substr(equals + 1));
+
+        if (!current) {
+            if (key == "model") {
+                model = value;
+            } else if (key == "curve") {
+                std::istringstream points(value);
+                std::string token;
+                while (points >> token)
+                    curve.push_back(parseNumber(token, lineno));
+            } else {
+                sim::fatal("spec line %d: unknown global key '%s'", lineno,
+                           key.c_str());
+            }
+        } else {
+            if (key != "sleep_watts" && key != "entry_seconds" &&
+                key != "exit_seconds" && key != "entry_watts" &&
+                key != "exit_watts") {
+                sim::fatal("spec line %d: unknown state key '%s'", lineno,
+                           key.c_str());
+            }
+            current->values[key] = parseNumber(value, lineno);
+        }
+    }
+
+    if (model.empty())
+        sim::fatal("spec: missing 'model ='");
+    if (curve.size() < 2)
+        sim::fatal("spec: 'curve =' needs at least 2 values, got %zu",
+                   curve.size());
+
+    std::vector<SleepStateSpec> sleep_states;
+    for (const StateSection &section : states) {
+        SleepStateSpec state;
+        state.name = section.name;
+        state.sleepPowerWatts = requireKey(section, "sleep_watts");
+        state.entryLatency =
+            sim::SimTime::seconds(requireKey(section, "entry_seconds"));
+        state.exitLatency =
+            sim::SimTime::seconds(requireKey(section, "exit_seconds"));
+        state.entryPowerWatts = requireKey(section, "entry_watts");
+        state.exitPowerWatts = requireKey(section, "exit_watts");
+        sleep_states.push_back(state);
+    }
+
+    return HostPowerSpec(model,
+                         std::make_shared<PiecewisePowerCurve>(curve),
+                         std::move(sleep_states));
+}
+
+HostPowerSpec
+loadHostSpec(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        sim::fatal("cannot open spec file '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parseHostSpec(buffer.str());
+}
+
+std::string
+formatHostSpec(const HostPowerSpec &spec, std::size_t curve_points)
+{
+    if (curve_points < 2)
+        sim::fatal("formatHostSpec: need at least 2 curve points");
+
+    std::ostringstream out;
+    out << "model = " << spec.model() << "\ncurve =";
+    for (std::size_t i = 0; i < curve_points; ++i) {
+        const double u = static_cast<double>(i) /
+                         static_cast<double>(curve_points - 1);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %g", spec.activePowerWatts(u));
+        out << buf;
+    }
+    out << '\n';
+
+    for (const SleepStateSpec &state : spec.sleepStates()) {
+        out << "\n[state " << state.name << "]\n";
+        out << "sleep_watts = " << state.sleepPowerWatts << '\n';
+        out << "entry_seconds = " << state.entryLatency.toSeconds() << '\n';
+        out << "exit_seconds = " << state.exitLatency.toSeconds() << '\n';
+        out << "entry_watts = " << state.entryPowerWatts << '\n';
+        out << "exit_watts = " << state.exitPowerWatts << '\n';
+    }
+    return out.str();
+}
+
+} // namespace vpm::power

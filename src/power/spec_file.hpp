@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Host power-spec files: declare server models without recompiling.
+ *
+ * Downstream users describe their measured hardware in a small key-value
+ * file and load it at runtime (the vpm_sim CLI's --spec flag). Format:
+ *
+ *     # comment
+ *     model = my-server
+ *     curve = 155 170 182 192 201 210 219 228 237 246 255
+ *
+ *     [state S3]
+ *     sleep_watts   = 12
+ *     entry_seconds = 7
+ *     exit_seconds  = 15
+ *     entry_watts   = 170
+ *     exit_watts    = 200
+ *
+ * `curve` lists watts at equally spaced utilizations 0..100% (>= 2
+ * values; two values make a linear curve). Any number of `[state NAME]`
+ * sections may follow, each requiring all five keys. Errors are fatal
+ * (this is user configuration).
+ */
+
+#ifndef VPM_POWER_SPEC_FILE_HPP
+#define VPM_POWER_SPEC_FILE_HPP
+
+#include <string>
+
+#include "power/power_state.hpp"
+
+namespace vpm::power {
+
+/** Parse a host power spec from file text. Fatal on malformed input. */
+HostPowerSpec parseHostSpec(const std::string &text);
+
+/** Load and parse a spec file; fatal if unreadable. */
+HostPowerSpec loadHostSpec(const std::string &path);
+
+/** Serialize a spec back into the file format (round-trip tested). */
+std::string formatHostSpec(const HostPowerSpec &spec,
+                           std::size_t curve_points = 11);
+
+} // namespace vpm::power
+
+#endif // VPM_POWER_SPEC_FILE_HPP

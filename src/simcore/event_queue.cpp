@@ -1,0 +1,78 @@
+#include "simcore/event_queue.hpp"
+
+#include <utility>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::sim {
+
+EventId
+EventQueue::schedule(SimTime when, EventCallback callback, std::string label)
+{
+    if (!callback)
+        panic("EventQueue::schedule: null callback (label '%s')",
+              label.c_str());
+    if (when < SimTime())
+        panic("EventQueue::schedule: negative time %lld us (label '%s')",
+              static_cast<long long>(when.micros()), label.c_str());
+
+    const EventId id = nextId_++;
+    live_.emplace(id, Record{std::move(callback), std::move(label)});
+    heap_.push(HeapEntry{when, nextSeq_++, id});
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Lazy deletion: drop the record; the heap entry is skipped on pop.
+    return live_.erase(id) > 0;
+}
+
+bool
+EventQueue::pending(EventId id) const
+{
+    return live_.contains(id);
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty() && !live_.contains(heap_.top().id))
+        heap_.pop();
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    skipDead();
+    if (heap_.empty())
+        panic("EventQueue::nextTime called on empty queue");
+    return heap_.top().when;
+}
+
+EventQueue::Fired
+EventQueue::pop()
+{
+    skipDead();
+    if (heap_.empty())
+        panic("EventQueue::pop called on empty queue");
+
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+
+    auto it = live_.find(entry.id);
+    Fired fired{entry.id, entry.when, std::move(it->second.callback),
+                std::move(it->second.label)};
+    live_.erase(it);
+    return fired;
+}
+
+void
+EventQueue::clear()
+{
+    live_.clear();
+    heap_ = {};
+}
+
+} // namespace vpm::sim

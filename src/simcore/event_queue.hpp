@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Pending-event set for the discrete-event engine.
+ *
+ * The queue is a min-heap on (time, sequence number): events at equal times
+ * fire in the order they were scheduled, which makes simulations
+ * deterministic. Cancellation is lazy — a cancelled entry stays in the heap
+ * but is skipped on pop — which keeps both schedule() and cancel() O(log n)
+ * amortized without an indexed heap.
+ */
+
+#ifndef VPM_SIMCORE_EVENT_QUEUE_HPP
+#define VPM_SIMCORE_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+
+namespace vpm::sim {
+
+/** Opaque handle identifying a scheduled event; never reused within a run. */
+using EventId = std::uint64_t;
+
+/** Sentinel meaning "no event". */
+inline constexpr EventId invalidEventId = 0;
+
+/** Work to run when an event fires. */
+using EventCallback = std::function<void()>;
+
+/**
+ * Time-ordered set of pending events with O(log n) insert and cancel.
+ *
+ * Not a general priority queue: times must be non-negative, and the caller
+ * (normally Simulator) is responsible for never scheduling into the past.
+ */
+class EventQueue
+{
+  public:
+    /** A popped, ready-to-fire event. */
+    struct Fired
+    {
+        EventId id;
+        SimTime when;
+        EventCallback callback;
+        std::string label;
+    };
+
+    EventQueue() = default;
+
+    // The queue owns callbacks which may capture anything; copying a queue
+    // is almost certainly a bug, so forbid it.
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Insert an event.
+     *
+     * @param when Absolute firing time.
+     * @param callback Work to run; must be non-null.
+     * @param label Optional human-readable tag for tracing.
+     * @return A handle usable with cancel().
+     */
+    EventId schedule(SimTime when, EventCallback callback,
+                     std::string label = {});
+
+    /**
+     * Cancel a pending event.
+     *
+     * @return true if the event was pending and is now cancelled; false if it
+     *         already fired, was already cancelled, or never existed.
+     */
+    bool cancel(EventId id);
+
+    /** true if the given event is still pending. */
+    bool pending(EventId id) const;
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t size() const { return live_.size(); }
+
+    bool empty() const { return live_.empty(); }
+
+    /** Firing time of the earliest live event. Queue must be non-empty. */
+    SimTime nextTime() const;
+
+    /** Remove and return the earliest live event. Queue must be non-empty. */
+    Fired pop();
+
+    /** Drop all pending events. */
+    void clear();
+
+  private:
+    struct HeapEntry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+
+        // std::priority_queue is a max-heap; invert so earliest pops first.
+        bool
+        operator<(const HeapEntry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    struct Record
+    {
+        EventCallback callback;
+        std::string label;
+    };
+
+    /** Pop cancelled entries off the heap top so top() is live. */
+    void skipDead() const;
+
+    mutable std::priority_queue<HeapEntry> heap_;
+    std::unordered_map<EventId, Record> live_;
+    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace vpm::sim
+
+#endif // VPM_SIMCORE_EVENT_QUEUE_HPP

@@ -1,0 +1,36 @@
+#include "simcore/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vpm::sim {
+
+std::string
+SimTime::toString() const
+{
+    std::int64_t us = ticks_;
+    const bool negative = us < 0;
+    if (negative)
+        us = -us;
+
+    const std::int64_t h = us / (3600LL * ticksPerSecond);
+    us -= h * 3600LL * ticksPerSecond;
+    const std::int64_t m = us / (60LL * ticksPerSecond);
+    us -= m * 60LL * ticksPerSecond;
+    const double s = static_cast<double>(us) / ticksPerSecond;
+
+    char buf[64];
+    if (h > 0) {
+        std::snprintf(buf, sizeof(buf), "%s%lldh%lldm%.1fs",
+                      negative ? "-" : "", static_cast<long long>(h),
+                      static_cast<long long>(m), s);
+    } else if (m > 0) {
+        std::snprintf(buf, sizeof(buf), "%s%lldm%.1fs", negative ? "-" : "",
+                      static_cast<long long>(m), s);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s%.3fs", negative ? "-" : "", s);
+    }
+    return buf;
+}
+
+} // namespace vpm::sim

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Simulated-time value type for the vpm discrete-event engine.
+ *
+ * Simulation time is an integer count of microseconds since the start of the
+ * simulation. Using an integer tick (rather than floating-point seconds)
+ * guarantees that event ordering is exact and replayable: two runs with the
+ * same seed schedule events at bit-identical times.
+ */
+
+#ifndef VPM_SIMCORE_SIM_TIME_HPP
+#define VPM_SIMCORE_SIM_TIME_HPP
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace vpm::sim {
+
+/**
+ * A point in simulated time (or a duration), in integer microseconds.
+ *
+ * SimTime is a regular value type: cheap to copy, totally ordered, and
+ * supports the arithmetic a scheduler needs (add/subtract durations, scale
+ * durations). Construction from human units goes through the named factory
+ * functions (seconds(), minutes(), ...) so call sites stay readable.
+ */
+class SimTime
+{
+  public:
+    /** Ticks per second (the tick is one microsecond). */
+    static constexpr std::int64_t ticksPerSecond = 1'000'000;
+
+    /** Zero time; also the start of every simulation. */
+    constexpr SimTime() : ticks_(0) {}
+
+    /** @name Named constructors */
+    ///@{
+    static constexpr SimTime
+    micros(std::int64_t us)
+    {
+        return SimTime(us);
+    }
+
+    static constexpr SimTime
+    millis(std::int64_t ms)
+    {
+        return SimTime(ms * 1'000);
+    }
+
+    static constexpr SimTime
+    seconds(double s)
+    {
+        return SimTime(static_cast<std::int64_t>(s * ticksPerSecond));
+    }
+
+    static constexpr SimTime
+    minutes(double m)
+    {
+        return seconds(m * 60.0);
+    }
+
+    static constexpr SimTime
+    hours(double h)
+    {
+        return seconds(h * 3600.0);
+    }
+
+    /** The largest representable time; used as an "infinite" horizon. */
+    static constexpr SimTime
+    max()
+    {
+        return SimTime(std::numeric_limits<std::int64_t>::max());
+    }
+    ///@}
+
+    /** @name Accessors */
+    ///@{
+    constexpr std::int64_t micros() const { return ticks_; }
+    constexpr double toSeconds() const
+    {
+        return static_cast<double>(ticks_) / ticksPerSecond;
+    }
+    constexpr double toMinutes() const { return toSeconds() / 60.0; }
+    constexpr double toHours() const { return toSeconds() / 3600.0; }
+    constexpr bool isZero() const { return ticks_ == 0; }
+    ///@}
+
+    /** @name Arithmetic */
+    ///@{
+    constexpr SimTime
+    operator+(SimTime other) const
+    {
+        return SimTime(ticks_ + other.ticks_);
+    }
+
+    constexpr SimTime
+    operator-(SimTime other) const
+    {
+        return SimTime(ticks_ - other.ticks_);
+    }
+
+    constexpr SimTime &
+    operator+=(SimTime other)
+    {
+        ticks_ += other.ticks_;
+        return *this;
+    }
+
+    constexpr SimTime &
+    operator-=(SimTime other)
+    {
+        ticks_ -= other.ticks_;
+        return *this;
+    }
+
+    /** Scale a duration (e.g., half a management period). */
+    constexpr SimTime
+    operator*(double factor) const
+    {
+        return SimTime(static_cast<std::int64_t>(
+            static_cast<double>(ticks_) * factor));
+    }
+
+    /** Ratio of two durations, as a double. Divisor must be nonzero. */
+    constexpr double
+    operator/(SimTime other) const
+    {
+        return static_cast<double>(ticks_) / static_cast<double>(other.ticks_);
+    }
+    ///@}
+
+    constexpr auto operator<=>(const SimTime &) const = default;
+
+    /** Render as "1h23m45.6s"-style string for logs and tables. */
+    std::string toString() const;
+
+  private:
+    explicit constexpr SimTime(std::int64_t ticks) : ticks_(ticks) {}
+
+    std::int64_t ticks_;
+};
+
+} // namespace vpm::sim
+
+#endif // VPM_SIMCORE_SIM_TIME_HPP

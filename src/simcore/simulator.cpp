@@ -1,0 +1,70 @@
+#include "simcore/simulator.hpp"
+
+#include <utility>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::sim {
+
+EventId
+Simulator::schedule(SimTime delay, EventCallback callback, std::string label)
+{
+    if (delay < SimTime())
+        panic("Simulator::schedule: negative delay %lld us (label '%s')",
+              static_cast<long long>(delay.micros()), label.c_str());
+    return queue_.schedule(now_ + delay, std::move(callback),
+                           std::move(label));
+}
+
+EventId
+Simulator::scheduleAt(SimTime when, EventCallback callback, std::string label)
+{
+    if (when < now_)
+        panic("Simulator::scheduleAt: time %lld us is in the past "
+              "(now %lld us, label '%s')",
+              static_cast<long long>(when.micros()),
+              static_cast<long long>(now_.micros()), label.c_str());
+    return queue_.schedule(when, std::move(callback), std::move(label));
+}
+
+void
+Simulator::dispatchOne()
+{
+    EventQueue::Fired fired = queue_.pop();
+    if (fired.when < now_)
+        panic("Simulator: event '%s' would move the clock backwards "
+              "(%lld us < %lld us)", fired.label.c_str(),
+              static_cast<long long>(fired.when.micros()),
+              static_cast<long long>(now_.micros()));
+    now_ = fired.when;
+    ++eventsProcessed_;
+    fired.callback();
+}
+
+SimTime
+Simulator::run()
+{
+    stopRequested_ = false;
+    while (!queue_.empty() && !stopRequested_)
+        dispatchOne();
+    return now_;
+}
+
+void
+Simulator::runUntil(SimTime horizon)
+{
+    if (horizon < now_)
+        panic("Simulator::runUntil: horizon %lld us is in the past "
+              "(now %lld us)", static_cast<long long>(horizon.micros()),
+              static_cast<long long>(now_.micros()));
+
+    stopRequested_ = false;
+    while (!queue_.empty() && !stopRequested_ &&
+           queue_.nextTime() <= horizon) {
+        dispatchOne();
+    }
+    if (!stopRequested_)
+        now_ = horizon;
+}
+
+} // namespace vpm::sim

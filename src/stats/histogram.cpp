@@ -1,0 +1,84 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    if (hi <= lo)
+        sim::fatal("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
+    if (buckets == 0)
+        sim::fatal("Histogram: need at least one bucket");
+}
+
+double
+Histogram::bucketWidth() const
+{
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const auto index = static_cast<std::size_t>((x - lo_) / bucketWidth());
+    ++counts_[std::min(index, counts_.size() - 1)];
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (count_ == 0)
+        return 0.0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+
+    const double target = fraction * static_cast<double>(count_);
+    double cumulative = static_cast<double>(underflow_);
+    if (target <= cumulative)
+        return lo_;
+
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts_[i]);
+        if (cumulative + in_bucket >= target && in_bucket > 0) {
+            const double frac_in = (target - cumulative) / in_bucket;
+            return lo_ + (static_cast<double>(i) + frac_in) * bucketWidth();
+        }
+        cumulative += in_bucket;
+    }
+    return hi_;
+}
+
+double
+Histogram::fractionBelow(double x) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (x <= lo_)
+        return static_cast<double>(underflow_) /
+               static_cast<double>(count_);
+    if (x >= hi_)
+        return static_cast<double>(count_ - overflow_) /
+               static_cast<double>(count_);
+
+    std::uint64_t below = underflow_;
+    const auto full_buckets =
+        static_cast<std::size_t>((x - lo_) / bucketWidth());
+    for (std::size_t i = 0; i < std::min(full_buckets, counts_.size()); ++i)
+        below += counts_[i];
+    return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+} // namespace vpm::stats

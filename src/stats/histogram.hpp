@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-range histogram with percentile queries.
+ */
+
+#ifndef VPM_STATS_HISTOGRAM_HPP
+#define VPM_STATS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace vpm::stats {
+
+/**
+ * Histogram over [lo, hi) with equal-width buckets plus underflow/overflow
+ * buckets. Percentiles are estimated by linear interpolation within the
+ * containing bucket, which is plenty for reporting p95/p99 of performance
+ * ratios.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower edge of the tracked range.
+     * @param hi Exclusive upper edge; must be > lo.
+     * @param buckets Number of equal-width buckets; must be >= 1.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Record one sample (out-of-range samples land in under/overflow). */
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /**
+     * Value below which @p fraction of the samples fall.
+     * @param fraction In [0, 1]. Returns lo/hi edges for samples that fell
+     *        in the under/overflow buckets. Returns 0 if empty.
+     */
+    double percentile(double fraction) const;
+
+    /** Fraction of samples strictly below @p x (bucket-resolution). */
+    double fractionBelow(double x) const;
+
+    /** Bucket counts, for dumping distributions in benches. */
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    double lowerEdge() const { return lo_; }
+    double upperEdge() const { return hi_; }
+
+  private:
+    double bucketWidth() const;
+
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace vpm::stats
+
+#endif // VPM_STATS_HISTOGRAM_HPP

@@ -1,0 +1,67 @@
+#include "stats/sla_tracker.hpp"
+
+#include "simcore/logging.hpp"
+
+namespace vpm::stats {
+
+SlaTracker::SlaTracker(double violation_threshold)
+    : threshold_(violation_threshold)
+{
+    if (violation_threshold < 0.0 || violation_threshold > 1.0)
+        sim::fatal("SlaTracker: threshold %g outside [0, 1]",
+                   violation_threshold);
+}
+
+void
+SlaTracker::record(double requested_mhz, double granted_mhz)
+{
+    if (requested_mhz < 0.0 || granted_mhz < 0.0)
+        sim::panic("SlaTracker::record: negative sample (%g, %g)",
+                   requested_mhz, granted_mhz);
+    if (granted_mhz > requested_mhz + 1e-6)
+        sim::panic("SlaTracker::record: granted %g exceeds requested %g",
+                   granted_mhz, requested_mhz);
+
+    const double ratio =
+        requested_mhz > 0.0 ? granted_mhz / requested_mhz : 1.0;
+
+    totalRequested_ += requested_mhz;
+    totalGranted_ += granted_mhz;
+    ratios_.add(ratio);
+    ratioHist_.add(ratio);
+    if (ratio < threshold_)
+        ++violations_;
+}
+
+double
+SlaTracker::satisfaction() const
+{
+    if (totalRequested_ <= 0.0)
+        return 1.0;
+    return totalGranted_ / totalRequested_;
+}
+
+double
+SlaTracker::violationFraction() const
+{
+    if (ratios_.count() == 0)
+        return 0.0;
+    return static_cast<double>(violations_) /
+           static_cast<double>(ratios_.count());
+}
+
+double
+SlaTracker::performancePercentile(double fraction) const
+{
+    return ratioHist_.percentile(fraction);
+}
+
+double
+SlaTracker::worstPerformance() const
+{
+    if (ratios_.count() == 0)
+        return 1.0;
+    return ratios_.min();
+}
+
+} // namespace vpm::stats

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Service-level tracking: how much of the demanded CPU was actually granted.
+ *
+ * The paper's performance metric for management policies is the degradation
+ * VMs experience when capacity is short (because hosts are asleep, booting,
+ * or busy migrating). We record one sample per VM per evaluation interval:
+ * the ratio granted/requested. satisfaction() is the aggregate ratio;
+ * violationFraction() is the share of VM-intervals that fell below a
+ * threshold, which corresponds to the paper's "performance impact" series.
+ */
+
+#ifndef VPM_STATS_SLA_TRACKER_HPP
+#define VPM_STATS_SLA_TRACKER_HPP
+
+#include <cstdint>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace vpm::stats {
+
+/** Aggregates granted-vs-requested CPU samples into SLA metrics. */
+class SlaTracker
+{
+  public:
+    /**
+     * @param violation_threshold A VM-interval counts as a violation when
+     *        granted/requested falls below this ratio.
+     */
+    explicit SlaTracker(double violation_threshold = 0.99);
+
+    /**
+     * Record one VM-interval.
+     * @param requested_mhz CPU demanded over the interval (>= 0).
+     * @param granted_mhz CPU actually allocated (0 <= granted <= requested).
+     *
+     * Intervals with zero request are counted as fully satisfied.
+     */
+    void record(double requested_mhz, double granted_mhz);
+
+    /** Total granted / total requested over all samples; 1 if no demand. */
+    double satisfaction() const;
+
+    /** Fraction of VM-intervals whose ratio fell below the threshold. */
+    double violationFraction() const;
+
+    /** Percentile of the per-sample performance ratio (e.g. 0.05 for p5). */
+    double performancePercentile(double fraction) const;
+
+    /** Mean per-sample performance ratio. */
+    double meanPerformance() const { return ratios_.mean(); }
+
+    /** Worst single-sample performance ratio observed. */
+    double worstPerformance() const;
+
+    std::uint64_t samples() const { return ratios_.count(); }
+    std::uint64_t violations() const { return violations_; }
+
+    double threshold() const { return threshold_; }
+
+  private:
+    double threshold_;
+    double totalRequested_ = 0.0;
+    double totalGranted_ = 0.0;
+    std::uint64_t violations_ = 0;
+    Summary ratios_;
+    Histogram ratioHist_{0.0, 1.0 + 1e-9, 2000};
+};
+
+} // namespace vpm::stats
+
+#endif // VPM_STATS_SLA_TRACKER_HPP

@@ -1,0 +1,85 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::stats {
+
+void
+Summary::add(double x)
+{
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Summary::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+TimeWeighted::TimeWeighted(sim::SimTime start, double value)
+    : start_(start), last_(start), held_(value)
+{
+}
+
+void
+TimeWeighted::update(sim::SimTime t, double value)
+{
+    if (t < last_)
+        sim::panic("TimeWeighted::update: time moved backwards");
+    weightedSum_ += held_ * (t - last_).toSeconds();
+    last_ = t;
+    held_ = value;
+}
+
+void
+TimeWeighted::finish(sim::SimTime t)
+{
+    update(t, held_);
+}
+
+double
+TimeWeighted::average() const
+{
+    const double secs = elapsed().toSeconds();
+    if (secs <= 0.0)
+        return held_;
+    return weightedSum_ / secs;
+}
+
+} // namespace vpm::stats

@@ -1,0 +1,121 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::stats {
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtPercent(double ratio, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+    return buf;
+}
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    if (headers_.empty())
+        sim::panic("Table '%s': needs at least one column", title_.c_str());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        sim::panic("Table '%s': row has %zu cells, expected %zu",
+                   title_.c_str(), cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                out << "  ";
+            // Left-align the label column, right-align numbers.
+            if (c == 0) {
+                out << cells[c]
+                    << std::string(widths[c] - cells[c].size(), ' ');
+            } else {
+                out << std::string(widths[c] - cells[c].size(), ' ')
+                    << cells[c];
+            }
+        }
+        out << '\n';
+    };
+
+    out << "== " << title_ << " ==\n";
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream out;
+    print(out);
+    return out.str();
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        sim::fatal("Table '%s': cannot open '%s' for writing",
+                   title_.c_str(), path.c_str());
+
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                file << ',';
+            // Quote cells containing separators.
+            if (cells[c].find_first_of(",\"\n") != std::string::npos) {
+                file << '"';
+                for (char ch : cells[c]) {
+                    if (ch == '"')
+                        file << '"';
+                    file << ch;
+                }
+                file << '"';
+            } else {
+                file << cells[c];
+            }
+        }
+        file << '\n';
+    };
+
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace vpm::stats

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-width table formatting and CSV output for the benches.
+ *
+ * Every bench prints the rows/series of its paper figure through this
+ * printer so the outputs have a uniform, diffable shape, and can optionally
+ * mirror each table to a CSV file for plotting.
+ */
+
+#ifndef VPM_STATS_TABLE_HPP
+#define VPM_STATS_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vpm::stats {
+
+/** Format a double with the given number of decimals. */
+std::string fmt(double value, int decimals = 2);
+
+/** Format a ratio as a percentage string, e.g. "12.3%". */
+std::string fmtPercent(double ratio, int decimals = 1);
+
+/**
+ * A simple right-aligned fixed-width text table.
+ *
+ * Column widths auto-size to the widest cell. The first column is
+ * left-aligned (it is usually a label).
+ */
+class Table
+{
+  public:
+    /** @param title Printed above the table. */
+    explicit Table(std::string title, std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render to a stream with a separator rule under the header. */
+    void print(std::ostream &out) const;
+
+    /** Render to a string (same format as print()). */
+    std::string toString() const;
+
+    /** Write as CSV (header row first) to the given path; fatal on error. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vpm::stats
+
+#endif // VPM_STATS_TABLE_HPP

@@ -1,0 +1,58 @@
+#include "workload/bursty.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/logging.hpp"
+#include "simcore/random.hpp"
+
+namespace vpm::workload {
+
+OnOffTrace::OnOffTrace(OnOffConfig config) : config_(config)
+{
+    if (config_.meanOnTime <= sim::SimTime() ||
+        config_.meanOffTime <= sim::SimTime()) {
+        sim::fatal("OnOffTrace: dwell-time means must be positive");
+    }
+    config_.onLevel = std::clamp(config_.onLevel, 0.0, 1.0);
+    config_.offLevel = std::clamp(config_.offLevel, 0.0, 1.0);
+}
+
+void
+OnOffTrace::extendTo(sim::SimTime t) const
+{
+    while (segmentEnds_.empty() || segmentEnds_.back() <= t) {
+        const std::size_t k = segmentEnds_.size();
+        // Segment k is "on" iff parity matches the starting state.
+        const bool on = (k % 2 == 0) == config_.startOn;
+        const sim::SimTime mean =
+            on ? config_.meanOnTime : config_.meanOffTime;
+
+        double u = sim::hashedUniform01(config_.seed, k);
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        // Cap at 8 means so one unlucky draw cannot freeze the trace.
+        const double dwell = std::min(-std::log(u), 8.0);
+
+        const sim::SimTime start =
+            segmentEnds_.empty() ? sim::SimTime() : segmentEnds_.back();
+        segmentEnds_.push_back(start + mean * dwell);
+    }
+}
+
+double
+OnOffTrace::utilizationAt(sim::SimTime t) const
+{
+    if (t < sim::SimTime())
+        t = sim::SimTime();
+    extendTo(t);
+
+    // First segment whose end is > t.
+    const auto it =
+        std::upper_bound(segmentEnds_.begin(), segmentEnds_.end(), t);
+    const auto k = static_cast<std::size_t>(it - segmentEnds_.begin());
+    const bool on = (k % 2 == 0) == config_.startOn;
+    return on ? config_.onLevel : config_.offLevel;
+}
+
+} // namespace vpm::workload

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bursty on/off demand generator.
+ *
+ * Models batch-style VMs that alternate between an active level and a
+ * near-idle level, with exponentially distributed dwell times. Bursty VMs
+ * stress the manager's demand predictor (A1 ablation): a window-max
+ * predictor keeps capacity for the bursts, a last-value predictor gets
+ * caught out by them.
+ */
+
+#ifndef VPM_WORKLOAD_BURSTY_HPP
+#define VPM_WORKLOAD_BURSTY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/demand_trace.hpp"
+
+namespace vpm::workload {
+
+/** Configuration for OnOffTrace. */
+struct OnOffConfig
+{
+    /** Utilization while bursting, in [0, 1]. */
+    double onLevel = 0.75;
+
+    /** Utilization between bursts, in [0, 1]. */
+    double offLevel = 0.05;
+
+    /** Mean dwell time in the on state. Must be positive. */
+    sim::SimTime meanOnTime = sim::SimTime::minutes(20.0);
+
+    /** Mean dwell time in the off state. Must be positive. */
+    sim::SimTime meanOffTime = sim::SimTime::minutes(40.0);
+
+    /** true if the trace starts in the on state. */
+    bool startOn = false;
+
+    /** Seed for the (stateless) dwell-time stream. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Alternating two-level signal with exponential dwell times.
+ *
+ * Dwell time k is hashed from (seed, k), so the segment timeline is a pure
+ * function of the config and is extended lazily as later times are queried.
+ */
+class OnOffTrace : public DemandTrace
+{
+  public:
+    explicit OnOffTrace(OnOffConfig config);
+
+    double utilizationAt(sim::SimTime t) const override;
+
+    const OnOffConfig &config() const { return config_; }
+
+  private:
+    /** Extend the cached segment ends to cover time @p t. */
+    void extendTo(sim::SimTime t) const;
+
+    OnOffConfig config_;
+    /** End time of segment k; segment parity determines on/off. */
+    mutable std::vector<sim::SimTime> segmentEnds_;
+};
+
+} // namespace vpm::workload
+
+#endif // VPM_WORKLOAD_BURSTY_HPP

@@ -1,0 +1,100 @@
+#include "workload/demand_trace.hpp"
+
+#include <algorithm>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::workload {
+
+namespace {
+
+double
+clamp01(double u)
+{
+    return std::clamp(u, 0.0, 1.0);
+}
+
+} // namespace
+
+ConstantTrace::ConstantTrace(double level) : level_(clamp01(level)) {}
+
+double
+ConstantTrace::utilizationAt(sim::SimTime) const
+{
+    return level_;
+}
+
+StepTrace::StepTrace(std::vector<Step> steps) : steps_(std::move(steps))
+{
+    if (steps_.empty())
+        sim::fatal("StepTrace: needs at least one step");
+    for (std::size_t i = 1; i < steps_.size(); ++i) {
+        if (steps_[i].start < steps_[i - 1].start)
+            sim::fatal("StepTrace: steps must be sorted by start time");
+    }
+    for (Step &step : steps_)
+        step.level = clamp01(step.level);
+}
+
+double
+StepTrace::utilizationAt(sim::SimTime t) const
+{
+    // Last step whose start is <= t; the first level also covers t before
+    // the first breakpoint.
+    auto it = std::upper_bound(
+        steps_.begin(), steps_.end(), t,
+        [](sim::SimTime time, const Step &step) { return time < step.start; });
+    if (it == steps_.begin())
+        return steps_.front().level;
+    return std::prev(it)->level;
+}
+
+ScaledTrace::ScaledTrace(TracePtr inner, double factor)
+    : inner_(std::move(inner)), factor_(factor)
+{
+    if (!inner_)
+        sim::fatal("ScaledTrace: inner trace must be non-null");
+    if (factor_ < 0.0)
+        sim::fatal("ScaledTrace: negative factor %g", factor_);
+}
+
+double
+ScaledTrace::utilizationAt(sim::SimTime t) const
+{
+    return clamp01(inner_->utilizationAt(t) * factor_);
+}
+
+SpikeTrace::SpikeTrace(TracePtr inner, sim::SimTime start, sim::SimTime width,
+                       double level)
+    : inner_(std::move(inner)), start_(start), width_(width),
+      level_(clamp01(level))
+{
+    if (!inner_)
+        sim::fatal("SpikeTrace: inner trace must be non-null");
+    if (width_ < sim::SimTime())
+        sim::fatal("SpikeTrace: negative width");
+}
+
+double
+SpikeTrace::utilizationAt(sim::SimTime t) const
+{
+    const double base = inner_->utilizationAt(t);
+    if (t >= start_ && t < start_ + width_)
+        return std::max(base, level_);
+    return base;
+}
+
+TimeShiftedTrace::TimeShiftedTrace(TracePtr inner, sim::SimTime offset)
+    : inner_(std::move(inner)), offset_(offset)
+{
+    if (!inner_)
+        sim::fatal("TimeShiftedTrace: inner trace must be non-null");
+}
+
+double
+TimeShiftedTrace::utilizationAt(sim::SimTime t) const
+{
+    return inner_->utilizationAt(t + offset_);
+}
+
+} // namespace vpm::workload

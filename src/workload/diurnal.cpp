@@ -1,0 +1,47 @@
+#include "workload/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/logging.hpp"
+#include "simcore/random.hpp"
+
+namespace vpm::workload {
+
+DiurnalTrace::DiurnalTrace(DiurnalConfig config) : config_(config)
+{
+    if (config_.period <= sim::SimTime())
+        sim::fatal("DiurnalTrace: period must be positive");
+    if (config_.noiseStd < 0.0)
+        sim::fatal("DiurnalTrace: negative noise stddev %g",
+                   config_.noiseStd);
+    if (config_.noiseStd > 0.0 && config_.noiseInterval <= sim::SimTime())
+        sim::fatal("DiurnalTrace: noise interval must be positive");
+}
+
+double
+DiurnalTrace::utilizationAt(sim::SimTime t) const
+{
+    const double cycle_pos = (t + config_.phase) / config_.period;
+    double u = config_.mean -
+               config_.amplitude * std::cos(2.0 * M_PI * cycle_pos);
+
+    if (config_.weekendFactor != 1.0) {
+        // Day index within the repeating 7-period week (phase included,
+        // floor-divided so negative phases still land in [0, 7)).
+        const double day_pos = std::floor(cycle_pos);
+        const auto day = static_cast<int>(
+            day_pos - 7.0 * std::floor(day_pos / 7.0));
+        if (day >= 5)
+            u *= config_.weekendFactor;
+    }
+
+    if (config_.noiseStd > 0.0) {
+        const auto interval = static_cast<std::uint64_t>(
+            t.micros() / config_.noiseInterval.micros());
+        u += config_.noiseStd * sim::hashedNormal(config_.seed, interval);
+    }
+    return std::clamp(u, 0.0, 1.0);
+}
+
+} // namespace vpm::workload

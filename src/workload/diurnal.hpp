@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Diurnal (day/night cycle) demand generator.
+ *
+ * Enterprise VM demand is dominated by a daily rhythm: a business-hours
+ * plateau and a deep overnight trough. That trough is what makes dynamic
+ * consolidation worthwhile at all, so this generator is the workhorse trace
+ * of the end-to-end experiments (F4, F5, F7). The signal is a raised
+ * sinusoid with optional stateless per-interval noise; noise is hashed from
+ * (seed, interval index) so queries are order-independent and replayable.
+ */
+
+#ifndef VPM_WORKLOAD_DIURNAL_HPP
+#define VPM_WORKLOAD_DIURNAL_HPP
+
+#include <cstdint>
+
+#include "workload/demand_trace.hpp"
+
+namespace vpm::workload {
+
+/** Configuration for DiurnalTrace. */
+struct DiurnalConfig
+{
+    /** Mean utilization of the cycle, in [0, 1]. */
+    double mean = 0.45;
+
+    /** Peak-to-mean swing; peak = mean + amplitude, trough = mean - amp. */
+    double amplitude = 0.30;
+
+    /** Cycle length (24 h for a literal day). */
+    sim::SimTime period = sim::SimTime::hours(24.0);
+
+    /** Phase offset: where in the cycle t = 0 falls. */
+    sim::SimTime phase;
+
+    /**
+     * Demand multiplier applied on weekend days (days 5 and 6 of each
+     * 7-period week, with t = 0 opening day 0, a Monday). 1.0 disables
+     * the weekly pattern; enterprise fleets typically sit near 0.4-0.6.
+     */
+    double weekendFactor = 1.0;
+
+    /** Standard deviation of per-interval Gaussian noise (0 disables). */
+    double noiseStd = 0.05;
+
+    /** Hold interval for the noise term. */
+    sim::SimTime noiseInterval = sim::SimTime::minutes(5.0);
+
+    /** Seed for the stateless noise stream. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Raised-sinusoid daily cycle with hashed per-interval noise:
+ *
+ *   u(t) = mean - amplitude * cos(2*pi * (t + phase) / period) + noise(t)
+ *
+ * clamped to [0, 1]. With phase = 0 the trough falls at t = 0 (midnight)
+ * and the peak at half a period (noon).
+ */
+class DiurnalTrace : public DemandTrace
+{
+  public:
+    explicit DiurnalTrace(DiurnalConfig config);
+
+    double utilizationAt(sim::SimTime t) const override;
+
+    const DiurnalConfig &config() const { return config_; }
+
+  private:
+    DiurnalConfig config_;
+};
+
+} // namespace vpm::workload
+
+#endif // VPM_WORKLOAD_DIURNAL_HPP

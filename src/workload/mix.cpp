@@ -1,0 +1,112 @@
+#include "workload/mix.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "simcore/logging.hpp"
+#include "workload/bursty.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/random_walk.hpp"
+
+namespace vpm::workload {
+
+namespace {
+
+TracePtr
+makeDiurnal(sim::Rng &rng, const MixConfig &config)
+{
+    DiurnalConfig cfg;
+    cfg.mean = std::clamp(
+        rng.normal(config.diurnalMeanUtil, 0.08), 0.10, 0.85);
+    cfg.amplitude = std::clamp(
+        rng.normal(config.diurnalAmplitude, 0.06), 0.05, cfg.mean);
+    const double jitter_hours = config.phaseJitter.toHours();
+    cfg.phase = sim::SimTime::hours(
+        rng.uniform(-jitter_hours, jitter_hours));
+    cfg.weekendFactor = config.weekendFactor;
+    cfg.noiseStd = rng.uniform(0.02, 0.08);
+    cfg.seed = rng.next();
+    return std::make_shared<DiurnalTrace>(cfg);
+}
+
+TracePtr
+makeWalker(sim::Rng &rng)
+{
+    RandomWalkConfig cfg;
+    cfg.start = rng.uniform(0.15, 0.60);
+    cfg.stepStd = rng.uniform(0.02, 0.06);
+    cfg.min = 0.05;
+    cfg.max = rng.uniform(0.60, 0.90);
+    cfg.seed = rng.next();
+    return std::make_shared<RandomWalkTrace>(cfg);
+}
+
+TracePtr
+makeBursty(sim::Rng &rng)
+{
+    OnOffConfig cfg;
+    cfg.onLevel = rng.uniform(0.55, 0.90);
+    cfg.offLevel = rng.uniform(0.02, 0.10);
+    cfg.meanOnTime = sim::SimTime::minutes(rng.uniform(10.0, 45.0));
+    cfg.meanOffTime = sim::SimTime::minutes(rng.uniform(30.0, 90.0));
+    cfg.startOn = rng.bernoulli(0.3);
+    cfg.seed = rng.next();
+    return std::make_shared<OnOffTrace>(cfg);
+}
+
+} // namespace
+
+std::vector<VmWorkloadSpec>
+makeEnterpriseMix(sim::Rng &rng, int count, const MixConfig &config)
+{
+    if (count < 0)
+        sim::fatal("makeEnterpriseMix: negative count %d", count);
+    const double class_sum = config.diurnalFraction +
+                             config.randomWalkFraction +
+                             config.burstyFraction;
+    if (class_sum > 1.0 + 1e-9)
+        sim::fatal("makeEnterpriseMix: class fractions sum to %g > 1",
+                   class_sum);
+    if (config.cpuSizesMhz.empty())
+        sim::fatal("makeEnterpriseMix: no CPU sizes configured");
+    if (config.loadScale < 0.0)
+        sim::fatal("makeEnterpriseMix: negative load scale %g",
+                   config.loadScale);
+
+    std::vector<VmWorkloadSpec> fleet;
+    fleet.reserve(static_cast<std::size_t>(count));
+
+    for (int i = 0; i < count; ++i) {
+        VmWorkloadSpec spec;
+        char name[32];
+        std::snprintf(name, sizeof(name), "vm%03d", i);
+        spec.name = name;
+
+        const auto size_index = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(config.cpuSizesMhz.size()) - 1));
+        spec.cpuMhz = config.cpuSizesMhz[size_index];
+        spec.memoryMb = spec.cpuMhz * config.memoryMbPerMhz;
+
+        const double which = rng.uniform01();
+        TracePtr trace;
+        if (which < config.diurnalFraction) {
+            trace = makeDiurnal(rng, config);
+        } else if (which < config.diurnalFraction +
+                               config.randomWalkFraction) {
+            trace = makeWalker(rng);
+        } else if (which < class_sum) {
+            trace = makeBursty(rng);
+        } else {
+            trace = std::make_shared<ConstantTrace>(rng.uniform(0.15, 0.50));
+        }
+
+        if (config.loadScale != 1.0)
+            trace = std::make_shared<ScaledTrace>(trace, config.loadScale);
+        spec.trace = std::move(trace);
+        fleet.push_back(std::move(spec));
+    }
+    return fleet;
+}
+
+} // namespace vpm::workload

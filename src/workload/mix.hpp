@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Workload-suite builder: populations of VM demand traces.
+ *
+ * The end-to-end experiments need a fleet of heterogeneous VMs whose
+ * aggregate looks like an enterprise cluster: mostly diurnal interactive
+ * services with staggered phases, a band of noisy drifters, and some bursty
+ * batch VMs. makeEnterpriseMix() builds such a fleet deterministically from
+ * a seed.
+ */
+
+#ifndef VPM_WORKLOAD_MIX_HPP
+#define VPM_WORKLOAD_MIX_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/random.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm::workload {
+
+/** The workload half of a VM: its size and its demand signal. */
+struct VmWorkloadSpec
+{
+    /** Stable name, e.g. "vm042". */
+    std::string name;
+
+    /** CPU size (full demand) in MHz. */
+    double cpuMhz = 2000.0;
+
+    /** Memory footprint in MB (drives live-migration cost). */
+    double memoryMb = 2048.0;
+
+    /** Demand signal, as a fraction of cpuMhz. */
+    TracePtr trace;
+};
+
+/** Knobs for makeEnterpriseMix(). */
+struct MixConfig
+{
+    /** Population fractions; must sum to <= 1, remainder is constant VMs. */
+    double diurnalFraction = 0.60;
+    double randomWalkFraction = 0.25;
+    double burstyFraction = 0.10;
+
+    /** Mean of diurnal means (per-VM value jittered around this). */
+    double diurnalMeanUtil = 0.45;
+
+    /** Mean diurnal amplitude. */
+    double diurnalAmplitude = 0.30;
+
+    /** Weekend demand multiplier for diurnal VMs (1.0 = no weekly
+     *  pattern); see DiurnalConfig::weekendFactor. */
+    double weekendFactor = 1.0;
+
+    /** Max per-VM phase jitter either way (staggers daily peaks). */
+    sim::SimTime phaseJitter = sim::SimTime::hours(2.0);
+
+    /** Global multiplier applied to every trace (load-level sweeps). */
+    double loadScale = 1.0;
+
+    /** Candidate VM CPU sizes in MHz (drawn uniformly). */
+    std::vector<double> cpuSizesMhz{2000.0, 4000.0, 8000.0};
+
+    /** Memory per MHz of CPU size (4 GB per 2 GHz by default). */
+    double memoryMbPerMhz = 2.0;
+};
+
+/**
+ * Build @p count VM workload specs drawn deterministically from @p rng.
+ *
+ * The class of each VM (diurnal/walker/bursty/constant) and its parameters
+ * are sampled from the config. Each VM gets an independent noise seed, so
+ * the fleet is reproducible but internally decorrelated.
+ */
+std::vector<VmWorkloadSpec> makeEnterpriseMix(sim::Rng &rng, int count,
+                                              const MixConfig &config = {});
+
+} // namespace vpm::workload
+
+#endif // VPM_WORKLOAD_MIX_HPP

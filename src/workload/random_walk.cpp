@@ -1,0 +1,79 @@
+#include "workload/random_walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/logging.hpp"
+#include "simcore/random.hpp"
+
+namespace vpm::workload {
+
+namespace {
+
+/** Reflect @p x into [lo, hi]. */
+double
+reflect(double x, double lo, double hi)
+{
+    if (hi <= lo)
+        return lo;
+    // One reflection is enough for the small steps we take, but loop to be
+    // safe against pathological configs.
+    while (x < lo || x > hi) {
+        if (x < lo)
+            x = lo + (lo - x);
+        if (x > hi)
+            x = hi - (x - hi);
+    }
+    return x;
+}
+
+} // namespace
+
+RandomWalkTrace::RandomWalkTrace(RandomWalkConfig config) : config_(config)
+{
+    if (config_.interval <= sim::SimTime())
+        sim::fatal("RandomWalkTrace: interval must be positive");
+    if (config_.min > config_.max)
+        sim::fatal("RandomWalkTrace: min %g > max %g", config_.min,
+                   config_.max);
+    if (config_.min < 0.0 || config_.max > 1.0)
+        sim::fatal("RandomWalkTrace: bounds [%g, %g] outside [0, 1]",
+                   config_.min, config_.max);
+    if (config_.stepStd < 0.0)
+        sim::fatal("RandomWalkTrace: negative step stddev %g",
+                   config_.stepStd);
+    // Steps larger than the band would make reflect() spin.
+    if (config_.stepStd > (config_.max - config_.min) &&
+        config_.max > config_.min) {
+        sim::fatal("RandomWalkTrace: step stddev %g exceeds band width %g",
+                   config_.stepStd, config_.max - config_.min);
+    }
+
+    path_.push_back(std::clamp(config_.start, config_.min, config_.max));
+}
+
+void
+RandomWalkTrace::extendTo(std::size_t index) const
+{
+    while (path_.size() <= index) {
+        const std::size_t k = path_.size();
+        const double step =
+            config_.stepStd *
+            std::clamp(sim::hashedNormal(config_.seed, k), -4.0, 4.0);
+        path_.push_back(
+            reflect(path_.back() + step, config_.min, config_.max));
+    }
+}
+
+double
+RandomWalkTrace::utilizationAt(sim::SimTime t) const
+{
+    if (t < sim::SimTime())
+        return path_.front();
+    const auto index =
+        static_cast<std::size_t>(t.micros() / config_.interval.micros());
+    extendTo(index);
+    return path_[index];
+}
+
+} // namespace vpm::workload

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bounded random-walk demand generator.
+ *
+ * Models the "no obvious structure" class of VM demand: utilization drifts
+ * with autocorrelated noise between a floor and a ceiling. These traces
+ * force the power manager's hysteresis to earn its keep — without
+ * hysteresis, a walker near a consolidation threshold would cause host
+ * power thrashing (the A3 ablation shows exactly that).
+ */
+
+#ifndef VPM_WORKLOAD_RANDOM_WALK_HPP
+#define VPM_WORKLOAD_RANDOM_WALK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/demand_trace.hpp"
+
+namespace vpm::workload {
+
+/** Configuration for RandomWalkTrace. */
+struct RandomWalkConfig
+{
+    /** Utilization at t = 0, in [min, max]. */
+    double start = 0.40;
+
+    /** Standard deviation of the per-interval increment. */
+    double stepStd = 0.04;
+
+    /** Reflecting lower bound. */
+    double min = 0.05;
+
+    /** Reflecting upper bound. */
+    double max = 0.90;
+
+    /** Hold interval between steps. */
+    sim::SimTime interval = sim::SimTime::minutes(5.0);
+
+    /** Seed for the (stateless) increment stream. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Reflected random walk held constant within each interval.
+ *
+ * The increment at step k is hashed from (seed, k), so the whole path is a
+ * pure function of the config; the path prefix is cached lazily, making
+ * queries O(1) amortized for the (nearly monotone) access pattern of a
+ * simulation.
+ */
+class RandomWalkTrace : public DemandTrace
+{
+  public:
+    explicit RandomWalkTrace(RandomWalkConfig config);
+
+    double utilizationAt(sim::SimTime t) const override;
+
+    const RandomWalkConfig &config() const { return config_; }
+
+  private:
+    /** Extend the cached path to cover step @p index. */
+    void extendTo(std::size_t index) const;
+
+    RandomWalkConfig config_;
+    mutable std::vector<double> path_;
+};
+
+} // namespace vpm::workload
+
+#endif // VPM_WORKLOAD_RANDOM_WALK_HPP

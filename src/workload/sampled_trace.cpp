@@ -1,0 +1,97 @@
+#include "workload/sampled_trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::workload {
+
+SampledTrace::SampledTrace(std::vector<Sample> samples, bool loop)
+    : samples_(std::move(samples)), loop_(loop)
+{
+    if (samples_.empty())
+        sim::fatal("SampledTrace: no samples");
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        if (i > 0 && samples_[i].time < samples_[i - 1].time)
+            sim::fatal("SampledTrace: samples not sorted at index %zu", i);
+        samples_[i].utilization =
+            std::clamp(samples_[i].utilization, 0.0, 1.0);
+    }
+    if (loop_ && samples_.back().time <= sim::SimTime())
+        sim::fatal("SampledTrace: looping requires positive trace length");
+}
+
+double
+SampledTrace::utilizationAt(sim::SimTime t) const
+{
+    if (loop_) {
+        const std::int64_t len = samples_.back().time.micros();
+        std::int64_t us = t.micros() % len;
+        if (us < 0)
+            us += len;
+        t = sim::SimTime::micros(us);
+    }
+    if (t <= samples_.front().time)
+        return samples_.front().utilization;
+
+    // Last sample at or before t.
+    const auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), t,
+        [](sim::SimTime time, const Sample &s) { return time < s.time; });
+    return std::prev(it)->utilization;
+}
+
+std::vector<SampledTrace::Sample>
+parseTraceCsv(const std::string &text)
+{
+    std::vector<SampledTrace::Sample> samples;
+    std::istringstream stream(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(stream, line)) {
+        ++lineno;
+        // Strip leading whitespace; skip blanks and comments.
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+
+        const auto comma = line.find(',', first);
+        if (comma == std::string::npos)
+            sim::fatal("trace CSV line %d: expected 'seconds,utilization', "
+                       "got '%s'", lineno, line.c_str());
+
+        char *end = nullptr;
+        const std::string secs_str = line.substr(first, comma - first);
+        const double secs = std::strtod(secs_str.c_str(), &end);
+        if (end == secs_str.c_str())
+            sim::fatal("trace CSV line %d: bad time '%s'", lineno,
+                       secs_str.c_str());
+
+        const std::string util_str = line.substr(comma + 1);
+        const double util = std::strtod(util_str.c_str(), &end);
+        if (end == util_str.c_str())
+            sim::fatal("trace CSV line %d: bad utilization '%s'", lineno,
+                       util_str.c_str());
+
+        samples.push_back({sim::SimTime::seconds(secs), util});
+    }
+    if (samples.empty())
+        sim::fatal("trace CSV: no samples found");
+    return samples;
+}
+
+std::vector<SampledTrace::Sample>
+loadTraceCsv(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        sim::fatal("cannot open trace file '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parseTraceCsv(buffer.str());
+}
+
+} // namespace vpm::workload

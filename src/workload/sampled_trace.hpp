@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sampled (recorded) demand traces and their CSV loader.
+ *
+ * The paper evaluates against recorded enterprise demand; we cannot ship
+ * those traces, but downstream users with their own monitoring data can
+ * replay it through this loader. The format is deliberately trivial:
+ * one `seconds,utilization` pair per line, '#' comments allowed.
+ */
+
+#ifndef VPM_WORKLOAD_SAMPLED_TRACE_HPP
+#define VPM_WORKLOAD_SAMPLED_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "workload/demand_trace.hpp"
+
+namespace vpm::workload {
+
+/**
+ * Step-hold playback of recorded (time, utilization) samples.
+ *
+ * The utilization holds from each sample time until the next; before the
+ * first sample the first value applies, after the last sample the last
+ * value applies (or the trace wraps, if looping is enabled).
+ */
+class SampledTrace : public DemandTrace
+{
+  public:
+    /** One recorded sample. */
+    struct Sample
+    {
+        sim::SimTime time;
+        double utilization;
+    };
+
+    /**
+     * @param samples Samples sorted by time; must be non-empty.
+     * @param loop If true, playback wraps modulo the last sample's time
+     *        (which must then be positive).
+     */
+    explicit SampledTrace(std::vector<Sample> samples, bool loop = false);
+
+    double utilizationAt(sim::SimTime t) const override;
+
+    const std::vector<Sample> &samples() const { return samples_; }
+
+  private:
+    std::vector<Sample> samples_;
+    bool loop_;
+};
+
+/**
+ * Parse `seconds,utilization` CSV text into samples.
+ * Blank lines and lines starting with '#' are skipped.
+ * Calls fatal() on malformed input (this is user data).
+ */
+std::vector<SampledTrace::Sample> parseTraceCsv(const std::string &text);
+
+/** Load and parse a CSV trace file; fatal() if unreadable. */
+std::vector<SampledTrace::Sample> loadTraceCsv(const std::string &path);
+
+} // namespace vpm::workload
+
+#endif // VPM_WORKLOAD_SAMPLED_TRACE_HPP

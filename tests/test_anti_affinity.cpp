@@ -1,0 +1,150 @@
+/** @file Tests for anti-affinity placement constraints. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/scenario.hpp"
+
+namespace vpm::mgmt {
+namespace {
+
+using sim::SimTime;
+
+PlannedHost
+makeHost(HostId id, double cpu = 32000.0)
+{
+    return PlannedHost{id, cpu, 131072.0, true, 0};
+}
+
+PlannedVm
+makeVm(VmId id, HostId host, double cpu = 2000.0)
+{
+    return PlannedVm{id, host, cpu, 4096.0, true};
+}
+
+TEST(AntiAffinityModelTest, FitsRefusesSiblingHost)
+{
+    PlacementModel model({makeHost(0), makeHost(1)},
+                         {makeVm(0, 0), makeVm(1, 1)});
+    model.setAntiAffinityGroups({{0, 1}});
+
+    EXPECT_EQ(model.groupOf(0), 0);
+    EXPECT_EQ(model.groupOf(1), 0);
+    EXPECT_EQ(model.groupOf(99), -1);
+
+    // VM 1 cannot join VM 0's host, but an unconstrained VM can.
+    EXPECT_FALSE(model.fits(model.vm(1), 0, 1.0));
+    EXPECT_TRUE(model.fits(makeVm(2, -1), 0, 1.0));
+}
+
+TEST(AntiAffinityModelTest, ApplyMaintainsGroupCounts)
+{
+    PlacementModel model({makeHost(0), makeHost(1), makeHost(2)},
+                         {makeVm(0, 0), makeVm(1, 1)});
+    model.setAntiAffinityGroups({{0, 1}});
+
+    // Move VM 0 off host 0: VM 1 may now target host 0 but not host 2.
+    model.apply({0, 0, 2});
+    EXPECT_TRUE(model.fits(model.vm(1), 0, 1.0));
+    EXPECT_FALSE(model.fits(model.vm(1), 2, 1.0));
+}
+
+TEST(AntiAffinityModelTest, UnknownIdsIgnored)
+{
+    PlacementModel model({makeHost(0)}, {makeVm(0, 0)});
+    model.setAntiAffinityGroups({{0, 777}}); // 777 does not exist
+    EXPECT_EQ(model.groupOf(0), 0);
+}
+
+TEST(AntiAffinityModelTest, VmInTwoGroupsPanics)
+{
+    PlacementModel model({makeHost(0)}, {makeVm(0, 0)});
+    EXPECT_DEATH(model.setAntiAffinityGroups({{0}, {0}}), "two");
+}
+
+TEST(AntiAffinityModelTest, EvacuationSpreadsSiblings)
+{
+    // Victim holds three group members; three other hosts exist, so the
+    // only legal evacuation is one sibling per host.
+    PlacementModel model(
+        {makeHost(0), makeHost(1), makeHost(2), makeHost(3)},
+        {makeVm(0, 0), makeVm(1, 0), makeVm(2, 0)});
+    model.setAntiAffinityGroups({{0, 1, 2}});
+
+    const auto plan = planEvacuation(model, 0, 0.8,
+                                     PackingHeuristic::FirstFitDecreasing);
+    ASSERT_TRUE(plan.has_value());
+    std::set<HostId> destinations;
+    for (const Move &move : *plan)
+        destinations.insert(move.to);
+    EXPECT_EQ(destinations.size(), 3u); // pairwise distinct
+}
+
+TEST(AntiAffinityModelTest, EvacuationFailsWhenSpreadImpossible)
+{
+    // Two siblings, but only one other host: no legal plan.
+    PlacementModel model({makeHost(0), makeHost(1)},
+                         {makeVm(0, 0), makeVm(1, 0)});
+    model.setAntiAffinityGroups({{0, 1}});
+    EXPECT_FALSE(planEvacuation(model, 0, 0.8,
+                                PackingHeuristic::BestFitDecreasing)
+                     .has_value());
+}
+
+TEST(AntiAffinityScenarioTest, ConstraintsHoldThroughAManagedDay)
+{
+    ScenarioConfig config;
+    config.hostCount = 6;
+    config.vmCount = 30;
+    config.duration = SimTime::hours(24.0);
+    config.manager = makePolicy(PolicyKind::PmS3);
+    // Two replica trios and one pair.
+    config.manager.antiAffinityGroups = {{0, 1, 2}, {3, 4, 5}, {6, 7}};
+
+    bool violated = false;
+    config.evaluationProbe = [&](const dc::Cluster &cluster, SimTime) {
+        for (const auto &group :
+             std::vector<std::vector<dc::VmId>>{{0, 1, 2},
+                                                {3, 4, 5},
+                                                {6, 7}}) {
+            std::set<dc::HostId> hosts;
+            for (const dc::VmId id : group) {
+                const dc::Vm &vm = cluster.vm(id);
+                if (vm.placed() && !hosts.insert(vm.host()).second)
+                    violated = true;
+            }
+        }
+    };
+
+    const ScenarioResult result = runScenario(config);
+    EXPECT_FALSE(violated);
+    // Constraints cost a little consolidation depth but not the result.
+    EXPECT_LT(result.metrics.averageHostsOn, 6.0);
+    EXPECT_GT(result.metrics.satisfaction, 0.99);
+}
+
+TEST(AntiAffinityScenarioTest, ConstraintsLimitConsolidationFloor)
+{
+    // A 5-way replica group forces at least 5 hosts on forever.
+    ScenarioConfig config;
+    config.hostCount = 6;
+    config.vmCount = 12;
+    config.duration = SimTime::hours(8.0);
+    config.mix.loadScale = 0.2; // deep trough: would pack to 1-2 hosts
+    config.manager = makePolicy(PolicyKind::PmS3);
+    config.manager.hysteresisCycles = 1;
+
+    const double unconstrained =
+        runScenario(config).metrics.averageHostsOn;
+
+    config.manager.antiAffinityGroups = {{0, 1, 2, 3, 4}};
+    const ScenarioResult constrained = runScenario(config);
+
+    EXPECT_LT(unconstrained, 4.0);
+    EXPECT_GE(constrained.metrics.averageHostsOn, 4.9);
+}
+
+} // namespace
+} // namespace vpm::mgmt

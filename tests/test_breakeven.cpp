@@ -1,0 +1,157 @@
+/** @file Unit and property tests for break-even analysis. */
+
+#include <gtest/gtest.h>
+
+#include "power/breakeven.hpp"
+#include "power/server_models.hpp"
+
+namespace vpm::power {
+namespace {
+
+class BreakEvenTest : public ::testing::Test
+{
+  protected:
+    BreakEvenTest()
+        : spec(enterpriseBlade2013()), s3(*spec.findSleepState("S3")),
+          s5(*spec.findSleepState("S5"))
+    {
+    }
+
+    HostPowerSpec spec;
+    const SleepStateSpec &s3;
+    const SleepStateSpec &s5;
+};
+
+TEST_F(BreakEvenTest, IdleEnergyIsLinear)
+{
+    EXPECT_DOUBLE_EQ(idleEnergyJoules(spec, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(idleEnergyJoules(spec, 10.0),
+                     spec.idlePowerWatts() * 10.0);
+}
+
+TEST_F(BreakEvenTest, SleepEnergyInfeasibleBelowRoundTrip)
+{
+    const double rt = s3.roundTripLatency().toSeconds();
+    EXPECT_FALSE(sleepEnergyJoules(s3, rt * 0.5).has_value());
+    EXPECT_TRUE(sleepEnergyJoules(s3, rt).has_value());
+}
+
+TEST_F(BreakEvenTest, SleepEnergyAtRoundTripIsPureTransition)
+{
+    const double rt = s3.roundTripLatency().toSeconds();
+    EXPECT_DOUBLE_EQ(*sleepEnergyJoules(s3, rt),
+                     s3.roundTripEnergyJoules());
+}
+
+TEST_F(BreakEvenTest, EnergyAtBreakEvenMatchesIdle)
+{
+    for (const SleepStateSpec *state : {&s3, &s5}) {
+        const auto t_star = breakEvenSeconds(spec, *state);
+        ASSERT_TRUE(t_star.has_value());
+        const auto sleep_energy = sleepEnergyJoules(*state, *t_star);
+        ASSERT_TRUE(sleep_energy.has_value());
+        EXPECT_NEAR(*sleep_energy, idleEnergyJoules(spec, *t_star),
+                    idleEnergyJoules(spec, *t_star) * 1e-9 + 1e-6);
+    }
+}
+
+TEST_F(BreakEvenTest, S3BreaksEvenInTensOfSeconds)
+{
+    const auto t = breakEvenSeconds(spec, s3);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_GT(*t, 5.0);
+    EXPECT_LT(*t, 60.0);
+}
+
+TEST_F(BreakEvenTest, S5BreaksEvenInMinutes)
+{
+    const auto t = breakEvenSeconds(spec, s5);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_GT(*t, 4.0 * 60.0);
+    EXPECT_LT(*t, 60.0 * 60.0);
+    // The paper's core quantitative claim: low-latency states break even
+    // an order of magnitude sooner than traditional off.
+    EXPECT_GT(*t, *breakEvenSeconds(spec, s3) * 10.0);
+}
+
+TEST_F(BreakEvenTest, StateThatNeverWinsHasNoBreakEven)
+{
+    SleepStateSpec hot = s3;
+    hot.sleepPowerWatts = spec.idlePowerWatts() + 10.0;
+    EXPECT_FALSE(breakEvenSeconds(spec, hot).has_value());
+}
+
+TEST_F(BreakEvenTest, BestStateSelection)
+{
+    // Very short interval: nothing pays off; stay idle.
+    EXPECT_EQ(bestStateForInterval(spec, 5.0), nullptr);
+
+    // A couple of minutes: S3 wins, S5 still cannot amortize its reboot.
+    const SleepStateSpec *mid = bestStateForInterval(spec, 120.0);
+    ASSERT_NE(mid, nullptr);
+    EXPECT_EQ(mid->name, "S3");
+
+    // Hours: the deeper floor of S5 dominates.
+    const SleepStateSpec *lng = bestStateForInterval(spec, 4.0 * 3600.0);
+    ASSERT_NE(lng, nullptr);
+    EXPECT_EQ(lng->name, "S5");
+}
+
+TEST_F(BreakEvenTest, SavingsSignMatchesBreakEven)
+{
+    const double t_star = *breakEvenSeconds(spec, s3);
+    EXPECT_LT(sleepSavingsJoules(spec, s3, t_star * 0.5), 0.0);
+    EXPECT_GT(sleepSavingsJoules(spec, s3, t_star * 2.0), 0.0);
+    EXPECT_NEAR(sleepSavingsJoules(spec, s3, t_star), 0.0, 1e-6);
+}
+
+TEST_F(BreakEvenTest, SavingsGrowWithIntervalLength)
+{
+    double previous = sleepSavingsJoules(spec, s3, 30.0);
+    for (double t = 60.0; t <= 3600.0; t += 60.0) {
+        const double savings = sleepSavingsJoules(spec, s3, t);
+        EXPECT_GT(savings, previous);
+        previous = savings;
+    }
+}
+
+/** Property sweep: break-even consistency across synthetic exit latencies. */
+class BreakEvenLatencySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BreakEvenLatencySweep, BreakEvenAtLeastRoundTripAndConsistent)
+{
+    const double exit_seconds = GetParam();
+    const HostPowerSpec spec =
+        bladeWithSyntheticState(sim::SimTime::seconds(exit_seconds));
+    const SleepStateSpec &state = spec.sleepStates().front();
+
+    const auto t_star = breakEvenSeconds(spec, state);
+    ASSERT_TRUE(t_star.has_value());
+    EXPECT_GE(*t_star, state.roundTripLatency().toSeconds() - 1e-9);
+
+    // Just above break-even the state must win; just below it must not.
+    const SleepStateSpec *above =
+        bestStateForInterval(spec, *t_star * 1.01);
+    ASSERT_NE(above, nullptr);
+    EXPECT_EQ(bestStateForInterval(spec, *t_star * 0.99), nullptr);
+}
+
+TEST_P(BreakEvenLatencySweep, SlowerExitNeverShortensBreakEven)
+{
+    const double exit_seconds = GetParam();
+    const HostPowerSpec fast =
+        bladeWithSyntheticState(sim::SimTime::seconds(exit_seconds));
+    const HostPowerSpec slow =
+        bladeWithSyntheticState(sim::SimTime::seconds(exit_seconds * 2.0));
+    EXPECT_LE(*breakEvenSeconds(fast, fast.sleepStates().front()),
+              *breakEvenSeconds(slow, slow.sleepStates().front()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ExitLatencies, BreakEvenLatencySweep,
+                         ::testing::Values(1.0, 5.0, 15.0, 60.0, 180.0,
+                                           600.0));
+
+} // namespace
+} // namespace vpm::power

@@ -1,0 +1,264 @@
+/** @file Unit/integration tests for DatacenterSim evaluation & accounting. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datacenter/datacenter_sim.hpp"
+#include "power/server_models.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm::dc {
+namespace {
+
+using sim::SimTime;
+
+workload::VmWorkloadSpec
+makeSpec(const std::string &name, double cpu_mhz, double mem_mb,
+         workload::TracePtr trace)
+{
+    workload::VmWorkloadSpec spec;
+    spec.name = name;
+    spec.cpuMhz = cpu_mhz;
+    spec.memoryMb = mem_mb;
+    spec.trace = std::move(trace);
+    return spec;
+}
+
+class DatacenterSimTest : public ::testing::Test
+{
+  protected:
+    DatacenterSimTest()
+        : cluster(simulator), engine(simulator, cluster),
+          power_spec(power::enterpriseBlade2013())
+    {
+        for (int i = 0; i < 2; ++i)
+            cluster.addHost(HostConfig{}, power_spec);
+    }
+
+    sim::Simulator simulator;
+    Cluster cluster;
+    MigrationEngine engine;
+    power::HostPowerSpec power_spec;
+    DatacenterConfig config;
+};
+
+TEST_F(DatacenterSimTest, GrantsFullDemandWhenUncontended)
+{
+    Vm &vm = cluster.addVm(makeSpec(
+        "vm0", 4000.0, 4096.0,
+        std::make_shared<workload::ConstantTrace>(0.5)));
+    cluster.placeVm(vm.id(), 0);
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    const RunMetrics metrics = dcsim.runFor(SimTime::hours(1.0));
+
+    EXPECT_DOUBLE_EQ(vm.currentDemandMhz(), 2000.0);
+    EXPECT_DOUBLE_EQ(vm.grantedMhz(), 2000.0);
+    EXPECT_DOUBLE_EQ(metrics.satisfaction, 1.0);
+    EXPECT_DOUBLE_EQ(metrics.violationFraction, 0.0);
+}
+
+TEST_F(DatacenterSimTest, ProportionalShareUnderOverload)
+{
+    // Two identical VMs demanding 24000 MHz each on a 32000 MHz host.
+    const auto trace = std::make_shared<workload::ConstantTrace>(0.75);
+    Vm &vm_a = cluster.addVm(makeSpec("a", 32000.0, 4096.0, trace));
+    Vm &vm_b = cluster.addVm(makeSpec("b", 32000.0, 4096.0, trace));
+    cluster.placeVm(vm_a.id(), 0);
+    cluster.placeVm(vm_b.id(), 0);
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    const RunMetrics metrics = dcsim.runFor(SimTime::minutes(10.0));
+
+    // Each granted 16000 of 24000 requested: ratio 2/3.
+    EXPECT_NEAR(vm_a.grantedMhz(), 16000.0, 1e-6);
+    EXPECT_NEAR(vm_b.grantedMhz(), 16000.0, 1e-6);
+    EXPECT_NEAR(metrics.satisfaction, 2.0 / 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(metrics.violationFraction, 1.0);
+}
+
+TEST_F(DatacenterSimTest, EnergyMatchesHandComputation)
+{
+    // One VM at a constant 50% of one host; the other host idles.
+    Vm &vm = cluster.addVm(makeSpec(
+        "vm0", 32000.0, 4096.0,
+        std::make_shared<workload::ConstantTrace>(0.5)));
+    cluster.placeVm(vm.id(), 0);
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    const RunMetrics metrics = dcsim.runFor(SimTime::hours(1.0));
+
+    const double expected_w = power_spec.activePowerWatts(0.5) +
+                              power_spec.idlePowerWatts();
+    EXPECT_NEAR(metrics.averagePowerWatts, expected_w, 0.01);
+    EXPECT_NEAR(metrics.energyKwh, expected_w / 1000.0, 1e-4);
+    EXPECT_DOUBLE_EQ(metrics.averageHostsOn, 2.0);
+}
+
+TEST_F(DatacenterSimTest, DemandChangesAreTracked)
+{
+    // Step from 25% to 75% halfway through.
+    Vm &vm = cluster.addVm(makeSpec(
+        "vm0", 32000.0, 4096.0,
+        std::make_shared<workload::StepTrace>(
+            std::vector<workload::StepTrace::Step>{
+                {SimTime(), 0.25}, {SimTime::minutes(30.0), 0.75}})));
+    cluster.placeVm(vm.id(), 0);
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    dcsim.start();
+    simulator.runUntil(SimTime::minutes(10.0));
+    EXPECT_DOUBLE_EQ(vm.grantedMhz(), 8000.0);
+    simulator.runUntil(SimTime::minutes(40.0));
+    EXPECT_DOUBLE_EQ(vm.grantedMhz(), 24000.0);
+}
+
+TEST_F(DatacenterSimTest, MigrationTriggersReallocation)
+{
+    const auto trace = std::make_shared<workload::ConstantTrace>(0.8);
+    Vm &vm_a = cluster.addVm(makeSpec("a", 32000.0, 4096.0, trace));
+    Vm &vm_b = cluster.addVm(makeSpec("b", 32000.0, 4096.0, trace));
+    cluster.placeVm(vm_a.id(), 0);
+    cluster.placeVm(vm_b.id(), 0); // overloaded together
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    dcsim.start();
+    simulator.runUntil(SimTime::minutes(1.0));
+    EXPECT_LT(vm_a.grantedMhz(), vm_a.currentDemandMhz());
+
+    engine.request(vm_b.id(), 1);
+    simulator.runUntil(SimTime::minutes(2.0));
+    // After landing, both hosts are uncontended; grants healed without
+    // waiting for the next periodic evaluation.
+    EXPECT_EQ(vm_b.host(), 1);
+    EXPECT_DOUBLE_EQ(vm_b.grantedMhz(), vm_b.currentDemandMhz());
+    EXPECT_DOUBLE_EQ(vm_a.grantedMhz(), vm_a.currentDemandMhz());
+}
+
+TEST_F(DatacenterSimTest, MigrationOverheadReducesAvailableCapacity)
+{
+    const auto trace = std::make_shared<workload::ConstantTrace>(1.0);
+    Vm &vm = cluster.addVm(makeSpec("a", 32000.0, 4096.0, trace));
+    cluster.placeVm(vm.id(), 0);
+    Vm &mover = cluster.addVm(makeSpec("m", 8000.0, 65536.0,
+        std::make_shared<workload::ConstantTrace>(0.0)));
+    cluster.placeVm(mover.id(), 0);
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    dcsim.start();
+    simulator.runUntil(SimTime::minutes(1.0));
+    EXPECT_DOUBLE_EQ(vm.grantedMhz(), 32000.0);
+
+    engine.request(mover.id(), 1); // taxes 800 MHz on both ends
+    dcsim.reallocate();
+    EXPECT_NEAR(vm.grantedMhz(), 32000.0 - 800.0, 1e-6);
+}
+
+TEST_F(DatacenterSimTest, VmOnSleepingHostIsStarved)
+{
+    // Hand-scripted violation of the management invariant: suspend a host
+    // under a VM. The sim must account it as starvation, not crash.
+    Vm &vm = cluster.addVm(makeSpec(
+        "vm0", 4000.0, 4096.0,
+        std::make_shared<workload::ConstantTrace>(0.5)));
+    cluster.placeVm(vm.id(), 0);
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    dcsim.start();
+    simulator.runUntil(SimTime::minutes(1.0));
+
+    // Bypass Cluster's safety check deliberately.
+    cluster.host(0).powerFsm().requestSleep("S3");
+    simulator.runUntil(SimTime::minutes(10.0));
+
+    EXPECT_DOUBLE_EQ(vm.grantedMhz(), 0.0);
+    EXPECT_LT(dcsim.sla().satisfaction(), 1.0);
+}
+
+TEST_F(DatacenterSimTest, MetricsAreStableAcrossRepeatedCalls)
+{
+    Vm &vm = cluster.addVm(makeSpec(
+        "vm0", 4000.0, 4096.0,
+        std::make_shared<workload::ConstantTrace>(0.5)));
+    cluster.placeVm(vm.id(), 0);
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    dcsim.runFor(SimTime::hours(1.0));
+    const RunMetrics a = dcsim.metrics();
+    const RunMetrics b = dcsim.metrics();
+    EXPECT_DOUBLE_EQ(a.energyKwh, b.energyKwh);
+    EXPECT_DOUBLE_EQ(a.satisfaction, b.satisfaction);
+}
+
+TEST_F(DatacenterSimTest, EvaluationHookFiresOncePerInterval)
+{
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    int fired = 0;
+    dcsim.addEvaluationHook([&] { ++fired; });
+    dcsim.runFor(SimTime::minutes(10.0));
+    EXPECT_EQ(fired, 11); // t = 0, 1, ..., 10 minutes
+}
+
+TEST_F(DatacenterSimTest, LatencyFactorFollowsHostUtilization)
+{
+    // One VM keeps host 0 at exactly 50%: inflation 1/(1-0.5) = 2.
+    Vm &vm = cluster.addVm(makeSpec(
+        "vm0", 32000.0, 4096.0,
+        std::make_shared<workload::ConstantTrace>(0.5)));
+    cluster.placeVm(vm.id(), 0);
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    const RunMetrics metrics = dcsim.runFor(SimTime::hours(1.0));
+    EXPECT_NEAR(metrics.meanLatencyFactor, 2.0, 1e-6);
+    EXPECT_NEAR(metrics.p95LatencyFactor, 2.0, 0.05);
+}
+
+TEST_F(DatacenterSimTest, OverloadPinsLatencyAtCeiling)
+{
+    const auto trace = std::make_shared<workload::ConstantTrace>(0.9);
+    Vm &vm_a = cluster.addVm(makeSpec("a", 32000.0, 4096.0, trace));
+    Vm &vm_b = cluster.addVm(makeSpec("b", 32000.0, 4096.0, trace));
+    cluster.placeVm(vm_a.id(), 0);
+    cluster.placeVm(vm_b.id(), 0);
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    const RunMetrics metrics = dcsim.runFor(SimTime::minutes(10.0));
+    // rho is capped at 0.95: factor 20.
+    EXPECT_NEAR(metrics.meanLatencyFactor, 20.0, 1e-6);
+}
+
+TEST_F(DatacenterSimTest, IdleClusterHasUnitLatency)
+{
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    const RunMetrics metrics = dcsim.runFor(SimTime::minutes(5.0));
+    EXPECT_DOUBLE_EQ(metrics.meanLatencyFactor, 1.0);
+}
+
+TEST_F(DatacenterSimTest, SimulatedHoursReported)
+{
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    const RunMetrics metrics = dcsim.runFor(SimTime::hours(2.5));
+    EXPECT_DOUBLE_EQ(metrics.simulatedHours, 2.5);
+}
+
+TEST_F(DatacenterSimTest, StartTwicePanics)
+{
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    dcsim.start();
+    EXPECT_DEATH(dcsim.start(), "twice");
+}
+
+TEST(DatacenterSimConfigDeathTest, RejectsBadInterval)
+{
+    sim::Simulator simulator;
+    Cluster cluster(simulator);
+    MigrationEngine engine(simulator, cluster);
+    DatacenterConfig bad;
+    bad.evaluationInterval = SimTime();
+    EXPECT_EXIT(DatacenterSim(simulator, cluster, engine, bad),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace vpm::dc

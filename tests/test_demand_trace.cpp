@@ -1,0 +1,99 @@
+/** @file Unit tests for the basic traces and combinators. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/demand_trace.hpp"
+
+namespace vpm::workload {
+namespace {
+
+using sim::SimTime;
+
+TEST(ConstantTraceTest, HoldsLevelForever)
+{
+    const ConstantTrace trace(0.4);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime()), 0.4);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::hours(1000.0)), 0.4);
+}
+
+TEST(ConstantTraceTest, ClampsLevel)
+{
+    EXPECT_DOUBLE_EQ(ConstantTrace(1.7).utilizationAt(SimTime()), 1.0);
+    EXPECT_DOUBLE_EQ(ConstantTrace(-0.3).utilizationAt(SimTime()), 0.0);
+}
+
+TEST(StepTraceTest, StepsAtBreakpoints)
+{
+    const StepTrace trace({{SimTime(), 0.2},
+                           {SimTime::minutes(10.0), 0.8},
+                           {SimTime::minutes(20.0), 0.5}});
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime()), 0.2);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::minutes(9.99)), 0.2);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::minutes(10.0)), 0.8);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::minutes(15.0)), 0.8);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::minutes(25.0)), 0.5);
+}
+
+TEST(StepTraceTest, FirstLevelCoversEarlierTimes)
+{
+    const StepTrace trace({{SimTime::minutes(5.0), 0.7}});
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime()), 0.7);
+}
+
+TEST(StepTraceDeathTest, RejectsEmptyAndUnsorted)
+{
+    EXPECT_EXIT(StepTrace({}), ::testing::ExitedWithCode(1), "at least one");
+    EXPECT_EXIT(StepTrace({{SimTime::minutes(2.0), 0.1},
+                           {SimTime::minutes(1.0), 0.2}}),
+                ::testing::ExitedWithCode(1), "sorted");
+}
+
+TEST(ScaledTraceTest, ScalesAndClamps)
+{
+    const auto inner = std::make_shared<ConstantTrace>(0.5);
+    EXPECT_DOUBLE_EQ(ScaledTrace(inner, 0.5).utilizationAt(SimTime()), 0.25);
+    EXPECT_DOUBLE_EQ(ScaledTrace(inner, 3.0).utilizationAt(SimTime()), 1.0);
+    EXPECT_DOUBLE_EQ(ScaledTrace(inner, 0.0).utilizationAt(SimTime()), 0.0);
+}
+
+TEST(SpikeTraceTest, RaisesOnlyDuringWindow)
+{
+    const auto inner = std::make_shared<ConstantTrace>(0.2);
+    const SpikeTrace trace(inner, SimTime::minutes(10.0),
+                           SimTime::minutes(5.0), 0.9);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::minutes(9.9)), 0.2);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::minutes(10.0)), 0.9);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::minutes(14.9)), 0.9);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::minutes(15.0)), 0.2);
+}
+
+TEST(SpikeTraceTest, NeverLowersTheBase)
+{
+    const auto inner = std::make_shared<ConstantTrace>(0.95);
+    const SpikeTrace trace(inner, SimTime(), SimTime::minutes(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(30.0)), 0.95);
+}
+
+TEST(TimeShiftedTraceTest, ShiftsSampling)
+{
+    const auto inner = std::make_shared<StepTrace>(
+        std::vector<StepTrace::Step>{{SimTime(), 0.1},
+                                     {SimTime::minutes(10.0), 0.9}});
+    const TimeShiftedTrace shifted(inner, SimTime::minutes(10.0));
+    EXPECT_DOUBLE_EQ(shifted.utilizationAt(SimTime()), 0.9);
+}
+
+TEST(CombinatorTest, ComposesSpikeOverScaled)
+{
+    const auto base = std::make_shared<ConstantTrace>(0.6);
+    const auto scaled = std::make_shared<ScaledTrace>(base, 0.5);
+    const SpikeTrace spiked(scaled, SimTime::minutes(1.0),
+                            SimTime::minutes(1.0), 0.8);
+    EXPECT_DOUBLE_EQ(spiked.utilizationAt(SimTime()), 0.3);
+    EXPECT_DOUBLE_EQ(spiked.utilizationAt(SimTime::minutes(1.5)), 0.8);
+}
+
+} // namespace
+} // namespace vpm::workload

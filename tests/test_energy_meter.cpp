@@ -1,0 +1,85 @@
+/** @file Unit tests for the step-hold energy integrator. */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_meter.hpp"
+
+namespace vpm::power {
+namespace {
+
+using sim::SimTime;
+
+TEST(EnergyMeterTest, StartsEmpty)
+{
+    EnergyMeter meter;
+    EXPECT_DOUBLE_EQ(meter.joules(), 0.0);
+    EXPECT_DOUBLE_EQ(meter.averageWatts(), 0.0);
+    EXPECT_EQ(meter.elapsed(), SimTime());
+}
+
+TEST(EnergyMeterTest, ConstantPowerIntegratesExactly)
+{
+    EnergyMeter meter(SimTime(), 100.0);
+    meter.finish(SimTime::seconds(10.0));
+    EXPECT_DOUBLE_EQ(meter.joules(), 1000.0);
+    EXPECT_DOUBLE_EQ(meter.averageWatts(), 100.0);
+}
+
+TEST(EnergyMeterTest, StepChangesUsePreviousValue)
+{
+    EnergyMeter meter(SimTime(), 100.0);
+    meter.update(SimTime::seconds(5.0), 200.0); // 100 W held for 5 s
+    meter.update(SimTime::seconds(8.0), 50.0);  // 200 W held for 3 s
+    meter.finish(SimTime::seconds(10.0));       // 50 W held for 2 s
+    EXPECT_DOUBLE_EQ(meter.joules(), 500.0 + 600.0 + 100.0);
+    EXPECT_DOUBLE_EQ(meter.averageWatts(), 120.0);
+    EXPECT_DOUBLE_EQ(meter.heldWatts(), 50.0);
+}
+
+TEST(EnergyMeterTest, ZeroDurationUpdatesAreFree)
+{
+    EnergyMeter meter(SimTime(), 100.0);
+    meter.update(SimTime(), 300.0);
+    meter.update(SimTime(), 40.0);
+    meter.finish(SimTime::seconds(1.0));
+    EXPECT_DOUBLE_EQ(meter.joules(), 40.0);
+}
+
+TEST(EnergyMeterTest, NonZeroStartTime)
+{
+    EnergyMeter meter(SimTime::seconds(100.0), 10.0);
+    meter.finish(SimTime::seconds(160.0));
+    EXPECT_DOUBLE_EQ(meter.joules(), 600.0);
+    EXPECT_EQ(meter.elapsed(), SimTime::seconds(60.0));
+}
+
+TEST(EnergyMeterTest, UnitConversions)
+{
+    EnergyMeter meter(SimTime(), 1000.0);
+    meter.finish(SimTime::hours(1.0));
+    EXPECT_DOUBLE_EQ(meter.wattHours(), 1000.0);
+    EXPECT_DOUBLE_EQ(meter.kiloWattHours(), 1.0);
+}
+
+TEST(EnergyMeterTest, FinishIsIdempotentAtSameTime)
+{
+    EnergyMeter meter(SimTime(), 50.0);
+    meter.finish(SimTime::seconds(4.0));
+    meter.finish(SimTime::seconds(4.0));
+    EXPECT_DOUBLE_EQ(meter.joules(), 200.0);
+}
+
+TEST(EnergyMeterDeathTest, RejectsTimeGoingBackwards)
+{
+    EnergyMeter meter(SimTime::seconds(10.0), 1.0);
+    EXPECT_DEATH(meter.update(SimTime::seconds(5.0), 1.0), "backwards");
+}
+
+TEST(EnergyMeterDeathTest, RejectsNegativePower)
+{
+    EnergyMeter meter;
+    EXPECT_DEATH(meter.update(SimTime::seconds(1.0), -5.0), "negative");
+}
+
+} // namespace
+} // namespace vpm::power

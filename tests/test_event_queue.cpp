@@ -1,0 +1,136 @@
+/** @file Unit tests for EventQueue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+
+namespace vpm::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty)
+{
+    EventQueue queue;
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(SimTime::seconds(3.0), [&] { order.push_back(3); });
+    queue.schedule(SimTime::seconds(1.0), [&] { order.push_back(1); });
+    queue.schedule(SimTime::seconds(2.0), [&] { order.push_back(2); });
+
+    while (!queue.empty())
+        queue.pop().callback();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInSchedulingOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(SimTime::seconds(1.0), [&, i] { order.push_back(i); });
+
+    while (!queue.empty())
+        queue.pop().callback();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsFiring)
+{
+    EventQueue queue;
+    bool fired = false;
+    const EventId id =
+        queue.schedule(SimTime::seconds(1.0), [&] { fired = true; });
+    queue.schedule(SimTime::seconds(2.0), [] {});
+
+    EXPECT_TRUE(queue.pending(id));
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_FALSE(queue.pending(id));
+    EXPECT_EQ(queue.size(), 1u);
+
+    while (!queue.empty())
+        queue.pop().callback();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse)
+{
+    EventQueue queue;
+    const EventId id = queue.schedule(SimTime::seconds(1.0), [] {});
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueueTest, CancelUnknownIdReturnsFalse)
+{
+    EventQueue queue;
+    EXPECT_FALSE(queue.cancel(12345));
+    EXPECT_FALSE(queue.cancel(invalidEventId));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelledHead)
+{
+    EventQueue queue;
+    const EventId early = queue.schedule(SimTime::seconds(1.0), [] {});
+    queue.schedule(SimTime::seconds(5.0), [] {});
+    queue.cancel(early);
+    EXPECT_EQ(queue.nextTime(), SimTime::seconds(5.0));
+}
+
+TEST(EventQueueTest, PopReturnsLabelAndTime)
+{
+    EventQueue queue;
+    queue.schedule(SimTime::seconds(2.0), [] {}, "my-event");
+    const EventQueue::Fired fired = queue.pop();
+    EXPECT_EQ(fired.when, SimTime::seconds(2.0));
+    EXPECT_EQ(fired.label, "my-event");
+}
+
+TEST(EventQueueTest, ClearDropsEverything)
+{
+    EventQueue queue;
+    for (int i = 0; i < 10; ++i)
+        queue.schedule(SimTime::seconds(i), [] {});
+    queue.clear();
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, IdsAreUniqueAndMonotone)
+{
+    EventQueue queue;
+    EventId previous = invalidEventId;
+    for (int i = 0; i < 100; ++i) {
+        const EventId id = queue.schedule(SimTime(), [] {});
+        EXPECT_GT(id, previous);
+        previous = id;
+    }
+}
+
+TEST(EventQueueTest, ManyCancellationsDoNotCorruptOrder)
+{
+    EventQueue queue;
+    std::vector<EventId> ids;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+        ids.push_back(queue.schedule(SimTime::seconds(i),
+                                     [&, i] { order.push_back(i); }));
+    }
+    // Cancel every odd event.
+    for (std::size_t i = 1; i < ids.size(); i += 2)
+        queue.cancel(ids[i]);
+
+    while (!queue.empty())
+        queue.pop().callback();
+    ASSERT_EQ(order.size(), 25u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], static_cast<int>(2 * i));
+}
+
+} // namespace
+} // namespace vpm::sim

@@ -1,0 +1,196 @@
+/** @file Crash/repair injection and HA restart tests. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "datacenter/failure.hpp"
+#include "power/server_models.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm {
+namespace {
+
+using power::PowerPhase;
+using sim::SimTime;
+
+TEST(ForceOffTest, ImmediateFromAnyPhase)
+{
+    sim::Simulator simulator;
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+
+    // From On: instant, no entry phase, no entry energy.
+    {
+        power::PowerStateMachine fsm(simulator, spec);
+        fsm.forceOff("S5");
+        EXPECT_EQ(fsm.phase(), PowerPhase::Asleep);
+        EXPECT_EQ(fsm.sleepState()->name, "S5");
+    }
+    // From Entering (abandons the transition event).
+    {
+        power::PowerStateMachine fsm(simulator, spec);
+        fsm.requestSleep("S3");
+        fsm.forceOff("S5");
+        EXPECT_EQ(fsm.phase(), PowerPhase::Asleep);
+        EXPECT_EQ(fsm.sleepState()->name, "S5");
+        simulator.run(); // the abandoned entry event must not fire
+        EXPECT_EQ(fsm.phase(), PowerPhase::Asleep);
+    }
+    // From Exiting: the crash kills the boot.
+    {
+        power::PowerStateMachine fsm(simulator, spec);
+        fsm.requestSleep("S3");
+        simulator.run();
+        fsm.requestWake();
+        fsm.forceOff("S5");
+        simulator.run();
+        EXPECT_EQ(fsm.phase(), PowerPhase::Asleep);
+    }
+}
+
+TEST(ForceOffTest, WakeInhibitBlocksRevival)
+{
+    sim::Simulator simulator;
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    power::PowerStateMachine fsm(simulator, spec);
+
+    fsm.forceOff("S5");
+    fsm.setWakeInhibited(true);
+    EXPECT_FALSE(fsm.requestWake());
+    EXPECT_EQ(fsm.phase(), PowerPhase::Asleep);
+
+    fsm.setWakeInhibited(false);
+    EXPECT_TRUE(fsm.requestWake());
+    simulator.run();
+    EXPECT_TRUE(fsm.isOn());
+}
+
+TEST(FailureInjectorTest, CrashesAndRepairsAtConfiguredRates)
+{
+    sim::Simulator simulator;
+    dc::Cluster cluster(simulator);
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    for (int i = 0; i < 8; ++i)
+        cluster.addHost(dc::HostConfig{}, spec);
+
+    dc::FailureConfig config;
+    config.meanTimeToFailure = SimTime::hours(50.0);
+    config.meanTimeToRepair = SimTime::minutes(30.0);
+    dc::FailureInjector injector(simulator, cluster, config);
+    injector.start();
+
+    simulator.runUntil(SimTime::hours(500.0));
+    // 8 hosts x 500 h / ~50 h MTTF ≈ 80 crashes; allow wide slack (a
+    // host down for repair does not accumulate uptime).
+    EXPECT_GT(injector.crashes(), 40u);
+    EXPECT_LT(injector.crashes(), 120u);
+    // Repairs track crashes (at most one open repair per host).
+    EXPECT_GE(injector.repairs() + 8, injector.crashes());
+}
+
+TEST(FailureInjectorTest, SleepingHostsDoNotCrash)
+{
+    sim::Simulator simulator;
+    dc::Cluster cluster(simulator);
+    cluster.addHost(dc::HostConfig{}, power::enterpriseBlade2013());
+    cluster.requestHostSleep(0, "S3");
+    simulator.run();
+
+    dc::FailureConfig config;
+    config.meanTimeToFailure = SimTime::hours(1.0); // aggressive
+    dc::FailureInjector injector(simulator, cluster, config);
+    injector.start();
+    simulator.runUntil(SimTime::hours(100.0));
+    EXPECT_EQ(injector.crashes(), 0u);
+}
+
+TEST(HaRestartTest, StrandedVmsComeBackWithinACycle)
+{
+    sim::Simulator simulator;
+    dc::Cluster cluster(simulator);
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    for (int i = 0; i < 4; ++i)
+        cluster.addHost(dc::HostConfig{}, spec);
+    for (int v = 0; v < 8; ++v) {
+        workload::VmWorkloadSpec vm_spec;
+        vm_spec.name = "vm" + std::to_string(v);
+        vm_spec.cpuMhz = 4000.0;
+        vm_spec.memoryMb = 4096.0;
+        vm_spec.trace = std::make_shared<workload::ConstantTrace>(0.3);
+        dc::Vm &vm = cluster.addVm(std::move(vm_spec));
+        cluster.placeVm(vm.id(), v % 4);
+    }
+
+    dc::MigrationEngine engine(simulator, cluster);
+    dc::DatacenterSim dcsim(simulator, cluster, engine,
+                            dc::DatacenterConfig{});
+    mgmt::VpmConfig config = mgmt::makePolicy(mgmt::PolicyKind::DrmOnly);
+    config.period = SimTime::minutes(1.0);
+    mgmt::VpmManager manager(simulator, cluster, engine, dcsim, config);
+    manager.start();
+
+    dcsim.runFor(SimTime::minutes(5.0));
+
+    // Crash host 0 under its VMs.
+    cluster.host(0).powerFsm().forceOff("S5");
+    cluster.host(0).powerFsm().setWakeInhibited(true);
+
+    dcsim.runFor(SimTime::minutes(3.0));
+    EXPECT_GT(manager.stats().haRestarts, 0u);
+    for (const auto &vm_ptr : cluster.vms()) {
+        EXPECT_TRUE(cluster.host(vm_ptr->host()).isOn())
+            << vm_ptr->name();
+        EXPECT_DOUBLE_EQ(vm_ptr->grantedMhz(),
+                         vm_ptr->currentDemandMhz());
+    }
+}
+
+TEST(SpareFloorTest, ConsolidationKeepsNPlusOne)
+{
+    mgmt::ScenarioConfig config;
+    config.hostCount = 6;
+    config.vmCount = 12;
+    config.mix.cpuSizesMhz = {2000.0}; // small VMs: one host could hold all
+    config.duration = SimTime::hours(8.0);
+    config.mix.loadScale = 0.2; // deep trough
+    config.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+    config.manager.hysteresisCycles = 1;
+
+    const double without =
+        runScenario(config).metrics.averageHostsOn;
+
+    config.manager.spareHostsFloor = 1;
+    const double with_floor =
+        runScenario(config).metrics.averageHostsOn;
+
+    // The floor costs roughly one extra host kept on.
+    EXPECT_GT(with_floor, without + 0.5);
+}
+
+TEST(FailureScenarioTest, PmSurvivesCrashesWithSpareFloor)
+{
+    mgmt::ScenarioConfig config;
+    config.hostCount = 8;
+    config.vmCount = 40;
+    config.duration = SimTime::hours(72.0);
+    config.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+    config.manager.period = SimTime::minutes(1.0);
+    config.manager.spareHostsFloor = 1;
+
+    dc::FailureConfig failures;
+    failures.meanTimeToFailure = SimTime::hours(150.0);
+    failures.meanTimeToRepair = SimTime::minutes(45.0);
+    config.failures = failures;
+
+    const mgmt::ScenarioResult result = runScenario(config);
+    EXPECT_GT(result.hostCrashes, 0u);
+    EXPECT_GT(result.manager.haRestarts, 0u);
+    // Crashes cost availability for one detection cycle each, not more.
+    EXPECT_GT(result.metrics.satisfaction, 0.98);
+    // Energy savings survive the failure process.
+    EXPECT_LT(result.metrics.averageHostsOn, 7.0);
+}
+
+} // namespace
+} // namespace vpm

@@ -1,0 +1,207 @@
+/**
+ * @file Resilience tests: the management loop under injected failures.
+ *
+ * The paper's adoption argument requires the manager to be safe when the
+ * substrate misbehaves — a host that resumes slowly (firmware retry), or a
+ * workload that whipsaws. These tests drive those conditions and assert
+ * the system degrades gracefully instead of deadlocking or crashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/manager.hpp"
+#include "core/policies.hpp"
+#include "power/server_models.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm::mgmt {
+namespace {
+
+using dc::Cluster;
+using dc::DatacenterConfig;
+using dc::DatacenterSim;
+using dc::HostConfig;
+using dc::MigrationEngine;
+using dc::Vm;
+using sim::SimTime;
+
+workload::VmWorkloadSpec
+makeSpec(const std::string &name, double cpu_mhz,
+         workload::TracePtr trace)
+{
+    workload::VmWorkloadSpec spec;
+    spec.name = name;
+    spec.cpuMhz = cpu_mhz;
+    spec.memoryMb = 4096.0;
+    spec.trace = std::move(trace);
+    return spec;
+}
+
+TEST(FailureInjectionTest, WakeRetriesDelayButDoNotWedgeTheCluster)
+{
+    sim::Simulator simulator;
+    Cluster cluster(simulator);
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    for (int i = 0; i < 4; ++i)
+        cluster.addHost(HostConfig{}, spec);
+
+    // Demand: deep trough, then a hard step back up.
+    for (int h = 0; h < 4; ++h) {
+        Vm &vm = cluster.addVm(makeSpec(
+            "vm" + std::to_string(h), 24000.0,
+            std::make_shared<workload::StepTrace>(
+                std::vector<workload::StepTrace::Step>{
+                    {SimTime(), 0.05}, {SimTime::hours(2.0), 0.85}})));
+        cluster.placeVm(vm.id(), h);
+    }
+
+    // Every wake attempt fails once or twice ~30% of the time.
+    sim::Rng failure_rng(7);
+    for (const auto &host : cluster.hosts())
+        host->powerFsm().setWakeFailure(0.3, &failure_rng);
+
+    MigrationEngine engine(simulator, cluster);
+    DatacenterSim dcsim(simulator, cluster, engine, DatacenterConfig{});
+    VpmConfig config = makePolicy(PolicyKind::PmS3);
+    VpmManager manager(simulator, cluster, engine, dcsim, config);
+    manager.start();
+
+    const dc::RunMetrics metrics = dcsim.runFor(SimTime::hours(5.0));
+
+    // The cluster recovered: demand fully served at the end.
+    for (const auto &vm_ptr : cluster.vms()) {
+        EXPECT_DOUBLE_EQ(vm_ptr->grantedMhz(),
+                         vm_ptr->currentDemandMhz());
+    }
+    EXPECT_EQ(cluster.hostsOn(), 4);
+    EXPECT_GT(metrics.satisfaction, 0.85);
+}
+
+TEST(FailureInjectionTest, WhipsawDemandDoesNotThrashWithHysteresis)
+{
+    sim::Simulator simulator;
+    Cluster cluster(simulator);
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    for (int i = 0; i < 4; ++i)
+        cluster.addHost(HostConfig{}, spec);
+
+    // Demand oscillates every 10 minutes between trough and near-peak.
+    std::vector<workload::StepTrace::Step> steps;
+    for (int m = 0; m < 6 * 60; m += 10) {
+        steps.push_back(
+            {SimTime::minutes(m), (m / 10) % 2 == 0 ? 0.10 : 0.70});
+    }
+    for (int h = 0; h < 4; ++h) {
+        Vm &vm = cluster.addVm(
+            makeSpec("vm" + std::to_string(h), 24000.0,
+                     std::make_shared<workload::StepTrace>(steps)));
+        cluster.placeVm(vm.id(), h);
+    }
+
+    MigrationEngine engine(simulator, cluster);
+    DatacenterSim dcsim(simulator, cluster, engine, DatacenterConfig{});
+    VpmConfig config = makePolicy(PolicyKind::PmS3);
+    config.hysteresisCycles = 3;
+    config.period = SimTime::minutes(5.0);
+    VpmManager manager(simulator, cluster, engine, dcsim, config);
+    manager.start();
+
+    dcsim.runFor(SimTime::hours(6.0));
+
+    // With a 3-cycle (15 min) hold and 10-minute whipsaw, the manager
+    // never sees a long enough surplus streak: no power cycling at all.
+    EXPECT_EQ(manager.stats().sleepsIssued, 0u);
+    EXPECT_GT(dcsim.sla().satisfaction(), 0.95);
+}
+
+TEST(FailureInjectionTest, EvacuationAbandonedWhenClusterFillsUp)
+{
+    sim::Simulator simulator;
+    Cluster cluster(simulator);
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    for (int i = 0; i < 3; ++i)
+        cluster.addHost(HostConfig{}, spec);
+
+    // One VM per host; demand rises mid-evacuation so the plan that was
+    // feasible at decision time stops being feasible.
+    for (int h = 0; h < 3; ++h) {
+        Vm &vm = cluster.addVm(makeSpec(
+            "vm" + std::to_string(h), 30000.0,
+            std::make_shared<workload::StepTrace>(
+                std::vector<workload::StepTrace::Step>{
+                    {SimTime(), 0.05}, {SimTime::minutes(20.0), 0.75}})));
+        cluster.placeVm(vm.id(), h);
+    }
+
+    MigrationEngine engine(simulator, cluster);
+    DatacenterSim dcsim(simulator, cluster, engine, DatacenterConfig{});
+    VpmConfig config = makePolicy(PolicyKind::PmS3);
+    config.hysteresisCycles = 2;
+    VpmManager manager(simulator, cluster, engine, dcsim, config);
+    manager.start();
+
+    dcsim.runFor(SimTime::hours(2.0));
+
+    // Whatever happened in between, the end state is consistent: no host
+    // stuck draining forever, no VM stranded, demand served.
+    EXPECT_TRUE(manager.drainingHosts().empty());
+    for (const auto &vm_ptr : cluster.vms())
+        EXPECT_TRUE(vm_ptr->placed());
+    EXPECT_GT(dcsim.sla().satisfaction(), 0.90);
+}
+
+TEST(FailureInjectionTest, ManagerSurvivesZeroDemandFleet)
+{
+    sim::Simulator simulator;
+    Cluster cluster(simulator);
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    for (int i = 0; i < 3; ++i)
+        cluster.addHost(HostConfig{}, spec);
+    for (int v = 0; v < 6; ++v) {
+        Vm &vm = cluster.addVm(
+            makeSpec("vm" + std::to_string(v), 4000.0,
+                     std::make_shared<workload::ConstantTrace>(0.0)));
+        cluster.placeVm(vm.id(), v % 3);
+    }
+
+    MigrationEngine engine(simulator, cluster);
+    DatacenterSim dcsim(simulator, cluster, engine, DatacenterConfig{});
+    VpmConfig config = makePolicy(PolicyKind::PmS3);
+    config.hysteresisCycles = 1;
+    VpmManager manager(simulator, cluster, engine, dcsim, config);
+    manager.start();
+
+    const dc::RunMetrics metrics = dcsim.runFor(SimTime::hours(2.0));
+
+    // With zero demand the whole fleet packs onto one host.
+    EXPECT_EQ(cluster.hostsOn(), 1);
+    EXPECT_DOUBLE_EQ(metrics.satisfaction, 1.0);
+}
+
+TEST(FailureInjectionTest, SingleHostClusterNeverSleepsItself)
+{
+    sim::Simulator simulator;
+    Cluster cluster(simulator);
+    cluster.addHost(HostConfig{}, power::enterpriseBlade2013());
+    Vm &vm = cluster.addVm(
+        makeSpec("vm0", 4000.0,
+                 std::make_shared<workload::ConstantTrace>(0.01)));
+    cluster.placeVm(vm.id(), 0);
+
+    MigrationEngine engine(simulator, cluster);
+    DatacenterSim dcsim(simulator, cluster, engine, DatacenterConfig{});
+    VpmConfig config = makePolicy(PolicyKind::PmS3);
+    config.hysteresisCycles = 1;
+    VpmManager manager(simulator, cluster, engine, dcsim, config);
+    manager.start();
+
+    dcsim.runFor(SimTime::hours(2.0));
+    // Nowhere to evacuate to: the host must stay on and serving.
+    EXPECT_EQ(cluster.hostsOn(), 1);
+    EXPECT_DOUBLE_EQ(dcsim.sla().satisfaction(), 1.0);
+}
+
+} // namespace
+} // namespace vpm::mgmt

@@ -1,0 +1,180 @@
+/**
+ * @file Property fuzz for the power FSM and migration engine: random
+ * command streams must never violate the structural invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "datacenter/migration.hpp"
+#include "power/power_state_machine.hpp"
+#include "power/server_models.hpp"
+#include "simcore/logging.hpp"
+#include "simcore/random.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm {
+namespace {
+
+using power::PowerPhase;
+using sim::SimTime;
+
+/** Legal phase edges of the power FSM. */
+bool
+legalEdge(PowerPhase from, PowerPhase to)
+{
+    switch (from) {
+      case PowerPhase::On:
+        return to == PowerPhase::Entering;
+      case PowerPhase::Entering:
+        return to == PowerPhase::Asleep;
+      case PowerPhase::Asleep:
+        return to == PowerPhase::Exiting;
+      case PowerPhase::Exiting:
+        return to == PowerPhase::On;
+    }
+    return false;
+}
+
+class FsmFuzzTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FsmFuzzTest, RandomCommandStreamKeepsInvariants)
+{
+    sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 7);
+    sim::Simulator simulator;
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    power::PowerStateMachine fsm(simulator, spec);
+
+    bool edges_legal = true;
+    fsm.addObserver([&](PowerPhase from, PowerPhase to) {
+        edges_legal = edges_legal && legalEdge(from, to);
+    });
+
+    // 300 random commands at random times, interleaved with run slices.
+    for (int step = 0; step < 300; ++step) {
+        const int action = static_cast<int>(rng.uniformInt(0, 3));
+        switch (action) {
+          case 0:
+            fsm.requestSleep(rng.bernoulli(0.5) ? "S3" : "S5");
+            break;
+          case 1:
+            fsm.requestWake();
+            break;
+          default:
+            simulator.runUntil(simulator.now() +
+                               SimTime::seconds(rng.uniform(0.1, 120.0)));
+            break;
+        }
+        // Structural invariants at every step.
+        if (fsm.phase() == PowerPhase::On)
+            ASSERT_EQ(fsm.sleepState(), nullptr);
+        else
+            ASSERT_NE(fsm.sleepState(), nullptr);
+        ASSERT_GE(fsm.powerWatts(0.5), 0.0);
+        ASSERT_GE(fsm.timeToAvailable(), SimTime());
+    }
+    simulator.run();
+    EXPECT_TRUE(edges_legal);
+    EXPECT_TRUE(fsm.isOn() || fsm.phase() == PowerPhase::Asleep);
+
+    // Time accounting closes: the four phase buckets sum to now.
+    SimTime total;
+    for (const PowerPhase phase :
+         {PowerPhase::On, PowerPhase::Entering, PowerPhase::Asleep,
+          PowerPhase::Exiting}) {
+        total += fsm.timeInPhase(phase);
+    }
+    EXPECT_EQ(total, simulator.now());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsmFuzzTest, ::testing::Range(1, 9));
+
+class MigrationFuzzTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MigrationFuzzTest, RandomRequestStormConservesEverything)
+{
+    // Random requests legitimately bounce off validation; silence the
+    // expected warning chatter for the duration of the storm.
+    const sim::LogLevel saved = sim::logLevel();
+    sim::setLogLevel(sim::LogLevel::Silent);
+    struct Restore
+    {
+        sim::LogLevel level;
+        ~Restore() { sim::setLogLevel(level); }
+    } restore{saved};
+
+    sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503u + 11);
+    sim::Simulator simulator;
+    dc::Cluster cluster(simulator);
+    const power::HostPowerSpec spec = power::enterpriseBlade2013();
+    const int hosts = 5;
+    for (int h = 0; h < hosts; ++h)
+        cluster.addHost(dc::HostConfig{}, spec);
+
+    const int vms = 25;
+    for (int v = 0; v < vms; ++v) {
+        workload::VmWorkloadSpec vm_spec;
+        vm_spec.name = "vm" + std::to_string(v);
+        vm_spec.cpuMhz = rng.uniform(500.0, 6000.0);
+        vm_spec.memoryMb = rng.uniform(1024.0, 16384.0);
+        vm_spec.trace = std::make_shared<workload::ConstantTrace>(
+            rng.uniform(0.0, 0.8));
+        dc::Vm &vm = cluster.addVm(std::move(vm_spec));
+        cluster.placeVm(vm.id(),
+                        static_cast<dc::HostId>(rng.uniformInt(0, 4)));
+    }
+
+    dc::MigrationEngine engine(simulator, cluster);
+
+    // Fire random migration requests interleaved with time slices. Many
+    // will be rejected or queued; none may corrupt the bookkeeping.
+    for (int step = 0; step < 400; ++step) {
+        if (rng.bernoulli(0.7)) {
+            engine.request(
+                static_cast<dc::VmId>(rng.uniformInt(0, vms - 1)),
+                static_cast<dc::HostId>(rng.uniformInt(0, hosts - 1)));
+        } else {
+            simulator.runUntil(simulator.now() +
+                               SimTime::seconds(rng.uniform(0.5, 20.0)));
+        }
+    }
+    simulator.run();
+
+    // Everything landed: engine drained, counters consistent.
+    EXPECT_EQ(engine.activeCount(), 0);
+    EXPECT_EQ(engine.queuedCount(), 0u);
+    EXPECT_EQ(engine.startedCount(), engine.completedCount());
+    EXPECT_EQ(engine.durations().count(), engine.completedCount());
+
+    // Conservation: every VM placed exactly once, hosts agree, no
+    // migration state or reservations left behind.
+    std::map<dc::VmId, int> seen;
+    double reserved = 0.0;
+    for (const auto &host_ptr : cluster.hosts()) {
+        EXPECT_EQ(host_ptr->activeMigrations(), 0);
+        EXPECT_DOUBLE_EQ(host_ptr->migrationOverheadMhz(), 0.0);
+        reserved += host_ptr->inboundReservedMemoryMb();
+        EXPECT_LE(host_ptr->committedMemoryMb(),
+                  host_ptr->memoryCapacityMb() + 1e-6);
+        for (const dc::Vm *vm : host_ptr->vms()) {
+            ++seen[vm->id()];
+            EXPECT_EQ(vm->host(), host_ptr->id());
+            EXPECT_FALSE(vm->migrating());
+        }
+    }
+    EXPECT_DOUBLE_EQ(reserved, 0.0);
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(vms));
+    for (const auto &[vm_id, count] : seen)
+        EXPECT_EQ(count, 1) << "vm " << vm_id;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationFuzzTest, ::testing::Range(1, 9));
+
+} // namespace
+} // namespace vpm

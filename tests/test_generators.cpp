@@ -1,0 +1,264 @@
+/** @file Unit and property tests for the stochastic demand generators. */
+
+#include <gtest/gtest.h>
+
+#include "workload/bursty.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/random_walk.hpp"
+
+namespace vpm::workload {
+namespace {
+
+using sim::SimTime;
+
+TEST(DiurnalTraceTest, NoiselessCycleHitsTroughAndPeak)
+{
+    DiurnalConfig config;
+    config.mean = 0.5;
+    config.amplitude = 0.3;
+    config.noiseStd = 0.0;
+    const DiurnalTrace trace(config);
+
+    EXPECT_NEAR(trace.utilizationAt(SimTime()), 0.2, 1e-9);
+    EXPECT_NEAR(trace.utilizationAt(SimTime::hours(12.0)), 0.8, 1e-9);
+    EXPECT_NEAR(trace.utilizationAt(SimTime::hours(24.0)), 0.2, 1e-9);
+    EXPECT_NEAR(trace.utilizationAt(SimTime::hours(6.0)), 0.5, 1e-9);
+}
+
+TEST(DiurnalTraceTest, PhaseShiftsTheCycle)
+{
+    DiurnalConfig config;
+    config.noiseStd = 0.0;
+    config.phase = SimTime::hours(12.0);
+    const DiurnalTrace trace(config);
+    // With a half-period phase the peak lands at t = 0.
+    EXPECT_NEAR(trace.utilizationAt(SimTime()),
+                config.mean + config.amplitude, 1e-9);
+}
+
+TEST(DiurnalTraceTest, DeterministicAcrossQueries)
+{
+    DiurnalConfig config;
+    config.seed = 99;
+    const DiurnalTrace trace(config);
+    const SimTime t = SimTime::hours(3.7);
+    EXPECT_EQ(trace.utilizationAt(t), trace.utilizationAt(t));
+}
+
+TEST(DiurnalTraceTest, NoiseStaysBoundedInUnitInterval)
+{
+    DiurnalConfig config;
+    config.noiseStd = 0.2;
+    const DiurnalTrace trace(config);
+    for (int i = 0; i < 5000; ++i) {
+        const double u = trace.utilizationAt(SimTime::minutes(i));
+        ASSERT_GE(u, 0.0);
+        ASSERT_LE(u, 1.0);
+    }
+}
+
+TEST(DiurnalTraceTest, DifferentSeedsDecorrelateNoise)
+{
+    DiurnalConfig a, b;
+    a.seed = 1;
+    b.seed = 2;
+    const DiurnalTrace ta(a), tb(b);
+    int identical = 0;
+    for (int i = 0; i < 200; ++i) {
+        identical += ta.utilizationAt(SimTime::minutes(5.0 * i)) ==
+                             tb.utilizationAt(SimTime::minutes(5.0 * i))
+                         ? 1 : 0;
+    }
+    EXPECT_LT(identical, 10);
+}
+
+TEST(DiurnalTraceTest, WeekendFactorDampsDays5And6)
+{
+    DiurnalConfig config;
+    config.mean = 0.5;
+    config.amplitude = 0.3;
+    config.noiseStd = 0.0;
+    config.weekendFactor = 0.5;
+    const DiurnalTrace trace(config);
+
+    // Same time of day on a weekday (day 2) and the weekend (day 5).
+    const double weekday =
+        trace.utilizationAt(SimTime::hours(2 * 24.0 + 12.0));
+    const double weekend =
+        trace.utilizationAt(SimTime::hours(5 * 24.0 + 12.0));
+    EXPECT_NEAR(weekend, weekday * 0.5, 1e-9);
+
+    // Day 7 is the next Monday: back to full demand.
+    const double next_monday =
+        trace.utilizationAt(SimTime::hours(7 * 24.0 + 12.0));
+    EXPECT_NEAR(next_monday, weekday, 1e-9);
+}
+
+TEST(DiurnalTraceTest, WeekendFactorOffByDefault)
+{
+    DiurnalConfig config;
+    config.noiseStd = 0.0;
+    const DiurnalTrace trace(config);
+    EXPECT_NEAR(trace.utilizationAt(SimTime::hours(12.0)),
+                trace.utilizationAt(SimTime::hours(5 * 24.0 + 12.0)),
+                1e-9);
+}
+
+TEST(DiurnalTraceDeathTest, RejectsBadConfig)
+{
+    DiurnalConfig config;
+    config.period = SimTime();
+    EXPECT_EXIT(DiurnalTrace{config}, ::testing::ExitedWithCode(1),
+                "period");
+}
+
+TEST(RandomWalkTraceTest, StaysWithinBounds)
+{
+    RandomWalkConfig config;
+    config.min = 0.10;
+    config.max = 0.70;
+    config.seed = 7;
+    const RandomWalkTrace trace(config);
+    for (int i = 0; i < 2000; ++i) {
+        const double u = trace.utilizationAt(SimTime::minutes(5.0 * i));
+        ASSERT_GE(u, config.min);
+        ASSERT_LE(u, config.max);
+    }
+}
+
+TEST(RandomWalkTraceTest, ConstantWithinAnInterval)
+{
+    const RandomWalkTrace trace(RandomWalkConfig{});
+    const double a = trace.utilizationAt(SimTime::minutes(7.0));
+    const double b = trace.utilizationAt(SimTime::minutes(9.9));
+    EXPECT_EQ(a, b); // both inside the [5, 10) minute step
+}
+
+TEST(RandomWalkTraceTest, OutOfOrderQueriesAgree)
+{
+    RandomWalkConfig config;
+    config.seed = 13;
+    const RandomWalkTrace forward(config);
+    const RandomWalkTrace backward(config);
+
+    std::vector<double> fwd, bwd;
+    for (int i = 0; i < 100; ++i)
+        fwd.push_back(forward.utilizationAt(SimTime::minutes(5.0 * i)));
+    for (int i = 99; i >= 0; --i)
+        bwd.push_back(backward.utilizationAt(SimTime::minutes(5.0 * i)));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fwd[static_cast<std::size_t>(i)],
+                  bwd[static_cast<std::size_t>(99 - i)]);
+}
+
+TEST(RandomWalkTraceTest, NegativeTimeFallsBackToStart)
+{
+    RandomWalkConfig config;
+    config.start = 0.33;
+    const RandomWalkTrace trace(config);
+    EXPECT_DOUBLE_EQ(
+        trace.utilizationAt(SimTime() - SimTime::minutes(1.0)), 0.33);
+}
+
+TEST(RandomWalkTraceTest, ActuallyMoves)
+{
+    RandomWalkConfig config;
+    config.seed = 21;
+    const RandomWalkTrace trace(config);
+    const double a = trace.utilizationAt(SimTime());
+    bool moved = false;
+    for (int i = 1; i < 50 && !moved; ++i)
+        moved = trace.utilizationAt(SimTime::minutes(5.0 * i)) != a;
+    EXPECT_TRUE(moved);
+}
+
+TEST(RandomWalkTraceDeathTest, RejectsBadBounds)
+{
+    RandomWalkConfig config;
+    config.min = 0.8;
+    config.max = 0.2;
+    EXPECT_EXIT(RandomWalkTrace{config}, ::testing::ExitedWithCode(1),
+                "min");
+}
+
+TEST(OnOffTraceTest, OnlyTwoLevelsAppear)
+{
+    OnOffConfig config;
+    config.onLevel = 0.8;
+    config.offLevel = 0.1;
+    config.seed = 5;
+    const OnOffTrace trace(config);
+    for (int i = 0; i < 2000; ++i) {
+        const double u = trace.utilizationAt(SimTime::minutes(i));
+        ASSERT_TRUE(u == 0.8 || u == 0.1) << "level " << u;
+    }
+}
+
+TEST(OnOffTraceTest, StartStateIsHonoured)
+{
+    OnOffConfig on_first;
+    on_first.startOn = true;
+    EXPECT_DOUBLE_EQ(OnOffTrace(on_first).utilizationAt(SimTime()),
+                     on_first.onLevel);
+
+    OnOffConfig off_first;
+    off_first.startOn = false;
+    EXPECT_DOUBLE_EQ(OnOffTrace(off_first).utilizationAt(SimTime()),
+                     off_first.offLevel);
+}
+
+TEST(OnOffTraceTest, BothLevelsEventuallyAppear)
+{
+    OnOffConfig config;
+    config.seed = 11;
+    const OnOffTrace trace(config);
+    bool saw_on = false, saw_off = false;
+    for (int i = 0; i < 3000; ++i) {
+        const double u = trace.utilizationAt(SimTime::minutes(i));
+        saw_on = saw_on || u == config.onLevel;
+        saw_off = saw_off || u == config.offLevel;
+    }
+    EXPECT_TRUE(saw_on);
+    EXPECT_TRUE(saw_off);
+}
+
+TEST(OnOffTraceTest, DwellFractionTracksMeans)
+{
+    OnOffConfig config;
+    config.meanOnTime = SimTime::minutes(30.0);
+    config.meanOffTime = SimTime::minutes(30.0);
+    config.seed = 17;
+    const OnOffTrace trace(config);
+    int on_minutes = 0;
+    constexpr int total = 50000;
+    for (int i = 0; i < total; ++i) {
+        on_minutes += trace.utilizationAt(SimTime::minutes(i)) ==
+                              config.onLevel
+                          ? 1 : 0;
+    }
+    // Equal dwell means → about half the time on.
+    EXPECT_NEAR(static_cast<double>(on_minutes) / total, 0.5, 0.06);
+}
+
+TEST(OnOffTraceTest, OutOfOrderQueriesAgree)
+{
+    OnOffConfig config;
+    config.seed = 23;
+    const OnOffTrace ordered(config);
+    const OnOffTrace shuffled(config);
+    const double late = shuffled.utilizationAt(SimTime::hours(30.0));
+    const double early = shuffled.utilizationAt(SimTime::minutes(1.0));
+    EXPECT_EQ(ordered.utilizationAt(SimTime::minutes(1.0)), early);
+    EXPECT_EQ(ordered.utilizationAt(SimTime::hours(30.0)), late);
+}
+
+TEST(OnOffTraceDeathTest, RejectsNonPositiveDwell)
+{
+    OnOffConfig config;
+    config.meanOnTime = SimTime();
+    EXPECT_EXIT(OnOffTrace{config}, ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace vpm::workload

@@ -1,0 +1,178 @@
+/** @file Unit tests for Vm and Host. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datacenter/host.hpp"
+#include "power/server_models.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm::dc {
+namespace {
+
+using sim::SimTime;
+
+workload::VmWorkloadSpec
+makeSpec(const std::string &name, double cpu_mhz, double mem_mb,
+         double level)
+{
+    workload::VmWorkloadSpec spec;
+    spec.name = name;
+    spec.cpuMhz = cpu_mhz;
+    spec.memoryMb = mem_mb;
+    spec.trace = std::make_shared<workload::ConstantTrace>(level);
+    return spec;
+}
+
+class HostTest : public ::testing::Test
+{
+  protected:
+    HostTest()
+        : spec(power::enterpriseBlade2013()),
+          host(simulator, 0, "host000", HostConfig{}, spec)
+    {
+    }
+
+    sim::Simulator simulator;
+    power::HostPowerSpec spec;
+    Host host;
+};
+
+TEST(VmTest, DemandFollowsTraceTimesSize)
+{
+    const Vm vm(0, makeSpec("vm0", 4000.0, 4096.0, 0.25));
+    EXPECT_DOUBLE_EQ(vm.demandMhzAt(SimTime()), 1000.0);
+    EXPECT_FALSE(vm.placed());
+    EXPECT_EQ(vm.host(), invalidHostId);
+}
+
+TEST(VmTest, RejectsBadSpecs)
+{
+    EXPECT_EXIT(Vm(0, makeSpec("bad", 0.0, 100.0, 0.5)),
+                ::testing::ExitedWithCode(1), "CPU size");
+    EXPECT_EXIT(Vm(0, makeSpec("bad", 100.0, 0.0, 0.5)),
+                ::testing::ExitedWithCode(1), "memory");
+    workload::VmWorkloadSpec no_trace;
+    no_trace.name = "bad";
+    EXPECT_EXIT(Vm(0, no_trace), ::testing::ExitedWithCode(1), "trace");
+}
+
+TEST_F(HostTest, StartsOnAndEmpty)
+{
+    EXPECT_TRUE(host.isOn());
+    EXPECT_TRUE(host.empty());
+    EXPECT_DOUBLE_EQ(host.vmDemandMhz(), 0.0);
+    EXPECT_DOUBLE_EQ(host.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(host.powerWatts(), spec.idlePowerWatts());
+}
+
+TEST_F(HostTest, VmBookkeeping)
+{
+    Vm vm_a(0, makeSpec("a", 4000.0, 4096.0, 0.5));
+    Vm vm_b(1, makeSpec("b", 2000.0, 2048.0, 1.0));
+    vm_a.setCurrentDemandMhz(2000.0);
+    vm_b.setCurrentDemandMhz(2000.0);
+    vm_a.setGrantedMhz(2000.0);
+    vm_b.setGrantedMhz(1500.0);
+
+    host.addVm(vm_a);
+    host.addVm(vm_b);
+    EXPECT_EQ(host.vms().size(), 2u);
+    EXPECT_DOUBLE_EQ(host.vmDemandMhz(), 4000.0);
+    EXPECT_DOUBLE_EQ(host.grantedMhz(), 3500.0);
+    EXPECT_DOUBLE_EQ(host.committedMemoryMb(), 6144.0);
+
+    host.removeVm(vm_a);
+    EXPECT_EQ(host.vms().size(), 1u);
+    EXPECT_DOUBLE_EQ(host.vmDemandMhz(), 2000.0);
+}
+
+TEST_F(HostTest, DoubleAddPanics)
+{
+    Vm vm(0, makeSpec("a", 1000.0, 1024.0, 0.5));
+    host.addVm(vm);
+    EXPECT_DEATH(host.addVm(vm), "twice");
+}
+
+TEST_F(HostTest, RemoveAbsentPanics)
+{
+    Vm vm(0, makeSpec("a", 1000.0, 1024.0, 0.5));
+    EXPECT_DEATH(host.removeVm(vm), "not resident");
+}
+
+TEST_F(HostTest, UtilizationUsesGrantedPlusOverhead)
+{
+    Vm vm(0, makeSpec("a", 16000.0, 8192.0, 1.0));
+    vm.setGrantedMhz(16000.0);
+    host.addVm(vm);
+    EXPECT_DOUBLE_EQ(host.utilization(), 0.5);
+
+    host.addMigrationOverheadMhz(3200.0);
+    EXPECT_DOUBLE_EQ(host.utilization(), 0.6);
+    host.addMigrationOverheadMhz(-3200.0);
+    EXPECT_DOUBLE_EQ(host.utilization(), 0.5);
+}
+
+TEST_F(HostTest, UtilizationZeroWhenNotOn)
+{
+    host.powerFsm().requestSleep("S3");
+    simulator.run();
+    EXPECT_DOUBLE_EQ(host.utilization(), 0.0);
+}
+
+TEST_F(HostTest, EnergyMeterFollowsPhaseChangesAutomatically)
+{
+    // Sleep into S3 and verify total energy against hand-computed phases.
+    const power::SleepStateSpec &s3 = *spec.findSleepState("S3");
+    const SimTime idle_lead = SimTime::seconds(10.0);
+
+    simulator.scheduleAt(idle_lead,
+                         [&] { host.powerFsm().requestSleep("S3"); });
+    const SimTime asleep_until =
+        idle_lead + s3.entryLatency + SimTime::seconds(100.0);
+    simulator.scheduleAt(asleep_until,
+                         [&] { host.powerFsm().requestWake(); });
+    simulator.run();
+    host.finishMetering(simulator.now());
+
+    const double expected =
+        spec.idlePowerWatts() * 10.0 + s3.entryEnergyJoules() +
+        s3.sleepPowerWatts * 100.0 + s3.exitEnergyJoules();
+    EXPECT_NEAR(host.meter().joules(), expected, 1e-6);
+}
+
+TEST_F(HostTest, UpdatePowerDrawReflectsUtilization)
+{
+    Vm vm(0, makeSpec("a", 32000.0, 8192.0, 1.0));
+    host.addVm(vm);
+
+    simulator.schedule(SimTime::seconds(10.0), [&] {
+        vm.setGrantedMhz(32000.0);
+        host.updatePowerDraw();
+    });
+    simulator.run();
+    host.finishMetering(SimTime::seconds(20.0));
+
+    const double expected =
+        spec.idlePowerWatts() * 10.0 + spec.peakPowerWatts() * 10.0;
+    EXPECT_NEAR(host.meter().joules(), expected, 1e-6);
+}
+
+TEST_F(HostTest, MigrationCounters)
+{
+    host.adjustActiveMigrations(1);
+    host.adjustActiveMigrations(1);
+    EXPECT_EQ(host.activeMigrations(), 2);
+    host.adjustActiveMigrations(-2);
+    EXPECT_EQ(host.activeMigrations(), 0);
+    EXPECT_DEATH(host.adjustActiveMigrations(-1), "negative");
+}
+
+TEST_F(HostTest, NegativeOverheadPanics)
+{
+    EXPECT_DEATH(host.addMigrationOverheadMhz(-100.0), "negative");
+}
+
+} // namespace
+} // namespace vpm::dc

@@ -1,0 +1,140 @@
+/** @file Unit tests for the enterprise-mix fleet builder. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/mix.hpp"
+
+namespace vpm::workload {
+namespace {
+
+using sim::SimTime;
+
+TEST(EnterpriseMixTest, ProducesRequestedCount)
+{
+    sim::Rng rng(1);
+    const auto fleet = makeEnterpriseMix(rng, 25);
+    EXPECT_EQ(fleet.size(), 25u);
+}
+
+TEST(EnterpriseMixTest, EveryVmIsWellFormed)
+{
+    sim::Rng rng(2);
+    const auto fleet = makeEnterpriseMix(rng, 50);
+    for (const VmWorkloadSpec &spec : fleet) {
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_GT(spec.cpuMhz, 0.0);
+        EXPECT_GT(spec.memoryMb, 0.0);
+        ASSERT_NE(spec.trace, nullptr);
+        for (int h = 0; h < 48; ++h) {
+            const double u = spec.trace->utilizationAt(SimTime::hours(h));
+            ASSERT_GE(u, 0.0);
+            ASSERT_LE(u, 1.0);
+        }
+    }
+}
+
+TEST(EnterpriseMixTest, NamesAreUnique)
+{
+    sim::Rng rng(3);
+    const auto fleet = makeEnterpriseMix(rng, 100);
+    std::vector<std::string> names;
+    for (const auto &spec : fleet)
+        names.push_back(spec.name);
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(EnterpriseMixTest, DeterministicGivenSeed)
+{
+    sim::Rng rng_a(42), rng_b(42);
+    const auto fleet_a = makeEnterpriseMix(rng_a, 30);
+    const auto fleet_b = makeEnterpriseMix(rng_b, 30);
+    ASSERT_EQ(fleet_a.size(), fleet_b.size());
+    for (std::size_t i = 0; i < fleet_a.size(); ++i) {
+        EXPECT_EQ(fleet_a[i].cpuMhz, fleet_b[i].cpuMhz);
+        EXPECT_EQ(fleet_a[i].trace->utilizationAt(SimTime::hours(5.0)),
+                  fleet_b[i].trace->utilizationAt(SimTime::hours(5.0)));
+    }
+}
+
+TEST(EnterpriseMixTest, SizesComeFromConfiguredSet)
+{
+    sim::Rng rng(4);
+    MixConfig config;
+    config.cpuSizesMhz = {1000.0, 3000.0};
+    const auto fleet = makeEnterpriseMix(rng, 60, config);
+    for (const auto &spec : fleet) {
+        EXPECT_TRUE(spec.cpuMhz == 1000.0 || spec.cpuMhz == 3000.0);
+        EXPECT_DOUBLE_EQ(spec.memoryMb,
+                         spec.cpuMhz * config.memoryMbPerMhz);
+    }
+}
+
+TEST(EnterpriseMixTest, LoadScaleScalesDemand)
+{
+    MixConfig full;
+    full.loadScale = 1.0;
+    MixConfig half;
+    half.loadScale = 0.5;
+
+    sim::Rng rng_a(7), rng_b(7);
+    const auto fleet_full = makeEnterpriseMix(rng_a, 40, full);
+    const auto fleet_half = makeEnterpriseMix(rng_b, 40, half);
+
+    double demand_full = 0.0, demand_half = 0.0;
+    for (std::size_t i = 0; i < fleet_full.size(); ++i) {
+        for (int h = 0; h < 24; ++h) {
+            demand_full += fleet_full[i].trace->utilizationAt(
+                SimTime::hours(h));
+            demand_half += fleet_half[i].trace->utilizationAt(
+                SimTime::hours(h));
+        }
+    }
+    EXPECT_NEAR(demand_half / demand_full, 0.5, 0.05);
+}
+
+TEST(EnterpriseMixTest, ZeroCountIsEmpty)
+{
+    sim::Rng rng(5);
+    EXPECT_TRUE(makeEnterpriseMix(rng, 0).empty());
+}
+
+TEST(EnterpriseMixTest, AggregateHasDiurnalShape)
+{
+    sim::Rng rng(6);
+    const auto fleet = makeEnterpriseMix(rng, 200);
+
+    const auto total_at = [&](double hours) {
+        double total = 0.0;
+        for (const auto &spec : fleet) {
+            total += spec.trace->utilizationAt(SimTime::hours(hours)) *
+                     spec.cpuMhz;
+        }
+        return total;
+    };
+    // Midday demand should comfortably exceed the overnight trough.
+    EXPECT_GT(total_at(12.0), total_at(0.0) * 1.3);
+}
+
+TEST(EnterpriseMixDeathTest, RejectsBadConfig)
+{
+    sim::Rng rng(8);
+    MixConfig config;
+    config.diurnalFraction = 0.8;
+    config.randomWalkFraction = 0.4;
+    EXPECT_EXIT(makeEnterpriseMix(rng, 5, config),
+                ::testing::ExitedWithCode(1), "sum");
+
+    MixConfig no_sizes;
+    no_sizes.cpuSizesMhz = {};
+    EXPECT_EXIT(makeEnterpriseMix(rng, 5, no_sizes),
+                ::testing::ExitedWithCode(1), "sizes");
+
+    EXPECT_EXIT(makeEnterpriseMix(rng, -1), ::testing::ExitedWithCode(1),
+                "negative");
+}
+
+} // namespace
+} // namespace vpm::workload

@@ -1,0 +1,88 @@
+/** @file Unit tests for utilization-to-power curves. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "power/power_curve.hpp"
+
+namespace vpm::power {
+namespace {
+
+TEST(LinearPowerCurveTest, EndpointsAndMidpoint)
+{
+    const LinearPowerCurve curve(100.0, 200.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(1.0), 200.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(0.5), 150.0);
+}
+
+TEST(LinearPowerCurveTest, ClampsOutOfRange)
+{
+    const LinearPowerCurve curve(100.0, 200.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(-0.5), 100.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(1.5), 200.0);
+}
+
+TEST(LinearPowerCurveTest, ZeroIdleIsEnergyProportional)
+{
+    const LinearPowerCurve curve(0.0, 255.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(0.4), 102.0);
+}
+
+TEST(LinearPowerCurveDeathTest, RejectsBadParameters)
+{
+    EXPECT_EXIT(LinearPowerCurve(-1.0, 100.0),
+                ::testing::ExitedWithCode(1), "negative");
+    EXPECT_EXIT(LinearPowerCurve(200.0, 100.0),
+                ::testing::ExitedWithCode(1), "below idle");
+}
+
+TEST(PiecewisePowerCurveTest, HitsBreakpointsExactly)
+{
+    const PiecewisePowerCurve curve({100.0, 150.0, 300.0});
+    EXPECT_DOUBLE_EQ(curve.powerAt(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(0.5), 150.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(1.0), 300.0);
+}
+
+TEST(PiecewisePowerCurveTest, InterpolatesBetweenBreakpoints)
+{
+    const PiecewisePowerCurve curve({100.0, 150.0, 300.0});
+    EXPECT_DOUBLE_EQ(curve.powerAt(0.25), 125.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(0.75), 225.0);
+}
+
+TEST(PiecewisePowerCurveTest, ClampsOutOfRange)
+{
+    const PiecewisePowerCurve curve({10.0, 20.0});
+    EXPECT_DOUBLE_EQ(curve.powerAt(-1.0), 10.0);
+    EXPECT_DOUBLE_EQ(curve.powerAt(2.0), 20.0);
+}
+
+TEST(PiecewisePowerCurveTest, MonotoneOverFineSweep)
+{
+    const PiecewisePowerCurve curve(
+        {155.0, 170.0, 182.0, 192.0, 201.0, 210.0, 219.0, 228.0, 237.0,
+         246.0, 255.0});
+    double previous = curve.powerAt(0.0);
+    for (int i = 1; i <= 1000; ++i) {
+        const double p = curve.powerAt(i / 1000.0);
+        ASSERT_GE(p, previous);
+        previous = p;
+    }
+}
+
+TEST(PiecewisePowerCurveDeathTest, RejectsBadBreakpoints)
+{
+    EXPECT_EXIT(PiecewisePowerCurve({100.0}),
+                ::testing::ExitedWithCode(1), "at least 2");
+    EXPECT_EXIT(PiecewisePowerCurve({100.0, 50.0}),
+                ::testing::ExitedWithCode(1), "non-decreasing");
+    EXPECT_EXIT(PiecewisePowerCurve({-1.0, 50.0}),
+                ::testing::ExitedWithCode(1), "negative");
+}
+
+} // namespace
+} // namespace vpm::power

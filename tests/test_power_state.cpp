@@ -1,0 +1,148 @@
+/** @file Unit tests for SleepStateSpec and HostPowerSpec. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "power/power_state.hpp"
+#include "power/server_models.hpp"
+
+namespace vpm::power {
+namespace {
+
+SleepStateSpec
+makeState(const std::string &name, double sleep_w, double entry_s,
+          double exit_s, double entry_w, double exit_w)
+{
+    SleepStateSpec state;
+    state.name = name;
+    state.sleepPowerWatts = sleep_w;
+    state.entryLatency = sim::SimTime::seconds(entry_s);
+    state.exitLatency = sim::SimTime::seconds(exit_s);
+    state.entryPowerWatts = entry_w;
+    state.exitPowerWatts = exit_w;
+    return state;
+}
+
+TEST(SleepStateSpecTest, DerivedQuantities)
+{
+    const SleepStateSpec s3 = makeState("S3", 12.0, 7.0, 15.0, 170.0, 200.0);
+    EXPECT_DOUBLE_EQ(s3.entryEnergyJoules(), 170.0 * 7.0);
+    EXPECT_DOUBLE_EQ(s3.exitEnergyJoules(), 200.0 * 15.0);
+    EXPECT_EQ(s3.roundTripLatency(), sim::SimTime::seconds(22.0));
+    EXPECT_DOUBLE_EQ(s3.roundTripEnergyJoules(), 170.0 * 7.0 + 200.0 * 15.0);
+}
+
+TEST(HostPowerSpecTest, ActivePowerDelegatesToCurve)
+{
+    const HostPowerSpec spec(
+        "test", std::make_shared<LinearPowerCurve>(100.0, 200.0), {});
+    EXPECT_DOUBLE_EQ(spec.idlePowerWatts(), 100.0);
+    EXPECT_DOUBLE_EQ(spec.peakPowerWatts(), 200.0);
+    EXPECT_DOUBLE_EQ(spec.activePowerWatts(0.25), 125.0);
+}
+
+TEST(HostPowerSpecTest, FindSleepStateByName)
+{
+    const HostPowerSpec spec = enterpriseBlade2013();
+    ASSERT_NE(spec.findSleepState("S3"), nullptr);
+    ASSERT_NE(spec.findSleepState("S5"), nullptr);
+    EXPECT_EQ(spec.findSleepState("S4"), nullptr);
+    EXPECT_EQ(spec.findSleepState(""), nullptr);
+}
+
+TEST(HostPowerSpecTest, DeepestStateWithinLatencyBound)
+{
+    const HostPowerSpec spec = enterpriseBlade2013();
+
+    // A 30 s bound only admits S3.
+    const SleepStateSpec *fast =
+        spec.deepestStateWithin(sim::SimTime::seconds(30.0));
+    ASSERT_NE(fast, nullptr);
+    EXPECT_EQ(fast->name, "S3");
+
+    // A 10 min bound admits both; S5 is deeper.
+    const SleepStateSpec *deep =
+        spec.deepestStateWithin(sim::SimTime::minutes(10.0));
+    ASSERT_NE(deep, nullptr);
+    EXPECT_EQ(deep->name, "S5");
+
+    // A 1 s bound admits nothing.
+    EXPECT_EQ(spec.deepestStateWithin(sim::SimTime::seconds(1.0)), nullptr);
+}
+
+TEST(HostPowerSpecDeathTest, RejectsDuplicateStates)
+{
+    const auto curve = std::make_shared<LinearPowerCurve>(100.0, 200.0);
+    const SleepStateSpec s = makeState("S3", 10.0, 1.0, 1.0, 50.0, 50.0);
+    EXPECT_EXIT(HostPowerSpec("dup", curve, {s, s}),
+                ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(HostPowerSpecDeathTest, RejectsNullCurve)
+{
+    EXPECT_EXIT(HostPowerSpec("null", nullptr, {}),
+                ::testing::ExitedWithCode(1), "non-null");
+}
+
+TEST(HostPowerSpecDeathTest, RejectsNegativeStateParameters)
+{
+    const auto curve = std::make_shared<LinearPowerCurve>(100.0, 200.0);
+    SleepStateSpec bad = makeState("S3", -1.0, 1.0, 1.0, 50.0, 50.0);
+    EXPECT_EXIT(HostPowerSpec("bad", curve, {bad}),
+                ::testing::ExitedWithCode(1), "negative power");
+
+    bad = makeState("S3", 1.0, 1.0, 1.0, 50.0, 50.0);
+    bad.entryLatency = sim::SimTime() - sim::SimTime::seconds(1.0);
+    EXPECT_EXIT(HostPowerSpec("bad", curve, {bad}),
+                ::testing::ExitedWithCode(1), "negative latency");
+}
+
+TEST(ServerModelsTest, Blade2013MatchesPaperMagnitudes)
+{
+    const HostPowerSpec spec = enterpriseBlade2013();
+    EXPECT_NEAR(spec.idlePowerWatts(), 155.0, 1.0);
+    EXPECT_NEAR(spec.peakPowerWatts(), 255.0, 1.0);
+
+    const SleepStateSpec *s3 = spec.findSleepState("S3");
+    ASSERT_NE(s3, nullptr);
+    // An order of magnitude below idle, seconds-scale transitions.
+    EXPECT_LT(s3->sleepPowerWatts, spec.idlePowerWatts() / 10.0);
+    EXPECT_LT(s3->exitLatency, sim::SimTime::seconds(30.0));
+
+    const SleepStateSpec *s5 = spec.findSleepState("S5");
+    ASSERT_NE(s5, nullptr);
+    // Minutes-scale reboot, deeper floor than S3.
+    EXPECT_GE(s5->exitLatency, sim::SimTime::minutes(2.0));
+    EXPECT_LT(s5->sleepPowerWatts, s3->sleepPowerWatts);
+}
+
+TEST(ServerModelsTest, S5OnlyVariantLacksS3)
+{
+    const HostPowerSpec spec = enterpriseBlade2013S5Only();
+    EXPECT_EQ(spec.findSleepState("S3"), nullptr);
+    EXPECT_NE(spec.findSleepState("S5"), nullptr);
+}
+
+TEST(ServerModelsTest, IdealModelIsProportional)
+{
+    const HostPowerSpec spec = energyProportionalIdeal();
+    EXPECT_DOUBLE_EQ(spec.idlePowerWatts(), 0.0);
+    EXPECT_DOUBLE_EQ(spec.activePowerWatts(0.5),
+                     spec.peakPowerWatts() * 0.5);
+    EXPECT_TRUE(spec.sleepStates().empty());
+}
+
+TEST(ServerModelsTest, SyntheticStateTracksRequestedLatency)
+{
+    const HostPowerSpec spec =
+        bladeWithSyntheticState(sim::SimTime::seconds(60.0), 9.0);
+    const SleepStateSpec *synth = spec.findSleepState("SYNTH");
+    ASSERT_NE(synth, nullptr);
+    EXPECT_EQ(synth->exitLatency, sim::SimTime::seconds(60.0));
+    EXPECT_DOUBLE_EQ(synth->sleepPowerWatts, 9.0);
+    EXPECT_LT(synth->entryLatency, synth->exitLatency);
+}
+
+} // namespace
+} // namespace vpm::power

@@ -1,0 +1,230 @@
+/** @file Unit tests for the host power-state machine. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "power/power_state_machine.hpp"
+#include "power/server_models.hpp"
+#include "simcore/simulator.hpp"
+
+namespace vpm::power {
+namespace {
+
+using sim::SimTime;
+
+class PowerStateMachineTest : public ::testing::Test
+{
+  protected:
+    PowerStateMachineTest()
+        : spec(enterpriseBlade2013()), fsm(simulator, spec),
+          s3(*spec.findSleepState("S3")), s5(*spec.findSleepState("S5"))
+    {
+    }
+
+    sim::Simulator simulator;
+    HostPowerSpec spec;
+    PowerStateMachine fsm;
+    const SleepStateSpec &s3;
+    const SleepStateSpec &s5;
+};
+
+TEST_F(PowerStateMachineTest, StartsOn)
+{
+    EXPECT_EQ(fsm.phase(), PowerPhase::On);
+    EXPECT_TRUE(fsm.isOn());
+    EXPECT_EQ(fsm.sleepState(), nullptr);
+    EXPECT_EQ(fsm.timeToAvailable(), SimTime());
+}
+
+TEST_F(PowerStateMachineTest, SleepEntryTakesEntryLatency)
+{
+    EXPECT_TRUE(fsm.requestSleep("S3"));
+    EXPECT_EQ(fsm.phase(), PowerPhase::Entering);
+    ASSERT_NE(fsm.sleepState(), nullptr);
+    EXPECT_EQ(fsm.sleepState()->name, "S3");
+
+    simulator.run();
+    EXPECT_EQ(fsm.phase(), PowerPhase::Asleep);
+    EXPECT_EQ(simulator.now(), s3.entryLatency);
+}
+
+TEST_F(PowerStateMachineTest, WakeTakesExitLatency)
+{
+    fsm.requestSleep("S3");
+    simulator.run();
+    const SimTime slept_at = simulator.now();
+
+    EXPECT_TRUE(fsm.requestWake());
+    EXPECT_EQ(fsm.phase(), PowerPhase::Exiting);
+    simulator.run();
+    EXPECT_TRUE(fsm.isOn());
+    EXPECT_EQ(simulator.now() - slept_at, s3.exitLatency);
+    EXPECT_EQ(fsm.sleepState(), nullptr);
+}
+
+TEST_F(PowerStateMachineTest, WakeDuringEntryIsLatched)
+{
+    fsm.requestSleep("S3");
+    // Ask for the host back halfway through the suspend.
+    simulator.schedule(s3.entryLatency * 0.5, [this] {
+        EXPECT_TRUE(fsm.requestWake());
+        EXPECT_TRUE(fsm.wakePending());
+        EXPECT_EQ(fsm.phase(), PowerPhase::Entering);
+    });
+    simulator.run();
+
+    // Entry completes, then exit runs immediately: total = entry + exit.
+    EXPECT_TRUE(fsm.isOn());
+    EXPECT_EQ(simulator.now(), s3.entryLatency + s3.exitLatency);
+}
+
+TEST_F(PowerStateMachineTest, RequestSleepWhileNotOnIsRefused)
+{
+    fsm.requestSleep("S3");
+    EXPECT_FALSE(fsm.requestSleep("S5")); // Entering
+    simulator.run();
+    EXPECT_FALSE(fsm.requestSleep("S5")); // Asleep
+    fsm.requestWake();
+    EXPECT_FALSE(fsm.requestSleep("S5")); // Exiting
+}
+
+TEST_F(PowerStateMachineTest, RequestWakeWhenOnOrExitingIsRefused)
+{
+    EXPECT_FALSE(fsm.requestWake()); // On
+    fsm.requestSleep("S3");
+    simulator.run();
+    fsm.requestWake();
+    EXPECT_FALSE(fsm.requestWake()); // Exiting
+}
+
+TEST_F(PowerStateMachineTest, UnknownStateIsRefused)
+{
+    EXPECT_FALSE(fsm.requestSleep("S9"));
+    EXPECT_TRUE(fsm.isOn());
+}
+
+TEST_F(PowerStateMachineTest, PowerFollowsPhase)
+{
+    EXPECT_DOUBLE_EQ(fsm.powerWatts(0.0), spec.idlePowerWatts());
+    EXPECT_DOUBLE_EQ(fsm.powerWatts(1.0), spec.peakPowerWatts());
+
+    fsm.requestSleep("S3");
+    EXPECT_DOUBLE_EQ(fsm.powerWatts(0.0), s3.entryPowerWatts);
+    simulator.run();
+    EXPECT_DOUBLE_EQ(fsm.powerWatts(0.0), s3.sleepPowerWatts);
+    fsm.requestWake();
+    EXPECT_DOUBLE_EQ(fsm.powerWatts(0.0), s3.exitPowerWatts);
+    simulator.run();
+    EXPECT_DOUBLE_EQ(fsm.powerWatts(0.5),
+                     spec.activePowerWatts(0.5));
+}
+
+TEST_F(PowerStateMachineTest, TimeToAvailableAccountsForPhase)
+{
+    fsm.requestSleep("S5");
+    // Mid-entry: remaining entry + full exit.
+    simulator.runUntil(s5.entryLatency * 0.5);
+    EXPECT_EQ(fsm.timeToAvailable(), s5.entryLatency * 0.5 + s5.exitLatency);
+
+    simulator.run();
+    EXPECT_EQ(fsm.timeToAvailable(), s5.exitLatency);
+
+    fsm.requestWake();
+    simulator.runUntil(simulator.now() + s5.exitLatency * 0.25);
+    EXPECT_EQ(fsm.timeToAvailable(), s5.exitLatency * 0.75);
+}
+
+TEST_F(PowerStateMachineTest, ObserversSeeEveryEdgeInOrder)
+{
+    std::vector<std::pair<PowerPhase, PowerPhase>> edges;
+    fsm.addObserver([&](PowerPhase from, PowerPhase to) {
+        edges.emplace_back(from, to);
+    });
+
+    fsm.requestSleep("S3");
+    simulator.run();
+    fsm.requestWake();
+    simulator.run();
+
+    ASSERT_EQ(edges.size(), 4u);
+    EXPECT_EQ(edges[0], std::make_pair(PowerPhase::On, PowerPhase::Entering));
+    EXPECT_EQ(edges[1],
+              std::make_pair(PowerPhase::Entering, PowerPhase::Asleep));
+    EXPECT_EQ(edges[2],
+              std::make_pair(PowerPhase::Asleep, PowerPhase::Exiting));
+    EXPECT_EQ(edges[3], std::make_pair(PowerPhase::Exiting, PowerPhase::On));
+}
+
+TEST_F(PowerStateMachineTest, CountsSleepAndWake)
+{
+    for (int i = 0; i < 3; ++i) {
+        fsm.requestSleep("S3");
+        simulator.run();
+        fsm.requestWake();
+        simulator.run();
+    }
+    EXPECT_EQ(fsm.sleepCount(), 3u);
+    EXPECT_EQ(fsm.wakeCount(), 3u);
+    EXPECT_EQ(fsm.wakeRetryCount(), 0u);
+}
+
+TEST_F(PowerStateMachineTest, TimeInPhaseAccumulates)
+{
+    fsm.requestSleep("S3");
+    simulator.run(); // now Asleep
+    simulator.runUntil(simulator.now() + SimTime::minutes(5.0));
+    fsm.requestWake();
+    simulator.run();
+
+    EXPECT_EQ(fsm.timeInPhase(PowerPhase::Entering), s3.entryLatency);
+    EXPECT_EQ(fsm.timeInPhase(PowerPhase::Asleep), SimTime::minutes(5.0));
+    EXPECT_EQ(fsm.timeInPhase(PowerPhase::Exiting), s3.exitLatency);
+}
+
+TEST_F(PowerStateMachineTest, TimeInPhaseIncludesCurrentPhase)
+{
+    simulator.runUntil(SimTime::seconds(30.0));
+    EXPECT_EQ(fsm.timeInPhase(PowerPhase::On), SimTime::seconds(30.0));
+}
+
+TEST_F(PowerStateMachineTest, WakeFailureRetriesAndCounts)
+{
+    sim::Rng rng(1);
+    fsm.setWakeFailure(1.0, &rng); // always fail...
+    fsm.requestSleep("S3");
+    simulator.run();
+    fsm.requestWake();
+
+    // ...but flip failure off after two botched attempts so it recovers.
+    simulator.schedule(s3.exitLatency * 2.5,
+                       [this] { fsm.setWakeFailure(0.0, nullptr); });
+    simulator.run();
+
+    EXPECT_TRUE(fsm.isOn());
+    EXPECT_EQ(fsm.wakeRetryCount(), 2u);
+}
+
+TEST_F(PowerStateMachineTest, S5RoundTripIsMinutesScale)
+{
+    fsm.requestSleep("S5");
+    simulator.run();
+    fsm.requestWake();
+    simulator.run();
+    EXPECT_GE(simulator.now(), SimTime::minutes(3.0));
+    EXPECT_TRUE(fsm.isOn());
+}
+
+TEST(PowerStateMachineConfigTest, WakeFailureValidation)
+{
+    sim::Simulator simulator;
+    const HostPowerSpec spec = enterpriseBlade2013();
+    PowerStateMachine fsm(simulator, spec);
+    EXPECT_EXIT(fsm.setWakeFailure(1.5, nullptr),
+                ::testing::ExitedWithCode(1), "outside");
+    EXPECT_EXIT(fsm.setWakeFailure(0.5, nullptr),
+                ::testing::ExitedWithCode(1), "RNG");
+}
+
+} // namespace
+} // namespace vpm::power

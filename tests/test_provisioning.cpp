@@ -1,0 +1,221 @@
+/** @file Unit/integration tests for VM lifecycle churn. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/manager.hpp"
+#include "core/policies.hpp"
+#include "core/scenario.hpp"
+#include "datacenter/provisioning.hpp"
+#include "power/server_models.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm::dc {
+namespace {
+
+using sim::SimTime;
+
+class ProvisioningTest : public ::testing::Test
+{
+  protected:
+    ProvisioningTest() : cluster(simulator)
+    {
+        const power::HostPowerSpec spec = power::enterpriseBlade2013();
+        for (int i = 0; i < 4; ++i)
+            cluster.addHost(HostConfig{}, spec);
+    }
+
+    sim::Simulator simulator;
+    Cluster cluster;
+};
+
+TEST_F(ProvisioningTest, ArrivalsHappenAtRoughlyTheConfiguredRate)
+{
+    ProvisioningConfig config;
+    config.arrivalsPerHour = 6.0;
+    config.meanLifetime = SimTime(); // immortal
+    ProvisioningEngine engine(simulator, cluster, config);
+    engine.start();
+
+    simulator.runUntil(SimTime::hours(50.0));
+    // 300 expected; Poisson stddev ~17, allow 4 sigma.
+    EXPECT_GT(engine.arrivals(), 230u);
+    EXPECT_LT(engine.arrivals(), 370u);
+    EXPECT_EQ(engine.departures(), 0u);
+}
+
+TEST_F(ProvisioningTest, ArrivalsArePlacedOnOnHosts)
+{
+    ProvisioningConfig config;
+    config.arrivalsPerHour = 10.0;
+    config.meanLifetime = SimTime();
+    ProvisioningEngine engine(simulator, cluster, config);
+    engine.start();
+
+    simulator.runUntil(SimTime::hours(2.0));
+    ASSERT_GT(engine.arrivals(), 0u);
+    EXPECT_EQ(engine.pendingCount(), 0u);
+    for (const auto &vm_ptr : cluster.vms()) {
+        ASSERT_TRUE(vm_ptr->placed());
+        EXPECT_TRUE(cluster.host(vm_ptr->host()).isOn());
+    }
+    // Immediate placements have zero delay.
+    EXPECT_DOUBLE_EQ(engine.placementDelays().max(), 0.0);
+}
+
+TEST_F(ProvisioningTest, DeparturesRetireVms)
+{
+    ProvisioningConfig config;
+    config.arrivalsPerHour = 10.0;
+    config.meanLifetime = SimTime::hours(1.0);
+    ProvisioningEngine engine(simulator, cluster, config);
+    engine.start();
+
+    simulator.runUntil(SimTime::hours(30.0));
+    EXPECT_GT(engine.departures(), 0u);
+    // Steady state: roughly arrivalsPerHour * meanLifetime live VMs.
+    std::size_t live = 0;
+    for (const auto &vm_ptr : cluster.vms())
+        live += vm_ptr->retired() ? 0 : 1;
+    EXPECT_LT(live, 40u);
+    // Retired VMs hold no demand and are off their hosts.
+    for (const auto &vm_ptr : cluster.vms()) {
+        if (vm_ptr->retired()) {
+            EXPECT_FALSE(vm_ptr->placed());
+            EXPECT_DOUBLE_EQ(vm_ptr->currentDemandMhz(), 0.0);
+        }
+    }
+}
+
+TEST_F(ProvisioningTest, PendingWhenNoCapacityAndPlacedAfterWake)
+{
+    // All but one host asleep, and the on host is memory-full.
+    for (int h = 1; h < 4; ++h) {
+        cluster.requestHostSleep(h, "S3");
+    }
+    simulator.run();
+
+    Vm &hog = cluster.addVm([&] {
+        workload::VmWorkloadSpec spec;
+        spec.name = "hog";
+        spec.cpuMhz = 2000.0;
+        spec.memoryMb = cluster.host(0).memoryCapacityMb();
+        spec.trace = std::make_shared<workload::ConstantTrace>(0.1);
+        return spec;
+    }());
+    cluster.placeVm(hog.id(), 0);
+
+    ProvisioningConfig config;
+    config.arrivalsPerHour = 12.0;
+    config.meanLifetime = SimTime();
+    ProvisioningEngine engine(simulator, cluster, config);
+    engine.start();
+
+    simulator.runUntil(SimTime::hours(1.0));
+    EXPECT_GT(engine.pendingCount(), 0u);
+    EXPECT_GT(engine.pendingDemandMhz(), 0.0);
+
+    // Capacity returns; the retry loop should drain the queue (two hosts:
+    // an unlucky arrival burst can exceed one host's memory).
+    cluster.requestHostWake(1);
+    cluster.requestHostWake(2);
+    simulator.runUntil(SimTime::hours(1.0) + SimTime::minutes(10.0));
+    EXPECT_EQ(engine.pendingCount(), 0u);
+    EXPECT_GT(engine.placementDelays().max(), 60.0);
+}
+
+TEST_F(ProvisioningTest, CustomPlacementPolicyIsUsed)
+{
+    ProvisioningConfig config;
+    config.arrivalsPerHour = 2.0;
+    config.meanLifetime = SimTime();
+    ProvisioningEngine engine(simulator, cluster, config);
+    engine.setPlacementPolicy([](const Vm &) { return HostId{2}; });
+    engine.start();
+
+    simulator.runUntil(SimTime::hours(3.0));
+    ASSERT_GT(engine.arrivals(), 0u);
+    for (const auto &vm_ptr : cluster.vms())
+        EXPECT_EQ(vm_ptr->host(), 2);
+}
+
+TEST_F(ProvisioningTest, BadPolicyChoiceLeavesVmPendingInsteadOfCrashing)
+{
+    cluster.requestHostSleep(3, "S3");
+    simulator.run();
+
+    ProvisioningConfig config;
+    config.arrivalsPerHour = 2.0;
+    config.meanLifetime = SimTime();
+    ProvisioningEngine engine(simulator, cluster, config);
+    engine.setPlacementPolicy([](const Vm &) { return HostId{3}; });
+    engine.start();
+
+    simulator.runUntil(SimTime::hours(2.0));
+    ASSERT_GT(engine.arrivals(), 0u);
+    EXPECT_EQ(engine.pendingCount(), engine.arrivals());
+}
+
+TEST_F(ProvisioningTest, RetireDuringMigrationIsDeferred)
+{
+    Vm &vm = cluster.addVm([&] {
+        workload::VmWorkloadSpec spec;
+        spec.name = "mover";
+        spec.cpuMhz = 2000.0;
+        spec.memoryMb = 8192.0;
+        spec.trace = std::make_shared<workload::ConstantTrace>(0.2);
+        return spec;
+    }());
+    cluster.placeVm(vm.id(), 0);
+
+    MigrationEngine migration(simulator, cluster);
+    migration.request(vm.id(), 1);
+    EXPECT_TRUE(vm.migrating());
+    // Direct retire mid-migration panics (engine invariant)...
+    EXPECT_DEATH(cluster.retireVm(vm.id()), "mid-migration");
+    // ...but after the copy lands it is legal.
+    simulator.run();
+    cluster.retireVm(vm.id());
+    EXPECT_TRUE(vm.retired());
+    EXPECT_TRUE(cluster.host(1).empty());
+}
+
+TEST(ProvisioningScenarioTest, ChurnWithPowerManagementStaysHealthy)
+{
+    mgmt::ScenarioConfig config;
+    config.hostCount = 6;
+    config.vmCount = 20;
+    config.duration = SimTime::hours(24.0);
+    config.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+    ProvisioningConfig churn;
+    churn.arrivalsPerHour = 4.0;
+    churn.meanLifetime = SimTime::hours(4.0);
+    config.provisioning = churn;
+
+    const mgmt::ScenarioResult result = mgmt::runScenario(config);
+    EXPECT_GT(result.vmArrivals, 50u);
+    EXPECT_GT(result.vmDepartures, 30u);
+    EXPECT_GT(result.metrics.satisfaction, 0.98);
+    // The manager wakes hosts for pending arrivals, so waits stay short.
+    EXPECT_LT(result.maxPlacementDelaySeconds, 1800.0);
+    EXPECT_GT(result.metrics.powerActions, 0u);
+}
+
+TEST(ProvisioningConfigDeathTest, RejectsBadConfig)
+{
+    sim::Simulator simulator;
+    Cluster cluster(simulator);
+    ProvisioningConfig bad;
+    bad.arrivalsPerHour = -1.0;
+    EXPECT_EXIT(ProvisioningEngine(simulator, cluster, bad),
+                ::testing::ExitedWithCode(1), "negative");
+
+    bad = ProvisioningConfig{};
+    bad.placementUtilizationCap = 1.5;
+    EXPECT_EXIT(ProvisioningEngine(simulator, cluster, bad),
+                ::testing::ExitedWithCode(1), "cap");
+}
+
+} // namespace
+} // namespace vpm::dc

@@ -1,0 +1,114 @@
+/** @file Unit tests for recorded-trace playback and the CSV loader. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/sampled_trace.hpp"
+
+namespace vpm::workload {
+namespace {
+
+using sim::SimTime;
+
+TEST(SampledTraceTest, StepHoldPlayback)
+{
+    const SampledTrace trace({{SimTime::seconds(0.0), 0.1},
+                              {SimTime::seconds(60.0), 0.5},
+                              {SimTime::seconds(120.0), 0.9}});
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(0.0)), 0.1);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(59.0)), 0.1);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(60.0)), 0.5);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(90.0)), 0.5);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(500.0)), 0.9);
+}
+
+TEST(SampledTraceTest, BeforeFirstSampleUsesFirstValue)
+{
+    const SampledTrace trace({{SimTime::seconds(100.0), 0.7}});
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime()), 0.7);
+}
+
+TEST(SampledTraceTest, LoopWrapsModuloLength)
+{
+    const SampledTrace trace({{SimTime::seconds(0.0), 0.2},
+                              {SimTime::seconds(50.0), 0.8},
+                              {SimTime::seconds(100.0), 0.2}},
+                             /*loop=*/true);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(160.0)),
+                     trace.utilizationAt(SimTime::seconds(60.0)));
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(1030.0)),
+                     trace.utilizationAt(SimTime::seconds(30.0)));
+}
+
+TEST(SampledTraceTest, ClampsUtilization)
+{
+    const SampledTrace trace({{SimTime(), 1.8}});
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime()), 1.0);
+}
+
+TEST(SampledTraceDeathTest, RejectsEmptyAndUnsorted)
+{
+    EXPECT_EXIT(SampledTrace({}), ::testing::ExitedWithCode(1),
+                "no samples");
+    EXPECT_EXIT(SampledTrace({{SimTime::seconds(10.0), 0.1},
+                              {SimTime::seconds(5.0), 0.2}}),
+                ::testing::ExitedWithCode(1), "sorted");
+}
+
+TEST(ParseTraceCsvTest, ParsesValidInput)
+{
+    const auto samples = parseTraceCsv("# demand trace\n"
+                                       "0, 0.25\n"
+                                       "\n"
+                                       "300, 0.75\n"
+                                       "600,0.5\n");
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].time, SimTime::seconds(0.0));
+    EXPECT_DOUBLE_EQ(samples[0].utilization, 0.25);
+    EXPECT_EQ(samples[1].time, SimTime::seconds(300.0));
+    EXPECT_EQ(samples[2].time, SimTime::seconds(600.0));
+    EXPECT_DOUBLE_EQ(samples[2].utilization, 0.5);
+}
+
+TEST(ParseTraceCsvTest, RoundTripsThroughSampledTrace)
+{
+    const SampledTrace trace(parseTraceCsv("0,0.1\n100,0.9\n"));
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(50.0)), 0.1);
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(SimTime::seconds(150.0)), 0.9);
+}
+
+TEST(ParseTraceCsvDeathTest, RejectsMalformedInput)
+{
+    EXPECT_EXIT(parseTraceCsv("not a csv line\n"),
+                ::testing::ExitedWithCode(1), "expected");
+    EXPECT_EXIT(parseTraceCsv("abc,0.5\n"), ::testing::ExitedWithCode(1),
+                "bad time");
+    EXPECT_EXIT(parseTraceCsv("1.0,xyz\n"), ::testing::ExitedWithCode(1),
+                "bad utilization");
+    EXPECT_EXIT(parseTraceCsv("# only comments\n"),
+                ::testing::ExitedWithCode(1), "no samples");
+}
+
+TEST(LoadTraceCsvTest, LoadsFromDisk)
+{
+    const std::string path = ::testing::TempDir() + "/vpm_trace_test.csv";
+    {
+        std::ofstream file(path);
+        file << "# test\n0,0.3\n60,0.6\n";
+    }
+    const auto samples = loadTraceCsv(path);
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_DOUBLE_EQ(samples[1].utilization, 0.6);
+    std::remove(path.c_str());
+}
+
+TEST(LoadTraceCsvDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadTraceCsv("/nonexistent/file.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace vpm::workload

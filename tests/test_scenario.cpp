@@ -1,0 +1,132 @@
+/** @file End-to-end integration tests through the scenario harness. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm::mgmt {
+namespace {
+
+using sim::SimTime;
+
+ScenarioConfig
+smallScenario(PolicyKind policy, std::uint64_t seed = 42)
+{
+    ScenarioConfig config;
+    config.hostCount = 6;
+    config.vmCount = 30;
+    config.duration = SimTime::hours(12.0);
+    config.seed = seed;
+    config.manager = makePolicy(policy);
+    return config;
+}
+
+TEST(ScenarioTest, DeterministicGivenSeed)
+{
+    const ScenarioResult a = runScenario(smallScenario(PolicyKind::PmS3));
+    const ScenarioResult b = runScenario(smallScenario(PolicyKind::PmS3));
+    EXPECT_DOUBLE_EQ(a.metrics.energyKwh, b.metrics.energyKwh);
+    EXPECT_EQ(a.metrics.migrations, b.metrics.migrations);
+    EXPECT_EQ(a.metrics.powerActions, b.metrics.powerActions);
+    EXPECT_DOUBLE_EQ(a.metrics.satisfaction, b.metrics.satisfaction);
+}
+
+TEST(ScenarioTest, SeedsChangeTheRun)
+{
+    const ScenarioResult a =
+        runScenario(smallScenario(PolicyKind::PmS3, 1));
+    const ScenarioResult b =
+        runScenario(smallScenario(PolicyKind::PmS3, 2));
+    EXPECT_NE(a.metrics.energyKwh, b.metrics.energyKwh);
+}
+
+TEST(ScenarioTest, HeadlineOrdering)
+{
+    // The paper's qualitative result on one small instance:
+    //   energy(PM+S3) < energy(NoPM), with satisfaction barely affected,
+    //   and NoPM bounded below by the ideal proportional energy.
+    const ScenarioResult nopm =
+        runScenario(smallScenario(PolicyKind::NoPM));
+    const ScenarioResult pm_s3 =
+        runScenario(smallScenario(PolicyKind::PmS3));
+
+    EXPECT_LT(pm_s3.metrics.energyKwh, nopm.metrics.energyKwh * 0.9);
+    EXPECT_GT(pm_s3.metrics.satisfaction, 0.99);
+    EXPECT_GT(nopm.metrics.energyKwh, nopm.idealProportionalKwh);
+    EXPECT_GE(pm_s3.metrics.energyKwh, pm_s3.idealProportionalKwh * 0.99);
+    EXPECT_LT(pm_s3.metrics.averageHostsOn, nopm.metrics.averageHostsOn);
+    EXPECT_GT(pm_s3.metrics.powerActions, 0u);
+    EXPECT_EQ(nopm.metrics.powerActions, 0u);
+}
+
+TEST(ScenarioTest, NoPmHasNoManagementTraffic)
+{
+    const ScenarioResult result =
+        runScenario(smallScenario(PolicyKind::NoPM));
+    EXPECT_EQ(result.metrics.migrations, 0u);
+    EXPECT_EQ(result.manager.migrationsRequested, 0u);
+    EXPECT_DOUBLE_EQ(result.metrics.averageHostsOn, 6.0);
+}
+
+TEST(ScenarioTest, OfferedLoadFractionIsSane)
+{
+    const ScenarioResult result =
+        runScenario(smallScenario(PolicyKind::NoPM));
+    EXPECT_GT(result.offeredLoadFraction, 0.05);
+    EXPECT_LT(result.offeredLoadFraction, 0.95);
+}
+
+TEST(ScenarioTest, TransformFleetHookApplies)
+{
+    ScenarioConfig config = smallScenario(PolicyKind::NoPM);
+    config.transformFleet =
+        [](std::vector<workload::VmWorkloadSpec> &fleet) {
+            for (auto &spec : fleet) {
+                spec.trace =
+                    std::make_shared<workload::ConstantTrace>(0.0);
+            }
+        };
+    const ScenarioResult result = runScenario(config);
+    EXPECT_NEAR(result.offeredLoadFraction, 0.0, 1e-9);
+}
+
+TEST(ScenarioTest, StaticPlacementHonoursCapacity)
+{
+    // Even a deliberately tight fit must not violate memory capacity:
+    // 30 x 2000 MHz = 60000 of 64000 MHz across two hosts.
+    ScenarioConfig config = smallScenario(PolicyKind::NoPM);
+    config.hostCount = 2;
+    config.vmCount = 30;
+    config.mix.cpuSizesMhz = {2000.0};
+    config.duration = SimTime::minutes(5.0);
+    const ScenarioResult result = runScenario(config);
+    EXPECT_GT(result.metrics.energyKwh, 0.0);
+}
+
+TEST(ScenarioDeathTest, RejectsBadConfig)
+{
+    ScenarioConfig config;
+    config.hostCount = 0;
+    EXPECT_EXIT(runScenario(config), ::testing::ExitedWithCode(1),
+                "at least one host");
+
+    config = ScenarioConfig{};
+    config.duration = SimTime();
+    EXPECT_EXIT(runScenario(config), ::testing::ExitedWithCode(1),
+                "duration");
+}
+
+TEST(ScenarioDeathTest, OvercommittedFleetIsFatal)
+{
+    ScenarioConfig config;
+    config.hostCount = 1;
+    config.vmCount = 100;
+    EXPECT_EXIT(runScenario(config), ::testing::ExitedWithCode(1),
+                "does not fit");
+}
+
+} // namespace
+} // namespace vpm::mgmt

@@ -1,0 +1,78 @@
+/** @file Unit tests for SimTime. */
+
+#include <gtest/gtest.h>
+
+#include "simcore/sim_time.hpp"
+
+namespace vpm::sim {
+namespace {
+
+TEST(SimTimeTest, DefaultIsZero)
+{
+    EXPECT_EQ(SimTime().micros(), 0);
+    EXPECT_TRUE(SimTime().isZero());
+}
+
+TEST(SimTimeTest, NamedConstructorsConvertUnits)
+{
+    EXPECT_EQ(SimTime::micros(42).micros(), 42);
+    EXPECT_EQ(SimTime::millis(3).micros(), 3000);
+    EXPECT_EQ(SimTime::seconds(1.5).micros(), 1'500'000);
+    EXPECT_EQ(SimTime::minutes(2.0).micros(), 120'000'000);
+    EXPECT_EQ(SimTime::hours(1.0).micros(), 3'600'000'000LL);
+}
+
+TEST(SimTimeTest, AccessorsRoundTrip)
+{
+    const SimTime t = SimTime::seconds(90.0);
+    EXPECT_DOUBLE_EQ(t.toSeconds(), 90.0);
+    EXPECT_DOUBLE_EQ(t.toMinutes(), 1.5);
+    EXPECT_DOUBLE_EQ(t.toHours(), 0.025);
+}
+
+TEST(SimTimeTest, ArithmeticAndComparison)
+{
+    const SimTime a = SimTime::seconds(10.0);
+    const SimTime b = SimTime::seconds(4.0);
+    EXPECT_EQ((a + b).toSeconds(), 14.0);
+    EXPECT_EQ((a - b).toSeconds(), 6.0);
+    EXPECT_LT(b, a);
+    EXPECT_GE(a, a);
+    EXPECT_EQ(a, SimTime::seconds(10.0));
+
+    SimTime c = a;
+    c += b;
+    EXPECT_EQ(c.toSeconds(), 14.0);
+    c -= a;
+    EXPECT_EQ(c.toSeconds(), 4.0);
+}
+
+TEST(SimTimeTest, ScalingAndRatio)
+{
+    const SimTime t = SimTime::minutes(10.0);
+    EXPECT_EQ((t * 0.5).toMinutes(), 5.0);
+    EXPECT_DOUBLE_EQ(t / SimTime::minutes(2.0), 5.0);
+}
+
+TEST(SimTimeTest, NegativeDurationsBehave)
+{
+    const SimTime neg = SimTime::seconds(1.0) - SimTime::seconds(3.0);
+    EXPECT_LT(neg, SimTime());
+    EXPECT_DOUBLE_EQ(neg.toSeconds(), -2.0);
+}
+
+TEST(SimTimeTest, ToStringFormats)
+{
+    EXPECT_EQ(SimTime::seconds(0.25).toString(), "0.250s");
+    EXPECT_EQ(SimTime::minutes(2.0).toString(), "2m0.0s");
+    EXPECT_EQ(SimTime::hours(1.0).toString(), "1h0m0.0s");
+    EXPECT_EQ((SimTime() - SimTime::seconds(5.0)).toString(), "-5.000s");
+}
+
+TEST(SimTimeTest, MaxActsAsInfiniteHorizon)
+{
+    EXPECT_GT(SimTime::max(), SimTime::hours(1e6));
+}
+
+} // namespace
+} // namespace vpm::sim

@@ -1,0 +1,121 @@
+/** @file Unit tests for host power-spec files. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "power/server_models.hpp"
+#include "power/spec_file.hpp"
+
+namespace vpm::power {
+namespace {
+
+constexpr const char *kSample = R"(# a measured server
+model = test-server
+curve = 100 150 200
+
+[state S3]
+sleep_watts   = 10
+entry_seconds = 5
+exit_seconds  = 12
+entry_watts   = 110
+exit_watts    = 160
+
+[state S5]
+sleep_watts = 4
+entry_seconds = 40
+exit_seconds = 120
+entry_watts = 95
+exit_watts = 170
+)";
+
+TEST(SpecFileTest, ParsesFullSpec)
+{
+    const HostPowerSpec spec = parseHostSpec(kSample);
+    EXPECT_EQ(spec.model(), "test-server");
+    EXPECT_DOUBLE_EQ(spec.idlePowerWatts(), 100.0);
+    EXPECT_DOUBLE_EQ(spec.peakPowerWatts(), 200.0);
+    EXPECT_DOUBLE_EQ(spec.activePowerWatts(0.25), 125.0);
+
+    ASSERT_EQ(spec.sleepStates().size(), 2u);
+    const SleepStateSpec *s3 = spec.findSleepState("S3");
+    ASSERT_NE(s3, nullptr);
+    EXPECT_DOUBLE_EQ(s3->sleepPowerWatts, 10.0);
+    EXPECT_EQ(s3->entryLatency, sim::SimTime::seconds(5.0));
+    EXPECT_EQ(s3->exitLatency, sim::SimTime::seconds(12.0));
+    EXPECT_DOUBLE_EQ(s3->entryPowerWatts, 110.0);
+    EXPECT_DOUBLE_EQ(s3->exitPowerWatts, 160.0);
+    EXPECT_NE(spec.findSleepState("S5"), nullptr);
+}
+
+TEST(SpecFileTest, MinimalSpecWithoutStates)
+{
+    const HostPowerSpec spec =
+        parseHostSpec("model = bare\ncurve = 50 90\n");
+    EXPECT_EQ(spec.model(), "bare");
+    EXPECT_TRUE(spec.sleepStates().empty());
+}
+
+TEST(SpecFileTest, RoundTripsThroughFormat)
+{
+    const HostPowerSpec original = enterpriseBlade2013();
+    const HostPowerSpec reparsed =
+        parseHostSpec(formatHostSpec(original));
+
+    EXPECT_EQ(reparsed.model(), original.model());
+    for (double u = 0.0; u <= 1.0; u += 0.1) {
+        EXPECT_NEAR(reparsed.activePowerWatts(u),
+                    original.activePowerWatts(u), 0.01);
+    }
+    ASSERT_EQ(reparsed.sleepStates().size(),
+              original.sleepStates().size());
+    const SleepStateSpec *s3 = reparsed.findSleepState("S3");
+    ASSERT_NE(s3, nullptr);
+    EXPECT_EQ(s3->exitLatency,
+              original.findSleepState("S3")->exitLatency);
+}
+
+TEST(SpecFileTest, LoadsFromDisk)
+{
+    const std::string path = ::testing::TempDir() + "/vpm_spec_test.conf";
+    {
+        std::ofstream file(path);
+        file << kSample;
+    }
+    const HostPowerSpec spec = loadHostSpec(path);
+    EXPECT_EQ(spec.model(), "test-server");
+    std::remove(path.c_str());
+}
+
+TEST(SpecFileDeathTest, RejectsMalformedInput)
+{
+    EXPECT_EXIT(parseHostSpec("curve = 1 2\n"),
+                ::testing::ExitedWithCode(1), "model");
+    EXPECT_EXIT(parseHostSpec("model = x\ncurve = 100\n"),
+                ::testing::ExitedWithCode(1), "at least 2");
+    EXPECT_EXIT(parseHostSpec("model = x\ncurve = 1 2\nbogus = 3\n"),
+                ::testing::ExitedWithCode(1), "unknown global key");
+    EXPECT_EXIT(parseHostSpec("model = x\ncurve = 1 2\n[state S3]\n"
+                              "sleep_watts = 1\n"),
+                ::testing::ExitedWithCode(1), "missing");
+    EXPECT_EXIT(parseHostSpec("model = x\ncurve = 1 2\n[state S3]\n"
+                              "wrong_key = 1\n"),
+                ::testing::ExitedWithCode(1), "unknown state key");
+    EXPECT_EXIT(parseHostSpec("model = x\ncurve = 1 2\n[bogus]\n"),
+                ::testing::ExitedWithCode(1), "unknown section");
+    EXPECT_EXIT(parseHostSpec("model = x\ncurve = one two\n"),
+                ::testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT(loadHostSpec("/nonexistent.conf"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(SpecFileDeathTest, CurveMustBeMonotone)
+{
+    // Enforced by PiecewisePowerCurve's own validation.
+    EXPECT_EXIT(parseHostSpec("model = x\ncurve = 200 100\n"),
+                ::testing::ExitedWithCode(1), "non-decreasing");
+}
+
+} // namespace
+} // namespace vpm::power

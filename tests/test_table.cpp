@@ -1,0 +1,77 @@
+/** @file Unit tests for table/CSV formatting. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "stats/table.hpp"
+
+namespace vpm::stats {
+namespace {
+
+TEST(FmtTest, FormatsDecimals)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtTest, FormatsPercent)
+{
+    EXPECT_EQ(fmtPercent(0.1234), "12.3%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    Table table("demo", {"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22222"});
+    const std::string out = table.toString();
+
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22222"), std::string::npos);
+
+    // Header separator line exists.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, RowCount)
+{
+    Table table("t", {"a"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"x"});
+    table.addRow({"y"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableTest, WritesCsvWithQuoting)
+{
+    Table table("csv", {"label", "text"});
+    table.addRow({"plain", "hello"});
+    table.addRow({"tricky", "a,b \"q\""});
+
+    const std::string path = ::testing::TempDir() + "/vpm_table_test.csv";
+    table.writeCsv(path);
+
+    std::ifstream file(path);
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string content = buffer.str();
+    EXPECT_EQ(content, "label,text\n"
+                       "plain,hello\n"
+                       "tricky,\"a,b \"\"q\"\"\"\n");
+    std::remove(path.c_str());
+}
+
+TEST(TableDeathTest, MismatchedRowPanics)
+{
+    Table table("bad", {"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "cells");
+}
+
+} // namespace
+} // namespace vpm::stats

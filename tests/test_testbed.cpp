@@ -1,0 +1,171 @@
+/** @file Unit tests for the testbed-emulation harness. */
+
+#include <gtest/gtest.h>
+
+#include "power/breakeven.hpp"
+#include "power/server_models.hpp"
+#include "prototype/testbed.hpp"
+
+namespace vpm::proto {
+namespace {
+
+using sim::SimTime;
+
+class TestbedTest : public ::testing::Test
+{
+  protected:
+    TestbedTest() : testbed(power::enterpriseBlade2013()) {}
+
+    Testbed testbed;
+};
+
+TEST_F(TestbedTest, CharacterizationMatchesSpec)
+{
+    const StateCharacterization s3 = testbed.characterize("S3");
+    const power::SleepStateSpec *spec_s3 =
+        testbed.spec().findSleepState("S3");
+    ASSERT_NE(spec_s3, nullptr);
+
+    EXPECT_EQ(s3.name, "S3");
+    EXPECT_DOUBLE_EQ(s3.sleepWatts, spec_s3->sleepPowerWatts);
+    EXPECT_DOUBLE_EQ(s3.entrySeconds, spec_s3->entryLatency.toSeconds());
+    EXPECT_DOUBLE_EQ(s3.exitSeconds, spec_s3->exitLatency.toSeconds());
+    EXPECT_NEAR(s3.entryJoules, spec_s3->entryEnergyJoules(), 1e-6);
+    EXPECT_NEAR(s3.exitJoules, spec_s3->exitEnergyJoules(), 1e-6);
+    EXPECT_NEAR(s3.breakEvenSeconds,
+                *power::breakEvenSeconds(testbed.spec(), *spec_s3), 1e-9);
+}
+
+TEST_F(TestbedTest, CharacterizeAllCoversEveryState)
+{
+    const auto all = testbed.characterizeAll();
+    ASSERT_EQ(all.size(), testbed.spec().sleepStates().size());
+    EXPECT_EQ(all[0].name, "S3");
+    EXPECT_EQ(all[1].name, "S5");
+    EXPECT_GT(all[1].breakEvenSeconds, all[0].breakEvenSeconds);
+}
+
+TEST_F(TestbedTest, CycleTraceVisitsAllPhases)
+{
+    const CycleTrace trace = testbed.measureSleepCycle(
+        "S3", SimTime::seconds(10.0), SimTime::seconds(60.0),
+        SimTime::seconds(10.0));
+
+    bool saw_on = false, saw_entering = false, saw_asleep = false,
+         saw_exiting = false;
+    for (const PowerSample &sample : trace.samples) {
+        saw_on |= sample.phase == "On";
+        saw_entering |= sample.phase == "Entering";
+        saw_asleep |= sample.phase == "Asleep";
+        saw_exiting |= sample.phase == "Exiting";
+    }
+    EXPECT_TRUE(saw_on);
+    EXPECT_TRUE(saw_entering);
+    EXPECT_TRUE(saw_asleep);
+    EXPECT_TRUE(saw_exiting);
+}
+
+TEST_F(TestbedTest, CycleTraceEnergyMatchesHandComputation)
+{
+    const power::SleepStateSpec &s3 =
+        *testbed.spec().findSleepState("S3");
+    const CycleTrace trace = testbed.measureSleepCycle(
+        "S3", SimTime::seconds(10.0), SimTime::seconds(60.0),
+        SimTime::seconds(10.0));
+
+    const double expected =
+        testbed.spec().idlePowerWatts() * 20.0 + s3.entryEnergyJoules() +
+        s3.sleepPowerWatts * 60.0 + s3.exitEnergyJoules();
+    EXPECT_NEAR(trace.totalJoules, expected, 1e-6);
+}
+
+TEST_F(TestbedTest, CycleTraceSamplesAtRequestedCadence)
+{
+    const CycleTrace trace = testbed.measureSleepCycle(
+        "S3", SimTime::seconds(5.0), SimTime::seconds(5.0),
+        SimTime::seconds(5.0), SimTime::seconds(1.0));
+    // Duration 5 + 7 + 5 + 15 + 5 = 37 s → 38 samples (0..37 inclusive).
+    EXPECT_EQ(trace.samples.size(), 38u);
+    EXPECT_EQ(trace.samples[1].time, SimTime::seconds(1.0));
+}
+
+TEST_F(TestbedTest, SleepingSampleShowsTheFloor)
+{
+    const CycleTrace trace = testbed.measureSleepCycle(
+        "S3", SimTime::seconds(5.0), SimTime::seconds(30.0),
+        SimTime::seconds(5.0));
+    const power::SleepStateSpec &s3 =
+        *testbed.spec().findSleepState("S3");
+    bool found = false;
+    for (const PowerSample &sample : trace.samples) {
+        if (sample.phase == "Asleep") {
+            EXPECT_DOUBLE_EQ(sample.watts, s3.sleepPowerWatts);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(TestbedTest, ActivePowerSweepsTheCurve)
+{
+    const auto curve = testbed.activePower({0.0, 0.5, 1.0});
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_DOUBLE_EQ(curve[0].second, testbed.spec().idlePowerWatts());
+    EXPECT_DOUBLE_EQ(curve[2].second, testbed.spec().peakPowerWatts());
+    EXPECT_GT(curve[1].second, curve[0].second);
+    EXPECT_LT(curve[1].second, curve[2].second);
+}
+
+TEST_F(TestbedTest, DutyCycleSavesEnergyOnLongGaps)
+{
+    const DutyCycleResult result = testbed.dutyCycle(
+        "S3", SimTime::minutes(10.0), SimTime::minutes(30.0), 0.6);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_GT(result.savedFraction, 0.0);
+    EXPECT_LT(result.sleepEnergyJoules, result.idleEnergyJoules);
+    // Reactive wake delays work by exactly the exit latency.
+    EXPECT_DOUBLE_EQ(
+        result.delaySeconds,
+        testbed.spec().findSleepState("S3")->exitLatency.toSeconds());
+}
+
+TEST_F(TestbedTest, DutyCycleInfeasibleOnTinyGaps)
+{
+    const DutyCycleResult result = testbed.dutyCycle(
+        "S3", SimTime::minutes(10.0), SimTime::seconds(5.0), 0.6);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_DOUBLE_EQ(result.savedFraction, 0.0);
+    EXPECT_DOUBLE_EQ(result.delaySeconds, 0.0);
+}
+
+TEST_F(TestbedTest, S3DelaysLessThanS5)
+{
+    const DutyCycleResult s3 = testbed.dutyCycle(
+        "S3", SimTime::minutes(10.0), SimTime::hours(4.0), 0.6);
+    const DutyCycleResult s5 = testbed.dutyCycle(
+        "S5", SimTime::minutes(10.0), SimTime::hours(4.0), 0.6);
+    EXPECT_LT(s3.delaySeconds, s5.delaySeconds);
+    // On a multi-hour gap S5's deeper floor finally out-saves S3 (the
+    // crossover sits near 2 h for this model) — but on a one-hour gap S3
+    // still wins because S5 cannot amortize its reboot energy. This is
+    // the latency/depth trade-off the paper quantifies.
+    EXPECT_GT(s5.savedFraction, s3.savedFraction);
+    const DutyCycleResult s3_short = testbed.dutyCycle(
+        "S3", SimTime::minutes(10.0), SimTime::hours(1.0), 0.6);
+    const DutyCycleResult s5_short = testbed.dutyCycle(
+        "S5", SimTime::minutes(10.0), SimTime::hours(1.0), 0.6);
+    EXPECT_GT(s3_short.savedFraction, s5_short.savedFraction);
+}
+
+TEST_F(TestbedTest, UnknownStateIsFatal)
+{
+    EXPECT_EXIT(testbed.characterize("S9"), ::testing::ExitedWithCode(1),
+                "no state");
+    EXPECT_EXIT(testbed.measureSleepCycle("S9", SimTime::seconds(1.0),
+                                          SimTime::seconds(1.0),
+                                          SimTime::seconds(1.0)),
+                ::testing::ExitedWithCode(1), "no state");
+}
+
+} // namespace
+} // namespace vpm::proto

@@ -1,0 +1,209 @@
+/** @file Unit/integration tests for the rack topology substrate. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "datacenter/migration.hpp"
+#include "datacenter/topology.hpp"
+#include "power/server_models.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm::dc {
+namespace {
+
+using sim::SimTime;
+
+TEST(TopologyTest, RackAssignmentInBlocks)
+{
+    TopologyConfig config;
+    config.hostsPerRack = 4;
+    const Topology topo(10, config);
+
+    EXPECT_EQ(topo.rackCount(), 3);
+    EXPECT_EQ(topo.rackOf(0), 0);
+    EXPECT_EQ(topo.rackOf(3), 0);
+    EXPECT_EQ(topo.rackOf(4), 1);
+    EXPECT_EQ(topo.rackOf(9), 2);
+    EXPECT_TRUE(topo.sameRack(0, 3));
+    EXPECT_FALSE(topo.sameRack(3, 4));
+
+    EXPECT_EQ(topo.hostsInRack(0), (std::vector<HostId>{0, 1, 2, 3}));
+    EXPECT_EQ(topo.hostsInRack(2), (std::vector<HostId>{8, 9})); // partial
+}
+
+TEST(TopologyTest, BandwidthByLocality)
+{
+    TopologyConfig config;
+    config.hostsPerRack = 2;
+    config.intraRackBandwidthMbPerSec = 1000.0;
+    config.interRackBandwidthMbPerSec = 400.0;
+    const Topology topo(4, config);
+
+    EXPECT_DOUBLE_EQ(topo.bandwidthBetween(0, 1), 1000.0);
+    EXPECT_DOUBLE_EQ(topo.bandwidthBetween(0, 2), 400.0);
+}
+
+TEST(TopologyTest, UplinkSlotAccounting)
+{
+    TopologyConfig config;
+    config.hostsPerRack = 2;
+    config.uplinkMigrationSlotsPerRack = 1;
+    Topology topo(6, config);
+
+    EXPECT_TRUE(topo.uplinkSlotsFree(0, 2));
+    topo.acquireUplink(0, 2); // racks 0 and 1 each carry one flow
+    EXPECT_EQ(topo.uplinkFlows(0), 1);
+    EXPECT_EQ(topo.uplinkFlows(1), 1);
+    EXPECT_FALSE(topo.uplinkSlotsFree(1, 3)); // racks 0-1 both full
+    EXPECT_FALSE(topo.uplinkSlotsFree(0, 4)); // rack 0 full
+    EXPECT_TRUE(topo.uplinkSlotsFree(4, 5));  // same rack: free
+
+    topo.releaseUplink(0, 2);
+    EXPECT_TRUE(topo.uplinkSlotsFree(1, 3));
+    EXPECT_EQ(topo.uplinkFlows(0), 0);
+}
+
+TEST(TopologyTest, SameRackNeverTouchesUplinks)
+{
+    TopologyConfig config;
+    config.hostsPerRack = 4;
+    Topology topo(4, config);
+    topo.acquireUplink(0, 1);
+    EXPECT_EQ(topo.uplinkFlows(0), 0);
+}
+
+TEST(TopologyDeathTest, RejectsBadConfig)
+{
+    TopologyConfig bad;
+    bad.hostsPerRack = 0;
+    EXPECT_EXIT(Topology(4, bad), ::testing::ExitedWithCode(1), "rack");
+
+    bad = TopologyConfig{};
+    bad.interRackBandwidthMbPerSec = 0.0;
+    EXPECT_EXIT(Topology(4, bad), ::testing::ExitedWithCode(1),
+                "positive");
+
+    Topology topo(4);
+    EXPECT_DEATH(topo.rackOf(99), "invalid host");
+    EXPECT_DEATH(topo.releaseUplink(0, 9), "invalid host");
+}
+
+class TopologyMigrationTest : public ::testing::Test
+{
+  protected:
+    TopologyMigrationTest() : cluster(simulator)
+    {
+        const power::HostPowerSpec spec = power::enterpriseBlade2013();
+        for (int i = 0; i < 4; ++i)
+            cluster.addHost(HostConfig{}, spec);
+        topo_config.hostsPerRack = 2;
+        topo_config.intraRackBandwidthMbPerSec = 1100.0;
+        topo_config.interRackBandwidthMbPerSec = 275.0; // 4x slower
+        topology = std::make_unique<Topology>(4, topo_config);
+    }
+
+    Vm &
+    placedVm(const std::string &name, HostId host)
+    {
+        workload::VmWorkloadSpec spec;
+        spec.name = name;
+        spec.cpuMhz = 2000.0;
+        spec.memoryMb = 8192.0;
+        spec.trace = std::make_shared<workload::ConstantTrace>(0.3);
+        Vm &vm = cluster.addVm(std::move(spec));
+        cluster.placeVm(vm.id(), host);
+        return vm;
+    }
+
+    sim::Simulator simulator;
+    Cluster cluster;
+    TopologyConfig topo_config;
+    std::unique_ptr<Topology> topology;
+};
+
+TEST_F(TopologyMigrationTest, CrossRackMigrationIsSlower)
+{
+    MigrationEngine engine(simulator, cluster);
+    engine.setTopology(topology.get());
+
+    Vm &vm = placedVm("vm", 0);
+    const SimTime local = engine.expectedDuration(vm, 0, 1);
+    const SimTime remote = engine.expectedDuration(vm, 0, 2);
+
+    // Copy portion scales with the 4x bandwidth ratio.
+    const SimTime fixed = engine.config().fixedOverhead;
+    EXPECT_NEAR((remote - fixed).toSeconds(),
+                (local - fixed).toSeconds() * 4.0, 1e-6);
+}
+
+TEST_F(TopologyMigrationTest, ActualCrossRackMigrationPaysTheUplink)
+{
+    MigrationEngine engine(simulator, cluster);
+    engine.setTopology(topology.get());
+    Vm &vm = placedVm("vm", 0);
+
+    engine.request(vm.id(), 2);
+    const SimTime end = simulator.run();
+    EXPECT_EQ(end, engine.expectedDuration(vm, 0, 2));
+    EXPECT_EQ(engine.crossRackCount(), 1u);
+    EXPECT_EQ(topology->uplinkFlows(0), 0); // released on completion
+}
+
+TEST_F(TopologyMigrationTest, UplinkSaturationQueuesCrossRackFlows)
+{
+    topo_config.uplinkMigrationSlotsPerRack = 1;
+    topology = std::make_unique<Topology>(4, topo_config);
+    MigrationConfig mig_config;
+    mig_config.maxConcurrentPerHost = 4; // host caps out of the way
+    MigrationEngine engine(simulator, cluster, mig_config);
+    engine.setTopology(topology.get());
+
+    Vm &vm_a = placedVm("a", 0);
+    Vm &vm_b = placedVm("b", 1);
+
+    EXPECT_TRUE(engine.request(vm_a.id(), 2)); // takes rack 0-1 uplink
+    EXPECT_TRUE(engine.request(vm_b.id(), 3)); // must queue
+    EXPECT_EQ(engine.activeCount(), 1);
+    EXPECT_EQ(engine.queuedCount(), 1u);
+
+    simulator.run();
+    EXPECT_EQ(engine.completedCount(), 2u);
+    EXPECT_EQ(vm_a.host(), 2);
+    EXPECT_EQ(vm_b.host(), 3);
+    EXPECT_EQ(engine.crossRackCount(), 2u);
+}
+
+TEST(TopologyScenarioTest, RackAffinityCutsCrossRackTraffic)
+{
+    mgmt::ScenarioConfig base;
+    base.hostCount = 12;
+    base.vmCount = 48;
+    base.duration = SimTime::hours(12.0);
+    dc::TopologyConfig topo;
+    topo.hostsPerRack = 4;
+    topo.interRackBandwidthMbPerSec = 300.0;
+    base.topology = topo;
+    base.manager = mgmt::makePolicy(mgmt::PolicyKind::PmS3);
+
+    mgmt::ScenarioConfig affine = base;
+    affine.manager.rackAffinity = true;
+
+    const mgmt::ScenarioResult oblivious = mgmt::runScenario(base);
+    const mgmt::ScenarioResult with_affinity = mgmt::runScenario(affine);
+
+    ASSERT_GT(oblivious.metrics.migrations, 0u);
+    // Affinity reduces the cross-rack fraction of migration traffic.
+    const double frac_oblivious =
+        static_cast<double>(oblivious.crossRackMigrations) /
+        static_cast<double>(oblivious.metrics.migrations);
+    const double frac_affine =
+        static_cast<double>(with_affinity.crossRackMigrations) /
+        static_cast<double>(with_affinity.metrics.migrations);
+    EXPECT_LT(frac_affine, frac_oblivious);
+    EXPECT_GT(with_affinity.metrics.satisfaction, 0.99);
+}
+
+} // namespace
+} // namespace vpm::dc

@@ -1,0 +1,62 @@
+/** @file Weekly-pattern integration: weekends consolidate deeper. */
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "workload/diurnal.hpp"
+#include "stats/summary.hpp"
+
+namespace vpm::mgmt {
+namespace {
+
+using sim::SimTime;
+
+TEST(WeeklyPatternTest, WeekendTroughParksMoreHosts)
+{
+    ScenarioConfig config;
+    config.hostCount = 8;
+    config.vmCount = 40;
+    config.duration = SimTime::hours(7 * 24.0); // Monday..Sunday
+    config.manager = makePolicy(PolicyKind::PmS3);
+    // Give every diurnal VM a 50% weekend factor.
+    config.mix.diurnalFraction = 1.0;
+    config.mix.randomWalkFraction = 0.0;
+    config.mix.burstyFraction = 0.0;
+    config.transformFleet = [](auto &) {};
+
+    // makeEnterpriseMix does not expose weekendFactor directly; rebuild
+    // the traces with it set.
+    config.transformFleet =
+        [](std::vector<workload::VmWorkloadSpec> &fleet) {
+            std::uint64_t salt = 1;
+            for (auto &spec : fleet) {
+                workload::DiurnalConfig cfg;
+                cfg.mean = 0.45;
+                cfg.amplitude = 0.30;
+                cfg.weekendFactor = 0.45;
+                cfg.phase = sim::SimTime::hours(
+                    static_cast<double>(salt % 5) - 2.0);
+                cfg.seed = salt++;
+                spec.trace =
+                    std::make_shared<workload::DiurnalTrace>(cfg);
+            }
+        };
+
+    stats::Summary weekday_hosts, weekend_hosts;
+    config.evaluationProbe = [&](const dc::Cluster &cluster,
+                                 SimTime now) {
+        const int day = static_cast<int>(now.toHours() / 24.0);
+        if (day >= 7)
+            return;
+        (day >= 5 ? weekend_hosts : weekday_hosts)
+            .add(static_cast<double>(cluster.hostsOn()));
+    };
+
+    const ScenarioResult result = runScenario(config);
+    EXPECT_GT(result.metrics.satisfaction, 0.99);
+    // Saturday/Sunday run on visibly fewer hosts than Monday-Friday.
+    EXPECT_LT(weekend_hosts.mean(), weekday_hosts.mean() - 0.5);
+}
+
+} // namespace
+} // namespace vpm::mgmt
