@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_provisioning_churn.dir/bench_e1_provisioning_churn.cpp.o"
+  "CMakeFiles/bench_e1_provisioning_churn.dir/bench_e1_provisioning_churn.cpp.o.d"
+  "bench_e1_provisioning_churn"
+  "bench_e1_provisioning_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_provisioning_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

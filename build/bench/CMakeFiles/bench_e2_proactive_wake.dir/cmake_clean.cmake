@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_proactive_wake.dir/bench_e2_proactive_wake.cpp.o"
+  "CMakeFiles/bench_e2_proactive_wake.dir/bench_e2_proactive_wake.cpp.o.d"
+  "bench_e2_proactive_wake"
+  "bench_e2_proactive_wake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_proactive_wake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

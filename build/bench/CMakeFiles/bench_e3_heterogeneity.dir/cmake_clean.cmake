@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_heterogeneity.dir/bench_e3_heterogeneity.cpp.o"
+  "CMakeFiles/bench_e3_heterogeneity.dir/bench_e3_heterogeneity.cpp.o.d"
+  "bench_e3_heterogeneity"
+  "bench_e3_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_power_cap.dir/bench_e4_power_cap.cpp.o"
+  "CMakeFiles/bench_e4_power_cap.dir/bench_e4_power_cap.cpp.o.d"
+  "bench_e4_power_cap"
+  "bench_e4_power_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_power_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_dvfs_comparison.dir/bench_e5_dvfs_comparison.cpp.o"
+  "CMakeFiles/bench_e5_dvfs_comparison.dir/bench_e5_dvfs_comparison.cpp.o.d"
+  "bench_e5_dvfs_comparison"
+  "bench_e5_dvfs_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_dvfs_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

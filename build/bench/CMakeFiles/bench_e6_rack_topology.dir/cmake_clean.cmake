@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_rack_topology.dir/bench_e6_rack_topology.cpp.o"
+  "CMakeFiles/bench_e6_rack_topology.dir/bench_e6_rack_topology.cpp.o.d"
+  "bench_e6_rack_topology"
+  "bench_e6_rack_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_rack_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_failures_ha.dir/bench_e7_failures_ha.cpp.o"
+  "CMakeFiles/bench_e7_failures_ha.dir/bench_e7_failures_ha.cpp.o.d"
+  "bench_e7_failures_ha"
+  "bench_e7_failures_ha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_failures_ha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f10_headroom.cpp" "bench/CMakeFiles/bench_f10_headroom.dir/bench_f10_headroom.cpp.o" "gcc" "bench/CMakeFiles/bench_f10_headroom.dir/bench_f10_headroom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prototype/CMakeFiles/vpm_prototype.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/vpm_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vpm_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

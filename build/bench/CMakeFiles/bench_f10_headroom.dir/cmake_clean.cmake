@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_headroom.dir/bench_f10_headroom.cpp.o"
+  "CMakeFiles/bench_f10_headroom.dir/bench_f10_headroom.cpp.o.d"
+  "bench_f10_headroom"
+  "bench_f10_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

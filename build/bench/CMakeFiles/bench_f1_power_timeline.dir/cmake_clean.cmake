@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_power_timeline.dir/bench_f1_power_timeline.cpp.o"
+  "CMakeFiles/bench_f1_power_timeline.dir/bench_f1_power_timeline.cpp.o.d"
+  "bench_f1_power_timeline"
+  "bench_f1_power_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_power_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

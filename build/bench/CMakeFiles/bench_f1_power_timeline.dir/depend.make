@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f1_power_timeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_breakeven.dir/bench_f2_breakeven.cpp.o"
+  "CMakeFiles/bench_f2_breakeven.dir/bench_f2_breakeven.cpp.o.d"
+  "bench_f2_breakeven"
+  "bench_f2_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

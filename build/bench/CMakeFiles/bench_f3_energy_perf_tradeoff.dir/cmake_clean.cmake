@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_energy_perf_tradeoff.dir/bench_f3_energy_perf_tradeoff.cpp.o"
+  "CMakeFiles/bench_f3_energy_perf_tradeoff.dir/bench_f3_energy_perf_tradeoff.cpp.o.d"
+  "bench_f3_energy_perf_tradeoff"
+  "bench_f3_energy_perf_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_energy_perf_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f3_energy_perf_tradeoff.
+# This may be replaced when dependencies are built.

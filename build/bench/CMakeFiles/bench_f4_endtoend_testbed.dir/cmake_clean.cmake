@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_endtoend_testbed.dir/bench_f4_endtoend_testbed.cpp.o"
+  "CMakeFiles/bench_f4_endtoend_testbed.dir/bench_f4_endtoend_testbed.cpp.o.d"
+  "bench_f4_endtoend_testbed"
+  "bench_f4_endtoend_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_endtoend_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

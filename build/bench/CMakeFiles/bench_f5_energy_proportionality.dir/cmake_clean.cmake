@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_energy_proportionality.dir/bench_f5_energy_proportionality.cpp.o"
+  "CMakeFiles/bench_f5_energy_proportionality.dir/bench_f5_energy_proportionality.cpp.o.d"
+  "bench_f5_energy_proportionality"
+  "bench_f5_energy_proportionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_energy_proportionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f5_energy_proportionality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_spike_agility.dir/bench_f6_spike_agility.cpp.o"
+  "CMakeFiles/bench_f6_spike_agility.dir/bench_f6_spike_agility.cpp.o.d"
+  "bench_f6_spike_agility"
+  "bench_f6_spike_agility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_spike_agility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

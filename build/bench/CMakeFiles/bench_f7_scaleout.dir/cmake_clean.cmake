@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_scaleout.dir/bench_f7_scaleout.cpp.o"
+  "CMakeFiles/bench_f7_scaleout.dir/bench_f7_scaleout.cpp.o.d"
+  "bench_f7_scaleout"
+  "bench_f7_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

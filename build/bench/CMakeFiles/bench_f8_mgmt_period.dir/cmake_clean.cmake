@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_mgmt_period.dir/bench_f8_mgmt_period.cpp.o"
+  "CMakeFiles/bench_f8_mgmt_period.dir/bench_f8_mgmt_period.cpp.o.d"
+  "bench_f8_mgmt_period"
+  "bench_f8_mgmt_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_mgmt_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

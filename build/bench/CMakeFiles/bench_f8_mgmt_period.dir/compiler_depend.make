@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f8_mgmt_period.
+# This may be replaced when dependencies are built.

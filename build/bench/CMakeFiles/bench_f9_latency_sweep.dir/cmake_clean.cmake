@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_latency_sweep.dir/bench_f9_latency_sweep.cpp.o"
+  "CMakeFiles/bench_f9_latency_sweep.dir/bench_f9_latency_sweep.cpp.o.d"
+  "bench_f9_latency_sweep"
+  "bench_f9_latency_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_latency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

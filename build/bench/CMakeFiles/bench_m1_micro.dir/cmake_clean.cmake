@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m1_micro.dir/bench_m1_micro.cpp.o"
+  "CMakeFiles/bench_m1_micro.dir/bench_m1_micro.cpp.o.d"
+  "bench_m1_micro"
+  "bench_m1_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m1_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_state_characterization.dir/bench_t1_state_characterization.cpp.o"
+  "CMakeFiles/bench_t1_state_characterization.dir/bench_t1_state_characterization.cpp.o.d"
+  "bench_t1_state_characterization"
+  "bench_t1_state_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_state_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t1_state_characterization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakeven_explorer.dir/breakeven_explorer.cpp.o"
+  "CMakeFiles/breakeven_explorer.dir/breakeven_explorer.cpp.o.d"
+  "breakeven_explorer"
+  "breakeven_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakeven_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_hardware.dir/custom_hardware.cpp.o"
+  "CMakeFiles/custom_hardware.dir/custom_hardware.cpp.o.d"
+  "custom_hardware"
+  "custom_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

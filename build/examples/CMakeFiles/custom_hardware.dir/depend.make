@@ -1,0 +1,2 @@
+# Empty dependencies file for custom_hardware.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_datacenter.dir/diurnal_datacenter.cpp.o"
+  "CMakeFiles/diurnal_datacenter.dir/diurnal_datacenter.cpp.o.d"
+  "diurnal_datacenter"
+  "diurnal_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_day.dir/operator_day.cpp.o"
+  "CMakeFiles/operator_day.dir/operator_day.cpp.o.d"
+  "operator_day"
+  "operator_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for operator_day.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_agility.dir/spike_agility.cpp.o"
+  "CMakeFiles/spike_agility.dir/spike_agility.cpp.o.d"
+  "spike_agility"
+  "spike_agility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_agility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

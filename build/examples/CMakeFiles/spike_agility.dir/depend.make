@@ -1,0 +1,2 @@
+# Empty dependencies file for spike_agility.
+# This may be replaced when dependencies are built.

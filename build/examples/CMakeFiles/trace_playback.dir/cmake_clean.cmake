@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_playback.dir/trace_playback.cpp.o"
+  "CMakeFiles/trace_playback.dir/trace_playback.cpp.o.d"
+  "trace_playback"
+  "trace_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dvfs.cpp" "src/core/CMakeFiles/vpm_core.dir/dvfs.cpp.o" "gcc" "src/core/CMakeFiles/vpm_core.dir/dvfs.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/core/CMakeFiles/vpm_core.dir/manager.cpp.o" "gcc" "src/core/CMakeFiles/vpm_core.dir/manager.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/vpm_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/vpm_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/vpm_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/vpm_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/vpm_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/vpm_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/vpm_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/vpm_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vpm_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/vpm_datacenter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

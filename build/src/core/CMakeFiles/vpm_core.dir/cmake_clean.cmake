@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpm_core.dir/dvfs.cpp.o"
+  "CMakeFiles/vpm_core.dir/dvfs.cpp.o.d"
+  "CMakeFiles/vpm_core.dir/manager.cpp.o"
+  "CMakeFiles/vpm_core.dir/manager.cpp.o.d"
+  "CMakeFiles/vpm_core.dir/placement.cpp.o"
+  "CMakeFiles/vpm_core.dir/placement.cpp.o.d"
+  "CMakeFiles/vpm_core.dir/policies.cpp.o"
+  "CMakeFiles/vpm_core.dir/policies.cpp.o.d"
+  "CMakeFiles/vpm_core.dir/predictor.cpp.o"
+  "CMakeFiles/vpm_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/vpm_core.dir/scenario.cpp.o"
+  "CMakeFiles/vpm_core.dir/scenario.cpp.o.d"
+  "libvpm_core.a"
+  "libvpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

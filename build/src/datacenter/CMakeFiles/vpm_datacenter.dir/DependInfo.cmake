@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacenter/cluster.cpp" "src/datacenter/CMakeFiles/vpm_datacenter.dir/cluster.cpp.o" "gcc" "src/datacenter/CMakeFiles/vpm_datacenter.dir/cluster.cpp.o.d"
+  "/root/repo/src/datacenter/datacenter_sim.cpp" "src/datacenter/CMakeFiles/vpm_datacenter.dir/datacenter_sim.cpp.o" "gcc" "src/datacenter/CMakeFiles/vpm_datacenter.dir/datacenter_sim.cpp.o.d"
+  "/root/repo/src/datacenter/failure.cpp" "src/datacenter/CMakeFiles/vpm_datacenter.dir/failure.cpp.o" "gcc" "src/datacenter/CMakeFiles/vpm_datacenter.dir/failure.cpp.o.d"
+  "/root/repo/src/datacenter/host.cpp" "src/datacenter/CMakeFiles/vpm_datacenter.dir/host.cpp.o" "gcc" "src/datacenter/CMakeFiles/vpm_datacenter.dir/host.cpp.o.d"
+  "/root/repo/src/datacenter/migration.cpp" "src/datacenter/CMakeFiles/vpm_datacenter.dir/migration.cpp.o" "gcc" "src/datacenter/CMakeFiles/vpm_datacenter.dir/migration.cpp.o.d"
+  "/root/repo/src/datacenter/provisioning.cpp" "src/datacenter/CMakeFiles/vpm_datacenter.dir/provisioning.cpp.o" "gcc" "src/datacenter/CMakeFiles/vpm_datacenter.dir/provisioning.cpp.o.d"
+  "/root/repo/src/datacenter/topology.cpp" "src/datacenter/CMakeFiles/vpm_datacenter.dir/topology.cpp.o" "gcc" "src/datacenter/CMakeFiles/vpm_datacenter.dir/topology.cpp.o.d"
+  "/root/repo/src/datacenter/vm.cpp" "src/datacenter/CMakeFiles/vpm_datacenter.dir/vm.cpp.o" "gcc" "src/datacenter/CMakeFiles/vpm_datacenter.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vpm_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vpm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpm_datacenter.dir/cluster.cpp.o"
+  "CMakeFiles/vpm_datacenter.dir/cluster.cpp.o.d"
+  "CMakeFiles/vpm_datacenter.dir/datacenter_sim.cpp.o"
+  "CMakeFiles/vpm_datacenter.dir/datacenter_sim.cpp.o.d"
+  "CMakeFiles/vpm_datacenter.dir/failure.cpp.o"
+  "CMakeFiles/vpm_datacenter.dir/failure.cpp.o.d"
+  "CMakeFiles/vpm_datacenter.dir/host.cpp.o"
+  "CMakeFiles/vpm_datacenter.dir/host.cpp.o.d"
+  "CMakeFiles/vpm_datacenter.dir/migration.cpp.o"
+  "CMakeFiles/vpm_datacenter.dir/migration.cpp.o.d"
+  "CMakeFiles/vpm_datacenter.dir/provisioning.cpp.o"
+  "CMakeFiles/vpm_datacenter.dir/provisioning.cpp.o.d"
+  "CMakeFiles/vpm_datacenter.dir/topology.cpp.o"
+  "CMakeFiles/vpm_datacenter.dir/topology.cpp.o.d"
+  "CMakeFiles/vpm_datacenter.dir/vm.cpp.o"
+  "CMakeFiles/vpm_datacenter.dir/vm.cpp.o.d"
+  "libvpm_datacenter.a"
+  "libvpm_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpm_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/breakeven.cpp" "src/power/CMakeFiles/vpm_power.dir/breakeven.cpp.o" "gcc" "src/power/CMakeFiles/vpm_power.dir/breakeven.cpp.o.d"
+  "/root/repo/src/power/calibration.cpp" "src/power/CMakeFiles/vpm_power.dir/calibration.cpp.o" "gcc" "src/power/CMakeFiles/vpm_power.dir/calibration.cpp.o.d"
+  "/root/repo/src/power/energy_meter.cpp" "src/power/CMakeFiles/vpm_power.dir/energy_meter.cpp.o" "gcc" "src/power/CMakeFiles/vpm_power.dir/energy_meter.cpp.o.d"
+  "/root/repo/src/power/power_curve.cpp" "src/power/CMakeFiles/vpm_power.dir/power_curve.cpp.o" "gcc" "src/power/CMakeFiles/vpm_power.dir/power_curve.cpp.o.d"
+  "/root/repo/src/power/power_state.cpp" "src/power/CMakeFiles/vpm_power.dir/power_state.cpp.o" "gcc" "src/power/CMakeFiles/vpm_power.dir/power_state.cpp.o.d"
+  "/root/repo/src/power/power_state_machine.cpp" "src/power/CMakeFiles/vpm_power.dir/power_state_machine.cpp.o" "gcc" "src/power/CMakeFiles/vpm_power.dir/power_state_machine.cpp.o.d"
+  "/root/repo/src/power/server_models.cpp" "src/power/CMakeFiles/vpm_power.dir/server_models.cpp.o" "gcc" "src/power/CMakeFiles/vpm_power.dir/server_models.cpp.o.d"
+  "/root/repo/src/power/spec_file.cpp" "src/power/CMakeFiles/vpm_power.dir/spec_file.cpp.o" "gcc" "src/power/CMakeFiles/vpm_power.dir/spec_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vpm_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpm_power.dir/breakeven.cpp.o"
+  "CMakeFiles/vpm_power.dir/breakeven.cpp.o.d"
+  "CMakeFiles/vpm_power.dir/calibration.cpp.o"
+  "CMakeFiles/vpm_power.dir/calibration.cpp.o.d"
+  "CMakeFiles/vpm_power.dir/energy_meter.cpp.o"
+  "CMakeFiles/vpm_power.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/vpm_power.dir/power_curve.cpp.o"
+  "CMakeFiles/vpm_power.dir/power_curve.cpp.o.d"
+  "CMakeFiles/vpm_power.dir/power_state.cpp.o"
+  "CMakeFiles/vpm_power.dir/power_state.cpp.o.d"
+  "CMakeFiles/vpm_power.dir/power_state_machine.cpp.o"
+  "CMakeFiles/vpm_power.dir/power_state_machine.cpp.o.d"
+  "CMakeFiles/vpm_power.dir/server_models.cpp.o"
+  "CMakeFiles/vpm_power.dir/server_models.cpp.o.d"
+  "CMakeFiles/vpm_power.dir/spec_file.cpp.o"
+  "CMakeFiles/vpm_power.dir/spec_file.cpp.o.d"
+  "libvpm_power.a"
+  "libvpm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpm_prototype.dir/testbed.cpp.o"
+  "CMakeFiles/vpm_prototype.dir/testbed.cpp.o.d"
+  "libvpm_prototype.a"
+  "libvpm_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpm_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vpm_prototype.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/event_queue.cpp" "src/simcore/CMakeFiles/vpm_simcore.dir/event_queue.cpp.o" "gcc" "src/simcore/CMakeFiles/vpm_simcore.dir/event_queue.cpp.o.d"
+  "/root/repo/src/simcore/logging.cpp" "src/simcore/CMakeFiles/vpm_simcore.dir/logging.cpp.o" "gcc" "src/simcore/CMakeFiles/vpm_simcore.dir/logging.cpp.o.d"
+  "/root/repo/src/simcore/random.cpp" "src/simcore/CMakeFiles/vpm_simcore.dir/random.cpp.o" "gcc" "src/simcore/CMakeFiles/vpm_simcore.dir/random.cpp.o.d"
+  "/root/repo/src/simcore/sim_time.cpp" "src/simcore/CMakeFiles/vpm_simcore.dir/sim_time.cpp.o" "gcc" "src/simcore/CMakeFiles/vpm_simcore.dir/sim_time.cpp.o.d"
+  "/root/repo/src/simcore/simulator.cpp" "src/simcore/CMakeFiles/vpm_simcore.dir/simulator.cpp.o" "gcc" "src/simcore/CMakeFiles/vpm_simcore.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpm_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/vpm_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vpm_simcore.dir/logging.cpp.o"
+  "CMakeFiles/vpm_simcore.dir/logging.cpp.o.d"
+  "CMakeFiles/vpm_simcore.dir/random.cpp.o"
+  "CMakeFiles/vpm_simcore.dir/random.cpp.o.d"
+  "CMakeFiles/vpm_simcore.dir/sim_time.cpp.o"
+  "CMakeFiles/vpm_simcore.dir/sim_time.cpp.o.d"
+  "CMakeFiles/vpm_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/vpm_simcore.dir/simulator.cpp.o.d"
+  "libvpm_simcore.a"
+  "libvpm_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpm_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpm_simcore.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/vpm_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/vpm_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/sla_tracker.cpp" "src/stats/CMakeFiles/vpm_stats.dir/sla_tracker.cpp.o" "gcc" "src/stats/CMakeFiles/vpm_stats.dir/sla_tracker.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/vpm_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/vpm_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/stats/CMakeFiles/vpm_stats.dir/table.cpp.o" "gcc" "src/stats/CMakeFiles/vpm_stats.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vpm_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

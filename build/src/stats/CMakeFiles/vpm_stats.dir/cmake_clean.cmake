@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpm_stats.dir/histogram.cpp.o"
+  "CMakeFiles/vpm_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/vpm_stats.dir/sla_tracker.cpp.o"
+  "CMakeFiles/vpm_stats.dir/sla_tracker.cpp.o.d"
+  "CMakeFiles/vpm_stats.dir/summary.cpp.o"
+  "CMakeFiles/vpm_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/vpm_stats.dir/table.cpp.o"
+  "CMakeFiles/vpm_stats.dir/table.cpp.o.d"
+  "libvpm_stats.a"
+  "libvpm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

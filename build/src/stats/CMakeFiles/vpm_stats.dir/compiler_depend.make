@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vpm_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bursty.cpp" "src/workload/CMakeFiles/vpm_workload.dir/bursty.cpp.o" "gcc" "src/workload/CMakeFiles/vpm_workload.dir/bursty.cpp.o.d"
+  "/root/repo/src/workload/demand_trace.cpp" "src/workload/CMakeFiles/vpm_workload.dir/demand_trace.cpp.o" "gcc" "src/workload/CMakeFiles/vpm_workload.dir/demand_trace.cpp.o.d"
+  "/root/repo/src/workload/diurnal.cpp" "src/workload/CMakeFiles/vpm_workload.dir/diurnal.cpp.o" "gcc" "src/workload/CMakeFiles/vpm_workload.dir/diurnal.cpp.o.d"
+  "/root/repo/src/workload/mix.cpp" "src/workload/CMakeFiles/vpm_workload.dir/mix.cpp.o" "gcc" "src/workload/CMakeFiles/vpm_workload.dir/mix.cpp.o.d"
+  "/root/repo/src/workload/random_walk.cpp" "src/workload/CMakeFiles/vpm_workload.dir/random_walk.cpp.o" "gcc" "src/workload/CMakeFiles/vpm_workload.dir/random_walk.cpp.o.d"
+  "/root/repo/src/workload/sampled_trace.cpp" "src/workload/CMakeFiles/vpm_workload.dir/sampled_trace.cpp.o" "gcc" "src/workload/CMakeFiles/vpm_workload.dir/sampled_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vpm_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

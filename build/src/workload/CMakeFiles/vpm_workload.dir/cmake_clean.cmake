@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpm_workload.dir/bursty.cpp.o"
+  "CMakeFiles/vpm_workload.dir/bursty.cpp.o.d"
+  "CMakeFiles/vpm_workload.dir/demand_trace.cpp.o"
+  "CMakeFiles/vpm_workload.dir/demand_trace.cpp.o.d"
+  "CMakeFiles/vpm_workload.dir/diurnal.cpp.o"
+  "CMakeFiles/vpm_workload.dir/diurnal.cpp.o.d"
+  "CMakeFiles/vpm_workload.dir/mix.cpp.o"
+  "CMakeFiles/vpm_workload.dir/mix.cpp.o.d"
+  "CMakeFiles/vpm_workload.dir/random_walk.cpp.o"
+  "CMakeFiles/vpm_workload.dir/random_walk.cpp.o.d"
+  "CMakeFiles/vpm_workload.dir/sampled_trace.cpp.o"
+  "CMakeFiles/vpm_workload.dir/sampled_trace.cpp.o.d"
+  "libvpm_workload.a"
+  "libvpm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_anti_affinity.cpp" "tests/CMakeFiles/vpm_tests.dir/test_anti_affinity.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_anti_affinity.cpp.o.d"
+  "/root/repo/tests/test_breakeven.cpp" "tests/CMakeFiles/vpm_tests.dir/test_breakeven.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_breakeven.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/vpm_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/vpm_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_datacenter_sim.cpp" "tests/CMakeFiles/vpm_tests.dir/test_datacenter_sim.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_datacenter_sim.cpp.o.d"
+  "/root/repo/tests/test_demand_trace.cpp" "tests/CMakeFiles/vpm_tests.dir/test_demand_trace.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_demand_trace.cpp.o.d"
+  "/root/repo/tests/test_dvfs.cpp" "tests/CMakeFiles/vpm_tests.dir/test_dvfs.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_dvfs.cpp.o.d"
+  "/root/repo/tests/test_energy_meter.cpp" "tests/CMakeFiles/vpm_tests.dir/test_energy_meter.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_energy_meter.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/vpm_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_failure_ha.cpp" "tests/CMakeFiles/vpm_tests.dir/test_failure_ha.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_failure_ha.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/vpm_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_fsm_properties.cpp" "tests/CMakeFiles/vpm_tests.dir/test_fsm_properties.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_fsm_properties.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/vpm_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_host.cpp" "tests/CMakeFiles/vpm_tests.dir/test_host.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_host.cpp.o.d"
+  "/root/repo/tests/test_manager.cpp" "tests/CMakeFiles/vpm_tests.dir/test_manager.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_manager.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/vpm_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_mix.cpp" "tests/CMakeFiles/vpm_tests.dir/test_mix.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_mix.cpp.o.d"
+  "/root/repo/tests/test_placement.cpp" "tests/CMakeFiles/vpm_tests.dir/test_placement.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_placement.cpp.o.d"
+  "/root/repo/tests/test_power_curve.cpp" "tests/CMakeFiles/vpm_tests.dir/test_power_curve.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_power_curve.cpp.o.d"
+  "/root/repo/tests/test_power_state.cpp" "tests/CMakeFiles/vpm_tests.dir/test_power_state.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_power_state.cpp.o.d"
+  "/root/repo/tests/test_power_state_machine.cpp" "tests/CMakeFiles/vpm_tests.dir/test_power_state_machine.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_power_state_machine.cpp.o.d"
+  "/root/repo/tests/test_predictor.cpp" "tests/CMakeFiles/vpm_tests.dir/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_predictor.cpp.o.d"
+  "/root/repo/tests/test_provisioning.cpp" "tests/CMakeFiles/vpm_tests.dir/test_provisioning.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_provisioning.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/vpm_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_sampled_trace.cpp" "tests/CMakeFiles/vpm_tests.dir/test_sampled_trace.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_sampled_trace.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/vpm_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_scenario_properties.cpp" "tests/CMakeFiles/vpm_tests.dir/test_scenario_properties.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_scenario_properties.cpp.o.d"
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/vpm_tests.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_sim_time.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/vpm_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_spec_file.cpp" "tests/CMakeFiles/vpm_tests.dir/test_spec_file.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_spec_file.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/vpm_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/vpm_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_testbed.cpp" "tests/CMakeFiles/vpm_tests.dir/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_testbed.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/vpm_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_weekly.cpp" "tests/CMakeFiles/vpm_tests.dir/test_weekly.cpp.o" "gcc" "tests/CMakeFiles/vpm_tests.dir/test_weekly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prototype/CMakeFiles/vpm_prototype.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/vpm_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vpm_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

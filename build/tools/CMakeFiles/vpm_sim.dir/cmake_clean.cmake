@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpm_sim.dir/vpm_sim.cpp.o"
+  "CMakeFiles/vpm_sim.dir/vpm_sim.cpp.o.d"
+  "vpm_sim"
+  "vpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
