@@ -46,9 +46,12 @@ printTimeline(const vpm::proto::Testbed &testbed, const std::string &state,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vpm;
+
+    // Must run before any Testbed simulation so transitions are journaled.
+    const std::string trace_path = bench::traceFlag(argc, argv);
 
     bench::banner("F1", "prototype power timeline (suspend/resume cycle)",
                   "20 s idle lead-in/out, 60 s dwell (S3) / 120 s dwell "
@@ -63,5 +66,6 @@ main()
     std::cout << "Takeaway: the S3 cycle reaches its ~12 W floor within "
                  "seconds and recovers in 15 s;\nthe S5 cycle burns minutes "
                  "of elevated reboot power before the host is usable.\n";
+    bench::writeTrace(trace_path);
     return 0;
 }

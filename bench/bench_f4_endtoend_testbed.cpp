@@ -17,9 +17,12 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vpm;
+
+    // Enable before the scenarios run; all policies share one journal.
+    const std::string trace_path = bench::traceFlag(argc, argv);
 
     bench::banner("F4", "end-to-end policy comparison (testbed scale)",
                   "8 hosts, 40 VMs, 24 h diurnal enterprise mix, "
@@ -53,5 +56,6 @@ main()
     std::cout << "\nTakeaway: PM+S3 approaches the proportional reference "
                  "with DRM-class overheads;\nPM+S5's long transitions force "
                  "bigger buffers and leave savings on the table.\n";
+    bench::writeTrace(trace_path);
     return 0;
 }

@@ -8,11 +8,14 @@
 #define VPM_BENCH_BENCH_UTIL_HPP
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/scenario.hpp"
 #include "stats/table.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::bench {
 
@@ -54,6 +57,45 @@ policyHeader()
     return {"policy",      "energy kWh", "vs NoPM", "satisfaction",
             "SLA viol",    "p95 latency", "migr",   "pwr actions",
             "avg hosts on"};
+}
+
+/**
+ * Parse a `--trace <path>` flag and, when present, switch the global
+ * telemetry sink on (with a journal sized for a full bench run) BEFORE any
+ * simulator objects are built. Returns the output path, or "" when the
+ * flag is absent. Unknown arguments are ignored — benches have no other
+ * flags.
+ */
+inline std::string
+traceFlag(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            telemetry::TelemetryConfig config;
+            config.enabled = true;
+            config.journalCapacity = 1u << 20;
+            telemetry::global().configure(config);
+            return argv[i + 1];
+        }
+    }
+    return std::string();
+}
+
+/**
+ * If @p trace_path is non-empty, dump the global telemetry sink: Chrome
+ * trace at the path itself plus .jsonl journal and .csv metric series
+ * siblings. Prints where the files went.
+ */
+inline void
+writeTrace(const std::string &trace_path)
+{
+    if (trace_path.empty())
+        return;
+    if (telemetry::writeTraceFiles(telemetry::global(), trace_path)) {
+        std::printf("\ntrace written: %s (+ .jsonl journal, .csv series); "
+                    "load the .json in https://ui.perfetto.dev\n",
+                    trace_path.c_str());
+    }
 }
 
 } // namespace vpm::bench

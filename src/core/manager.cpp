@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "simcore/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::mgmt {
 
@@ -12,6 +13,7 @@ VpmManager::VpmManager(sim::Simulator &simulator, dc::Cluster &cluster,
                        dc::DatacenterSim &dcsim, const VpmConfig &config)
     : simulator_(simulator), cluster_(cluster), migration_(migration),
       dcsim_(dcsim), config_(config),
+      forecastTracker_(toString(config.predictor)),
       expectedIdle_(config.expectedIdleSeed)
 {
     if (config_.period <= sim::SimTime())
@@ -119,6 +121,10 @@ VpmManager::observeDemand()
         total += vm_ptr->currentDemandMhz();
     }
     aggregatePredictor_->observe(total);
+    // Score last cycle's aggregate forecast against what actually arrived
+    // and stage the fresh forecast for next cycle's scoring.
+    forecastTracker_.observe(simulator_.now().micros(), total,
+                             aggregatePredictor_->predict());
 }
 
 double
@@ -199,7 +205,7 @@ VpmManager::restartStrandedVms()
             // (the floor erosion shows up as a shortfall) — retry next
             // cycle.
             surplusStreak_ = 0;
-            wakeOneHost();
+            wakeOneHost("ha-restart");
             continue;
         }
         model.apply({vm_id, planned.host, dest});
@@ -248,7 +254,7 @@ VpmManager::ensureCapacity()
 
     // Then wake sleeping hosts, fastest exit first.
     while (required > limit * committed) {
-        if (!wakeOneHost())
+        if (!wakeOneHost("capacity-shortfall"))
             break; // nothing left to wake; DRM absorbs the overload
         committed = committedCapacityMhz();
     }
@@ -277,7 +283,7 @@ VpmManager::ensurePlacementHeadroom()
         }
         if (!fits_somewhere) {
             surplusStreak_ = 0; // capacity is tight; hold consolidation
-            wakeOneHost();
+            wakeOneHost("placement-headroom");
             return; // one per cycle; re-check next cycle
         }
     }
@@ -332,7 +338,7 @@ VpmManager::projectedPeakWatts(const dc::Host *extra) const
 }
 
 bool
-VpmManager::wakeOneHost()
+VpmManager::wakeOneHost(const char *reason)
 {
     dc::Host *best = findWakeCandidate();
     if (!best)
@@ -351,6 +357,8 @@ VpmManager::wakeOneHost()
         return false;
     }
     ++stats_.wakesIssued;
+    telemetry::global().journal().wakeDecision(simulator_.now().micros(),
+                                               best->id(), reason);
 
     // Update the idle-interval estimate from the completed sleep episode.
     if (const auto it = sleepStartedAt_.find(best->id());
@@ -596,6 +604,9 @@ VpmManager::completeDrains()
         }
         if (cluster_.requestHostSleep(host_id, state->name)) {
             ++stats_.sleepsIssued;
+            telemetry::global().journal().sleepDecision(
+                simulator_.now().micros(), host_id, state->name,
+                expectedIdle_.toSeconds());
             sleepStartedAt_[host_id] = simulator_.now();
             draining_.erase(host_id);
         }

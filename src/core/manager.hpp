@@ -289,8 +289,9 @@ class VpmManager
     /**
      * Wake the most attractive sleeping host; false if none exists or
      * the power cap denies it (counted in wakesDeniedByCap).
+     * @param reason Why the wake was needed; journaled with the decision.
      */
-    bool wakeOneHost();
+    bool wakeOneHost(const char *reason);
 
     void cancelDrain(dc::HostId host);
 
@@ -304,6 +305,7 @@ class VpmManager
 
     std::map<dc::VmId, std::unique_ptr<DemandPredictor>> vmPredictors_;
     std::unique_ptr<DemandPredictor> aggregatePredictor_;
+    ForecastTracker forecastTracker_;
 
     /** true iff the host can hold VMs and take new ones. */
     bool hostUsable(const dc::Host &host) const;

@@ -1,8 +1,11 @@
 #include "core/predictor.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::mgmt {
 
@@ -200,6 +203,39 @@ makePredictor(PredictorKind kind)
     }
     sim::panic("makePredictor: invalid PredictorKind %d",
                static_cast<int>(kind));
+}
+
+ForecastTracker::ForecastTracker(std::string predictor_name)
+    : name_(std::move(predictor_name))
+{
+}
+
+void
+ForecastTracker::observe(std::int64_t t_us, double actual,
+                         double next_forecast)
+{
+    if (hasPending_) {
+        ++samples_;
+        absErrorSum_ += std::abs(pendingForecast_ - actual);
+        errorSum_ += pendingForecast_ - actual;
+        telemetry::Telemetry &tel = telemetry::global();
+        tel.journal().forecast(t_us, name_, pendingForecast_, actual);
+        tel.metrics().gauge("predictor.mae").set(meanAbsoluteError());
+    }
+    pendingForecast_ = next_forecast;
+    hasPending_ = true;
+}
+
+double
+ForecastTracker::meanAbsoluteError() const
+{
+    return samples_ > 0 ? absErrorSum_ / double(samples_) : 0.0;
+}
+
+double
+ForecastTracker::meanError() const
+{
+    return samples_ > 0 ? errorSum_ / double(samples_) : 0.0;
 }
 
 } // namespace vpm::mgmt

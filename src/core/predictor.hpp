@@ -13,6 +13,7 @@
 #ifndef VPM_CORE_PREDICTOR_HPP
 #define VPM_CORE_PREDICTOR_HPP
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 #include <memory>
@@ -160,6 +161,46 @@ const char *toString(PredictorKind kind);
 
 /** Factory with each family's default parameters. */
 std::unique_ptr<DemandPredictor> makePredictor(PredictorKind kind);
+
+/**
+ * Forecast-quality bookkeeping around a DemandPredictor.
+ *
+ * Each cycle the owner reports the demand actually observed together with
+ * the forecast just produced for the NEXT cycle; the tracker compares the
+ * previous cycle's forecast against the new actual, journals the pair as a
+ * telemetry Forecast event, and keeps running error statistics. This is
+ * how "the predictor said X, reality said Y" becomes visible in traces
+ * without every predictor knowing about telemetry.
+ */
+class ForecastTracker
+{
+  public:
+    /** @param predictor_name Label journaled with every pair. */
+    explicit ForecastTracker(std::string predictor_name);
+
+    /**
+     * Report this cycle's observed demand and the forecast for the next
+     * cycle. The first call only seeds (there is no prior forecast yet).
+     */
+    void observe(std::int64_t t_us, double actual, double next_forecast);
+
+    /** Forecast/actual pairs scored so far. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Mean |forecast - actual|; 0 before any pair completes. */
+    double meanAbsoluteError() const;
+
+    /** Mean (forecast - actual); positive = over-provisioning bias. */
+    double meanError() const;
+
+  private:
+    std::string name_;
+    double pendingForecast_ = 0.0;
+    bool hasPending_ = false;
+    std::uint64_t samples_ = 0;
+    double absErrorSum_ = 0.0;
+    double errorSum_ = 0.0;
+};
 
 } // namespace vpm::mgmt
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::dc {
 
@@ -52,8 +53,29 @@ DatacenterSim::evaluationTick()
     evaluate();
     for (const EvaluationHook &hook : hooks_)
         hook();
+    sampleTelemetry();
     simulator_.schedule(config_.evaluationInterval,
                         [this] { evaluationTick(); }, "dcsim.evaluate");
+}
+
+void
+DatacenterSim::sampleTelemetry()
+{
+    telemetry::Telemetry &tel = telemetry::global();
+    if (!tel.enabled())
+        return;
+
+    double watts = 0.0;
+    double demand_mhz = 0.0;
+    for (const auto &host_ptr : cluster_.hosts()) {
+        watts += host_ptr->powerWatts();
+        demand_mhz += host_ptr->vmDemandMhz();
+    }
+    tel.metrics().gauge("cluster.power.watts").set(watts);
+    tel.metrics().gauge("cluster.hosts.on")
+        .set(static_cast<double>(cluster_.hostsOn()));
+    tel.metrics().gauge("cluster.demand.mhz").set(demand_mhz);
+    tel.sampleSeries(simulator_.now().micros());
 }
 
 void
@@ -73,10 +95,20 @@ DatacenterSim::evaluate()
 
     // One SLA sample per placed VM per evaluation. A VM stranded on a
     // non-On host counts as fully starved.
+    telemetry::EventJournal &journal = telemetry::global().journal();
     for (const auto &vm_ptr : cluster_.vms()) {
         if (!vm_ptr->placed())
             continue;
         sla_.record(vm_ptr->currentDemandMhz(), vm_ptr->grantedMhz());
+
+        // Journal each sample that falls below the SLA threshold.
+        const double demand = vm_ptr->currentDemandMhz();
+        if (journal.enabled() && demand > 0.0) {
+            const double sat = vm_ptr->grantedMhz() / demand;
+            if (sat < config_.slaThreshold)
+                journal.slaViolation(now.micros(), vm_ptr->id(), sat,
+                                     demand);
+        }
 
         // Response-time inflation of the VM's host, M/M/1-style. Starved
         // VMs (host off, or rho pinned at the cap) land at the ceiling.

@@ -118,6 +118,10 @@ class DatacenterSim
     /** Allocate grants on one host from its VMs' current demand. */
     void allocateHost(Host &host);
 
+    /** Refresh cluster-level gauges and snapshot the metric series; no-op
+     *  when global telemetry is disabled. */
+    void sampleTelemetry();
+
     sim::Simulator &simulator_;
     Cluster &cluster_;
     MigrationEngine &migration_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::dc {
 
@@ -23,6 +24,14 @@ Host::Host(sim::Simulator &simulator, HostId id, std::string name,
     fsm_.addObserver([this](power::PowerPhase, power::PowerPhase) {
         updatePowerDraw();
     });
+
+    // Journal this host's power timeline under its cluster id/name, and
+    // mirror the meter into a per-host watts gauge when tracing is on.
+    fsm_.setTelemetryTrack(id_, name_);
+    telemetry::Telemetry &tel = telemetry::global();
+    if (tel.enabled())
+        meter_.attachTelemetry(
+            &tel.metrics().gauge("host." + name_ + ".watts"));
 }
 
 void

@@ -4,8 +4,24 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::dc {
+
+namespace {
+
+/** Completed-migration durations, fleet-wide. 0-120 s in 2 s buckets spans
+ *  the regimes the paper's workloads produce. Handle resolved once. */
+telemetry::HistogramMetric &
+migrationSecondsHistogram()
+{
+    static telemetry::HistogramMetric &h =
+        telemetry::global().metrics().histogram("migration.seconds", 0.0,
+                                                120.0, 60);
+    return h;
+}
+
+} // namespace
 
 MigrationEngine::MigrationEngine(sim::Simulator &simulator, Cluster &cluster,
                                  const MigrationConfig &config)
@@ -190,6 +206,14 @@ MigrationEngine::start(VmId vm_id, HostId dest)
                vm.name().c_str(), src_ref.name().c_str(),
                dest_ref.name().c_str(), duration.toString().c_str());
 
+    telemetry::Telemetry &tel = telemetry::global();
+    if (tel.enabled()) {
+        tel.journal().registerTrack(telemetry::TrackDomain::Vm, vm_id,
+                                    vm.name());
+        tel.journal().migrationStart(simulator_.now().micros(), vm_id,
+                                     source, dest, duration.toSeconds());
+    }
+
     activeDurations_[vm_id] = duration;
     simulator_.schedule(
         duration,
@@ -226,6 +250,9 @@ MigrationEngine::complete(VmId vm_id, HostId source, HostId dest)
     if (!src_ref.isOn() || !dest_ref.isOn()) {
         ++aborted_;
         activeDurations_.erase(vm_id);
+        telemetry::global().journal().migrationAbort(
+            simulator_.now().micros(), vm_id, source, dest,
+            "endpoint lost power");
         sim::warn("migration of '%s' aborted: endpoint lost power",
                   vm.name().c_str());
         src_ref.updatePowerDraw();
@@ -235,7 +262,11 @@ MigrationEngine::complete(VmId vm_id, HostId source, HostId dest)
     }
 
     ++completed_;
-    durations_.add(activeDurations_.at(vm_id).toSeconds());
+    const double actual_seconds = activeDurations_.at(vm_id).toSeconds();
+    durations_.add(actual_seconds);
+    migrationSecondsHistogram().observe(actual_seconds);
+    telemetry::global().journal().migrationFinish(
+        simulator_.now().micros(), vm_id, source, dest, actual_seconds);
     activeDurations_.erase(vm_id);
 
     cluster_.moveVm(vm_id, dest);

@@ -25,6 +25,16 @@ EnergyMeter::update(sim::SimTime t, double watts)
     joules_ += heldWatts_ * (t - lastTime_).toSeconds();
     lastTime_ = t;
     heldWatts_ = watts;
+    if (wattsGauge_)
+        wattsGauge_->set(watts);
+}
+
+void
+EnergyMeter::attachTelemetry(telemetry::Gauge *gauge)
+{
+    wattsGauge_ = gauge;
+    if (wattsGauge_)
+        wattsGauge_->set(heldWatts_);
 }
 
 void

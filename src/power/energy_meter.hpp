@@ -12,6 +12,7 @@
 #define VPM_POWER_ENERGY_METER_HPP
 
 #include "simcore/sim_time.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 namespace vpm::power {
 
@@ -59,11 +60,19 @@ class EnergyMeter
     /** Power currently being held (the last reported value). */
     double heldWatts() const { return heldWatts_; }
 
+    /**
+     * Mirror the held power into a telemetry gauge on every update (e.g.
+     * "host.host03.watts"), so sampled metric series carry per-meter power.
+     * Pass nullptr to detach. The gauge must outlive the meter.
+     */
+    void attachTelemetry(telemetry::Gauge *gauge);
+
   private:
     sim::SimTime startTime_;
     sim::SimTime lastTime_;
     double heldWatts_;
     double joules_ = 0.0;
+    telemetry::Gauge *wattsGauge_ = nullptr;
 };
 
 } // namespace vpm::power

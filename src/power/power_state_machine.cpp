@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::power {
 
@@ -145,9 +146,38 @@ PowerStateMachine::setPhase(PowerPhase next)
 {
     const PowerPhase from = phase_;
     const sim::SimTime now = simulator_.now();
-    timeInPhase_[from] += now - phaseEnteredAt_;
+    const sim::SimTime spent = now - phaseEnteredAt_;
+    timeInPhase_[from] += spent;
     phaseEnteredAt_ = now;
     phase_ = next;
+
+    telemetry::Telemetry &tel = telemetry::global();
+    if (tel.enabled()) {
+        // The journal entry closes the phase just left: its duration and an
+        // energy estimate at that phase's draw. For the On phase the exact
+        // utilization history is unknown here, so charge idle active power —
+        // a host the manager sleeps has been evacuated anyway.
+        const double dur_s = static_cast<double>(spent.micros()) * 1e-6;
+        double watts = 0.0;
+        switch (from) {
+          case PowerPhase::On:
+            watts = spec_.activePowerWatts(0.0);
+            break;
+          case PowerPhase::Entering:
+            watts = state_ ? state_->entryPowerWatts : 0.0;
+            break;
+          case PowerPhase::Asleep:
+            watts = state_ ? state_->sleepPowerWatts : 0.0;
+            break;
+          case PowerPhase::Exiting:
+            watts = state_ ? state_->exitPowerWatts : 0.0;
+            break;
+        }
+        tel.journal().powerTransition(
+            now.micros(), telemetryTrack_, toString(from), toString(next),
+            state_ ? std::string_view(state_->name) : std::string_view(),
+            dur_s, watts * dur_s);
+    }
 
     sim::debug("host power phase %s -> %s at %s", toString(from),
                toString(next), now.toString().c_str());
@@ -195,8 +225,11 @@ PowerStateMachine::onExitComplete()
         return;
     }
 
-    state_ = nullptr;
+    // Notify before clearing state_ so the journal can still name the sleep
+    // state the host is waking out of. Observers see phase() == On, which
+    // never consults state_.
     setPhase(PowerPhase::On);
+    state_ = nullptr;
 }
 
 sim::SimTime
@@ -208,6 +241,15 @@ PowerStateMachine::timeInPhase(PowerPhase phase) const
     if (phase == phase_)
         total += simulator_.now() - phaseEnteredAt_;
     return total;
+}
+
+void
+PowerStateMachine::setTelemetryTrack(std::int32_t track,
+                                     std::string_view name)
+{
+    telemetryTrack_ = track;
+    telemetry::global().journal().registerTrack(telemetry::TrackDomain::Host,
+                                                track, name);
 }
 
 void

@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "power/power_state.hpp"
 #include "simcore/random.hpp"
@@ -156,6 +157,19 @@ class PowerStateMachine
     /** Subscribe to phase changes. Observers are invoked in order added. */
     void addObserver(PhaseObserver observer);
 
+    /** @name Telemetry */
+    ///@{
+    /**
+     * Identify this machine's timeline in the global telemetry journal
+     * (normally the owning host's id and name; the testbed allocates
+     * synthetic tracks). Also registers the track's display name. Without
+     * a track set, transitions are journaled under track -1.
+     */
+    void setTelemetryTrack(std::int32_t track, std::string_view name);
+
+    std::int32_t telemetryTrack() const { return telemetryTrack_; }
+    ///@}
+
   private:
     void setPhase(PowerPhase next);
     void onEntryComplete();
@@ -181,6 +195,7 @@ class PowerStateMachine
 
     sim::SimTime phaseEnteredAt_;
     std::map<PowerPhase, sim::SimTime> timeInPhase_;
+    std::int32_t telemetryTrack_ = -1;
 
     std::vector<PhaseObserver> observers_;
 };

@@ -8,6 +8,7 @@
 #include "power/power_state_machine.hpp"
 #include "simcore/logging.hpp"
 #include "simcore/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::proto {
 
@@ -31,6 +32,12 @@ Testbed::measureSleepCycle(const std::string &state_name,
 
     sim::Simulator simulator;
     power::PowerStateMachine fsm(simulator, spec_);
+    // Each measured cycle gets its own synthetic journal track so traces
+    // of the characterization benches separate per-state timelines.
+    fsm.setTelemetryTrack(
+        telemetry::global().journal().allocateTrack(
+            telemetry::TrackDomain::Host, "testbed." + state_name),
+        "testbed." + state_name);
     power::EnergyMeter meter(simulator.now(), fsm.powerWatts(0.0));
     fsm.addObserver([&](PowerPhase, PowerPhase) {
         meter.update(simulator.now(), fsm.powerWatts(0.0));

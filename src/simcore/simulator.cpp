@@ -3,8 +3,15 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::sim {
+
+Simulator::Simulator()
+    : dispatchCounter_(
+          telemetry::global().metrics().counter("sim.events.dispatched"))
+{
+}
 
 EventId
 Simulator::schedule(SimTime delay, EventCallback callback, std::string label)
@@ -38,6 +45,7 @@ Simulator::dispatchOne()
               static_cast<long long>(now_.micros()));
     now_ = fired.when;
     ++eventsProcessed_;
+    dispatchCounter_.increment();
     fired.callback();
 }
 

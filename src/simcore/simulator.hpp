@@ -16,6 +16,7 @@
 
 #include "simcore/event_queue.hpp"
 #include "simcore/sim_time.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 namespace vpm::sim {
 
@@ -31,7 +32,7 @@ namespace vpm::sim {
 class Simulator
 {
   public:
-    Simulator() = default;
+    Simulator();
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
@@ -92,6 +93,10 @@ class Simulator
     SimTime now_;
     std::uint64_t eventsProcessed_ = 0;
     bool stopRequested_ = false;
+
+    /** Fleet-wide dispatch counter in the global metrics registry; the
+     *  handle is resolved once here so the hot loop pays one increment. */
+    telemetry::Counter &dispatchCounter_;
 };
 
 } // namespace vpm::sim

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Typed, sim-timestamped event journal backed by a preallocated ring buffer.
+ *
+ * The journal is the "what happened, when" half of telemetry: power-state
+ * transitions, migration lifecycles, predictor forecasts vs. actuals,
+ * manager suspend/resume decisions and SLA violations, each a fixed-size
+ * record. Recording is allocation-free: strings are interned once into a
+ * small label table and events carry label ids. When the ring fills, the
+ * oldest events are overwritten and counted, so tracing a week-long run
+ * costs bounded memory.
+ *
+ * Events may be recorded with non-monotonic timestamps (different sources
+ * flush at different moments); exporters sort by time with insertion order
+ * breaking ties, which keeps causality within a source.
+ */
+
+#ifndef VPM_TELEMETRY_EVENT_JOURNAL_HPP
+#define VPM_TELEMETRY_EVENT_JOURNAL_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vpm::telemetry {
+
+/** Discriminator of a journal record. */
+enum class EventKind : std::uint8_t
+{
+    PowerTransition, ///< host power FSM phase change
+    MigrationStart,  ///< live migration began copying
+    MigrationFinish, ///< live migration landed
+    MigrationAbort,  ///< live migration abandoned mid-copy
+    Forecast,        ///< predictor forecast vs. observed actual
+    SleepDecision,   ///< manager put a host to sleep
+    WakeDecision,    ///< manager woke a host
+    SlaViolation,    ///< a VM-interval fell below the SLA threshold
+};
+
+/** Stable wire name of an event kind (used by the JSONL exporter). */
+const char *toString(EventKind kind);
+
+/** Which timeline an event belongs to (maps to a trace process). */
+enum class TrackDomain : std::uint8_t
+{
+    Host,    ///< per-host timelines (power states)
+    Vm,      ///< per-VM timelines (migrations, SLA)
+    Manager, ///< the management control loop
+};
+
+const char *toString(TrackDomain domain);
+
+/** Interned-string handle; 0 is always the empty string. */
+using LabelId = std::uint16_t;
+
+/**
+ * One fixed-size journal record. Field meaning depends on kind:
+ *
+ *  PowerTransition: labelA=from phase, labelB=to phase, labelC=sleep state
+ *                   ("" when none), a=seconds spent in the from-phase,
+ *                   b=joules spent there (0 when unknown).
+ *  MigrationStart:  a=source host, b=dest host, c=expected seconds.
+ *  MigrationFinish: a=source host, b=dest host, c=actual seconds.
+ *  MigrationAbort:  labelA=reason, a=source host, b=dest host.
+ *  Forecast:        labelA=predictor name, a=forecast, b=actual.
+ *  SleepDecision:   labelA=sleep state, a=expected idle seconds.
+ *  WakeDecision:    labelA=reason.
+ *  SlaViolation:    a=satisfaction (granted/requested), b=demand MHz.
+ */
+struct JournalEvent
+{
+    std::int64_t timeUs = 0; ///< simulated time, microseconds
+    std::uint64_t seq = 0;   ///< insertion sequence (assigned by record())
+    EventKind kind = EventKind::PowerTransition;
+    TrackDomain domain = TrackDomain::Host;
+    std::int32_t track = 0; ///< host/VM id within the domain
+    LabelId labelA = 0;
+    LabelId labelB = 0;
+    LabelId labelC = 0;
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+};
+
+/** Preallocated ring buffer of typed events plus the label/track tables. */
+class EventJournal
+{
+  public:
+    EventJournal() = default;
+
+    EventJournal(const EventJournal &) = delete;
+    EventJournal &operator=(const EventJournal &) = delete;
+
+    /**
+     * (Re)initialize: preallocates @p capacity events when enabling and
+     * releases the buffer when disabling. Existing events are discarded.
+     */
+    void configure(std::size_t capacity, bool enabled);
+
+    bool enabled() const { return enabled_; }
+
+    /** @name Label interning */
+    ///@{
+    /**
+     * Intern @p label and return its id; the empty string is always id 0.
+     * No-op returning 0 when the journal is disabled. The table saturates
+     * at 65535 labels (further strings map to 0) — far beyond the phase,
+     * state and reason vocabulary of a run.
+     */
+    LabelId intern(std::string_view label);
+
+    /** The string behind an id ("" for unknown ids). */
+    const std::string &label(LabelId id) const;
+
+    /** Number of interned labels (including the empty string). */
+    std::size_t labelCount() const { return labels_.size(); }
+    ///@}
+
+    /** @name Track registry */
+    ///@{
+    /**
+     * Give a (domain, id) timeline a display name (e.g. host 3 ->
+     * "host03"). Registration is init-time and idempotent; it works even
+     * while disabled so tracks named at construction keep their names if
+     * telemetry is enabled later.
+     */
+    void registerTrack(TrackDomain domain, std::int32_t track,
+                       std::string_view name);
+
+    /**
+     * Allocate a fresh track id in @p domain (from a high base so it never
+     * collides with natural host/VM ids) and register its name.
+     */
+    std::int32_t allocateTrack(TrackDomain domain, std::string_view name);
+
+    /** Display name of a track ("" when never registered). */
+    const std::string &trackName(TrackDomain domain,
+                                 std::int32_t track) const;
+    ///@}
+
+    /** @name Recording (all early-out when disabled) */
+    ///@{
+    /** Append a raw event; assigns its sequence number. */
+    void record(JournalEvent event);
+
+    void powerTransition(std::int64_t t_us, std::int32_t host,
+                         std::string_view from, std::string_view to,
+                         std::string_view state, double phase_seconds,
+                         double joules);
+    void migrationStart(std::int64_t t_us, std::int32_t vm,
+                        std::int32_t source, std::int32_t dest,
+                        double expected_seconds);
+    void migrationFinish(std::int64_t t_us, std::int32_t vm,
+                         std::int32_t source, std::int32_t dest,
+                         double seconds);
+    void migrationAbort(std::int64_t t_us, std::int32_t vm,
+                        std::int32_t source, std::int32_t dest,
+                        std::string_view reason);
+    void forecast(std::int64_t t_us, std::string_view predictor,
+                  double forecast_value, double actual);
+    void sleepDecision(std::int64_t t_us, std::int32_t host,
+                       std::string_view state,
+                       double expected_idle_seconds);
+    void wakeDecision(std::int64_t t_us, std::int32_t host,
+                      std::string_view reason);
+    void slaViolation(std::int64_t t_us, std::int32_t vm,
+                      double satisfaction, double demand_mhz);
+    ///@}
+
+    /** @name Inspection */
+    ///@{
+    /** Events currently retained (<= capacity). */
+    std::size_t size() const { return size_; }
+
+    std::size_t capacity() const { return events_.size(); }
+
+    /** Total events ever recorded, including overwritten ones. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events lost to ring wraparound. */
+    std::uint64_t dropped() const
+    {
+        return recorded_ - static_cast<std::uint64_t>(size_);
+    }
+
+    /**
+     * Retained events in chronological order; ties resolve in insertion
+     * order (stable), so out-of-order recording cannot scramble causality
+     * within one source.
+     */
+    std::vector<JournalEvent> sortedEvents() const;
+
+    /** Drop all events (labels and tracks survive). */
+    void clear();
+    ///@}
+
+  private:
+    bool enabled_ = false;
+    std::vector<JournalEvent> events_; ///< ring storage, preallocated
+    std::size_t head_ = 0;             ///< next write position
+    std::size_t size_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t nextSeq_ = 0;
+
+    std::vector<std::string> labels_{std::string()};
+    std::unordered_map<std::string, LabelId> labelIndex_{{std::string(), 0}};
+
+    std::unordered_map<std::uint64_t, std::string> trackNames_;
+    std::int32_t nextAllocatedTrack_ = 1 << 20;
+};
+
+} // namespace vpm::telemetry
+
+#endif // VPM_TELEMETRY_EVENT_JOURNAL_HPP

@@ -1,0 +1,111 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vpm::telemetry {
+
+HistogramMetric::HistogramMetric(std::string name, double lo, double hi,
+                                 std::size_t buckets)
+    : name_(std::move(name)), lo_(lo), hi_(hi),
+      counts_(std::max<std::size_t>(buckets, 1), 0)
+{
+    if (!(hi_ > lo_))
+        hi_ = lo_ + 1.0; // degenerate range: clamp rather than crash
+}
+
+double
+HistogramMetric::bucketWidth() const
+{
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+void
+HistogramMetric::observe(double x)
+{
+    ++count_;
+    sum_ += x;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const auto bucket = static_cast<std::size_t>((x - lo_) / bucketWidth());
+    ++counts_[std::min(bucket, counts_.size() - 1)];
+}
+
+double
+HistogramMetric::percentile(double fraction) const
+{
+    if (count_ == 0)
+        return 0.0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const double target = fraction * static_cast<double>(count_);
+
+    double seen = static_cast<double>(underflow_);
+    if (target <= seen)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts_[i]);
+        if (seen + in_bucket >= target && in_bucket > 0.0) {
+            const double within = (target - seen) / in_bucket;
+            return lo_ + (static_cast<double>(i) + within) * bucketWidth();
+        }
+        seen += in_bucket;
+    }
+    return hi_;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    const auto it = counterIndex_.find(std::string(name));
+    if (it != counterIndex_.end())
+        return counters_[it->second];
+    counters_.push_back(Counter(std::string(name)));
+    counterIndex_.emplace(std::string(name), counters_.size() - 1);
+    return counters_.back();
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    const auto it = gaugeIndex_.find(std::string(name));
+    if (it != gaugeIndex_.end())
+        return gauges_[it->second];
+    gauges_.push_back(Gauge(std::string(name)));
+    gaugeIndex_.emplace(std::string(name), gauges_.size() - 1);
+    return gauges_.back();
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                           std::size_t buckets)
+{
+    const auto it = histogramIndex_.find(std::string(name));
+    if (it != histogramIndex_.end())
+        return histograms_[it->second];
+    histograms_.push_back(HistogramMetric(std::string(name), lo, hi,
+                                          buckets));
+    histogramIndex_.emplace(std::string(name), histograms_.size() - 1);
+    return histograms_.back();
+}
+
+void
+MetricsRegistry::zero()
+{
+    for (Counter &c : counters_)
+        c.value_ = 0;
+    for (Gauge &g : gauges_)
+        g.value_ = 0.0;
+    for (HistogramMetric &h : histograms_) {
+        std::fill(h.counts_.begin(), h.counts_.end(), 0);
+        h.underflow_ = h.overflow_ = h.count_ = 0;
+        h.sum_ = 0.0;
+    }
+}
+
+} // namespace vpm::telemetry

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Named counters, gauges and fixed-bucket histograms.
+ *
+ * The registry is the always-on half of the telemetry subsystem: metrics
+ * are cheap enough (an integer add, a double store) to stay live even when
+ * event journaling is disabled. Handles returned by the registry are stable
+ * for the registry's lifetime, so hot paths resolve a metric by name once
+ * and then touch only the handle.
+ */
+
+#ifndef VPM_TELEMETRY_METRICS_REGISTRY_HPP
+#define VPM_TELEMETRY_METRICS_REGISTRY_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vpm::telemetry {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/** Last-value-wins instantaneous measurement. */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; }
+    void add(double delta) { value_ += delta; }
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    std::string name_;
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-range histogram over [lo, hi) with equal-width buckets plus
+ * underflow/overflow buckets. The lower edge of each bucket is inclusive,
+ * the upper edge exclusive; hi itself therefore lands in overflow.
+ */
+class HistogramMetric
+{
+  public:
+    void observe(double x);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    double lowerEdge() const { return lo_; }
+    double upperEdge() const { return hi_; }
+    double bucketWidth() const;
+
+    /**
+     * Value below which @p fraction of the samples fall, by linear
+     * interpolation within the containing bucket. Under/overflow samples
+     * clamp to the range edges. Returns 0 when empty.
+     */
+    double percentile(double fraction) const;
+
+    double sum() const { return sum_; }
+    double mean() const { return count_ > 0 ? sum_ / double(count_) : 0.0; }
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    HistogramMetric(std::string name, double lo, double hi,
+                    std::size_t buckets);
+
+    std::string name_;
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Owner of all named metrics. Lookup is by name and creates on first use;
+ * returned references stay valid until the registry is destroyed (storage
+ * is a deque, so growth never moves existing metrics).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Find-or-create the named counter. */
+    Counter &counter(std::string_view name);
+
+    /** Find-or-create the named gauge. */
+    Gauge &gauge(std::string_view name);
+
+    /**
+     * Find-or-create the named histogram. The range/bucket arguments only
+     * apply on first creation; later lookups return the existing metric
+     * unchanged.
+     */
+    HistogramMetric &histogram(std::string_view name, double lo, double hi,
+                               std::size_t buckets);
+
+    /** @name Iteration, in registration order (for exporters) */
+    ///@{
+    const std::deque<Counter> &counters() const { return counters_; }
+    const std::deque<Gauge> &gauges() const { return gauges_; }
+    const std::deque<HistogramMetric> &histograms() const
+    {
+        return histograms_;
+    }
+    ///@}
+
+    /**
+     * Zero every metric's value. Registrations (and therefore handles held
+     * by instrumented code) survive, so this is safe mid-run.
+     */
+    void zero();
+
+  private:
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<HistogramMetric> histograms_;
+    std::unordered_map<std::string, std::size_t> counterIndex_;
+    std::unordered_map<std::string, std::size_t> gaugeIndex_;
+    std::unordered_map<std::string, std::size_t> histogramIndex_;
+};
+
+} // namespace vpm::telemetry
+
+#endif // VPM_TELEMETRY_METRICS_REGISTRY_HPP

@@ -1,0 +1,73 @@
+#include "telemetry/telemetry.hpp"
+
+namespace vpm::telemetry {
+
+void
+Telemetry::configure(const TelemetryConfig &config)
+{
+    config_ = config;
+    journal_.configure(config.journalCapacity, config.enabled);
+    seriesColumns_.clear();
+    seriesCounterCount_ = 0;
+    seriesGaugeCount_ = 0;
+    seriesRows_.clear();
+    seriesRows_.shrink_to_fit();
+    if (config_.enabled)
+        seriesRows_.reserve(config_.seriesReserveRows);
+}
+
+void
+Telemetry::sampleSeries(std::int64_t t_us)
+{
+    if (!config_.enabled)
+        return;
+    if (seriesColumns_.empty()) {
+        // Freeze the column set on first sample.
+        seriesCounterCount_ = metrics_.counters().size();
+        seriesGaugeCount_ = metrics_.gauges().size();
+        seriesColumns_.reserve(seriesCounterCount_ + seriesGaugeCount_);
+        for (const Counter &c : metrics_.counters())
+            seriesColumns_.push_back("ctr." + c.name());
+        for (const Gauge &g : metrics_.gauges())
+            seriesColumns_.push_back("gauge." + g.name());
+        if (seriesColumns_.empty())
+            return; // nothing registered yet; try again next sample
+    }
+
+    SeriesRow row;
+    row.timeUs = t_us;
+    row.values.reserve(seriesColumns_.size());
+    std::size_t i = 0;
+    for (const Counter &c : metrics_.counters()) {
+        if (i++ >= seriesCounterCount_)
+            break;
+        row.values.push_back(static_cast<double>(c.value()));
+    }
+    i = 0;
+    for (const Gauge &g : metrics_.gauges()) {
+        if (i++ >= seriesGaugeCount_)
+            break;
+        row.values.push_back(g.value());
+    }
+    seriesRows_.push_back(std::move(row));
+}
+
+void
+Telemetry::reset()
+{
+    journal_.clear();
+    metrics_.zero();
+    seriesColumns_.clear();
+    seriesCounterCount_ = 0;
+    seriesGaugeCount_ = 0;
+    seriesRows_.clear();
+}
+
+Telemetry &
+global()
+{
+    static Telemetry instance;
+    return instance;
+}
+
+} // namespace vpm::telemetry

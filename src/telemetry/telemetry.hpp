@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Telemetry facade: one object bundling the metrics registry, the event
+ * journal and the sampled metric time series, plus the process-global
+ * instance the instrumented libraries emit into.
+ *
+ * The simulator is single-threaded and one-per-experiment, so a global
+ * sink (mirroring the logging module's global level) keeps wiring trivial:
+ * any layer can emit without threading a handle through every constructor.
+ * Tests that want isolation construct their own Telemetry and drive the
+ * same classes directly.
+ */
+
+#ifndef VPM_TELEMETRY_TELEMETRY_HPP
+#define VPM_TELEMETRY_TELEMETRY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/event_journal.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/telemetry_config.hpp"
+
+namespace vpm::telemetry {
+
+/** One sampled row of the metric time series. */
+struct SeriesRow
+{
+    std::int64_t timeUs = 0;
+    std::vector<double> values; ///< parallel to Telemetry::seriesColumns()
+};
+
+/** Registry + journal + series under one switch. */
+class Telemetry
+{
+  public:
+    Telemetry() = default;
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+
+    /**
+     * Apply a configuration. Enabling preallocates the journal ring and
+     * reserves series rows; disabling releases the ring and drops any
+     * recorded events/series. Metrics registrations always survive (their
+     * handles are cached by instrumented code).
+     */
+    void configure(const TelemetryConfig &config);
+
+    const TelemetryConfig &config() const { return config_; }
+    bool enabled() const { return config_.enabled; }
+
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    EventJournal &journal() { return journal_; }
+    const EventJournal &journal() const { return journal_; }
+
+    /**
+     * Snapshot every counter and gauge into one series row at @p t_us.
+     * The column set freezes on the first sample of a run; metrics created
+     * later are not retro-added to the series. No-op when disabled.
+     */
+    void sampleSeries(std::int64_t t_us);
+
+    /** Column names, frozen at the first sample ("ctr."/"gauge." prefixed
+     *  counters and gauges, in registration order). */
+    const std::vector<std::string> &seriesColumns() const
+    {
+        return seriesColumns_;
+    }
+
+    const std::vector<SeriesRow> &seriesRows() const { return seriesRows_; }
+
+    /** Drop events, series and metric values; keep all registrations. */
+    void reset();
+
+  private:
+    TelemetryConfig config_;
+    MetricsRegistry metrics_;
+    EventJournal journal_;
+    std::vector<std::string> seriesColumns_;
+    std::size_t seriesCounterCount_ = 0;
+    std::size_t seriesGaugeCount_ = 0;
+    std::vector<SeriesRow> seriesRows_;
+};
+
+/** The process-global sink all instrumented libraries emit into. */
+Telemetry &global();
+
+} // namespace vpm::telemetry
+
+#endif // VPM_TELEMETRY_TELEMETRY_HPP

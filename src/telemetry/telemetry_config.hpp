@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Configuration for the telemetry subsystem.
+ *
+ * Telemetry is off by default and every emission point early-outs on the
+ * enabled flag, so instrumented code costs one predictable branch per event
+ * when tracing is not wanted. All journal storage is preallocated at
+ * configure() time: recording never allocates.
+ */
+
+#ifndef VPM_TELEMETRY_TELEMETRY_CONFIG_HPP
+#define VPM_TELEMETRY_TELEMETRY_CONFIG_HPP
+
+#include <cstddef>
+
+namespace vpm::telemetry {
+
+/** Knobs for the journal and metric-series collectors. */
+struct TelemetryConfig
+{
+    /** Master switch; when false the journal and series record nothing. */
+    bool enabled = false;
+
+    /**
+     * Ring-buffer capacity of the event journal, in events. When the
+     * journal is full the oldest events are overwritten (and counted as
+     * dropped), so a run can never exhaust memory by tracing.
+     */
+    std::size_t journalCapacity = 1u << 16;
+
+    /** Rows reserved up front for the metric time series. */
+    std::size_t seriesReserveRows = 4096;
+};
+
+} // namespace vpm::telemetry
+
+#endif // VPM_TELEMETRY_TELEMETRY_CONFIG_HPP

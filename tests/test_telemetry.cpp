@@ -1,0 +1,306 @@
+/** @file Unit tests for the telemetry registry, journal and facade. */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vpm::telemetry {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsRegistryTest, CounterFindOrCreateReturnsStableHandle)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("events");
+    c.increment();
+    c.increment(2);
+    EXPECT_EQ(registry.counter("events").value(), 3u);
+    EXPECT_EQ(&registry.counter("events"), &c);
+    EXPECT_EQ(c.name(), "events");
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd)
+{
+    MetricsRegistry registry;
+    Gauge &g = registry.gauge("watts");
+    g.set(100.0);
+    g.add(-25.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("watts").value(), 75.0);
+}
+
+TEST(MetricsRegistryTest, ZeroClearsValuesButKeepsRegistrations)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("n");
+    Gauge &g = registry.gauge("v");
+    HistogramMetric &h = registry.histogram("h", 0.0, 1.0, 4);
+    c.increment(5);
+    g.set(2.0);
+    h.observe(0.5);
+
+    registry.zero();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+    // Same handles still registered: no re-creation on lookup.
+    EXPECT_EQ(&registry.counter("n"), &c);
+    EXPECT_EQ(registry.counters().size(), 1u);
+}
+
+TEST(HistogramTest, LowerEdgeInclusiveUpperEdgeExclusive)
+{
+    MetricsRegistry registry;
+    HistogramMetric &h = registry.histogram("lat", 0.0, 10.0, 10);
+
+    h.observe(0.0);  // first bucket, inclusive lower edge
+    h.observe(1.0);  // exact internal edge belongs to the upper bucket
+    h.observe(9.999); // last bucket
+    h.observe(10.0); // upper edge is exclusive -> overflow
+    h.observe(-0.001); // below range -> underflow
+
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[9], 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(HistogramTest, SumMeanAndRangeAccessors)
+{
+    MetricsRegistry registry;
+    HistogramMetric &h = registry.histogram("x", 0.0, 8.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 2.0);
+    h.observe(1.0);
+    h.observe(3.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 4.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(h.lowerEdge(), 0.0);
+    EXPECT_DOUBLE_EQ(h.upperEdge(), 8.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket)
+{
+    MetricsRegistry registry;
+    HistogramMetric &h = registry.histogram("p", 0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.observe(static_cast<double>(i) + 0.5);
+    // Uniform fill: the median lands near the middle of the range and the
+    // tail percentile near its top.
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeSamples)
+{
+    MetricsRegistry registry;
+    HistogramMetric &h = registry.histogram("c", 0.0, 10.0, 10);
+    h.observe(-5.0);
+    h.observe(50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(HistogramTest, CreationParametersApplyOnlyOnFirstUse)
+{
+    MetricsRegistry registry;
+    HistogramMetric &h = registry.histogram("once", 0.0, 10.0, 10);
+    HistogramMetric &again = registry.histogram("once", 5.0, 500.0, 2);
+    EXPECT_EQ(&h, &again);
+    EXPECT_DOUBLE_EQ(again.upperEdge(), 10.0);
+    EXPECT_EQ(again.buckets().size(), 10u);
+}
+
+// ---------------------------------------------------------------- journal
+
+TEST(EventJournalTest, SortedEventsOrderOutOfOrderInsertions)
+{
+    EventJournal journal;
+    journal.configure(16, true);
+
+    const auto at = [](std::int64_t t) {
+        JournalEvent ev;
+        ev.timeUs = t;
+        return ev;
+    };
+    // Two sources flushing at different moments: times arrive shuffled,
+    // with a tie between the first and third insertion.
+    journal.record(at(30));
+    journal.record(at(10));
+    journal.record(at(30));
+    journal.record(at(20));
+
+    const std::vector<JournalEvent> sorted = journal.sortedEvents();
+    ASSERT_EQ(sorted.size(), 4u);
+    EXPECT_EQ(sorted[0].timeUs, 10);
+    EXPECT_EQ(sorted[1].timeUs, 20);
+    EXPECT_EQ(sorted[2].timeUs, 30);
+    EXPECT_EQ(sorted[3].timeUs, 30);
+    // The tie resolves in insertion order (stable sort by time).
+    EXPECT_LT(sorted[2].seq, sorted[3].seq);
+}
+
+TEST(EventJournalTest, RingOverwritesOldestWhenFull)
+{
+    EventJournal journal;
+    journal.configure(4, true);
+
+    for (std::int64_t t = 1; t <= 6; ++t) {
+        JournalEvent ev;
+        ev.timeUs = t;
+        journal.record(ev);
+    }
+    EXPECT_EQ(journal.size(), 4u);
+    EXPECT_EQ(journal.capacity(), 4u);
+    EXPECT_EQ(journal.recorded(), 6u);
+    EXPECT_EQ(journal.dropped(), 2u);
+
+    const std::vector<JournalEvent> sorted = journal.sortedEvents();
+    ASSERT_EQ(sorted.size(), 4u);
+    EXPECT_EQ(sorted.front().timeUs, 3); // 1 and 2 were overwritten
+    EXPECT_EQ(sorted.back().timeUs, 6);
+}
+
+TEST(EventJournalTest, InterningIsIdempotentAndEmptyIsZero)
+{
+    EventJournal journal;
+    journal.configure(8, true);
+    EXPECT_EQ(journal.intern(""), 0);
+    const LabelId s3 = journal.intern("S3");
+    EXPECT_EQ(journal.intern("S3"), s3);
+    EXPECT_NE(journal.intern("S5"), s3);
+    EXPECT_EQ(journal.label(s3), "S3");
+    EXPECT_EQ(journal.label(0), "");
+    EXPECT_EQ(journal.labelCount(), 3u); // "", "S3", "S5"
+}
+
+TEST(EventJournalTest, TypedEmitterMapsFields)
+{
+    EventJournal journal;
+    journal.configure(8, true);
+    journal.powerTransition(5'000'000, 3, "On", "Entering", "S3", 2.5,
+                            310.0);
+
+    const std::vector<JournalEvent> sorted = journal.sortedEvents();
+    ASSERT_EQ(sorted.size(), 1u);
+    const JournalEvent &ev = sorted.front();
+    EXPECT_EQ(ev.kind, EventKind::PowerTransition);
+    EXPECT_EQ(ev.domain, TrackDomain::Host);
+    EXPECT_EQ(ev.track, 3);
+    EXPECT_EQ(journal.label(ev.labelA), "On");
+    EXPECT_EQ(journal.label(ev.labelB), "Entering");
+    EXPECT_EQ(journal.label(ev.labelC), "S3");
+    EXPECT_DOUBLE_EQ(ev.a, 2.5);
+    EXPECT_DOUBLE_EQ(ev.b, 310.0);
+}
+
+TEST(EventJournalTest, TrackNamesSurviveReconfiguration)
+{
+    EventJournal journal;
+    // Registration works while disabled (hosts are built before a bench
+    // decides to enable tracing).
+    journal.registerTrack(TrackDomain::Host, 7, "host07");
+    journal.configure(8, true);
+    EXPECT_EQ(journal.trackName(TrackDomain::Host, 7), "host07");
+    EXPECT_EQ(journal.trackName(TrackDomain::Vm, 7), "");
+
+    const std::int32_t track =
+        journal.allocateTrack(TrackDomain::Host, "synthetic");
+    EXPECT_GE(track, 1 << 20); // never collides with natural host ids
+    EXPECT_EQ(journal.trackName(TrackDomain::Host, track), "synthetic");
+}
+
+// ----------------------------------------------------------------- facade
+
+TEST(TelemetryTest, DisabledEmitsNothingAndAllocatesNothing)
+{
+    Telemetry telemetry; // default config: disabled
+
+    // Typed emitters, raw records and label interning must all early-out.
+    telemetry.journal().powerTransition(1, 0, "On", "Entering", "S3", 1.0,
+                                        2.0);
+    telemetry.journal().migrationStart(2, 1, 0, 1, 3.0);
+    telemetry.journal().record(JournalEvent{});
+    EXPECT_EQ(telemetry.journal().intern("wasted"), 0);
+    telemetry.sampleSeries(5);
+
+    EXPECT_FALSE(telemetry.enabled());
+    EXPECT_EQ(telemetry.journal().capacity(), 0u) << "no ring allocated";
+    EXPECT_EQ(telemetry.journal().size(), 0u);
+    EXPECT_EQ(telemetry.journal().recorded(), 0u);
+    EXPECT_EQ(telemetry.journal().labelCount(), 1u)
+        << "only the empty label exists";
+    EXPECT_TRUE(telemetry.seriesRows().empty());
+    EXPECT_TRUE(telemetry.seriesColumns().empty());
+}
+
+TEST(TelemetryTest, ConfigurePreallocatesAndDisableReleases)
+{
+    Telemetry telemetry;
+    TelemetryConfig config;
+    config.enabled = true;
+    config.journalCapacity = 32;
+    telemetry.configure(config);
+
+    EXPECT_TRUE(telemetry.enabled());
+    EXPECT_EQ(telemetry.journal().capacity(), 32u);
+    telemetry.journal().sleepDecision(1'000, 4, "S3", 600.0);
+    EXPECT_EQ(telemetry.journal().size(), 1u);
+
+    config.enabled = false;
+    telemetry.configure(config);
+    EXPECT_EQ(telemetry.journal().capacity(), 0u);
+    EXPECT_EQ(telemetry.journal().size(), 0u);
+}
+
+TEST(TelemetryTest, SeriesColumnsFreezeAtFirstSample)
+{
+    Telemetry telemetry;
+    TelemetryConfig config;
+    config.enabled = true;
+    telemetry.configure(config);
+
+    telemetry.metrics().counter("c").increment(7);
+    telemetry.metrics().gauge("g").set(1.5);
+    telemetry.sampleSeries(1'000);
+
+    // Metrics created after the first sample are not retro-added.
+    telemetry.metrics().gauge("late").set(9.0);
+    telemetry.sampleSeries(2'000);
+
+    const std::vector<std::string> &columns = telemetry.seriesColumns();
+    ASSERT_EQ(columns.size(), 2u);
+    EXPECT_EQ(columns[0], "ctr.c");
+    EXPECT_EQ(columns[1], "gauge.g");
+
+    ASSERT_EQ(telemetry.seriesRows().size(), 2u);
+    const SeriesRow &row = telemetry.seriesRows().front();
+    EXPECT_EQ(row.timeUs, 1'000);
+    ASSERT_EQ(row.values.size(), 2u);
+    EXPECT_DOUBLE_EQ(row.values[0], 7.0);
+    EXPECT_DOUBLE_EQ(row.values[1], 1.5);
+}
+
+TEST(TelemetryTest, ResetDropsDataButKeepsRegistrations)
+{
+    Telemetry telemetry;
+    TelemetryConfig config;
+    config.enabled = true;
+    telemetry.configure(config);
+
+    Counter &c = telemetry.metrics().counter("kept");
+    c.increment(3);
+    telemetry.journal().wakeDecision(10, 0, "capacity-shortfall");
+    telemetry.sampleSeries(10);
+
+    telemetry.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(telemetry.journal().size(), 0u);
+    EXPECT_TRUE(telemetry.seriesRows().empty());
+    EXPECT_EQ(&telemetry.metrics().counter("kept"), &c);
+}
+
+} // namespace
+} // namespace vpm::telemetry

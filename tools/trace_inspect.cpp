@@ -1,0 +1,309 @@
+/**
+ * @file
+ * trace_inspect — filter and summarize a telemetry journal dump.
+ *
+ * Input is the JSONL file produced next to a Chrome trace by the benches'
+ * --trace flag (one flat JSON object per line, see writeJournalJsonl).
+ * The tool needs no JSON library: every field it touches is a top-level
+ * "key":value pair, so it extracts values with plain string scanning.
+ *
+ * Usage:
+ *   trace_inspect <journal.jsonl> [options]
+ *
+ * Options:
+ *   --kind <name>     keep only events of this kind (e.g. power_transition)
+ *   --track <name>    keep only events on this track (e.g. host03)
+ *   --since-us <t>    keep events at or after this simulated time
+ *   --until-us <t>    keep events strictly before this simulated time
+ *   --limit <n>       print at most n matching lines
+ *   --summary         print aggregate statistics instead of lines
+ *
+ * Without --summary the matching lines are echoed verbatim (still JSONL,
+ * so invocations compose: inspect | further filters). With --summary the
+ * tool reports counts per kind and per track plus duration statistics for
+ * power-phase spans and completed migrations.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+/** Value of a top-level "key":<number> pair, if present. */
+std::optional<double>
+findNumber(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    const char *start = line.c_str() + pos + needle.size();
+    char *end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start)
+        return std::nullopt;
+    return value;
+}
+
+/** Value of a top-level "key":"string" pair, if present (unescaped only
+ *  as far as the journal's tame label vocabulary requires). */
+std::optional<std::string>
+findString(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    std::string out;
+    for (std::size_t i = pos + needle.size(); i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '\\' && i + 1 < line.size()) {
+            out += line[++i];
+        } else if (c == '"') {
+            return out;
+        } else {
+            out += c;
+        }
+    }
+    return std::nullopt;
+}
+
+/** Running min/mean/max over a stream of samples. */
+struct DurationStats
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void
+    add(double v)
+    {
+        if (count == 0) {
+            min = max = v;
+        } else {
+            min = std::min(min, v);
+            max = std::max(max, v);
+        }
+        ++count;
+        sum += v;
+    }
+
+    double mean() const { return count > 0 ? sum / double(count) : 0.0; }
+};
+
+struct Options
+{
+    std::string path;
+    std::string kind;
+    std::string track;
+    std::int64_t sinceUs = INT64_MIN;
+    std::int64_t untilUs = INT64_MAX;
+    std::uint64_t limit = UINT64_MAX;
+    bool summary = false;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: trace_inspect <journal.jsonl> [--kind <name>] "
+        "[--track <name>]\n"
+        "                     [--since-us <t>] [--until-us <t>] "
+        "[--limit <n>] [--summary]\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    if (argc < 2)
+        return false;
+    opts.path = argv[1];
+
+    const auto needValue = [&](int i) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "trace_inspect: %s needs a value\n",
+                         argv[i]);
+            return false;
+        }
+        return true;
+    };
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--summary") == 0) {
+            opts.summary = true;
+        } else if (std::strcmp(argv[i], "--kind") == 0) {
+            if (!needValue(i))
+                return false;
+            opts.kind = argv[++i];
+        } else if (std::strcmp(argv[i], "--track") == 0) {
+            if (!needValue(i))
+                return false;
+            opts.track = argv[++i];
+        } else if (std::strcmp(argv[i], "--since-us") == 0) {
+            if (!needValue(i))
+                return false;
+            opts.sinceUs = std::strtoll(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--until-us") == 0) {
+            if (!needValue(i))
+                return false;
+            opts.untilUs = std::strtoll(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--limit") == 0) {
+            if (!needValue(i))
+                return false;
+            opts.limit = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr, "trace_inspect: unknown option '%s'\n",
+                         argv[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(opts.path);
+    if (!in) {
+        std::fprintf(stderr, "trace_inspect: cannot open '%s'\n",
+                     opts.path.c_str());
+        return 1;
+    }
+
+    std::uint64_t seen = 0, matched = 0, printed = 0;
+    std::int64_t first_us = 0, last_us = 0;
+    std::map<std::string, std::uint64_t> by_kind;
+    std::map<std::string, std::uint64_t> by_track;
+    // Power-phase span durations keyed by the phase just left.
+    std::map<std::string, DurationStats> phase_durations;
+    DurationStats migration_durations;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ++seen;
+
+        const auto t = findNumber(line, "t_us");
+        const auto kind = findString(line, "kind");
+        const auto track = findString(line, "track");
+        if (!t || !kind) {
+            std::fprintf(stderr,
+                         "trace_inspect: skipping malformed line %llu\n",
+                         static_cast<unsigned long long>(seen));
+            continue;
+        }
+
+        const auto t_us = static_cast<std::int64_t>(*t);
+        if (t_us < opts.sinceUs || t_us >= opts.untilUs)
+            continue;
+        if (!opts.kind.empty() && *kind != opts.kind)
+            continue;
+        if (!opts.track.empty() && (!track || *track != opts.track))
+            continue;
+
+        if (matched == 0)
+            first_us = t_us;
+        last_us = std::max(last_us, t_us);
+        ++matched;
+
+        if (!opts.summary) {
+            if (printed < opts.limit) {
+                std::puts(line.c_str());
+                ++printed;
+            }
+            continue;
+        }
+
+        ++by_kind[*kind];
+        if (track)
+            ++by_track[*track];
+        if (*kind == "power_transition") {
+            const auto from = findString(line, "from");
+            const auto dur = findNumber(line, "dur_s");
+            if (from && dur)
+                phase_durations[*from].add(*dur);
+        } else if (*kind == "migration_finish") {
+            if (const auto dur = findNumber(line, "dur_s"))
+                migration_durations.add(*dur);
+        }
+    }
+
+    if (!opts.summary) {
+        if (printed < matched) {
+            std::fprintf(stderr,
+                         "(%llu further matching events suppressed by "
+                         "--limit)\n",
+                         static_cast<unsigned long long>(matched - printed));
+        }
+        return 0;
+    }
+
+    std::printf("%llu events read, %llu matched",
+                static_cast<unsigned long long>(seen),
+                static_cast<unsigned long long>(matched));
+    if (matched > 0) {
+        std::printf(", spanning %.3f s of simulated time",
+                    static_cast<double>(last_us - first_us) * 1e-6);
+    }
+    std::printf("\n");
+
+    if (!by_kind.empty()) {
+        std::printf("\nby kind:\n");
+        for (const auto &[kind, count] : by_kind)
+            std::printf("  %-18s %llu\n", kind.c_str(),
+                        static_cast<unsigned long long>(count));
+    }
+    if (!by_track.empty()) {
+        std::printf("\nby track (%zu tracks):\n", by_track.size());
+        // Busiest first; cap the listing so wide fleets stay readable.
+        std::vector<std::pair<std::string, std::uint64_t>> tracks(
+            by_track.begin(), by_track.end());
+        std::stable_sort(tracks.begin(), tracks.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.second > b.second;
+                         });
+        const std::size_t shown = std::min<std::size_t>(tracks.size(), 20);
+        for (std::size_t i = 0; i < shown; ++i)
+            std::printf("  %-18s %llu\n", tracks[i].first.c_str(),
+                        static_cast<unsigned long long>(tracks[i].second));
+        if (shown < tracks.size())
+            std::printf("  ... %zu more\n", tracks.size() - shown);
+    }
+    if (!phase_durations.empty()) {
+        std::printf("\npower-phase spans (seconds in phase before "
+                    "transition):\n");
+        for (const auto &[phase, stats] : phase_durations)
+            std::printf("  %-10s n=%-6llu min=%-10.3f mean=%-10.3f "
+                        "max=%.3f\n",
+                        phase.c_str(),
+                        static_cast<unsigned long long>(stats.count),
+                        stats.min, stats.mean(), stats.max);
+    }
+    if (migration_durations.count > 0) {
+        std::printf("\ncompleted migrations: n=%llu min=%.3fs mean=%.3fs "
+                    "max=%.3fs\n",
+                    static_cast<unsigned long long>(
+                        migration_durations.count),
+                    migration_durations.min, migration_durations.mean(),
+                    migration_durations.max);
+    }
+    return 0;
+}
