@@ -21,8 +21,11 @@ main(int argc, char **argv)
 {
     using namespace vpm;
 
-    // Enable before the scenarios run; all policies share one journal.
+    // Enable before the scenarios run. Each policy gets its own journal,
+    // trace files, and causal analysis (finishPolicyTrace resets between
+    // runs so chains never span policies).
     const std::string trace_path = bench::traceFlag(argc, argv);
+    const std::string json_path = bench::jsonFlag(argc, argv);
 
     bench::banner("F4", "end-to-end policy comparison (testbed scale)",
                   "8 hosts, 40 VMs, 24 h diurnal enterprise mix, "
@@ -30,6 +33,7 @@ main(int argc, char **argv)
 
     stats::Table table("policy comparison over one enterprise day",
                        bench::policyHeader());
+    bench::JsonReport report(json_path, "F4");
 
     double baseline_kwh = 0.0;
     double ideal_kwh = 0.0;
@@ -47,8 +51,11 @@ main(int argc, char **argv)
         }
         table.addRow(bench::policyRow(toString(policy), result,
                                       baseline_kwh));
+        report.add(toString(policy), result);
+        bench::finishPolicyTrace(trace_path, toString(policy));
     }
     table.print(std::cout);
+    report.write();
 
     std::printf("\nideal energy-proportional reference: %.2f kWh (%.1f%% "
                 "of NoPM)\n", ideal_kwh,
@@ -56,6 +63,5 @@ main(int argc, char **argv)
     std::cout << "\nTakeaway: PM+S3 approaches the proportional reference "
                  "with DRM-class overheads;\nPM+S5's long transitions force "
                  "bigger buffers and leave savings on the table.\n";
-    bench::writeTrace(trace_path);
     return 0;
 }

@@ -21,16 +21,31 @@
 #include "workload/demand_trace.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vpm;
 
-    const sim::SimTime spike_start = sim::SimTime::hours(8.0);
-    const sim::SimTime spike_width = sim::SimTime::hours(2.0);
+    // Enable the sink before any simulator objects exist. Each policy gets
+    // its own journal + analysis (finishPolicyTrace resets between runs).
+    const std::string trace_path = bench::traceFlag(argc, argv);
+    const std::string json_path = bench::jsonFlag(argc, argv);
+    // --quick: a CI-sized variant of the same shape (fewer hosts, shorter
+    // day) so the trace smoke-test finishes in seconds.
+    const bool quick = bench::quickFlag(argc, argv);
+
+    const sim::SimTime spike_start = sim::SimTime::hours(quick ? 4.0 : 8.0);
+    const sim::SimTime spike_width = sim::SimTime::hours(quick ? 1.0 : 2.0);
+    const int host_count = quick ? 6 : 8;
+    const int vm_count = quick ? 24 : 40;
+    const sim::SimTime duration = sim::SimTime::hours(quick ? 6.0 : 12.0);
 
     bench::banner("F6", "spike agility from a consolidated trough",
-                  "8 hosts, 40 VMs at 40% load scale; all VMs spike to "
-                  "85% at t=8h for 2h; 1 min manager period");
+                  quick ? "QUICK: 6 hosts, 24 VMs at 40% load scale; spike "
+                          "to 85% at t=4h for 1h; 1 min manager period"
+                        : "8 hosts, 40 VMs at 40% load scale; all VMs spike "
+                          "to 85% at t=8h for 2h; 1 min manager period");
+
+    bench::JsonReport report(json_path, "F6");
 
     stats::Table table("spike response by policy",
                        {"policy", "hosts on pre-spike", "recovery time",
@@ -41,9 +56,9 @@ main()
          {mgmt::PolicyKind::DrmOnly, mgmt::PolicyKind::PmS3,
           mgmt::PolicyKind::PmS5}) {
         mgmt::ScenarioConfig config;
-        config.hostCount = 8;
-        config.vmCount = 40;
-        config.duration = sim::SimTime::hours(12.0);
+        config.hostCount = host_count;
+        config.vmCount = vm_count;
+        config.duration = duration;
         config.mix.loadScale = 0.4;
         config.manager = mgmt::makePolicy(policy);
         config.manager.period = sim::SimTime::minutes(1.0);
@@ -93,8 +108,11 @@ main()
                       stats::fmtPercent(spike_sla.violationFraction(), 1),
                       stats::fmt(spike_sla.worstPerformance(), 3),
                       stats::fmtPercent(result.metrics.satisfaction, 2)});
+        report.add(toString(policy), result);
+        bench::finishPolicyTrace(trace_path, toString(policy));
     }
     table.print(std::cout);
+    report.write();
 
     std::cout << "\nTakeaway: from the same consolidated state, the "
                  "low-latency policy restores full\nservice in seconds-to-a-"

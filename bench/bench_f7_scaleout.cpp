@@ -19,13 +19,17 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vpm;
+
+    const std::string json_path = bench::jsonFlag(argc, argv);
 
     bench::banner("F7", "scale-out: savings and overhead vs cluster size",
                   "5 VMs/host enterprise mix, 24 h diurnal day per size; "
                   "migrations normalized per host-day");
+
+    bench::JsonReport report(json_path, "F7");
 
     stats::Table table(
         "scale-out comparison",
@@ -55,6 +59,12 @@ main()
         const mgmt::ScenarioResult drm = run(mgmt::PolicyKind::DrmOnly);
         const mgmt::ScenarioResult pm = run(mgmt::PolicyKind::PmS3);
 
+        const std::string at = "@" + std::to_string(hosts);
+        report.add(std::string(toString(mgmt::PolicyKind::NoPM)) + at, nopm);
+        report.add(std::string(toString(mgmt::PolicyKind::DrmOnly)) + at,
+                   drm);
+        report.add(std::string(toString(mgmt::PolicyKind::PmS3)) + at, pm);
+
         const double host_days = hosts * pm.metrics.simulatedHours / 24.0;
         table.addRow(
             {std::to_string(hosts), std::to_string(vms),
@@ -70,6 +80,7 @@ main()
              stats::fmt(pm.metrics.averageHostsOn, 1)});
     }
     table.print(std::cout);
+    report.write();
 
     std::cout << "\nTakeaway: savings (~40%) and per-host management "
                  "traffic are flat with scale.\nPM+S3 moves each VM a few "

@@ -7,15 +7,20 @@
 #ifndef VPM_BENCH_BENCH_UTIL_HPP
 #define VPM_BENCH_BENCH_UTIL_HPP
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/scenario.hpp"
 #include "stats/table.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_analysis.hpp"
 
 namespace vpm::bench {
 
@@ -63,8 +68,8 @@ policyHeader()
  * Parse a `--trace <path>` flag and, when present, switch the global
  * telemetry sink on (with a journal sized for a full bench run) BEFORE any
  * simulator objects are built. Returns the output path, or "" when the
- * flag is absent. Unknown arguments are ignored — benches have no other
- * flags.
+ * flag is absent. Unknown arguments are ignored so the flag helpers here
+ * (traceFlag / jsonFlag / quickFlag) compose freely.
  */
 inline std::string
 traceFlag(int argc, char **argv)
@@ -97,6 +102,144 @@ writeTrace(const std::string &trace_path)
                     trace_path.c_str());
     }
 }
+
+/** Parse a bare `--quick` flag (benches use it for a CI-sized scenario). */
+inline bool
+quickFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Parse a `--json <path>` flag: the destination for the bench's policy
+ * table as machine-readable JSON (see JsonReport). "" when absent.
+ */
+inline std::string
+jsonFlag(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            return argv[i + 1];
+    }
+    return std::string();
+}
+
+/** File-name-safe policy label: "PM+S3" -> "PM-S3". */
+inline std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '-';
+    }
+    return out;
+}
+
+/** Per-policy sibling of @p trace_path: "f6.json" + "PM+S3" -> "f6_PM-S3.json". */
+inline std::string
+policyTracePath(const std::string &trace_path, const std::string &label)
+{
+    const std::string safe = sanitizeLabel(label);
+    const std::size_t dot = trace_path.rfind('.');
+    const std::size_t slash = trace_path.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && slash > dot))
+        return trace_path + "_" + safe;
+    return trace_path.substr(0, dot) + "_" + safe + trace_path.substr(dot);
+}
+
+/**
+ * End-of-policy trace hook for multi-policy benches. When tracing is on:
+ * run the causal-chain analyzer over the live journal and print the
+ * wake-latency decomposition for this policy, dump the trace files to a
+ * per-policy sibling of @p trace_path, then clear the sink so the next
+ * policy starts from an empty journal (decision ids keep counting up, so
+ * ids stay unique across policies). No-op when @p trace_path is empty.
+ */
+inline void
+finishPolicyTrace(const std::string &trace_path, const std::string &label)
+{
+    if (trace_path.empty())
+        return;
+    const auto records =
+        telemetry::recordsFromJournal(telemetry::global().journal());
+    const telemetry::TraceAnalysis analysis =
+        telemetry::analyzeTrace(records);
+    std::printf("\n--- causal trace analysis [%s] ---\n", label.c_str());
+    telemetry::writeAnalysisText(analysis, std::cout);
+    std::cout.flush();
+    writeTrace(policyTracePath(trace_path, label));
+    telemetry::global().reset();
+}
+
+/**
+ * Collects one row per policy run and writes the bench's results as one
+ * machine-readable JSON object (satellite to the human tables):
+ * {"bench":id,"rows":[{"policy":...,"metrics":{...}},...]}.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string path, std::string bench_id)
+        : path_(std::move(path)), benchId_(std::move(bench_id))
+    {
+    }
+
+    /** Record one policy run. No-op when no --json path was given. */
+    void
+    add(const std::string &policy, const mgmt::ScenarioResult &result)
+    {
+        if (path_.empty())
+            return;
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"policy\":\"%s\",\"metrics\":{\"energy_kwh\":%.6g,"
+            "\"satisfaction\":%.6g,\"violation_fraction\":%.6g,"
+            "\"p95_latency_factor\":%.6g,\"migrations\":%lld,"
+            "\"power_actions\":%lld,\"avg_hosts_on\":%.6g,"
+            "\"simulated_hours\":%.6g}}",
+            policy.c_str(), result.metrics.energyKwh,
+            result.metrics.satisfaction, result.metrics.violationFraction,
+            result.metrics.p95LatencyFactor,
+            static_cast<long long>(result.metrics.migrations),
+            static_cast<long long>(result.metrics.powerActions),
+            result.metrics.averageHostsOn, result.metrics.simulatedHours);
+        rows_.emplace_back(buf);
+    }
+
+    /** Write the report (prints the destination). Call once at the end. */
+    void
+    write() const
+    {
+        if (path_.empty())
+            return;
+        std::ofstream out(path_);
+        if (!out) {
+            std::fprintf(stderr, "cannot write JSON report '%s'\n",
+                         path_.c_str());
+            return;
+        }
+        out << "{\"bench\":\"" << benchId_ << "\",\"rows\":[";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            if (i > 0)
+                out << ',';
+            out << rows_[i];
+        }
+        out << "]}\n";
+        std::printf("\nJSON report written: %s\n", path_.c_str());
+    }
+
+  private:
+    std::string path_;
+    std::string benchId_;
+    std::vector<std::string> rows_;
+};
 
 } // namespace vpm::bench
 

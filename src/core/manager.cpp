@@ -5,6 +5,7 @@
 
 #include "simcore/logging.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace vpm::mgmt {
 
@@ -350,6 +351,12 @@ VpmManager::wakeOneHost(const char *reason)
         return false;
     }
 
+    // Every FSM transition and event this wake triggers — including a
+    // latched exit fired from the entry-completion event — is attributed
+    // to this decision id.
+    const std::uint64_t decision = telemetry::newDecisionId();
+    telemetry::TraceScope scope(decision);
+
     if (!cluster_.requestHostWake(best->id())) {
         // The hardware died between selection and command (or a similar
         // race); skip this cycle rather than crash.
@@ -413,7 +420,22 @@ VpmManager::rebalanceAndConsolidate()
     PlacementModel model = buildModel();
     int budget = config_.maxMigrationsPerCycle;
 
-    const auto issue = [&](const std::vector<Move> &moves) {
+    // One decision id covers one planned batch (a rebalance pass or one
+    // host's evacuation); every migration in the batch — started now or
+    // queued — carries it, so an analyzer can group the resulting
+    // migration spans back under the decision that planned them.
+    const auto issue = [&](const std::vector<Move> &moves,
+                           const char *reason, dc::HostId subject) {
+        if (moves.empty())
+            return 0;
+        const std::uint64_t decision = telemetry::newDecisionId();
+        telemetry::TraceScope scope(decision);
+        const std::uint64_t seq =
+            telemetry::global().journal().migrateDecision(
+                simulator_.now().micros(), reason,
+                static_cast<int>(moves.size()), subject);
+        scope.setCauseSeq(seq);
+
         int issued = 0;
         for (const Move &move : moves) {
             if (budget <= 0)
@@ -439,7 +461,8 @@ VpmManager::rebalanceAndConsolidate()
             planRebalance(model, config_.targetUtilization,
                           config_.imbalanceThreshold, budget,
                           config_.heuristic, config_.rackAffinity);
-        stats_.balanceMoves += static_cast<std::uint64_t>(issue(moves));
+        stats_.balanceMoves += static_cast<std::uint64_t>(
+            issue(moves, "balance", dc::invalidHostId));
     }
 
     if (!config_.powerManage)
@@ -460,7 +483,9 @@ VpmManager::rebalanceAndConsolidate()
                                          config_.heuristic,
                                          config_.rackAffinity);
         if (plan) {
-            issue(*plan);
+            issue(*plan,
+                  draining_.contains(host_id) ? "evacuate" : "maintenance",
+                  host_id);
         } else if (host.activeMigrations() == 0 &&
                    draining_.contains(host_id)) {
             // Stuck with no migrations in flight: the cluster can no
@@ -506,7 +531,7 @@ VpmManager::rebalanceAndConsolidate()
         if (!plan || static_cast<int>(plan->size()) > budget)
             break; // retry next cycle with a fresh budget
 
-        issue(*plan);
+        issue(*plan, "evacuate", candidate->id());
         draining_.insert(candidate->id());
         ++stats_.evacuationsStarted;
         ++evacuations;
@@ -602,11 +627,18 @@ VpmManager::completeDrains()
             cancelDrain(host_id);
             continue;
         }
+        // The entry transition (and its completion event) inherit this
+        // decision id; the power rates in the record let an analyzer
+        // compute the episode's energy saving without the host spec.
+        const std::uint64_t decision = telemetry::newDecisionId();
+        telemetry::TraceScope scope(decision);
         if (cluster_.requestHostSleep(host_id, state->name)) {
             ++stats_.sleepsIssued;
             telemetry::global().journal().sleepDecision(
                 simulator_.now().micros(), host_id, state->name,
-                expectedIdle_.toSeconds());
+                expectedIdle_.toSeconds(),
+                host.powerFsm().spec().idlePowerWatts(),
+                state->sleepPowerWatts);
             sleepStartedAt_[host_id] = simulator_.now();
             draining_.erase(host_id);
         }

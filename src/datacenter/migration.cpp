@@ -155,7 +155,7 @@ MigrationEngine::request(VmId vm_id, HostId dest)
     } else {
         // Waits for a migration slot, or for a departing VM to free
         // memory on the destination (dependent moves serialize here).
-        queue_.push_back({vm_id, dest});
+        queue_.push_back({vm_id, dest, telemetry::currentContext()});
     }
     return true;
 }
@@ -297,6 +297,9 @@ MigrationEngine::drainQueue()
         }
         if (slotsFree(vm.host(), req.dest) &&
             memoryFitsNow(vm, req.dest)) {
+            // We are inside some other migration's completion event;
+            // restore the context of the decision that queued this one.
+            telemetry::TraceScope scope(req.context);
             start(req.vm, req.dest);
         } else {
             still_waiting.push_back(req);

@@ -22,6 +22,7 @@
 #include "datacenter/topology.hpp"
 #include "simcore/simulator.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace vpm::dc {
 
@@ -137,6 +138,11 @@ class MigrationEngine
     {
         VmId vm;
         HostId dest;
+
+        /** Causal context at request() time; a queued migration that only
+         *  starts from a later completion event must still be attributed
+         *  to the decision that requested it. */
+        telemetry::TraceContext context;
     };
 
     /** Validation shared by request() and queue drain. */

@@ -101,6 +101,7 @@ PowerStateMachine::requestWake()
       case PowerPhase::Entering:
         // Cannot abort a firmware transition; latch the wake instead.
         wakePending_ = true;
+        wakeContext_ = telemetry::currentContext();
         return true;
       case PowerPhase::Asleep:
         beginExit();
@@ -192,6 +193,9 @@ PowerStateMachine::onEntryComplete()
     setPhase(PowerPhase::Asleep);
     if (wakePending_) {
         wakePending_ = false;
+        // This event runs under the sleep decision's context; the exit
+        // belongs to the wake decision latched earlier.
+        telemetry::TraceScope scope(wakeContext_);
         beginExit();
     }
 }

@@ -23,6 +23,7 @@
 #include "simcore/random.hpp"
 #include "simcore/sim_time.hpp"
 #include "simcore/simulator.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace vpm::power {
 
@@ -182,6 +183,10 @@ class PowerStateMachine
     PowerPhase phase_ = PowerPhase::On;
     const SleepStateSpec *state_ = nullptr;
     bool wakePending_ = false;
+    /** Cause of a latched wake, captured at requestWake() and reinstalled
+     *  when entry completes — the exit must be attributed to the wake
+     *  decision, not to the sleep decision whose entry event runs it. */
+    telemetry::TraceContext wakeContext_;
     bool wakeInhibited_ = false;
     sim::EventId transitionEvent_ = sim::invalidEventId;
     sim::SimTime transitionEnd_;

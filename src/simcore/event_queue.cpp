@@ -17,7 +17,8 @@ EventQueue::schedule(SimTime when, EventCallback callback, std::string label)
               static_cast<long long>(when.micros()), label.c_str());
 
     const EventId id = nextId_++;
-    live_.emplace(id, Record{std::move(callback), std::move(label)});
+    live_.emplace(id, Record{std::move(callback), std::move(label),
+                             telemetry::currentContext()});
     heap_.push(HeapEntry{when, nextSeq_++, id});
     return id;
 }
@@ -63,7 +64,7 @@ EventQueue::pop()
 
     auto it = live_.find(entry.id);
     Fired fired{entry.id, entry.when, std::move(it->second.callback),
-                std::move(it->second.label)};
+                std::move(it->second.label), it->second.context};
     live_.erase(it);
     return fired;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "simcore/sim_time.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace vpm::sim {
 
@@ -48,6 +49,10 @@ class EventQueue
         SimTime when;
         EventCallback callback;
         std::string label;
+
+        /** Causal context captured at schedule() time; the dispatcher
+         *  reinstalls it around the callback so children inherit it. */
+        telemetry::TraceContext context;
     };
 
     EventQueue() = default;
@@ -114,6 +119,7 @@ class EventQueue
     {
         EventCallback callback;
         std::string label;
+        telemetry::TraceContext context;
     };
 
     /** Pop cancelled entries off the heap top so top() is live. */

@@ -4,6 +4,7 @@
 
 #include "simcore/logging.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace vpm::sim {
 
@@ -46,6 +47,10 @@ Simulator::dispatchOne()
     now_ = fired.when;
     ++eventsProcessed_;
     dispatchCounter_.increment();
+    // Run the callback under the context its scheduler captured, so any
+    // events it schedules — and any journal records it emits — inherit the
+    // decision that ultimately caused it.
+    telemetry::TraceScope scope(fired.context);
     fired.callback();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/trace_context.hpp"
+
 namespace vpm::telemetry {
 
 namespace {
@@ -37,6 +39,8 @@ toString(EventKind kind)
         return "sleep_decision";
       case EventKind::WakeDecision:
         return "wake_decision";
+      case EventKind::MigrateDecision:
+        return "migrate_decision";
       case EventKind::SlaViolation:
         return "sla_violation";
     }
@@ -68,7 +72,7 @@ EventJournal::configure(std::size_t capacity, bool enabled)
     head_ = 0;
     size_ = 0;
     recorded_ = 0;
-    nextSeq_ = 0;
+    nextSeq_ = 1;
 }
 
 LabelId
@@ -119,17 +123,23 @@ EventJournal::trackName(TrackDomain domain, std::int32_t track) const
     return it->second;
 }
 
-void
+std::uint64_t
 EventJournal::record(JournalEvent event)
 {
     if (!enabled_ || events_.empty())
-        return;
+        return 0;
     event.seq = nextSeq_++;
+    if (event.cause == 0) {
+        const TraceContext context = currentContext();
+        event.cause = context.cause;
+        event.causeSeq = context.causeSeq;
+    }
     events_[head_] = event;
     head_ = (head_ + 1) % events_.size();
     if (size_ < events_.size())
         ++size_;
     ++recorded_;
+    return event.seq;
 }
 
 void
@@ -227,7 +237,8 @@ EventJournal::forecast(std::int64_t t_us, std::string_view predictor,
 void
 EventJournal::sleepDecision(std::int64_t t_us, std::int32_t host,
                             std::string_view state,
-                            double expected_idle_seconds)
+                            double expected_idle_seconds, double idle_watts,
+                            double sleep_watts)
 {
     if (!enabled_)
         return;
@@ -238,6 +249,8 @@ EventJournal::sleepDecision(std::int64_t t_us, std::int32_t host,
     ev.track = host;
     ev.labelA = intern(state);
     ev.a = expected_idle_seconds;
+    ev.b = idle_watts;
+    ev.c = sleep_watts;
     record(ev);
 }
 
@@ -254,6 +267,23 @@ EventJournal::wakeDecision(std::int64_t t_us, std::int32_t host,
     ev.track = host;
     ev.labelA = intern(reason);
     record(ev);
+}
+
+std::uint64_t
+EventJournal::migrateDecision(std::int64_t t_us, std::string_view reason,
+                              int planned_moves, std::int32_t subject_host)
+{
+    if (!enabled_)
+        return 0;
+    JournalEvent ev;
+    ev.timeUs = t_us;
+    ev.kind = EventKind::MigrateDecision;
+    ev.domain = TrackDomain::Manager;
+    ev.track = 0;
+    ev.labelA = intern(reason);
+    ev.a = planned_moves;
+    ev.b = subject_host;
+    return record(ev);
 }
 
 void
@@ -296,7 +326,7 @@ EventJournal::clear()
     head_ = 0;
     size_ = 0;
     recorded_ = 0;
-    nextSeq_ = 0;
+    nextSeq_ = 1;
 }
 
 } // namespace vpm::telemetry

@@ -36,6 +36,7 @@ enum class EventKind : std::uint8_t
     Forecast,        ///< predictor forecast vs. observed actual
     SleepDecision,   ///< manager put a host to sleep
     WakeDecision,    ///< manager woke a host
+    MigrateDecision, ///< manager planned a batch of migrations
     SlaViolation,    ///< a VM-interval fell below the SLA threshold
 };
 
@@ -65,14 +66,25 @@ using LabelId = std::uint16_t;
  *  MigrationFinish: a=source host, b=dest host, c=actual seconds.
  *  MigrationAbort:  labelA=reason, a=source host, b=dest host.
  *  Forecast:        labelA=predictor name, a=forecast, b=actual.
- *  SleepDecision:   labelA=sleep state, a=expected idle seconds.
+ *  SleepDecision:   labelA=sleep state, a=expected idle seconds,
+ *                   b=host idle watts, c=state sleep watts.
  *  WakeDecision:    labelA=reason.
+ *  MigrateDecision: labelA=reason ("balance"/"evacuate"/"maintenance"),
+ *                   a=planned moves, b=subject host (-1 when cluster-wide).
  *  SlaViolation:    a=satisfaction (granted/requested), b=demand MHz.
+ *
+ * Every record additionally carries the causal context current when it was
+ * recorded: `cause` is the decision id responsible for it (0 = none) and
+ * `causeSeq` the sequence number of the record announcing that decision
+ * (0 = unknown). Decision records carry their own id in `cause`.
  */
 struct JournalEvent
 {
     std::int64_t timeUs = 0; ///< simulated time, microseconds
-    std::uint64_t seq = 0;   ///< insertion sequence (assigned by record())
+    std::uint64_t seq = 0;   ///< insertion sequence (assigned by record(),
+                             ///< starts at 1; 0 means "no record")
+    std::uint64_t cause = 0;
+    std::uint64_t causeSeq = 0;
     EventKind kind = EventKind::PowerTransition;
     TrackDomain domain = TrackDomain::Host;
     std::int32_t track = 0; ///< host/VM id within the domain
@@ -142,8 +154,13 @@ class EventJournal
 
     /** @name Recording (all early-out when disabled) */
     ///@{
-    /** Append a raw event; assigns its sequence number. */
-    void record(JournalEvent event);
+    /**
+     * Append a raw event; assigns its sequence number (starting at 1) and,
+     * when the event carries no cause of its own, stamps the ambient
+     * TraceContext onto it.
+     * @return the assigned sequence number (0 when disabled).
+     */
+    std::uint64_t record(JournalEvent event);
 
     void powerTransition(std::int64_t t_us, std::int32_t host,
                          std::string_view from, std::string_view to,
@@ -162,9 +179,14 @@ class EventJournal
                   double forecast_value, double actual);
     void sleepDecision(std::int64_t t_us, std::int32_t host,
                        std::string_view state,
-                       double expected_idle_seconds);
+                       double expected_idle_seconds, double idle_watts = 0.0,
+                       double sleep_watts = 0.0);
     void wakeDecision(std::int64_t t_us, std::int32_t host,
                       std::string_view reason);
+    /** @return the record's sequence number, for TraceScope::setCauseSeq. */
+    std::uint64_t migrateDecision(std::int64_t t_us, std::string_view reason,
+                                  int planned_moves,
+                                  std::int32_t subject_host);
     void slaViolation(std::int64_t t_us, std::int32_t vm,
                       double satisfaction, double demand_mhz);
     ///@}
@@ -202,7 +224,7 @@ class EventJournal
     std::size_t head_ = 0;             ///< next write position
     std::size_t size_ = 0;
     std::uint64_t recorded_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextSeq_ = 1; ///< 0 is reserved for "no record"
 
     std::vector<std::string> labels_{std::string()};
     std::unordered_map<std::string, LabelId> labelIndex_{{std::string(), 0}};

@@ -84,6 +84,17 @@ writeJournalJsonl(const EventJournal &journal, std::ostream &out)
             << ",\"kind\":\"" << toString(ev.kind) << "\",\"track\":\""
             << jsonEscape(displayTrack(journal, ev.domain, ev.track))
             << '"';
+        // Numeric ids alongside the display name, so analyzers can join
+        // host-domain rows against migration src/dst without parsing names.
+        if (ev.domain == TrackDomain::Host)
+            out << ",\"host\":" << ev.track;
+        else if (ev.domain == TrackDomain::Vm)
+            out << ",\"vm\":" << ev.track;
+        if (ev.cause != 0) {
+            out << ",\"cause\":" << ev.cause;
+            if (ev.causeSeq != 0)
+                out << ",\"cause_seq\":" << ev.causeSeq;
+        }
         switch (ev.kind) {
           case EventKind::PowerTransition:
             out << ",\"from\":\"" << jsonEscape(journal.label(ev.labelA))
@@ -115,11 +126,19 @@ writeJournalJsonl(const EventJournal &journal, std::ostream &out)
             break;
           case EventKind::SleepDecision:
             out << ",\"state\":\"" << jsonEscape(journal.label(ev.labelA))
-                << "\",\"expected_idle_s\":" << fmtDouble(ev.a);
+                << "\",\"expected_idle_s\":" << fmtDouble(ev.a)
+                << ",\"idle_w\":" << fmtDouble(ev.b)
+                << ",\"sleep_w\":" << fmtDouble(ev.c);
             break;
           case EventKind::WakeDecision:
             out << ",\"reason\":\""
                 << jsonEscape(journal.label(ev.labelA)) << '"';
+            break;
+          case EventKind::MigrateDecision:
+            out << ",\"reason\":\""
+                << jsonEscape(journal.label(ev.labelA))
+                << "\",\"moves\":" << fmtDouble(ev.a)
+                << ",\"subject_host\":" << fmtDouble(ev.b);
             break;
           case EventKind::SlaViolation:
             out << ",\"satisfaction\":" << fmtDouble(ev.a)
@@ -282,6 +301,15 @@ writeChromeTrace(const Telemetry &telemetry, std::ostream &out)
                  << "\",\"pid\":" << kPidManager << ",\"tid\":0,\"ts\":"
                  << ev.timeUs << ",\"args\":{\"reason\":\""
                  << jsonEscape(journal.label(ev.labelA)) << "\"}}";
+            emit(line.str());
+            break;
+          case EventKind::MigrateDecision:
+            line << "{\"ph\":\"i\",\"s\":\"p\",\"cat\":\"decision\","
+                    "\"name\":\"migrate("
+                 << jsonEscape(journal.label(ev.labelA))
+                 << ")\",\"pid\":" << kPidManager << ",\"tid\":0,\"ts\":"
+                 << ev.timeUs << ",\"args\":{\"moves\":" << fmtDouble(ev.a)
+                 << ",\"subject_host\":" << fmtDouble(ev.b) << "}}";
             emit(line.str());
             break;
           case EventKind::SlaViolation:

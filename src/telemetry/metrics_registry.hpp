@@ -56,8 +56,18 @@ class Gauge
 
 /**
  * Fixed-range histogram over [lo, hi) with equal-width buckets plus
- * underflow/overflow buckets. The lower edge of each bucket is inclusive,
- * the upper edge exclusive; hi itself therefore lands in overflow.
+ * underflow/overflow buckets.
+ *
+ * Bucket convention: with width w = (hi - lo) / n, bucket i spans
+ * [lo + i*w, lo + (i+1)*w) — closed below, open above. A sample exactly
+ * on an internal edge therefore counts in the bucket whose range it
+ * opens (observe(lo + w) lands in bucket 1, never bucket 0); lo itself
+ * lands in bucket 0, and hi itself is already out of range and lands in
+ * overflow, as does everything above it. Samples below lo land in
+ * underflow. Out-of-range samples still contribute to count()/sum()/
+ * mean() — the histogram accounts for every observation, the buckets
+ * only bound its resolution — but percentile() clamps them to the range
+ * edges.
  */
 class HistogramMetric
 {

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Causal-chain reconstruction over a telemetry journal.
+ *
+ * The journal records isolated events; this library links them back into
+ * the chains the paper's agility argument is about:
+ *
+ *  - a *wake chain* per wake decision: decision -> (wait out any in-flight
+ *    entry) -> exit transition -> host On -> respread migrations landing on
+ *    the woken host. The three components (wait, resume, respread) are cut
+ *    from the same timestamps, so they sum to the end-to-end latency by
+ *    construction; the interesting checks are completeness (every chain has
+ *    its transition records, correctly attributed) and which component
+ *    dominates.
+ *
+ *  - a *sleep chain* per sleep decision: entry span, asleep span, exit
+ *    span, with the energy actually spent versus what idling would have
+ *    cost (the decision record carries the host's idle and sleep watts so
+ *    the journal alone suffices).
+ *
+ *  - *SLA-violation attribution*: each violation is charged to the sleep
+ *    decision whose episode window covers it (latest decision wins when
+ *    several hosts slept concurrently), falling back to the most recent
+ *    sleep decision before the violation.
+ *
+ * Input is a neutral TraceRecord stream, obtainable either from a live
+ * EventJournal (in-process, used by the benches) or by parsing the JSONL
+ * dump (used by tools/trace_analyze) — both reach the same analysis.
+ */
+
+#ifndef VPM_TELEMETRY_TRACE_ANALYSIS_HPP
+#define VPM_TELEMETRY_TRACE_ANALYSIS_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vpm::telemetry {
+
+class EventJournal;
+
+/**
+ * One journal row, journal- and file-format-neutral. The double and text
+ * slots mirror JournalEvent's a/b/c and labelA/B/C per-kind layout (see
+ * event_journal.hpp); `host`/`vm` are the numeric track ids (-1 when the
+ * row is not in that domain).
+ */
+struct TraceRecord
+{
+    std::int64_t timeUs = 0;
+    std::uint64_t seq = 0;
+    std::string kind; ///< wire name, e.g. "power_transition"
+    std::string track;
+    std::int32_t host = -1;
+    std::int32_t vm = -1;
+    std::uint64_t cause = 0;
+    std::uint64_t causeSeq = 0;
+    std::string textA, textB, textC;
+    double a = 0.0, b = 0.0, c = 0.0;
+};
+
+/** Snapshot a live journal into records (chronological order). */
+std::vector<TraceRecord> recordsFromJournal(const EventJournal &journal);
+
+/**
+ * Parse one JSONL journal line (as written by writeJournalJsonl) into
+ * @p out. @return false for blank or malformed lines (out untouched).
+ */
+bool parseJournalLine(const std::string &line, TraceRecord &out);
+
+/** Parse a whole JSONL stream, skipping blank/malformed lines. */
+std::vector<TraceRecord> readJournalFile(std::istream &in);
+
+/** Analysis knobs. */
+struct AnalyzerOptions
+{
+    /**
+     * Inbound migrations starting within this many seconds of the host
+     * coming back On count as that wake's respread work (covers the
+     * management-period gap between boot and the rebalance that uses the
+     * new capacity).
+     */
+    double respreadWindowS = 180.0;
+
+    /** Decomposition-sum check tolerance, in simulated microseconds. */
+    std::int64_t toleranceUs = 1;
+};
+
+/** Wake decision -> host serving again, decomposed. */
+struct WakeChain
+{
+    std::uint64_t decisionId = 0;
+    std::int32_t host = -1;
+    std::string hostName;
+    std::string reason;
+    std::int64_t decisionUs = 0;
+    std::int64_t exitStartUs = -1; ///< exit began (Asleep span closed)
+    std::int64_t onUs = -1;        ///< host reached On
+    std::int64_t serviceUs = -1;   ///< last respread migration landed
+
+    double waitS = 0.0;     ///< decision -> exit start (latched entries)
+    double resumeS = 0.0;   ///< exit start -> On (incl. failed attempts)
+    double respreadS = 0.0; ///< On -> last inbound migration landed
+    double endToEndS = 0.0; ///< decision -> serving (sum of the above)
+    int inboundMigrations = 0;
+
+    bool complete = false;  ///< all transition records found
+    bool truncated = false; ///< journal ended mid-transition
+};
+
+/** Sleep decision -> back On, with the episode's energy accounting. */
+struct SleepChain
+{
+    std::uint64_t decisionId = 0;
+    std::int32_t host = -1;
+    std::string hostName;
+    std::string state;
+    std::int64_t decisionUs = 0;
+    std::int64_t wakeUs = -1;   ///< asleep span closed (exit began)
+    std::int64_t backOnUs = -1; ///< exit span closed
+    std::uint64_t wakeDecisionId = 0; ///< decision that ended the episode
+
+    double entryS = 0.0, asleepS = 0.0, exitS = 0.0;
+    double idleW = 0.0, sleepW = 0.0;
+    /** idle watts over the whole episode minus joules actually spent. */
+    double netSavedJ = 0.0;
+    /** (idle - sleep) watts over the asleep span only. */
+    double grossSavedJ = 0.0;
+    std::uint64_t violationsCharged = 0;
+
+    bool open = false; ///< episode not finished within the journal
+};
+
+/** Everything analyzeTrace() reconstructs. */
+struct TraceAnalysis
+{
+    std::vector<WakeChain> wakes;
+    std::vector<SleepChain> sleeps;
+
+    std::uint64_t violations = 0;
+    std::uint64_t violationsAttributed = 0;
+
+    /** Component totals over complete wake chains. */
+    double totalWaitS = 0.0, totalResumeS = 0.0, totalRespreadS = 0.0;
+    /** Chains whose dominant component is wait / resume / respread. */
+    int dominatedByWait = 0, dominatedByResume = 0, dominatedByRespread = 0;
+    double meanEndToEndS = 0.0, maxEndToEndS = 0.0;
+};
+
+TraceAnalysis analyzeTrace(const std::vector<TraceRecord> &records,
+                           const AnalyzerOptions &options = {});
+
+/** Human-readable tables (what the benches print at end-of-run). */
+void writeAnalysisText(const TraceAnalysis &analysis, std::ostream &out);
+
+/** Machine-readable JSON (one object; stable field order). */
+void writeAnalysisJson(const TraceAnalysis &analysis, std::ostream &out);
+
+/**
+ * CI gate: every non-truncated wake chain must be complete, its components
+ * must sum to the end-to-end latency within the tolerance, and every SLA
+ * violation must be attributed to a decision.
+ * @param why On failure, filled with a one-line explanation if non-null.
+ */
+bool analysisPassesChecks(const TraceAnalysis &analysis,
+                          const AnalyzerOptions &options = {},
+                          std::string *why = nullptr);
+
+} // namespace vpm::telemetry
+
+#endif // VPM_TELEMETRY_TRACE_ANALYSIS_HPP

@@ -1,0 +1,53 @@
+#include "telemetry/trace_context.hpp"
+
+namespace vpm::telemetry {
+
+namespace {
+
+// Single-threaded by design (see header); plain globals keep the common
+// path — a schedule() capturing the context — down to two loads.
+TraceContext g_current;
+std::uint64_t g_nextDecisionId = 1;
+
+} // namespace
+
+TraceContext
+currentContext()
+{
+    return g_current;
+}
+
+void
+setCurrentContext(TraceContext context)
+{
+    g_current = context;
+}
+
+std::uint64_t
+newDecisionId()
+{
+    return g_nextDecisionId++;
+}
+
+TraceScope::TraceScope(TraceContext context) : previous_(g_current)
+{
+    g_current = context;
+}
+
+TraceScope::TraceScope(std::uint64_t cause)
+    : TraceScope(TraceContext{cause, 0})
+{
+}
+
+void
+TraceScope::setCauseSeq(std::uint64_t seq)
+{
+    g_current.causeSeq = seq;
+}
+
+TraceScope::~TraceScope()
+{
+    g_current = previous_;
+}
+
+} // namespace vpm::telemetry

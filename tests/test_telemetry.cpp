@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vpm::telemetry {
@@ -65,6 +69,38 @@ TEST(HistogramTest, LowerEdgeInclusiveUpperEdgeExclusive)
     EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.underflow(), 1u);
     EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(HistogramTest, EveryInternalEdgeBelongsToItsUpperBucket)
+{
+    // The documented convention: bucket i spans [lower + i*w, lower +
+    // (i+1)*w) — closed below, open above — so a sample exactly on an
+    // internal edge always counts in the bucket whose range it opens.
+    MetricsRegistry registry;
+    HistogramMetric &h = registry.histogram("edges", 0.0, 4.0, 4);
+    h.observe(0.0);
+    h.observe(1.0);
+    h.observe(2.0);
+    h.observe(3.0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(HistogramTest, SamplesAboveLastBucketCountOnceAndKeepSums)
+{
+    MetricsRegistry registry;
+    HistogramMetric &h = registry.histogram("over", 0.0, 10.0, 10);
+    h.observe(10.0); // the upper edge itself is already out of range
+    h.observe(1e9);  // far overflow lands in the same overflow counter
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 2u);
+    // Out-of-range samples still contribute to sum/mean: the histogram is
+    // a full account of what was observed, buckets only bound resolution.
+    EXPECT_DOUBLE_EQ(h.sum(), 10.0 + 1e9);
 }
 
 TEST(HistogramTest, SumMeanAndRangeAccessors)
@@ -161,6 +197,42 @@ TEST(EventJournalTest, RingOverwritesOldestWhenFull)
     ASSERT_EQ(sorted.size(), 4u);
     EXPECT_EQ(sorted.front().timeUs, 3); // 1 and 2 were overwritten
     EXPECT_EQ(sorted.back().timeUs, 6);
+}
+
+TEST(EventJournalTest, WraparoundExportEmitsOnlySurvivors)
+{
+    // After the ring wraps, the JSONL exporter must emit exactly the
+    // surviving (newest) records — never the overwritten ones — and the
+    // drop accounting must agree with what the file shows.
+    EventJournal journal;
+    journal.configure(4, true);
+    for (std::int64_t t = 1; t <= 7; ++t)
+        journal.wakeDecision(t * 1'000'000, 0, "capacity-shortfall");
+    EXPECT_EQ(journal.recorded(), 7u);
+    EXPECT_EQ(journal.dropped(), 3u);
+    EXPECT_EQ(journal.size(), journal.recorded() - journal.dropped());
+
+    std::ostringstream out;
+    writeJournalJsonl(journal, out);
+    const std::string text = out.str();
+    for (std::int64_t t = 1; t <= 3; ++t)
+        EXPECT_EQ(text.find("\"t_us\":" + std::to_string(t * 1'000'000)),
+                  std::string::npos)
+            << "overwritten record " << t << " leaked into the export";
+    std::size_t lines = 0;
+    for (std::int64_t t = 4; t <= 7; ++t) {
+        EXPECT_NE(text.find("\"t_us\":" + std::to_string(t * 1'000'000)),
+                  std::string::npos)
+            << "surviving record " << t << " missing from the export";
+        ++lines;
+    }
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(text.begin(), text.end(), '\n')),
+              lines);
+    // Sequence numbers keep counting across the wrap (4 survivors end at
+    // seq 7, the total recorded), so gaps reveal drops to the analyzer.
+    EXPECT_NE(text.find("\"seq\":7"), std::string::npos);
+    EXPECT_EQ(text.find("\"seq\":3"), std::string::npos);
 }
 
 TEST(EventJournalTest, InterningIsIdempotentAndEmptyIsZero)

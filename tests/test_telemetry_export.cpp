@@ -6,6 +6,7 @@
 
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace vpm::telemetry {
 namespace {
@@ -49,13 +50,13 @@ TEST(TelemetryExportTest, JournalJsonlGolden)
     writeJournalJsonl(telemetry.journal(), out);
 
     const char *expected =
-        R"({"t_us":1000000,"seq":1,"kind":"migration_start","track":"vm07","src":0,"dst":1,"expected_s":3}
-{"t_us":2000000,"seq":0,"kind":"power_transition","track":"host00","from":"On","to":"Entering","state":"S3","dur_s":2,"joules":310}
-{"t_us":3000000,"seq":2,"kind":"forecast","track":"manager0","predictor":"ewma","forecast":1000,"actual":1250}
-{"t_us":4000000,"seq":3,"kind":"migration_finish","track":"vm07","src":0,"dst":1,"dur_s":3}
-{"t_us":5000000,"seq":4,"kind":"sleep_decision","track":"host00","state":"S3","expected_idle_s":600}
-{"t_us":6000000,"seq":5,"kind":"wake_decision","track":"host00","reason":"capacity-shortfall"}
-{"t_us":7000000,"seq":6,"kind":"sla_violation","track":"vm07","satisfaction":0.5,"demand_mhz":2000}
+        R"({"t_us":1000000,"seq":2,"kind":"migration_start","track":"vm07","vm":7,"src":0,"dst":1,"expected_s":3}
+{"t_us":2000000,"seq":1,"kind":"power_transition","track":"host00","host":0,"from":"On","to":"Entering","state":"S3","dur_s":2,"joules":310}
+{"t_us":3000000,"seq":3,"kind":"forecast","track":"manager0","predictor":"ewma","forecast":1000,"actual":1250}
+{"t_us":4000000,"seq":4,"kind":"migration_finish","track":"vm07","vm":7,"src":0,"dst":1,"dur_s":3}
+{"t_us":5000000,"seq":5,"kind":"sleep_decision","track":"host00","host":0,"state":"S3","expected_idle_s":600,"idle_w":0,"sleep_w":0}
+{"t_us":6000000,"seq":6,"kind":"wake_decision","track":"host00","host":0,"reason":"capacity-shortfall"}
+{"t_us":7000000,"seq":7,"kind":"sla_violation","track":"vm07","vm":7,"satisfaction":0.5,"demand_mhz":2000}
 )";
     EXPECT_EQ(out.str(), expected);
 }
@@ -129,6 +130,44 @@ TEST(TelemetryExportTest, AbortedMigrationNamedAndReasoned)
               std::string::npos);
     EXPECT_NE(out.str().find("\"reason\":\"endpoint lost power\""),
               std::string::npos);
+}
+
+TEST(TelemetryExportTest, CauseAndMigrateDecisionFieldsInJsonl)
+{
+    Telemetry telemetry;
+    TelemetryConfig config;
+    config.enabled = true;
+    telemetry.configure(config);
+    EventJournal &journal = telemetry.journal();
+    journal.registerTrack(TrackDomain::Host, 3, "host03");
+
+    std::uint64_t decision_seq = 0;
+    {
+        TraceScope scope(42);
+        decision_seq =
+            journal.migrateDecision(1'000'000, "evacuate", 2, 3);
+        TraceScope inner(TraceContext{42, decision_seq});
+        journal.powerTransition(2'000'000, 3, "On", "Entering", "S3", 2.0,
+                                310.0);
+    }
+    // Outside any scope: no cause fields at all.
+    journal.wakeDecision(3'000'000, 3, "capacity-shortfall");
+
+    std::ostringstream out;
+    writeJournalJsonl(journal, out);
+    const std::string expected =
+        "{\"t_us\":1000000,\"seq\":1,\"kind\":\"migrate_decision\","
+        "\"track\":\"manager0\",\"cause\":42,"
+        "\"reason\":\"evacuate\",\"moves\":2,\"subject_host\":3}\n"
+        "{\"t_us\":2000000,\"seq\":2,\"kind\":\"power_transition\","
+        "\"track\":\"host03\",\"host\":3,\"cause\":42,\"cause_seq\":1,"
+        "\"from\":\"On\",\"to\":\"Entering\",\"state\":\"S3\","
+        "\"dur_s\":2,\"joules\":310}\n"
+        "{\"t_us\":3000000,\"seq\":3,\"kind\":\"wake_decision\","
+        "\"track\":\"host03\",\"host\":3,"
+        "\"reason\":\"capacity-shortfall\"}\n";
+    EXPECT_EQ(decision_seq, 1u);
+    EXPECT_EQ(out.str(), expected);
 }
 
 TEST(TelemetryExportTest, DisabledTelemetryExportsEmptyShells)

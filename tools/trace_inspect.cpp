@@ -17,11 +17,14 @@
  *   --until-us <t>    keep events strictly before this simulated time
  *   --limit <n>       print at most n matching lines
  *   --summary         print aggregate statistics instead of lines
+ *   --format <f>      line output format: jsonl (default) or csv
  *
- * Without --summary the matching lines are echoed verbatim (still JSONL,
- * so invocations compose: inspect | further filters). With --summary the
- * tool reports counts per kind and per track plus duration statistics for
- * power-phase spans and completed migrations.
+ * Without --summary the matching lines are echoed in the chosen format.
+ * jsonl echoes them verbatim, so invocations compose: inspect | further
+ * filters. csv flattens every event onto one wide fixed column set (cells
+ * a kind does not populate stay empty) for spreadsheet import. With
+ * --summary the tool reports counts per kind and per track plus duration
+ * statistics for power-phase spans and completed migrations.
  */
 
 #include <algorithm>
@@ -109,7 +112,52 @@ struct Options
     std::int64_t untilUs = INT64_MAX;
     std::uint64_t limit = UINT64_MAX;
     bool summary = false;
+    bool csv = false;
 };
+
+/** All columns the CSV format emits, in order. Numeric columns shared by
+ *  several kinds (src, dst, dur_s, reason) appear once. */
+constexpr const char *kCsvColumns[] = {
+    "t_us",        "seq",          "kind",     "track",
+    "host",        "vm",           "cause",    "cause_seq",
+    "from",        "to",           "state",    "reason",
+    "predictor",   "src",          "dst",      "dur_s",
+    "expected_s",  "expected_idle_s", "idle_w", "sleep_w",
+    "satisfaction", "demand_mhz",  "forecast", "actual",
+    "moves",       "subject_host", "joules",
+};
+
+/** One CSV cell: the field's literal JSON value, or empty when absent.
+ *  Journal labels contain no commas or quotes, so no quoting is needed. */
+std::string
+csvCell(const std::string &line, const char *key)
+{
+    if (const auto s = findString(line, key))
+        return *s;
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return {};
+    std::size_t i = pos + needle.size();
+    std::string out;
+    while (i < line.size() && line[i] != ',' && line[i] != '}')
+        out += line[i++];
+    return out;
+}
+
+void
+printCsvRow(const std::string &line)
+{
+    std::string row;
+    bool first = true;
+    for (const char *column : kCsvColumns) {
+        if (!first)
+            row += ',';
+        first = false;
+        row += csvCell(line, column);
+    }
+    std::puts(row.c_str());
+}
 
 void
 usage()
@@ -119,7 +167,8 @@ usage()
         "usage: trace_inspect <journal.jsonl> [--kind <name>] "
         "[--track <name>]\n"
         "                     [--since-us <t>] [--until-us <t>] "
-        "[--limit <n>] [--summary]\n");
+        "[--limit <n>] [--summary]\n"
+        "                     [--format jsonl|csv]\n");
 }
 
 bool
@@ -160,6 +209,19 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!needValue(i))
                 return false;
             opts.limit = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--format") == 0) {
+            if (!needValue(i))
+                return false;
+            const char *format = argv[++i];
+            if (std::strcmp(format, "csv") == 0) {
+                opts.csv = true;
+            } else if (std::strcmp(format, "jsonl") != 0) {
+                std::fprintf(stderr,
+                             "trace_inspect: unknown format '%s' (want "
+                             "jsonl or csv)\n",
+                             format);
+                return false;
+            }
         } else {
             std::fprintf(stderr, "trace_inspect: unknown option '%s'\n",
                          argv[i]);
@@ -226,7 +288,20 @@ main(int argc, char **argv)
 
         if (!opts.summary) {
             if (printed < opts.limit) {
-                std::puts(line.c_str());
+                if (opts.csv) {
+                    if (printed == 0) {
+                        std::string header;
+                        for (const char *column : kCsvColumns) {
+                            if (!header.empty())
+                                header += ',';
+                            header += column;
+                        }
+                        std::puts(header.c_str());
+                    }
+                    printCsvRow(line);
+                } else {
+                    std::puts(line.c_str());
+                }
                 ++printed;
             }
             continue;
