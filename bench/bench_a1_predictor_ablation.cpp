@@ -15,8 +15,10 @@
 #include "core/predictor.hpp"
 #include "workload/demand_trace.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -80,5 +82,14 @@ main()
                  "best SLA for a few points of energy. The choice moves "
                  "real points in\nboth directions, which is why it is a "
                  "policy knob and not a constant.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("a1_predictor_ablation", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -12,8 +12,10 @@
 #include "bench_util.hpp"
 #include "core/placement.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -57,5 +59,14 @@ main()
                  "and save more energy;\nworst-fit trades savings for "
                  "headroom. With low-latency states the penalty for\n"
                  "packing too tightly is small, so tight wins.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("a2_placement_ablation", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

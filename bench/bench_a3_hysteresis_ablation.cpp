@@ -13,8 +13,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -93,5 +95,14 @@ main()
                  "for barely 2 points of energy; break-even-adaptive\nstate "
                  "selection claws back a point by choosing the deeper state "
                  "for the long\novernight idles it has learned about.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("a3_hysteresis_ablation", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -16,8 +16,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -60,5 +62,14 @@ main()
                  "predictably — every additional\n3-way group holds "
                  "capacity hostage, but the manager honours the "
                  "constraints\nwithout ever paying in SLA.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("a4_constraint_ablation", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -19,8 +19,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -66,5 +68,14 @@ main()
                  "the manager counts pending\narrivals as required "
                  "capacity, so with low-latency states new VMs wait about "
                  "a\nwake-plus-retry, not a reboot.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("e1_provisioning_churn", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

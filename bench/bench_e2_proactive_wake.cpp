@@ -20,8 +20,10 @@
 #include "core/predictor.hpp"
 #include "workload/demand_trace.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -97,5 +99,14 @@ main()
                  "as the reactive manager,\nthen pre-wakes for every "
                  "following morning — recurring surges stop costing\n"
                  "performance once the system has seen one day.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("e2_proactive_wake", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

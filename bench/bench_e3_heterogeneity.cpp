@@ -17,8 +17,10 @@
 #include "bench_util.hpp"
 #include "power/server_models.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -70,5 +72,14 @@ main()
                  "park matters — scoring\nvictims by parkable watts keeps "
                  "the efficient generation serving and banks the\nlegacy "
                  "idle power, at identical SLA.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("e3_heterogeneity", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -17,8 +17,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -54,5 +56,14 @@ main()
                  "a power budget for free\n— generous caps cost nothing, "
                  "tight caps convert watts into proportional,\ngraceful SLA "
                  "loss instead of tripped breakers.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("e4_power_cap", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -17,8 +17,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -74,5 +76,14 @@ main()
                  "dominates at low load;\nlow-latency-state consolidation "
                  "removes the floor, and frequency scaling then\ntrims "
                  "the hosts that must stay on — the mechanisms compose.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("e5_dvfs_comparison", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -19,8 +19,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -69,5 +71,14 @@ main()
                  "migrations finish faster and uplink slots stay free for "
                  "the\nmoves that genuinely must cross racks — at no "
                  "energy or SLA cost.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("e6_rack_topology", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -17,8 +17,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -74,5 +76,14 @@ main()
                  "N+1 floor then buys instant failover capacity — residual "
                  "violations drop ~3x —\nfor about one host's power. "
                  "Consolidation and availability compose.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("e7_failures_ha", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -15,8 +15,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -55,5 +57,14 @@ main()
     std::cout << "\nTakeaway: low-latency states flatten this trade-off — "
                  "even fairly aggressive\ntargets keep the SLA intact "
                  "because mistakes cost seconds, not minutes.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f10_headroom", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -43,15 +43,10 @@ printTimeline(const vpm::proto::Testbed &testbed, const std::string &state,
                 trace.totalJoules / trace.duration.toSeconds());
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+void
+runBody(const vpm::bench::BenchArgs &args)
 {
     using namespace vpm;
-
-    // Must run before any Testbed simulation so transitions are journaled.
-    const std::string trace_path = bench::traceFlag(argc, argv);
 
     bench::banner("F1", "prototype power timeline (suspend/resume cycle)",
                   "20 s idle lead-in/out, 60 s dwell (S3) / 120 s dwell "
@@ -66,6 +61,17 @@ main(int argc, char **argv)
     std::cout << "Takeaway: the S3 cycle reaches its ~12 W floor within "
                  "seconds and recovers in 15 s;\nthe S5 cycle burns minutes "
                  "of elevated reboot power before the host is usable.\n";
-    bench::writeTrace(trace_path);
-    return 0;
+    bench::writeTrace(args.tracePath);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // parseArgs enables telemetry on --trace before any Testbed simulation
+    // runs, so transitions are journaled.
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f1_power_timeline", argc, argv);
+    return vpm::bench::runBench(args, [&] { runBody(args); });
 }

@@ -19,8 +19,10 @@
 #include "power/breakeven.hpp"
 #include "power/server_models.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -88,5 +90,14 @@ main()
                  "needs ~5 min just to break even and ~2 h to beat\nS3 — so "
                  "only low-latency states suit fine-grained consolidation "
                  "cycles.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f2_breakeven", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -19,8 +19,10 @@
 #include "power/server_models.hpp"
 #include "prototype/testbed.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -58,5 +60,14 @@ main()
                  "gaps of a few minutes\nalready nets double-digit savings "
                  "at a 15 s delay; the traditional state's 180 s\ndelay and "
                  "reboot energy make short-gap cycling useless.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f3_energy_perf_tradeoff", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

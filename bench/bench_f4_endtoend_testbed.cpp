@@ -16,16 +16,12 @@
 
 #include "bench_util.hpp"
 
-int
-main(int argc, char **argv)
+namespace {
+
+void
+runBody(const vpm::bench::BenchArgs &args)
 {
     using namespace vpm;
-
-    // Enable before the scenarios run. Each policy gets its own journal,
-    // trace files, and causal analysis (finishPolicyTrace resets between
-    // runs so chains never span policies).
-    const std::string trace_path = bench::traceFlag(argc, argv);
-    const std::string json_path = bench::jsonFlag(argc, argv);
 
     bench::banner("F4", "end-to-end policy comparison (testbed scale)",
                   "8 hosts, 40 VMs, 24 h diurnal enterprise mix, "
@@ -33,7 +29,7 @@ main(int argc, char **argv)
 
     stats::Table table("policy comparison over one enterprise day",
                        bench::policyHeader());
-    bench::JsonReport report(json_path, "F4");
+    bench::JsonReport report(args.jsonPath, "F4");
 
     double baseline_kwh = 0.0;
     double ideal_kwh = 0.0;
@@ -52,7 +48,8 @@ main(int argc, char **argv)
         table.addRow(bench::policyRow(toString(policy), result,
                                       baseline_kwh));
         report.add(toString(policy), result);
-        bench::finishPolicyTrace(trace_path, toString(policy));
+        bench::finishPolicyTrace(args.tracePath,
+                                 toString(policy));
     }
     table.print(std::cout);
     report.write();
@@ -63,5 +60,17 @@ main(int argc, char **argv)
     std::cout << "\nTakeaway: PM+S3 approaches the proportional reference "
                  "with DRM-class overheads;\nPM+S5's long transitions force "
                  "bigger buffers and leave savings on the table.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // parseArgs enables telemetry on --trace before the scenarios run; each
+    // policy gets its own journal, trace files, and causal analysis
+    // (finishPolicyTrace resets between runs so chains never span policies).
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f4_endtoend_testbed", argc, argv);
+    return vpm::bench::runBench(args, [&] { runBody(args); });
 }

@@ -17,8 +17,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -73,5 +75,14 @@ main()
                  "near-constant power\nregardless of load; PM+S3 tracks the "
                  "ideal proportional line closely at low and\nmoderate load "
                  "with negligible SLA impact.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f5_energy_proportionality", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -20,18 +20,16 @@
 #include "bench_util.hpp"
 #include "workload/demand_trace.hpp"
 
-int
-main(int argc, char **argv)
+namespace {
+
+void
+runBody(const vpm::bench::BenchArgs &args)
 {
     using namespace vpm;
 
-    // Enable the sink before any simulator objects exist. Each policy gets
-    // its own journal + analysis (finishPolicyTrace resets between runs).
-    const std::string trace_path = bench::traceFlag(argc, argv);
-    const std::string json_path = bench::jsonFlag(argc, argv);
     // --quick: a CI-sized variant of the same shape (fewer hosts, shorter
     // day) so the trace smoke-test finishes in seconds.
-    const bool quick = bench::quickFlag(argc, argv);
+    const bool quick = args.quick;
 
     const sim::SimTime spike_start = sim::SimTime::hours(quick ? 4.0 : 8.0);
     const sim::SimTime spike_width = sim::SimTime::hours(quick ? 1.0 : 2.0);
@@ -45,7 +43,7 @@ main(int argc, char **argv)
                         : "8 hosts, 40 VMs at 40% load scale; all VMs spike "
                           "to 85% at t=8h for 2h; 1 min manager period");
 
-    bench::JsonReport report(json_path, "F6");
+    bench::JsonReport report(args.jsonPath, "F6");
 
     stats::Table table("spike response by policy",
                        {"policy", "hosts on pre-spike", "recovery time",
@@ -109,7 +107,8 @@ main(int argc, char **argv)
                       stats::fmt(spike_sla.worstPerformance(), 3),
                       stats::fmtPercent(result.metrics.satisfaction, 2)});
         report.add(toString(policy), result);
-        bench::finishPolicyTrace(trace_path, toString(policy));
+        bench::finishPolicyTrace(args.tracePath,
+                                 toString(policy));
     }
     table.print(std::cout);
     report.write();
@@ -119,5 +118,17 @@ main(int argc, char **argv)
                  "minute; the traditional policy pays its reboot latency\n"
                  "in end-user performance. DRM never dips but never saved "
                  "energy either.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // parseArgs enables the sink on --trace before any simulator objects
+    // exist; each policy gets its own journal + analysis
+    // (finishPolicyTrace resets between runs).
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f6_spike_agility", argc, argv);
+    return vpm::bench::runBench(args, [&] { runBody(args); });
 }

@@ -18,18 +18,20 @@
 
 #include "bench_util.hpp"
 
-int
-main(int argc, char **argv)
+namespace {
+
+void
+runBody(const vpm::bench::BenchArgs &args)
 {
     using namespace vpm;
 
-    const std::string json_path = bench::jsonFlag(argc, argv);
-
     bench::banner("F7", "scale-out: savings and overhead vs cluster size",
-                  "5 VMs/host enterprise mix, 24 h diurnal day per size; "
-                  "migrations normalized per host-day");
+                  std::string("5 VMs/host enterprise mix, 24 h diurnal day "
+                              "per size; migrations normalized per "
+                              "host-day") +
+                      (args.quick ? " [--quick: up to 64 hosts]" : ""));
 
-    bench::JsonReport report(json_path, "F7");
+    bench::JsonReport report(args.jsonPath, "F7");
 
     stats::Table table(
         "scale-out comparison",
@@ -37,7 +39,11 @@ main(int argc, char **argv)
          "DRM migr/host-day", "PM+S3 migr/host-day",
          "pwr actions/host-day", "avg hosts on"});
 
-    for (const int hosts : {16, 32, 64, 128, 256, 512}) {
+    // --quick keeps the shape (savings flat with scale) at CI cost.
+    const std::vector<int> sizes =
+        args.quick ? std::vector<int>{16, 32, 64}
+                   : std::vector<int>{16, 32, 64, 128, 256, 512};
+    for (const int hosts : sizes) {
         const int vms = hosts * 5;
 
         const auto run = [&](mgmt::PolicyKind policy) {
@@ -87,5 +93,14 @@ main(int argc, char **argv)
                  "times a day — a small multiple of DRM's balancing\n"
                  "traffic — while its *performance* overhead (SLA) stays "
                  "at DRM's level, which is\nthe paper's adoption argument.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f7_scaleout", argc, argv);
+    return vpm::bench::runBench(args, [&] { runBody(args); });
 }

@@ -16,8 +16,10 @@
 
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -60,5 +62,14 @@ main()
                  "tolerates a wide range of\nmanagement periods — savings "
                  "barely move, and even the 1-minute period's extra\n"
                  "traffic stays modest.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f8_mgmt_period", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

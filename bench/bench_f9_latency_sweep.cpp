@@ -20,8 +20,10 @@
 #include "power/server_models.hpp"
 #include "workload/demand_trace.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -79,5 +81,14 @@ main()
                  "state visibly hurts the\nworkload once exits take "
                  "minutes — latency, not policy cleverness, is what\n"
                  "gates aggressive virtualization power management.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("f9_latency_sweep", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -20,8 +20,10 @@
 #include "power/server_models.hpp"
 #include "prototype/testbed.hpp"
 
-int
-main()
+namespace {
+
+void
+runBody()
 {
     using namespace vpm;
 
@@ -56,5 +58,14 @@ main()
     std::cout << "\nTakeaway: the low-latency state (S3) exits ~12x faster "
                  "than S5 and breaks even\nafter ~30 s of idleness vs. ~5 "
                  "min — fine-grained power cycling becomes viable.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const vpm::bench::BenchArgs args =
+        vpm::bench::parseArgs("t1_state_characterization", argc, argv);
+    return vpm::bench::runBench(args, runBody);
 }

@@ -1,28 +1,373 @@
 /**
  * @file
- * Shared helpers for the experiment benches: standard policy rows and the
- * banner each bench prints so outputs are self-describing.
+ * Shared infrastructure for the experiment benches: the one arg parser
+ * every bench uses (no more per-bench flag drift), the banner, standard
+ * policy rows, per-policy trace hooks, and the measurement harness behind
+ * `--profile` / `--bench-json` / `--repeat` / `--warmup`.
+ *
+ * Flags (every bench accepts all of them):
+ *   --quick                CI-sized scenario (benches that support it)
+ *   --trace <path>         sim-time telemetry: Chrome trace + .jsonl/.csv
+ *   --json <path>          policy-table results as machine-readable JSON
+ *   --profile              wall-clock self-profile report on stdout
+ *   --profile-trace <path> wall-clock Chrome trace (implies --profile)
+ *   --bench-json <path>    measured BENCH_*.json (median-of-N harness;
+ *                          defaults to --repeat 5 --warmup 1 and implies
+ *                          profiling so the report carries zone times)
+ *   --repeat <n>           measured repetitions (default 1; 5 under
+ *                          --bench-json)
+ *   --warmup <n>           unmeasured warmup runs (default 0; 1 under
+ *                          --bench-json)
+ *   --help                 usage; unknown flags print usage and exit 2
  */
 
 #ifndef VPM_BENCH_BENCH_UTIL_HPP
 #define VPM_BENCH_BENCH_UTIL_HPP
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "core/scenario.hpp"
+#include "stats/summary.hpp"
 #include "stats/table.hpp"
+#include "telemetry/bench_report.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_analysis.hpp"
 
 namespace vpm::bench {
+
+/** Everything the shared flag parser can produce. */
+struct BenchArgs
+{
+    std::string benchId;
+    bool quick = false;
+    bool profile = false;
+    std::string tracePath;        ///< --trace (sim-time telemetry)
+    std::string jsonPath;         ///< --json (policy-table report)
+    std::string benchJsonPath;    ///< --bench-json (measured harness)
+    std::string profileTracePath; ///< --profile-trace (wall-clock trace)
+    int repeat = 1;
+    int warmup = 0;
+};
+
+inline void
+printUsage(const char *bench_id, std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: bench_%s [--quick] [--trace <path>] [--json <path>]\n"
+        "       [--profile] [--profile-trace <path>]\n"
+        "       [--bench-json <path>] [--repeat <n>] [--warmup <n>]\n"
+        "       [--help]\n",
+        bench_id);
+}
+
+/**
+ * The one flag parser all benches share. Side effect: `--trace` switches
+ * the global telemetry sink on (journal sized for a full bench run)
+ * BEFORE any simulator objects are built, exactly like the old traceFlag
+ * helper did. `--help` prints usage and exits 0; an unknown flag prints
+ * usage and exits 2.
+ */
+inline BenchArgs
+parseArgs(const char *bench_id, int argc, char **argv)
+{
+    BenchArgs args;
+    args.benchId = bench_id;
+    bool saw_repeat = false;
+    bool saw_warmup = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "bench_%s: %s needs a value\n",
+                             bench_id, flag);
+                printUsage(bench_id, stderr);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+
+        if (arg == "--help") {
+            printUsage(bench_id, stdout);
+            std::exit(0);
+        } else if (arg == "--quick") {
+            args.quick = true;
+        } else if (arg == "--profile") {
+            args.profile = true;
+        } else if (arg == "--trace") {
+            args.tracePath = value("--trace");
+            telemetry::TelemetryConfig config;
+            config.enabled = true;
+            config.journalCapacity = 1u << 20;
+            telemetry::global().configure(config);
+        } else if (arg == "--json") {
+            args.jsonPath = value("--json");
+        } else if (arg == "--bench-json") {
+            args.benchJsonPath = value("--bench-json");
+        } else if (arg == "--profile-trace") {
+            args.profileTracePath = value("--profile-trace");
+            args.profile = true;
+        } else if (arg == "--repeat") {
+            args.repeat = std::atoi(value("--repeat"));
+            if (args.repeat < 1) {
+                std::fprintf(stderr, "bench_%s: --repeat wants n >= 1\n",
+                             bench_id);
+                std::exit(2);
+            }
+            saw_repeat = true;
+        } else if (arg == "--warmup") {
+            args.warmup = std::atoi(value("--warmup"));
+            if (args.warmup < 0) {
+                std::fprintf(stderr, "bench_%s: --warmup wants n >= 0\n",
+                             bench_id);
+                std::exit(2);
+            }
+            saw_warmup = true;
+        } else {
+            std::fprintf(stderr, "bench_%s: unknown option '%s'\n",
+                         bench_id, arg.c_str());
+            printUsage(bench_id, stderr);
+            std::exit(2);
+        }
+    }
+
+    // The measurement harness wants medians, not single shots.
+    if (!args.benchJsonPath.empty()) {
+        if (!saw_repeat)
+            args.repeat = 5;
+        if (!saw_warmup)
+            args.warmup = 1;
+    }
+    return args;
+}
+
+/**
+ * Redirect stdout to /dev/null for this scope. The harness mutes warmup
+ * and repeat runs so a median-of-5 does not print five copies of every
+ * table; the first measured run stays visible.
+ */
+class StdoutSilencer
+{
+  public:
+    StdoutSilencer()
+    {
+#if !defined(_WIN32)
+        std::cout.flush();
+        std::fflush(stdout);
+        saved_ = ::dup(1);
+        devnull_ = ::open("/dev/null", O_WRONLY);
+        if (saved_ >= 0 && devnull_ >= 0)
+            ::dup2(devnull_, 1);
+#endif
+    }
+
+    ~StdoutSilencer()
+    {
+#if !defined(_WIN32)
+        std::cout.flush();
+        std::fflush(stdout);
+        if (saved_ >= 0) {
+            ::dup2(saved_, 1);
+            ::close(saved_);
+        }
+        if (devnull_ >= 0)
+            ::close(devnull_);
+#endif
+    }
+
+    StdoutSilencer(const StdoutSilencer &) = delete;
+    StdoutSilencer &operator=(const StdoutSilencer &) = delete;
+
+  private:
+#if !defined(_WIN32)
+    int saved_ = -1;
+    int devnull_ = -1;
+#endif
+};
+
+/** Flatten the profiler tree into path-keyed rows (preorder). */
+inline void
+collectZoneRows(const std::vector<telemetry::ZoneNode> &nodes,
+                std::uint32_t index, const std::string &prefix,
+                std::vector<telemetry::BenchZoneRow> &out)
+{
+    const telemetry::ZoneNode &node = nodes[index];
+    const std::string path =
+        prefix.empty() ? node.name : prefix + "/" + node.name;
+    telemetry::BenchZoneRow row;
+    row.path = path;
+    row.name = node.name;
+    row.calls = node.calls;
+    row.inclMs = static_cast<double>(node.inclusiveNs) / 1e6;
+    row.exclMs = static_cast<double>(node.exclusiveNs()) / 1e6;
+    out.push_back(std::move(row));
+    for (const std::uint32_t child : node.children)
+        collectZoneRows(nodes, child, path, out);
+}
+
+/**
+ * The measurement harness every bench main is wrapped in. Plain runs
+ * (no --profile / --bench-json) execute @p body once with zero overhead
+ * beyond the disabled-profiler branches. With profiling/measuring on:
+ * warmup runs (muted), then --repeat measured runs (first one visible),
+ * each under a root "bench" zone with wall-clock and dispatched-event
+ * deltas recorded; then the BENCH_*.json report (median-of-N), the
+ * self-profile text report, and the wall-clock Chrome trace, as requested.
+ */
+inline int
+runBench(const BenchArgs &args, const std::function<void()> &body)
+{
+    const bool measuring = !args.benchJsonPath.empty();
+    if (!measuring && !args.profile && args.repeat == 1 &&
+        args.warmup == 0) {
+        body();
+        return 0;
+    }
+
+    telemetry::Profiler &prof = telemetry::Profiler::instance();
+    prof.setEnabled(true);
+
+    for (int i = 0; i < args.warmup; ++i) {
+        std::fprintf(stderr, "[bench_%s] warmup %d/%d\n",
+                     args.benchId.c_str(), i + 1, args.warmup);
+        StdoutSilencer mute;
+        body();
+    }
+
+    telemetry::Counter &dispatched =
+        telemetry::global().metrics().counter("sim.events.dispatched");
+
+    std::vector<telemetry::BenchRun> runs;
+    std::vector<std::vector<telemetry::BenchZoneRow>> zone_tables;
+    for (int i = 0; i < args.repeat; ++i) {
+        if (args.repeat > 1)
+            std::fprintf(stderr, "[bench_%s] run %d/%d\n",
+                         args.benchId.c_str(), i + 1, args.repeat);
+        prof.reset();
+        const std::uint64_t events_before = dispatched.value();
+        std::optional<StdoutSilencer> mute;
+        if (i > 0)
+            mute.emplace(); // humans want one copy of the tables
+        const std::uint64_t t0 = telemetry::Profiler::nowNs();
+        {
+            telemetry::ProfileScope root("bench");
+            body();
+        }
+        const std::uint64_t t1 = telemetry::Profiler::nowNs();
+        mute.reset();
+
+        telemetry::BenchRun run;
+        run.wallMs = static_cast<double>(t1 - t0) / 1e6;
+        run.events = dispatched.value() - events_before;
+        runs.push_back(run);
+        std::vector<telemetry::BenchZoneRow> rows;
+        for (const std::uint32_t child : prof.nodes()[0].children)
+            collectZoneRows(prof.nodes(), child, "", rows);
+        zone_tables.push_back(std::move(rows));
+    }
+
+    std::vector<double> walls;
+    for (const telemetry::BenchRun &run : runs)
+        walls.push_back(run.wallMs);
+    const double median_wall = stats::percentileExact(walls, 0.5);
+
+    // Nearest-rank median run: its zone table and events feed the report.
+    std::vector<double> sorted = walls;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank_wall = sorted[(sorted.size() - 1) / 2];
+    std::size_t median_index = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].wallMs == rank_wall) {
+            median_index = i;
+            break;
+        }
+    }
+
+    const telemetry::BenchRun &median_run = runs[median_index];
+    const double coverage_pct =
+        median_run.wallMs > 0.0 && !zone_tables[median_index].empty()
+            ? 100.0 * zone_tables[median_index].front().inclMs /
+                  median_run.wallMs
+            : 0.0;
+
+    if (args.profile) {
+        // The live profiler holds the LAST run; the JSON holds the
+        // median-rank run. For single-repeat runs they are the same.
+        std::printf("\n");
+        prof.writeReport(std::cout);
+        std::printf("\nself-profile coverage: zone-tracked time is %.1f%% "
+                    "of the %.1f ms measured wall-clock (median run)\n",
+                    coverage_pct, median_run.wallMs);
+    }
+
+    if (!args.profileTracePath.empty()) {
+        std::ofstream out(args.profileTracePath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write wall-clock trace '%s'\n",
+                         args.profileTracePath.c_str());
+        } else {
+            prof.writeChromeTrace(out);
+            std::printf("wall-clock profile trace written: %s (load in "
+                        "https://ui.perfetto.dev)\n",
+                        args.profileTracePath.c_str());
+        }
+    }
+
+    if (measuring) {
+        telemetry::BenchReport report;
+        report.bench = args.benchId;
+        report.quick = args.quick;
+        report.profile = args.profile;
+        report.repeat = args.repeat;
+        report.warmup = args.warmup;
+        report.environment = telemetry::currentEnvironment();
+        report.runs = runs;
+        report.medianWallMs = median_wall;
+        report.eventsPerSec =
+            median_run.wallMs > 0.0
+                ? static_cast<double>(median_run.events) /
+                      (median_run.wallMs / 1000.0)
+                : 0.0;
+        report.peakRssKb = telemetry::Profiler::peakRssKb();
+        const telemetry::AllocStats alloc =
+            telemetry::Profiler::allocStats();
+        report.allocCount = alloc.count;
+        report.allocBytes = alloc.bytes;
+        report.zones = zone_tables[median_index];
+
+        std::ofstream out(args.benchJsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write bench report '%s'\n",
+                         args.benchJsonPath.c_str());
+            return 1;
+        }
+        telemetry::writeBenchJson(report, out);
+        std::printf("\nbench report written: %s (median %.1f ms over %d "
+                    "run(s), %.0f events/s)\n",
+                    args.benchJsonPath.c_str(), median_wall, args.repeat,
+                    report.eventsPerSec);
+    }
+    return 0;
+}
 
 /** Print the experiment banner (id, paper analogue, setup). */
 inline void
@@ -65,28 +410,6 @@ policyHeader()
 }
 
 /**
- * Parse a `--trace <path>` flag and, when present, switch the global
- * telemetry sink on (with a journal sized for a full bench run) BEFORE any
- * simulator objects are built. Returns the output path, or "" when the
- * flag is absent. Unknown arguments are ignored so the flag helpers here
- * (traceFlag / jsonFlag / quickFlag) compose freely.
- */
-inline std::string
-traceFlag(int argc, char **argv)
-{
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace") == 0) {
-            telemetry::TelemetryConfig config;
-            config.enabled = true;
-            config.journalCapacity = 1u << 20;
-            telemetry::global().configure(config);
-            return argv[i + 1];
-        }
-    }
-    return std::string();
-}
-
-/**
  * If @p trace_path is non-empty, dump the global telemetry sink: Chrome
  * trace at the path itself plus .jsonl journal and .csv metric series
  * siblings. Prints where the files went.
@@ -101,31 +424,6 @@ writeTrace(const std::string &trace_path)
                     "load the .json in https://ui.perfetto.dev\n",
                     trace_path.c_str());
     }
-}
-
-/** Parse a bare `--quick` flag (benches use it for a CI-sized scenario). */
-inline bool
-quickFlag(int argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0)
-            return true;
-    }
-    return false;
-}
-
-/**
- * Parse a `--json <path>` flag: the destination for the bench's policy
- * table as machine-readable JSON (see JsonReport). "" when absent.
- */
-inline std::string
-jsonFlag(int argc, char **argv)
-{
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0)
-            return argv[i + 1];
-    }
-    return std::string();
 }
 
 /** File-name-safe policy label: "PM+S3" -> "PM-S3". */
@@ -233,6 +531,13 @@ class JsonReport
         }
         out << "]}\n";
         std::printf("\nJSON report written: %s\n", path_.c_str());
+    }
+
+    /** Start a fresh row set (the harness reruns the bench body). */
+    void
+    clear()
+    {
+        rows_.clear();
     }
 
   private:

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "simcore/logging.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_context.hpp"
 
@@ -90,6 +91,7 @@ VpmManager::attachTopology(const dc::Topology &topology)
 void
 VpmManager::managementCycle()
 {
+    PROF_ZONE("mgmt.cycle");
     ++stats_.cycles;
     observeDemand();
     if (config_.haRestart)
@@ -106,6 +108,7 @@ VpmManager::managementCycle()
 void
 VpmManager::observeDemand()
 {
+    PROF_ZONE("mgmt.observe");
     double total = 0.0;
     for (const auto &vm_ptr : cluster_.vms()) {
         if (vm_ptr->retired()) {
@@ -233,6 +236,7 @@ VpmManager::spareFloorMhz() const
 void
 VpmManager::ensureCapacity()
 {
+    PROF_ZONE("mgmt.capacity");
     const double required = requiredCapacityMhz() + spareFloorMhz();
     const double limit = config_.targetUtilization;
     double committed = committedCapacityMhz();
@@ -380,6 +384,7 @@ VpmManager::wakeOneHost(const char *reason)
 PlacementModel
 VpmManager::buildModel() const
 {
+    PROF_ZONE("mgmt.build_model");
     std::vector<PlannedHost> hosts;
     hosts.reserve(cluster_.hostCount());
     for (const auto &host_ptr : cluster_.hosts()) {
@@ -417,6 +422,7 @@ VpmManager::buildModel() const
 void
 VpmManager::rebalanceAndConsolidate()
 {
+    PROF_ZONE("mgmt.rebalance");
     PlacementModel model = buildModel();
     int budget = config_.maxMigrationsPerCycle;
 
@@ -615,6 +621,7 @@ VpmManager::chooseSleepState(const dc::Host &host) const
 void
 VpmManager::completeDrains()
 {
+    PROF_ZONE("mgmt.drains");
     const std::vector<dc::HostId> draining_now(draining_.begin(),
                                                draining_.end());
     for (dc::HostId host_id : draining_now) {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "simcore/logging.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace vpm::mgmt {
 
@@ -281,6 +282,7 @@ planEvacuation(PlacementModel &model, HostId victim,
                double target_utilization, PackingHeuristic heuristic,
                bool rack_affinity)
 {
+    PROF_ZONE("placement.evacuate");
     // A pinned VM on the victim makes full evacuation impossible.
     for (VmId vm_id : model.vmsOn(victim)) {
         if (!model.vm(vm_id).movable)
@@ -315,6 +317,7 @@ planRebalance(PlacementModel &model, double target_utilization,
               double imbalance_threshold, int max_moves,
               PackingHeuristic heuristic, bool rack_affinity)
 {
+    PROF_ZONE("placement.plan");
     std::vector<Move> moves;
 
     // Phase 1: relieve hosts over the target, worst offender first.

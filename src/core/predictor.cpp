@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vpm::mgmt {
@@ -214,6 +215,7 @@ void
 ForecastTracker::observe(std::int64_t t_us, double actual,
                          double next_forecast)
 {
+    PROF_ZONE("predictor.track");
     if (hasPending_) {
         ++samples_;
         absErrorSum_ += std::abs(pendingForecast_ - actual);

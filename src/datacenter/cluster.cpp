@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace vpm::dc {
 
@@ -89,6 +90,7 @@ Cluster::placeVm(VmId vm_id, HostId host_id)
 void
 Cluster::moveVm(VmId vm_id, HostId dest_id)
 {
+    PROF_ZONE("cluster.move_vm");
     Vm &vm_ref = vm(vm_id);
     Host &dest = host(dest_id);
 
@@ -225,6 +227,7 @@ Cluster::hostsTransitioning() const
 double
 Cluster::totalPowerWatts() const
 {
+    PROF_ZONE("cluster.power_accounting");
     double total = 0.0;
     for (const auto &host_ptr : hosts_)
         total += host_ptr->powerWatts();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vpm::dc {
@@ -50,6 +51,7 @@ DatacenterSim::start()
 void
 DatacenterSim::evaluationTick()
 {
+    PROF_ZONE("dcsim.tick");
     evaluate();
     for (const EvaluationHook &hook : hooks_)
         hook();
@@ -61,6 +63,7 @@ DatacenterSim::evaluationTick()
 void
 DatacenterSim::sampleTelemetry()
 {
+    PROF_ZONE("dcsim.sample_telemetry");
     telemetry::Telemetry &tel = telemetry::global();
     if (!tel.enabled())
         return;
@@ -81,6 +84,7 @@ DatacenterSim::sampleTelemetry()
 void
 DatacenterSim::evaluate()
 {
+    PROF_ZONE("dcsim.evaluate");
     // Only placed VMs demand CPU: retired VMs are gone, and pending
     // arrivals have not started working (their wait shows up in the
     // provisioning engine's placement-delay stats, not in the SLA).
@@ -125,6 +129,7 @@ DatacenterSim::evaluate()
 void
 DatacenterSim::reallocate()
 {
+    PROF_ZONE("dcsim.reallocate");
     for (const auto &host_ptr : cluster_.hosts())
         allocateHost(*host_ptr);
 }

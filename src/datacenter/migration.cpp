@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vpm::dc {
@@ -140,6 +141,7 @@ MigrationEngine::slotsFree(HostId source, HostId dest) const
 bool
 MigrationEngine::request(VmId vm_id, HostId dest)
 {
+    PROF_ZONE("migration.request");
     const Vm &vm = cluster_.vm(vm_id);
     if (involved_.contains(vm_id)) {
         sim::warn("migration of '%s' rejected: already migrating or queued",
@@ -176,6 +178,7 @@ MigrationEngine::destinationOf(VmId vm) const
 void
 MigrationEngine::start(VmId vm_id, HostId dest)
 {
+    PROF_ZONE("migration.start");
     Vm &vm = cluster_.vm(vm_id);
     const HostId source = vm.host();
     Host &src_ref = cluster_.host(source);
@@ -224,6 +227,7 @@ MigrationEngine::start(VmId vm_id, HostId dest)
 void
 MigrationEngine::complete(VmId vm_id, HostId source, HostId dest)
 {
+    PROF_ZONE("migration.complete");
     Vm &vm = cluster_.vm(vm_id);
     Host &src_ref = cluster_.host(source);
     Host &dest_ref = cluster_.host(dest);
@@ -282,6 +286,7 @@ MigrationEngine::complete(VmId vm_id, HostId source, HostId dest)
 void
 MigrationEngine::drainQueue()
 {
+    PROF_ZONE("migration.drain_queue");
     // Start every queued request whose endpoints now have slots. One pass
     // is enough: slots only free up on completion, which re-drains.
     std::deque<Request> still_waiting;

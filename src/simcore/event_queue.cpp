@@ -3,12 +3,14 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace vpm::sim {
 
 EventId
 EventQueue::schedule(SimTime when, EventCallback callback, std::string label)
 {
+    PROF_ZONE("sim.queue.push");
     if (!callback)
         panic("EventQueue::schedule: null callback (label '%s')",
               label.c_str());
@@ -55,6 +57,7 @@ EventQueue::nextTime() const
 EventQueue::Fired
 EventQueue::pop()
 {
+    PROF_ZONE("sim.queue.pop");
     skipDead();
     if (heap_.empty())
         panic("EventQueue::pop called on empty queue");

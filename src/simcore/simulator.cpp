@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_context.hpp"
 
@@ -38,6 +39,7 @@ Simulator::scheduleAt(SimTime when, EventCallback callback, std::string label)
 void
 Simulator::dispatchOne()
 {
+    PROF_ZONE("sim.dispatch");
     EventQueue::Fired fired = queue_.pop();
     if (fired.when < now_)
         panic("Simulator: event '%s' would move the clock backwards "
@@ -51,7 +53,17 @@ Simulator::dispatchOne()
     // events it schedules — and any journal records it emits — inherit the
     // decision that ultimately caused it.
     telemetry::TraceScope scope(fired.context);
-    fired.callback();
+    if (telemetry::Profiler::profilingEnabled()) {
+        // Per-event-label wall-clock timing: which event *type* burns the
+        // time, complementing the hierarchical zones inside the callback.
+        const std::uint64_t start = telemetry::Profiler::nowNs();
+        fired.callback();
+        telemetry::Profiler::instance().recordDispatch(
+            fired.label.empty() ? "(unlabeled)" : fired.label,
+            telemetry::Profiler::nowNs() - start);
+    } else {
+        fired.callback();
+    }
 }
 
 SimTime

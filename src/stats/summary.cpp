@@ -7,6 +7,28 @@
 
 namespace vpm::stats {
 
+double
+percentileExact(std::vector<double> samples, double fraction)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const double rank =
+        fraction * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= samples.size())
+        return samples.back();
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
+double
+medianExact(std::vector<double> samples)
+{
+    return percentileExact(std::move(samples), 0.5);
+}
+
 void
 Summary::add(double x)
 {

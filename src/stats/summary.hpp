@@ -8,10 +8,28 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "simcore/sim_time.hpp"
 
 namespace vpm::stats {
+
+/**
+ * Exact percentile of a small sample set by linear interpolation between
+ * closest ranks (numpy's default): rank = fraction * (n - 1), the result
+ * interpolates between the two samples bracketing that rank. Unlike the
+ * bucketed Histogram/HistogramMetric percentiles this is exact, which is
+ * what the bench harness needs for its median-of-N wall-clock numbers.
+ *
+ * @param samples Sample set; taken by value because it must be sorted.
+ * @param fraction In [0, 1] (clamped): 0 returns the minimum, 1 the
+ *        maximum, 0.5 the median. Returns 0 for an empty set; a single
+ *        sample is every percentile of itself.
+ */
+double percentileExact(std::vector<double> samples, double fraction);
+
+/** percentileExact(samples, 0.5). */
+double medianExact(std::vector<double> samples);
 
 /**
  * Streaming summary of a scalar sample set: count, mean, variance

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Counting global operator new/delete for profile builds.
+ *
+ * Compiled in only when the build sets VPM_PROFILE_ALLOC (CMake option
+ * -DVPM_PROFILE_ALLOC=ON); otherwise this translation unit is empty and the
+ * default allocator is untouched. The hook adds one relaxed atomic add per
+ * allocation — cheap, but not free, which is why it is a build-time opt-in
+ * rather than a runtime flag: replacing operator new is a whole-program
+ * property. Profiler::allocStats() reports the totals.
+ */
+
+#ifdef VPM_PROFILE_ALLOC
+
+#include <cstdlib>
+#include <new>
+
+#include "telemetry/profiler.hpp"
+
+namespace {
+
+void *
+countedAlloc(std::size_t size)
+{
+    vpm::telemetry::detail::allocCount.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    vpm::telemetry::detail::allocBytes.fetch_add(size,
+                                                 std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+#endif // VPM_PROFILE_ALLOC

@@ -1,0 +1,626 @@
+#include "telemetry/bench_report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+// Build fingerprint macros, normally injected by src/telemetry/CMakeLists.
+#ifndef VPM_BUILD_TYPE
+#define VPM_BUILD_TYPE "unknown"
+#endif
+#ifndef VPM_CXX_FLAGS
+#define VPM_CXX_FLAGS ""
+#endif
+
+namespace vpm::telemetry {
+
+// ---------------------------------------------------------------------------
+// Environment fingerprint
+
+BenchEnvironment
+currentEnvironment()
+{
+    BenchEnvironment env;
+#if defined(__clang__)
+    env.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+    env.compiler = "gcc " __VERSION__;
+#else
+    env.compiler = "unknown";
+#endif
+    env.buildType = VPM_BUILD_TYPE;
+    env.cxxFlags = VPM_CXX_FLAGS;
+#if defined(__unix__) || defined(__APPLE__)
+    char host[256] = {0};
+    if (gethostname(host, sizeof(host) - 1) == 0)
+        env.host = host;
+    struct utsname uts{};
+    if (uname(&uts) == 0)
+        env.os = std::string(uts.sysname) + " " + uts.release + " " +
+                 uts.machine;
+#endif
+    if (env.host.empty())
+        env.host = "unknown";
+    if (env.os.empty())
+        env.os = "unknown";
+    return env;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+namespace {
+
+void
+writeEscaped(std::ostream &out, const std::string &text)
+{
+    out << '"';
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out << '\\' << c;
+        else if (c == '\n')
+            out << "\\n";
+        else if (static_cast<unsigned char>(c) < 0x20)
+            out << ' ';
+        else
+            out << c;
+    }
+    out << '"';
+}
+
+std::string
+fmtDouble(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+} // namespace
+
+void
+writeBenchJson(const BenchReport &report, std::ostream &out)
+{
+    out << "{\n  \"schema\": ";
+    writeEscaped(out, report.schema);
+    out << ",\n  \"bench\": ";
+    writeEscaped(out, report.bench);
+    out << ",\n  \"quick\": " << (report.quick ? "true" : "false")
+        << ",\n  \"profile\": " << (report.profile ? "true" : "false")
+        << ",\n  \"repeat\": " << report.repeat
+        << ",\n  \"warmup\": " << report.warmup
+        << ",\n  \"environment\": {\n    \"compiler\": ";
+    writeEscaped(out, report.environment.compiler);
+    out << ",\n    \"build_type\": ";
+    writeEscaped(out, report.environment.buildType);
+    out << ",\n    \"cxx_flags\": ";
+    writeEscaped(out, report.environment.cxxFlags);
+    out << ",\n    \"host\": ";
+    writeEscaped(out, report.environment.host);
+    out << ",\n    \"os\": ";
+    writeEscaped(out, report.environment.os);
+    out << "\n  },\n  \"runs\": [";
+    for (std::size_t i = 0; i < report.runs.size(); ++i) {
+        out << (i ? ", " : "") << "{\"wall_ms\": "
+            << fmtDouble(report.runs[i].wallMs)
+            << ", \"events\": " << report.runs[i].events << "}";
+    }
+    out << "],\n  \"median_wall_ms\": " << fmtDouble(report.medianWallMs)
+        << ",\n  \"events_per_sec\": " << fmtDouble(report.eventsPerSec)
+        << ",\n  \"process\": {\"peak_rss_kb\": " << report.peakRssKb
+        << ", \"alloc_count\": " << report.allocCount
+        << ", \"alloc_bytes\": " << report.allocBytes
+        << "},\n  \"zones\": [";
+    for (std::size_t i = 0; i < report.zones.size(); ++i) {
+        const BenchZoneRow &zone = report.zones[i];
+        out << (i ? ",\n    " : "\n    ") << "{\"path\": ";
+        writeEscaped(out, zone.path);
+        out << ", \"name\": ";
+        writeEscaped(out, zone.name);
+        out << ", \"calls\": " << zone.calls
+            << ", \"incl_ms\": " << fmtDouble(zone.inclMs)
+            << ", \"excl_ms\": " << fmtDouble(zone.exclMs) << "}";
+    }
+    out << (report.zones.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, numbers, bools, null) —
+// just enough for the schema above plus unknown-field tolerance.
+
+namespace {
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *message)
+    {
+        if (error_ && error_->empty()) {
+            std::ostringstream oss;
+            oss << message << " (offset " << pos_ << ")";
+            *error_ = oss.str();
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'u':
+                    // Schema strings are ASCII; keep \u escapes verbatim.
+                    out += "\\u";
+                    break;
+                default: out += e; break;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        try {
+            out.number = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            return fail("bad number");
+        }
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            skipSpace();
+            if (!parseValue(item))
+                return false;
+            out.array.push_back(std::move(item));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+double
+numberOr(const JsonValue *value, double fallback)
+{
+    return value && value->kind == JsonValue::Kind::Number ? value->number
+                                                          : fallback;
+}
+
+std::string
+stringOr(const JsonValue *value, const std::string &fallback)
+{
+    return value && value->kind == JsonValue::Kind::String ? value->string
+                                                           : fallback;
+}
+
+bool
+boolOr(const JsonValue *value, bool fallback)
+{
+    return value && value->kind == JsonValue::Kind::Bool ? value->boolean
+                                                         : fallback;
+}
+
+} // namespace
+
+bool
+readBenchJson(std::istream &in, BenchReport &out, std::string *error)
+{
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    JsonValue root;
+    std::string parse_error;
+    JsonParser parser(text, &parse_error);
+    if (!parser.parse(root) || root.kind != JsonValue::Kind::Object) {
+        if (error)
+            *error = parse_error.empty() ? "not a JSON object" : parse_error;
+        return false;
+    }
+
+    out = BenchReport{};
+    out.schema = stringOr(root.find("schema"), "");
+    if (out.schema != "vpm-bench-1") {
+        if (error)
+            *error = "unsupported schema '" + out.schema +
+                     "' (want vpm-bench-1)";
+        return false;
+    }
+    out.bench = stringOr(root.find("bench"), "");
+    out.quick = boolOr(root.find("quick"), false);
+    out.profile = boolOr(root.find("profile"), false);
+    out.repeat = static_cast<int>(numberOr(root.find("repeat"), 0));
+    out.warmup = static_cast<int>(numberOr(root.find("warmup"), 0));
+
+    if (const JsonValue *env = root.find("environment");
+        env && env->kind == JsonValue::Kind::Object) {
+        out.environment.compiler = stringOr(env->find("compiler"), "");
+        out.environment.buildType = stringOr(env->find("build_type"), "");
+        out.environment.cxxFlags = stringOr(env->find("cxx_flags"), "");
+        out.environment.host = stringOr(env->find("host"), "");
+        out.environment.os = stringOr(env->find("os"), "");
+    }
+
+    if (const JsonValue *runs = root.find("runs");
+        runs && runs->kind == JsonValue::Kind::Array) {
+        for (const JsonValue &run : runs->array) {
+            BenchRun r;
+            r.wallMs = numberOr(run.find("wall_ms"), 0.0);
+            r.events =
+                static_cast<std::uint64_t>(numberOr(run.find("events"), 0));
+            out.runs.push_back(r);
+        }
+    }
+    out.medianWallMs = numberOr(root.find("median_wall_ms"), 0.0);
+    out.eventsPerSec = numberOr(root.find("events_per_sec"), 0.0);
+
+    if (const JsonValue *process = root.find("process");
+        process && process->kind == JsonValue::Kind::Object) {
+        out.peakRssKb = static_cast<std::int64_t>(
+            numberOr(process->find("peak_rss_kb"), 0));
+        out.allocCount = static_cast<std::uint64_t>(
+            numberOr(process->find("alloc_count"), 0));
+        out.allocBytes = static_cast<std::uint64_t>(
+            numberOr(process->find("alloc_bytes"), 0));
+    }
+
+    if (const JsonValue *zones = root.find("zones");
+        zones && zones->kind == JsonValue::Kind::Array) {
+        for (const JsonValue &zone : zones->array) {
+            BenchZoneRow row;
+            row.path = stringOr(zone.find("path"), "");
+            row.name = stringOr(zone.find("name"), "");
+            row.calls =
+                static_cast<std::uint64_t>(numberOr(zone.find("calls"), 0));
+            row.inclMs = numberOr(zone.find("incl_ms"), 0.0);
+            row.exclMs = numberOr(zone.find("excl_ms"), 0.0);
+            out.zones.push_back(std::move(row));
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+
+namespace {
+
+double
+pctChange(double base, double next)
+{
+    return base > 0.0 ? 100.0 * (next - base) / base : 0.0;
+}
+
+} // namespace
+
+CompareResult
+compareBenchReports(const BenchReport &base, const BenchReport &next,
+                    const CompareOptions &options)
+{
+    CompareResult result;
+    if (base.schema != next.schema) {
+        result.error = "schema mismatch: '" + base.schema + "' vs '" +
+                       next.schema + "'";
+        return result;
+    }
+    result.comparable = true;
+
+    if (base.medianWallMs > 0.0 &&
+        next.medianWallMs >
+            base.medianWallMs * (1.0 + options.thresholdPct / 100.0)) {
+        result.regressions.push_back(
+            {"median_wall_ms", base.medianWallMs, next.medianWallMs,
+             pctChange(base.medianWallMs, next.medianWallMs)});
+    }
+    if (base.eventsPerSec > 0.0 && next.eventsPerSec > 0.0 &&
+        next.eventsPerSec <
+            base.eventsPerSec * (1.0 - options.thresholdPct / 100.0)) {
+        result.regressions.push_back(
+            {"events_per_sec", base.eventsPerSec, next.eventsPerSec,
+             pctChange(base.eventsPerSec, next.eventsPerSec)});
+    }
+
+    std::map<std::string, const BenchZoneRow *> byPath;
+    for (const BenchZoneRow &zone : base.zones)
+        byPath[zone.path] = &zone;
+    for (const BenchZoneRow &zone : next.zones) {
+        const auto it = byPath.find(zone.path);
+        if (it == byPath.end())
+            continue; // new zone: informational, not a regression
+        const BenchZoneRow &old = *it->second;
+        if (old.exclMs < options.minZoneMs && zone.exclMs < options.minZoneMs)
+            continue; // below the noise floor in both reports
+        if (old.exclMs > 0.0 &&
+            zone.exclMs >
+                old.exclMs * (1.0 + options.zoneThresholdPct / 100.0)) {
+            result.regressions.push_back({zone.path, old.exclMs, zone.exclMs,
+                                          pctChange(old.exclMs,
+                                                    zone.exclMs)});
+        }
+    }
+    return result;
+}
+
+void
+writeComparison(const BenchReport &base, const BenchReport &next,
+                const CompareOptions &options, const CompareResult &result,
+                std::ostream &out)
+{
+    char line[256];
+    out << "bench: " << (base.bench.empty() ? "?" : base.bench);
+    if (base.bench != next.bench)
+        out << "  (WARNING: comparing against bench '" << next.bench << "')";
+    out << "\nenvironment: " << base.environment.compiler << " / "
+        << base.environment.buildType << "  ->  "
+        << next.environment.compiler << " / " << next.environment.buildType
+        << "\n\n";
+
+    std::snprintf(line, sizeof(line), "%-44s %12s %12s %8s\n", "metric",
+                  "base", "new", "delta");
+    out << line;
+    const auto row = [&](const char *name, double a, double b) {
+        std::snprintf(line, sizeof(line), "%-44s %12.2f %12.2f %+7.1f%%\n",
+                      name, a, b, pctChange(a, b));
+        out << line;
+    };
+    row("median_wall_ms", base.medianWallMs, next.medianWallMs);
+    row("events_per_sec", base.eventsPerSec, next.eventsPerSec);
+    row("peak_rss_kb", static_cast<double>(base.peakRssKb),
+        static_cast<double>(next.peakRssKb));
+
+    std::map<std::string, std::pair<const BenchZoneRow *,
+                                    const BenchZoneRow *>> zones;
+    for (const BenchZoneRow &zone : base.zones)
+        zones[zone.path].first = &zone;
+    for (const BenchZoneRow &zone : next.zones)
+        zones[zone.path].second = &zone;
+
+    bool header = false;
+    for (const auto &[path, pair] : zones) {
+        const auto &[old_zone, new_zone] = pair;
+        if (!old_zone || !new_zone)
+            continue;
+        if (old_zone->exclMs < options.minZoneMs &&
+            new_zone->exclMs < options.minZoneMs)
+            continue;
+        if (!header) {
+            std::snprintf(line, sizeof(line),
+                          "\nzones (exclusive ms; floor %.1f ms, threshold "
+                          "%.0f%%):\n",
+                          options.minZoneMs, options.zoneThresholdPct);
+            out << line;
+            header = true;
+        }
+        std::string label = path;
+        if (label.size() > 44)
+            label = "..." + label.substr(label.size() - 41);
+        row(label.c_str(), old_zone->exclMs, new_zone->exclMs);
+    }
+    for (const auto &[path, pair] : zones) {
+        if (pair.first && !pair.second)
+            out << "removed zone: " << path << "\n";
+        else if (!pair.first && pair.second)
+            out << "new zone: " << path << "\n";
+    }
+
+    if (result.regressed()) {
+        out << "\nRESULT: REGRESSION in " << result.regressions.size()
+            << " metric(s):\n";
+        for (const Regression &regression : result.regressions) {
+            std::snprintf(line, sizeof(line),
+                          "  %s: %.2f -> %.2f (%+.1f%%)\n",
+                          regression.what.c_str(), regression.oldValue,
+                          regression.newValue, regression.deltaPct);
+            out << line;
+        }
+    } else {
+        std::snprintf(line, sizeof(line),
+                      "\nRESULT: no regression (headline %.0f%%, zones "
+                      "%.0f%% above %.1f ms)\n",
+                      options.thresholdPct, options.zoneThresholdPct,
+                      options.minZoneMs);
+        out << line;
+    }
+}
+
+} // namespace vpm::telemetry

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Machine-readable bench results: the stable BENCH_*.json schema, its
+ * reader, and the regression comparator behind tools/bench_compare.
+ *
+ * Schema "vpm-bench-1" (all times wall-clock):
+ *
+ *     {
+ *       "schema": "vpm-bench-1",
+ *       "bench": "F7",
+ *       "quick": true, "profile": true, "repeat": 5, "warmup": 1,
+ *       "environment": {
+ *         "compiler": "gcc 12.2.0", "build_type": "RelWithDebInfo",
+ *         "cxx_flags": "-Wall ...", "host": "ci-runner", "os": "Linux ..."
+ *       },
+ *       "runs": [ {"wall_ms": 3081.21, "events": 5409121}, ... ],
+ *       "median_wall_ms": 3081.21,     // interpolated median of runs[]
+ *       "events_per_sec": 1755421.0,   // of the median-rank run
+ *       "process": { "peak_rss_kb": 131072,
+ *                    "alloc_count": 0, "alloc_bytes": 0 },  // 0 = off
+ *       "zones": [                     // median-rank run, preorder
+ *         { "path": "bench/sim.dispatch/mgmt.cycle", "name": "mgmt.cycle",
+ *           "calls": 1440, "incl_ms": 812.4, "excl_ms": 31.2 }, ... ]
+ *     }
+ *
+ * Stability contract: fields are only ever added, never renamed or
+ * repurposed; a schema-breaking change bumps the "schema" string and
+ * bench_compare refuses mixed versions. Zone identity for comparison is
+ * the slash-joined root-to-zone "path", so moving a PROF_ZONE to a
+ * different caller is (correctly) a new zone, not a silent merge.
+ */
+
+#ifndef VPM_TELEMETRY_BENCH_REPORT_HPP
+#define VPM_TELEMETRY_BENCH_REPORT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vpm::telemetry {
+
+/** One zone row of a bench report (see Profiler). */
+struct BenchZoneRow
+{
+    std::string path; ///< "bench/sim.dispatch/mgmt.cycle"
+    std::string name; ///< last path component
+    std::uint64_t calls = 0;
+    double inclMs = 0.0;
+    double exclMs = 0.0;
+};
+
+/** One measured repetition. */
+struct BenchRun
+{
+    double wallMs = 0.0;
+    std::uint64_t events = 0; ///< simulator events dispatched during the run
+};
+
+/** Compiler / flags / host fingerprint embedded in every report. */
+struct BenchEnvironment
+{
+    std::string compiler;
+    std::string buildType;
+    std::string cxxFlags;
+    std::string host;
+    std::string os;
+};
+
+/** The fingerprint of the running build (uses macros + uname). */
+BenchEnvironment currentEnvironment();
+
+/** Everything one bench invocation measured. */
+struct BenchReport
+{
+    std::string schema = "vpm-bench-1";
+    std::string bench;
+    bool quick = false;
+    bool profile = false;
+    int repeat = 0;
+    int warmup = 0;
+    BenchEnvironment environment;
+    std::vector<BenchRun> runs;
+    double medianWallMs = 0.0;
+    double eventsPerSec = 0.0;
+    std::int64_t peakRssKb = 0;
+    std::uint64_t allocCount = 0;
+    std::uint64_t allocBytes = 0;
+    std::vector<BenchZoneRow> zones;
+};
+
+/** Serialize @p report in the schema above (pretty, stable field order). */
+void writeBenchJson(const BenchReport &report, std::ostream &out);
+
+/**
+ * Parse a bench report previously written by writeBenchJson (tolerates
+ * unknown extra fields, per the stability contract).
+ * @return false with @p error set on malformed input or a schema mismatch.
+ */
+bool readBenchJson(std::istream &in, BenchReport &out, std::string *error);
+
+/** Thresholds for compareBenchReports; percentages are relative growth. */
+struct CompareOptions
+{
+    /** Regression threshold for the headline median wall-clock and
+     *  events/sec numbers, in percent. */
+    double thresholdPct = 5.0;
+
+    /** Per-zone exclusive-time regression threshold, in percent. Zones
+     *  are noisier than the headline, hence the wider default. */
+    double zoneThresholdPct = 25.0;
+
+    /** Ignore zones whose exclusive time is below this in BOTH reports:
+     *  sub-millisecond zones are clock noise, not signal. */
+    double minZoneMs = 1.0;
+};
+
+/** One regressed metric (headline or zone). */
+struct Regression
+{
+    std::string what; ///< "median_wall_ms", "events_per_sec" or zone path
+    double oldValue = 0.0;
+    double newValue = 0.0;
+    double deltaPct = 0.0;
+};
+
+/** Outcome of comparing two reports. */
+struct CompareResult
+{
+    bool comparable = false; ///< schemas matched and both parsed
+    std::string error;       ///< set when !comparable
+    std::vector<Regression> regressions;
+
+    bool regressed() const { return !regressions.empty(); }
+};
+
+/**
+ * Compare @p next against the @p base(line): headline median wall-clock,
+ * events/sec throughput, and per-zone exclusive times matched by path.
+ * New/removed zones are never regressions (they are reported by the CLI as
+ * informational); a zone must exceed the threshold in relative terms AND
+ * clear the minZoneMs noise floor to count.
+ */
+CompareResult compareBenchReports(const BenchReport &base,
+                                  const BenchReport &next,
+                                  const CompareOptions &options);
+
+/**
+ * Human-readable comparison table (old vs new, delta %), ending with one
+ * line naming each regressed metric/zone — or "no regression" when clean.
+ */
+void writeComparison(const BenchReport &base, const BenchReport &next,
+                     const CompareOptions &options,
+                     const CompareResult &result, std::ostream &out);
+
+} // namespace vpm::telemetry
+
+#endif // VPM_TELEMETRY_BENCH_REPORT_HPP

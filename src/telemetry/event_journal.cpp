@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace_context.hpp"
 
 namespace vpm::telemetry {
@@ -126,6 +127,9 @@ EventJournal::trackName(TrackDomain domain, std::int32_t track) const
 std::uint64_t
 EventJournal::record(JournalEvent event)
 {
+    // The observability tax, made visible: journal appends are on the
+    // simulation hot path whenever tracing is enabled.
+    PROF_ZONE("telemetry.journal.record");
     if (!enabled_ || events_.empty())
         return 0;
     event.seq = nextSeq_++;

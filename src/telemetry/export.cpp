@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "telemetry/profiler.hpp"
+
 namespace vpm::telemetry {
 
 namespace {
@@ -79,6 +81,7 @@ displayTrack(const EventJournal &journal, TrackDomain domain,
 void
 writeJournalJsonl(const EventJournal &journal, std::ostream &out)
 {
+    PROF_ZONE("telemetry.export.jsonl");
     for (const JournalEvent &ev : journal.sortedEvents()) {
         out << "{\"t_us\":" << ev.timeUs << ",\"seq\":" << ev.seq
             << ",\"kind\":\"" << toString(ev.kind) << "\",\"track\":\""
@@ -152,6 +155,7 @@ writeJournalJsonl(const EventJournal &journal, std::ostream &out)
 void
 writeMetricsCsv(const Telemetry &telemetry, std::ostream &out)
 {
+    PROF_ZONE("telemetry.export.csv");
     out << "t_us";
     for (const std::string &column : telemetry.seriesColumns())
         out << ',' << column;
@@ -189,6 +193,7 @@ emitMeta(std::ostream &out, int pid, std::int64_t tid, const char *what,
 void
 writeChromeTrace(const Telemetry &telemetry, std::ostream &out)
 {
+    PROF_ZONE("telemetry.export.chrome");
     const EventJournal &journal = telemetry.journal();
     const std::vector<JournalEvent> events = journal.sortedEvents();
 

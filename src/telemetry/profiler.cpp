@@ -1,0 +1,348 @@
+#include "telemetry/profiler.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace vpm::telemetry {
+
+namespace detail {
+std::atomic<std::uint64_t> allocCount{0};
+std::atomic<std::uint64_t> allocBytes{0};
+} // namespace detail
+
+bool Profiler::enabledFlag_ = false;
+
+Profiler::Profiler()
+{
+    ZoneNode root;
+    root.name = "(root)";
+    nodes_.push_back(std::move(root));
+}
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    enabledFlag_ = on;
+}
+
+std::uint32_t
+Profiler::enter(const char *name)
+{
+    ZoneNode &parent = nodes_[current_];
+    for (const std::uint32_t child : parent.children) {
+        if (nodes_[child].name == name) {
+            current_ = child;
+            return child;
+        }
+    }
+    const auto index = static_cast<std::uint32_t>(nodes_.size());
+    ZoneNode node;
+    node.name = name;
+    node.parent = current_;
+    node.depth = parent.depth + 1;
+    nodes_.push_back(std::move(node));
+    // push_back may reallocate; re-reference the parent before linking.
+    nodes_[current_].children.push_back(index);
+    current_ = index;
+    return index;
+}
+
+void
+Profiler::leave(std::uint32_t node, std::uint64_t start_ns)
+{
+    // A reset() between enter and leave invalidates the index; tolerate it
+    // (the harness only resets outside any zone, but be safe).
+    if (node >= nodes_.size()) {
+        current_ = 0;
+        return;
+    }
+    const std::uint64_t now = nowNs();
+    const std::uint64_t dt = now > start_ns ? now - start_ns : 0;
+    ZoneNode &n = nodes_[node];
+    n.inclusiveNs += dt;
+    ++n.calls;
+    nodes_[n.parent].childNs += dt;
+    current_ = n.parent;
+}
+
+void
+Profiler::recordDispatch(const std::string &label, std::uint64_t ns)
+{
+    DispatchStats *stats = nullptr;
+    for (auto &[key, index] : dispatchIndex_) {
+        if (key == label) {
+            stats = &dispatch_[index];
+            break;
+        }
+    }
+    if (stats == nullptr) {
+        dispatchIndex_.emplace_back(label, dispatch_.size());
+        dispatch_.emplace_back();
+        stats = &dispatch_.back();
+        stats->label = label;
+    }
+    ++stats->count;
+    stats->totalNs += ns;
+    stats->maxNs = std::max(stats->maxNs, ns);
+    const std::uint64_t us = ns / 1000;
+    const std::size_t bucket =
+        us == 0 ? 0
+                : std::min<std::size_t>(
+                      static_cast<std::size_t>(std::bit_width(us)) - 1,
+                      dispatchBucketCount - 1);
+    ++stats->buckets[bucket];
+}
+
+double
+DispatchStats::percentileUs(double fraction) const
+{
+    if (count == 0)
+        return 0.0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const double target = fraction * static_cast<double>(count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        if (static_cast<double>(cumulative) >= target)
+            return static_cast<double>(std::uint64_t{1} << (i + 1));
+    }
+    return static_cast<double>(std::uint64_t{1} << buckets.size());
+}
+
+void
+Profiler::reset()
+{
+    nodes_.clear();
+    ZoneNode root;
+    root.name = "(root)";
+    nodes_.push_back(std::move(root));
+    current_ = 0;
+    dispatch_.clear();
+    dispatchIndex_.clear();
+}
+
+std::vector<DispatchStats>
+Profiler::dispatchStats() const
+{
+    std::vector<DispatchStats> out = dispatch_;
+    std::sort(out.begin(), out.end(),
+              [](const DispatchStats &a, const DispatchStats &b) {
+                  return a.totalNs > b.totalNs;
+              });
+    return out;
+}
+
+namespace {
+
+double
+toMs(std::uint64_t ns)
+{
+    return static_cast<double>(ns) / 1e6;
+}
+
+void
+writeZoneLine(std::ostream &out, const std::vector<ZoneNode> &nodes,
+              std::uint32_t index, std::uint64_t tracked_ns)
+{
+    const ZoneNode &node = nodes[index];
+    std::string label(static_cast<std::size_t>(node.depth - 1) * 2, ' ');
+    label += node.name;
+    if (label.size() > 44)
+        label.resize(44);
+    const double share =
+        tracked_ns > 0 ? 100.0 * static_cast<double>(node.exclusiveNs()) /
+                             static_cast<double>(tracked_ns)
+                       : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-44s %10" PRIu64 " %11.2f %11.2f %6.1f%%\n",
+                  label.c_str(), node.calls, toMs(node.inclusiveNs),
+                  toMs(node.exclusiveNs()), share);
+    out << line;
+}
+
+void
+writeZoneTree(std::ostream &out, const std::vector<ZoneNode> &nodes,
+              std::uint32_t index, std::uint64_t tracked_ns)
+{
+    writeZoneLine(out, nodes, index, tracked_ns);
+    std::vector<std::uint32_t> children = nodes[index].children;
+    std::sort(children.begin(), children.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return nodes[a].inclusiveNs > nodes[b].inclusiveNs;
+              });
+    for (const std::uint32_t child : children)
+        writeZoneTree(out, nodes, child, tracked_ns);
+}
+
+void
+jsonEscape(std::ostream &out, const std::string &text)
+{
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out << '\\' << c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            out << ' ';
+        else
+            out << c;
+    }
+}
+
+} // namespace
+
+void
+Profiler::writeReport(std::ostream &out) const
+{
+    const std::uint64_t tracked = totalTrackedNs();
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "=== self-profile: zones (wall-clock) ===\n"
+                  "tracked: %.2f ms across %zu zone(s); exclusive column "
+                  "sums to the tracked total\n\n",
+                  toMs(tracked), nodes_.size() - 1);
+    out << line;
+    std::snprintf(line, sizeof(line), "%-44s %10s %11s %11s %7s\n", "zone",
+                  "calls", "incl ms", "excl ms", "excl%");
+    out << line;
+    std::vector<std::uint32_t> top = nodes_[0].children;
+    std::sort(top.begin(), top.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return nodes_[a].inclusiveNs > nodes_[b].inclusiveNs;
+    });
+    for (const std::uint32_t child : top)
+        writeZoneTree(out, nodes_, child, tracked);
+
+    const std::vector<DispatchStats> dispatch = dispatchStats();
+    if (!dispatch.empty()) {
+        out << "\n=== self-profile: event dispatch (wall-clock) ===\n";
+        std::snprintf(line, sizeof(line),
+                      "%-28s %10s %11s %9s %9s %9s %9s\n", "label", "count",
+                      "total ms", "mean us", "p50 us", "p99 us", "max us");
+        out << line;
+        for (const DispatchStats &stats : dispatch) {
+            std::string label = stats.label;
+            if (label.size() > 28)
+                label.resize(28);
+            std::snprintf(line, sizeof(line),
+                          "%-28s %10" PRIu64
+                          " %11.2f %9.2f %9.0f %9.0f %9.1f\n",
+                          label.c_str(), stats.count, toMs(stats.totalNs),
+                          stats.meanUs(), stats.percentileUs(0.50),
+                          stats.percentileUs(0.99),
+                          static_cast<double>(stats.maxNs) / 1000.0);
+            out << line;
+        }
+    }
+
+    out << "\n=== self-profile: process ===\n";
+    const std::int64_t rss_kb = peakRssKb();
+    if (rss_kb > 0) {
+        std::snprintf(line, sizeof(line), "peak RSS: %.1f MB\n",
+                      static_cast<double>(rss_kb) / 1024.0);
+        out << line;
+    } else {
+        out << "peak RSS: unavailable on this platform\n";
+    }
+    const AllocStats alloc = allocStats();
+    if (alloc.available) {
+        std::snprintf(line, sizeof(line),
+                      "heap: %" PRIu64 " allocation(s), %.1f MB total\n",
+                      alloc.count,
+                      static_cast<double>(alloc.bytes) / (1024.0 * 1024.0));
+        out << line;
+    } else {
+        out << "heap: allocation counting off (configure with "
+               "-DVPM_PROFILE_ALLOC=ON)\n";
+    }
+}
+
+namespace {
+
+/** Emit one synthetic flame span and, recursively, its children packed
+ *  consecutively from the span's start. Returns nothing; the caller
+ *  advances its own cursor by the node's inclusive time. */
+void
+writeChromeSpan(std::ostream &out, const std::vector<ZoneNode> &nodes,
+                std::uint32_t index, double start_us, bool &first)
+{
+    const ZoneNode &node = nodes[index];
+    if (!first)
+        out << ",\n";
+    first = false;
+    char buf[96];
+    out << R"({"ph":"X","pid":0,"tid":0,"cat":"profile","name":")";
+    jsonEscape(out, node.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"calls\":%" PRIu64
+                  ",\"excl_ms\":%.3f}}",
+                  start_us, static_cast<double>(node.inclusiveNs) / 1000.0,
+                  node.calls,
+                  static_cast<double>(node.exclusiveNs()) / 1e6);
+    out << buf;
+    double cursor = start_us;
+    for (const std::uint32_t child : node.children) {
+        writeChromeSpan(out, nodes, child, cursor, first);
+        cursor += static_cast<double>(nodes[child].inclusiveNs) / 1000.0;
+    }
+}
+
+} // namespace
+
+void
+Profiler::writeChromeTrace(std::ostream &out) const
+{
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        << R"({"ph":"M","pid":0,"name":"process_name",)"
+        << R"x("args":{"name":"vpm self-profile (wall-clock, aggregate)"}})x";
+    bool first = false; // metadata record already emitted
+    double cursor = 0.0;
+    for (const std::uint32_t child : nodes_[0].children) {
+        writeChromeSpan(out, nodes_, child, cursor, first);
+        cursor += static_cast<double>(nodes_[child].inclusiveNs) / 1000.0;
+    }
+    out << "\n]}\n";
+}
+
+std::int64_t
+Profiler::peakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(usage.ru_maxrss / 1024);
+#else
+    return static_cast<std::int64_t>(usage.ru_maxrss);
+#endif
+#else
+    return 0;
+#endif
+}
+
+AllocStats
+Profiler::allocStats()
+{
+    AllocStats stats;
+#ifdef VPM_PROFILE_ALLOC
+    stats.available = true;
+#endif
+    stats.count = detail::allocCount.load(std::memory_order_relaxed);
+    stats.bytes = detail::allocBytes.load(std::memory_order_relaxed);
+    return stats;
+}
+
+} // namespace vpm::telemetry

@@ -1,5 +1,7 @@
 #include "telemetry/telemetry.hpp"
 
+#include "telemetry/profiler.hpp"
+
 namespace vpm::telemetry {
 
 void
@@ -19,6 +21,7 @@ Telemetry::configure(const TelemetryConfig &config)
 void
 Telemetry::sampleSeries(std::int64_t t_us)
 {
+    PROF_ZONE("telemetry.sample_series");
     if (!config_.enabled)
         return;
     if (seriesColumns_.empty()) {

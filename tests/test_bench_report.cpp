@@ -1,0 +1,246 @@
+/**
+ * @file
+ * BENCH_*.json schema tests: write/read round-trip, schema-version
+ * rejection, and the bench_compare threshold logic (headline and
+ * per-zone, noise floor, new/removed zones).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/bench_report.hpp"
+
+namespace vpm::telemetry {
+namespace {
+
+BenchReport
+sampleReport()
+{
+    BenchReport report;
+    report.bench = "f7_scaleout";
+    report.quick = true;
+    report.profile = true;
+    report.repeat = 3;
+    report.warmup = 1;
+    report.environment.compiler = "gcc 12.2.0";
+    report.environment.buildType = "RelWithDebInfo";
+    report.environment.cxxFlags = "-O2 -Wall \"quoted\"";
+    report.environment.host = "ci-runner";
+    report.environment.os = "Linux x86_64";
+    report.runs = {{101.5, 12345}, {99.25, 12345}, {100.0, 12345}};
+    report.medianWallMs = 100.0;
+    report.eventsPerSec = 123450.0;
+    report.peakRssKb = 65536;
+    report.allocCount = 42;
+    report.allocBytes = 1 << 20;
+    report.zones = {
+        {"bench", "bench", 1, 100.0, 2.0},
+        {"bench/sim.dispatch", "sim.dispatch", 12345, 98.0, 10.0},
+        {"bench/sim.dispatch/mgmt.cycle", "mgmt.cycle", 288, 88.0, 88.0},
+    };
+    return report;
+}
+
+TEST(BenchReport, JsonRoundTripPreservesEveryField)
+{
+    const BenchReport original = sampleReport();
+    std::stringstream buffer;
+    writeBenchJson(original, buffer);
+
+    BenchReport parsed;
+    std::string error;
+    ASSERT_TRUE(readBenchJson(buffer, parsed, &error)) << error;
+
+    EXPECT_EQ(parsed.schema, "vpm-bench-1");
+    EXPECT_EQ(parsed.bench, original.bench);
+    EXPECT_EQ(parsed.quick, original.quick);
+    EXPECT_EQ(parsed.profile, original.profile);
+    EXPECT_EQ(parsed.repeat, original.repeat);
+    EXPECT_EQ(parsed.warmup, original.warmup);
+    EXPECT_EQ(parsed.environment.compiler, original.environment.compiler);
+    EXPECT_EQ(parsed.environment.cxxFlags, original.environment.cxxFlags);
+    ASSERT_EQ(parsed.runs.size(), original.runs.size());
+    EXPECT_DOUBLE_EQ(parsed.runs[0].wallMs, original.runs[0].wallMs);
+    EXPECT_EQ(parsed.runs[0].events, original.runs[0].events);
+    EXPECT_DOUBLE_EQ(parsed.medianWallMs, original.medianWallMs);
+    EXPECT_DOUBLE_EQ(parsed.eventsPerSec, original.eventsPerSec);
+    EXPECT_EQ(parsed.peakRssKb, original.peakRssKb);
+    EXPECT_EQ(parsed.allocCount, original.allocCount);
+    EXPECT_EQ(parsed.allocBytes, original.allocBytes);
+    ASSERT_EQ(parsed.zones.size(), original.zones.size());
+    EXPECT_EQ(parsed.zones[2].path, original.zones[2].path);
+    EXPECT_EQ(parsed.zones[2].name, original.zones[2].name);
+    EXPECT_EQ(parsed.zones[2].calls, original.zones[2].calls);
+    EXPECT_DOUBLE_EQ(parsed.zones[2].exclMs, original.zones[2].exclMs);
+}
+
+TEST(BenchReport, ReaderRejectsUnknownSchemaVersion)
+{
+    BenchReport report = sampleReport();
+    report.schema = "vpm-bench-99";
+    std::stringstream buffer;
+    writeBenchJson(report, buffer);
+
+    BenchReport parsed;
+    std::string error;
+    EXPECT_FALSE(readBenchJson(buffer, parsed, &error));
+    EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST(BenchReport, ReaderRejectsMalformedJson)
+{
+    std::stringstream buffer("{\"schema\":\"vpm-bench-1\",");
+    BenchReport parsed;
+    std::string error;
+    EXPECT_FALSE(readBenchJson(buffer, parsed, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchCompare, IdenticalReportsDoNotRegress)
+{
+    const BenchReport report = sampleReport();
+    const CompareResult result =
+        compareBenchReports(report, report, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_FALSE(result.regressed());
+}
+
+TEST(BenchCompare, HeadlineWallClockRegressionPastThresholdTrips)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.medianWallMs = base.medianWallMs * 1.10; // +10% > 5% default
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    ASSERT_TRUE(result.regressed());
+    bool named = false;
+    for (const Regression &reg : result.regressions)
+        named = named || reg.what == "median_wall_ms";
+    EXPECT_TRUE(named);
+}
+
+TEST(BenchCompare, HeadlineRegressionWithinThresholdPasses)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.medianWallMs = base.medianWallMs * 1.04; // +4% < 5% default
+    next.eventsPerSec = base.eventsPerSec * 0.97; // −3% < 5% default
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_FALSE(result.regressed());
+}
+
+TEST(BenchCompare, ThroughputDropIsARegression)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.eventsPerSec = base.eventsPerSec * 0.80;
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.regressed());
+    EXPECT_EQ(result.regressions[0].what, "events_per_sec");
+}
+
+TEST(BenchCompare, InjectedZoneRegressionNamesTheZonePath)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    // +50% exclusive on mgmt.cycle, past the 25% zone threshold.
+    next.zones[2].exclMs = base.zones[2].exclMs * 1.5;
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.regressed());
+    bool named = false;
+    for (const Regression &reg : result.regressions)
+        named = named || reg.what == "bench/sim.dispatch/mgmt.cycle";
+    EXPECT_TRUE(named);
+}
+
+TEST(BenchCompare, SubNoiseFloorZonesAreIgnored)
+{
+    BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    base.zones[0].exclMs = 0.010;
+    next.zones[0].exclMs = 0.900; // 90x, but both < 1 ms floor
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_FALSE(result.regressed());
+}
+
+TEST(BenchCompare, CustomThresholdTightensTheGate)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.medianWallMs = base.medianWallMs * 1.03; // +3%
+
+    CompareOptions strict;
+    strict.thresholdPct = 1.0;
+    EXPECT_TRUE(compareBenchReports(base, next, strict).regressed());
+    EXPECT_FALSE(
+        compareBenchReports(base, next, CompareOptions{}).regressed());
+}
+
+TEST(BenchCompare, NewAndRemovedZonesAreNotRegressions)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.zones.pop_back(); // removed zone
+    next.zones.push_back(
+        {"bench/sim.dispatch/brand.new", "brand.new", 7, 50.0, 50.0});
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_FALSE(result.regressed());
+}
+
+TEST(BenchCompare, SchemaMismatchIsNotComparable)
+{
+    BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.schema = "vpm-bench-2";
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    EXPECT_FALSE(result.comparable);
+    EXPECT_FALSE(result.error.empty());
+}
+
+TEST(BenchCompare, ComparisonTextNamesRegressedMetrics)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.medianWallMs = base.medianWallMs * 1.5;
+    next.zones[2].exclMs = base.zones[2].exclMs * 2.0;
+
+    const CompareOptions options;
+    const CompareResult result = compareBenchReports(base, next, options);
+    std::ostringstream out;
+    writeComparison(base, next, options, result, out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(text.find("median_wall_ms"), std::string::npos);
+    EXPECT_NE(text.find("mgmt.cycle"), std::string::npos);
+}
+
+TEST(BenchCompare, CleanComparisonSaysNoRegression)
+{
+    const BenchReport report = sampleReport();
+    const CompareOptions options;
+    const CompareResult result =
+        compareBenchReports(report, report, options);
+    std::ostringstream out;
+    writeComparison(report, report, options, result, out);
+    EXPECT_NE(out.str().find("no regression"), std::string::npos);
+}
+
+} // namespace
+} // namespace vpm::telemetry

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Edge cases for the exact (interpolated) percentile helpers in
+ * stats/summary: empty input, single sample, duplicate-heavy
+ * distributions, and the p0/p100 extremes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+
+namespace vpm::stats {
+namespace {
+
+TEST(PercentileExact, EmptyInputReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(percentileExact({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentileExact({}, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentileExact({}, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(medianExact({}), 0.0);
+}
+
+TEST(PercentileExact, SingleSampleIsEveryPercentile)
+{
+    const std::vector<double> one{42.5};
+    EXPECT_DOUBLE_EQ(percentileExact(one, 0.0), 42.5);
+    EXPECT_DOUBLE_EQ(percentileExact(one, 0.5), 42.5);
+    EXPECT_DOUBLE_EQ(percentileExact(one, 0.99), 42.5);
+    EXPECT_DOUBLE_EQ(percentileExact(one, 1.0), 42.5);
+    EXPECT_DOUBLE_EQ(medianExact(one), 42.5);
+}
+
+TEST(PercentileExact, P0AndP100AreMinAndMax)
+{
+    const std::vector<double> samples{9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentileExact(samples, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileExact(samples, 1.0), 9.0);
+}
+
+TEST(PercentileExact, OutOfRangeFractionsClampToMinMax)
+{
+    const std::vector<double> samples{2.0, 4.0, 6.0};
+    EXPECT_DOUBLE_EQ(percentileExact(samples, -0.5), 2.0);
+    EXPECT_DOUBLE_EQ(percentileExact(samples, 1.5), 6.0);
+}
+
+TEST(PercentileExact, MedianOfOddCountIsMiddleValue)
+{
+    EXPECT_DOUBLE_EQ(medianExact({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(PercentileExact, MedianOfEvenCountInterpolatesMiddlePair)
+{
+    EXPECT_DOUBLE_EQ(medianExact({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(PercentileExact, InterpolatesBetweenClosestRanks)
+{
+    // rank = 0.25 * (5-1) = 1.0 exactly -> samples[1].
+    const std::vector<double> samples{10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentileExact(samples, 0.25), 20.0);
+    // rank = 0.1 * 4 = 0.4 -> 10 + 0.4 * (20-10) = 14.
+    EXPECT_DOUBLE_EQ(percentileExact(samples, 0.10), 14.0);
+    // rank = 0.9 * 4 = 3.6 -> 40 + 0.6 * (50-40) = 46.
+    EXPECT_DOUBLE_EQ(percentileExact(samples, 0.90), 46.0);
+}
+
+TEST(PercentileExact, DuplicateHeavyInputStaysOnThePlateau)
+{
+    // 1 then eight 5s then 9: every mid percentile sits on the plateau.
+    const std::vector<double> samples{5.0, 5.0, 1.0, 5.0, 5.0,
+                                      9.0, 5.0, 5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentileExact(samples, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(percentileExact(samples, 0.25), 5.0);
+    EXPECT_DOUBLE_EQ(percentileExact(samples, 0.75), 5.0);
+    EXPECT_DOUBLE_EQ(medianExact(samples), 5.0);
+}
+
+TEST(PercentileExact, AllEqualSamplesReturnThatValue)
+{
+    const std::vector<double> samples(17, 3.25);
+    for (const double f : {0.0, 0.01, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(percentileExact(samples, f), 3.25);
+}
+
+TEST(PercentileExact, InputVectorIsTakenByValueAndNotMutated)
+{
+    const std::vector<double> samples{3.0, 1.0, 2.0};
+    const std::vector<double> copy = samples;
+    (void)percentileExact(samples, 0.5);
+    EXPECT_EQ(samples, copy); // still unsorted original
+}
+
+} // namespace
+} // namespace vpm::stats

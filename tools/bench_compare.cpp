@@ -1,0 +1,156 @@
+/**
+ * @file
+ * bench_compare — diff two BENCH_*.json reports and gate on regressions.
+ *
+ * Usage:
+ *     bench_compare <baseline.json> <candidate.json>
+ *                   [--threshold-pct <p>] [--zone-threshold-pct <p>]
+ *                   [--min-zone-ms <ms>] [--advisory]
+ *
+ * Exit codes: 0 no regression (or --advisory), 1 regression past a
+ * threshold, 2 usage error, 3 unreadable/mismatched input. CI runs this
+ * against the committed baselines in bench/baselines/ (advisory for now;
+ * flip by dropping --advisory once runner noise is characterized).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "telemetry/bench_report.hpp"
+
+namespace {
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: bench_compare <baseline.json> <candidate.json>\n"
+        "       [--threshold-pct <p>]       headline wall/events gate "
+        "(default 5)\n"
+        "       [--zone-threshold-pct <p>]  per-zone exclusive-time gate "
+        "(default 25)\n"
+        "       [--min-zone-ms <ms>]        zone noise floor (default 1)\n"
+        "       [--advisory]                report but always exit 0\n"
+        "       [--help]\n");
+}
+
+bool
+parseDouble(const char *text, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(text, &end);
+    return end != text && *end == '\0';
+}
+
+bool
+loadReport(const std::string &path, vpm::telemetry::BenchReport &report)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_compare: cannot open '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::string error;
+    if (!vpm::telemetry::readBenchJson(in, report, &error)) {
+        std::fprintf(stderr, "bench_compare: '%s': %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpm::telemetry;
+
+    std::string base_path;
+    std::string next_path;
+    CompareOptions options;
+    bool advisory = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "bench_compare: %s needs a value\n",
+                             flag);
+                printUsage(stderr);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+
+        if (arg == "--help") {
+            printUsage(stdout);
+            return 0;
+        } else if (arg == "--advisory") {
+            advisory = true;
+        } else if (arg == "--threshold-pct") {
+            if (!parseDouble(value("--threshold-pct"),
+                             options.thresholdPct)) {
+                std::fprintf(stderr,
+                             "bench_compare: bad --threshold-pct value\n");
+                return 2;
+            }
+        } else if (arg == "--zone-threshold-pct") {
+            if (!parseDouble(value("--zone-threshold-pct"),
+                             options.zoneThresholdPct)) {
+                std::fprintf(
+                    stderr,
+                    "bench_compare: bad --zone-threshold-pct value\n");
+                return 2;
+            }
+        } else if (arg == "--min-zone-ms") {
+            if (!parseDouble(value("--min-zone-ms"), options.minZoneMs)) {
+                std::fprintf(stderr,
+                             "bench_compare: bad --min-zone-ms value\n");
+                return 2;
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "bench_compare: unknown option '%s'\n",
+                         arg.c_str());
+            printUsage(stderr);
+            return 2;
+        } else if (base_path.empty()) {
+            base_path = arg;
+        } else if (next_path.empty()) {
+            next_path = arg;
+        } else {
+            std::fprintf(stderr, "bench_compare: unexpected argument '%s'\n",
+                         arg.c_str());
+            printUsage(stderr);
+            return 2;
+        }
+    }
+
+    if (base_path.empty() || next_path.empty()) {
+        printUsage(stderr);
+        return 2;
+    }
+
+    BenchReport base;
+    BenchReport next;
+    if (!loadReport(base_path, base) || !loadReport(next_path, next))
+        return 3;
+
+    const CompareResult result = compareBenchReports(base, next, options);
+    if (!result.comparable) {
+        std::fprintf(stderr, "bench_compare: %s\n", result.error.c_str());
+        return 3;
+    }
+
+    writeComparison(base, next, options, result, std::cout);
+    if (result.regressed() && advisory) {
+        std::printf("(advisory mode: exiting 0 despite regression)\n");
+        return 0;
+    }
+    return result.regressed() ? 1 : 0;
+}

@@ -45,10 +45,10 @@ struct Options
 };
 
 void
-usage()
+usage(std::FILE *out)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: trace_analyze <journal.jsonl> [--json <path>] [--check]\n"
         "                     [--tolerance-us <n>] [--respread-window-s "
         "<x>] [--quiet]\n");
@@ -57,8 +57,22 @@ usage()
 bool
 parseArgs(int argc, char **argv, Options &opts)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0) {
+            usage(stdout);
+            std::exit(0);
+        }
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::printf("trace_analyze (vpm) journal schema 1\n");
+            std::exit(0);
+        }
+    }
     if (argc < 2)
         return false;
+    if (argv[1][0] == '-') {
+        std::fprintf(stderr, "trace_analyze: unknown option '%s'\n", argv[1]);
+        return false;
+    }
     opts.path = argv[1];
 
     const auto needValue = [&](int i) {
@@ -102,7 +116,7 @@ main(int argc, char **argv)
 {
     Options opts;
     if (!parseArgs(argc, argv, opts)) {
-        usage();
+        usage(stderr);
         return 2;
     }
 

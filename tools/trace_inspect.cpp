@@ -160,10 +160,10 @@ printCsvRow(const std::string &line)
 }
 
 void
-usage()
+usage(std::FILE *out)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: trace_inspect <journal.jsonl> [--kind <name>] "
         "[--track <name>]\n"
         "                     [--since-us <t>] [--until-us <t>] "
@@ -174,8 +174,22 @@ usage()
 bool
 parseArgs(int argc, char **argv, Options &opts)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0) {
+            usage(stdout);
+            std::exit(0);
+        }
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::printf("trace_inspect (vpm) journal schema 1\n");
+            std::exit(0);
+        }
+    }
     if (argc < 2)
         return false;
+    if (argv[1][0] == '-') {
+        std::fprintf(stderr, "trace_inspect: unknown option '%s'\n", argv[1]);
+        return false;
+    }
     opts.path = argv[1];
 
     const auto needValue = [&](int i) {
@@ -238,7 +252,7 @@ main(int argc, char **argv)
 {
     Options opts;
     if (!parseArgs(argc, argv, opts)) {
-        usage();
+        usage(stderr);
         return 2;
     }
 
