@@ -110,18 +110,19 @@ VpmManager::observeDemand()
 {
     PROF_ZONE("mgmt.observe");
     double total = 0.0;
+    if (vmPredictors_.size() < cluster_.vmCount())
+        vmPredictors_.resize(cluster_.vmCount());
     for (const auto &vm_ptr : cluster_.vms()) {
+        auto &slot = vmPredictors_[static_cast<std::size_t>(vm_ptr->id())];
         if (vm_ptr->retired()) {
-            vmPredictors_.erase(vm_ptr->id());
+            slot.reset();
             continue;
         }
         if (!vm_ptr->placed())
             continue; // pending arrivals count via the provisioning hook
-        auto [it, inserted] =
-            vmPredictors_.try_emplace(vm_ptr->id(), nullptr);
-        if (inserted)
-            it->second = makeConfiguredPredictor();
-        it->second->observe(vm_ptr->currentDemandMhz());
+        if (!slot)
+            slot = makeConfiguredPredictor();
+        slot->observe(vm_ptr->currentDemandMhz());
         total += vm_ptr->currentDemandMhz();
     }
     aggregatePredictor_->observe(total);
@@ -134,10 +135,10 @@ VpmManager::observeDemand()
 double
 VpmManager::predictedVmMhz(const dc::Vm &vm) const
 {
-    const auto it = vmPredictors_.find(vm.id());
-    if (it == vmPredictors_.end())
+    const auto id = static_cast<std::size_t>(vm.id());
+    if (id >= vmPredictors_.size() || !vmPredictors_[id])
         return vm.currentDemandMhz();
-    return std::clamp(it->second->predict(), 0.0, vm.cpuMhz());
+    return std::clamp(vmPredictors_[id]->predict(), 0.0, vm.cpuMhz());
 }
 
 double
@@ -191,7 +192,7 @@ VpmManager::restartStrandedVms()
     if (stranded.empty())
         return;
 
-    PlacementModel model = buildModel();
+    PlacementModel &model = buildModel();
     for (const dc::VmId vm_id : stranded) {
         const PlannedVm &planned = model.vm(vm_id);
         dc::HostId dest = dc::invalidHostId;
@@ -381,49 +382,88 @@ VpmManager::wakeOneHost(const char *reason)
     return true;
 }
 
-PlacementModel
+PlacementModel &
 VpmManager::buildModel() const
 {
     PROF_ZONE("mgmt.build_model");
-    std::vector<PlannedHost> hosts;
-    hosts.reserve(cluster_.hostCount());
-    for (const auto &host_ptr : cluster_.hosts()) {
-        PlannedHost planned;
-        planned.id = host_ptr->id();
-        planned.cpuCapacityMhz = host_ptr->cpuCapacityMhz();
-        planned.memoryCapacityMb = host_ptr->memoryCapacityMb();
-        planned.usable = host_ptr->isOn() && hostUsable(*host_ptr);
-        planned.rack = topology_ ? topology_->rackOf(planned.id) : 0;
-        hosts.push_back(planned);
+    const std::uint64_t epoch = cluster_.placementEpoch();
+    if (!modelValid_ || epoch != modelEpoch_) {
+        // Membership changed (or first use): rebuild from scratch. The
+        // child zone counts how often this actually happens.
+        PROF_ZONE("mgmt.model_rebuild");
+        std::vector<PlannedHost> hosts;
+        hosts.reserve(cluster_.hostCount());
+        for (const auto &host_ptr : cluster_.hosts()) {
+            PlannedHost planned;
+            planned.id = host_ptr->id();
+            planned.cpuCapacityMhz = host_ptr->cpuCapacityMhz();
+            planned.memoryCapacityMb = host_ptr->memoryCapacityMb();
+            planned.usable = host_ptr->isOn() && hostUsable(*host_ptr);
+            planned.rack = topology_ ? topology_->rackOf(planned.id) : 0;
+            hosts.push_back(planned);
+        }
+
+        std::vector<PlannedVm> vms;
+        vms.reserve(cluster_.vmCount());
+        for (const auto &vm_ptr : cluster_.vms()) {
+            if (!vm_ptr->placed())
+                continue;
+            PlannedVm planned;
+            planned.id = vm_ptr->id();
+            planned.cpuMhz = predictedVmMhz(*vm_ptr);
+            planned.memoryMb = vm_ptr->memoryMb();
+            // Plan a VM that is already heading somewhere at its
+            // destination (pinned), so its CPU and memory are not
+            // double-booked there.
+            const dc::HostId inbound =
+                migration_.destinationOf(vm_ptr->id());
+            planned.movable = inbound == dc::invalidHostId;
+            planned.host = planned.movable ? vm_ptr->host() : inbound;
+            vms.push_back(planned);
+        }
+        model_ = PlacementModel(std::move(hosts), std::move(vms));
+        if (!config_.antiAffinityGroups.empty())
+            model_.setAntiAffinityGroups(config_.antiAffinityGroups);
+        modelEpoch_ = epoch;
+        modelValid_ = true;
+        return model_;
     }
 
-    std::vector<PlannedVm> vms;
-    vms.reserve(cluster_.vmCount());
+    // Same membership: refresh per-entity fields in place. Capacities and
+    // racks are immutable per entity; usable, predictions, placement and
+    // movability are live state. This also discards any pins or moves a
+    // previous planning pass applied, exactly like a fresh build would.
+    std::vector<PlannedHost> &hosts = model_.mutableHosts();
+    std::size_t hi = 0;
+    for (const auto &host_ptr : cluster_.hosts())
+        hosts[hi++].usable = host_ptr->isOn() && hostUsable(*host_ptr);
+
+    std::vector<PlannedVm> &vms = model_.mutableVms();
+    std::size_t vi = 0;
     for (const auto &vm_ptr : cluster_.vms()) {
         if (!vm_ptr->placed())
             continue;
-        PlannedVm planned;
-        planned.id = vm_ptr->id();
+        PlannedVm &planned = vms[vi++];
         planned.cpuMhz = predictedVmMhz(*vm_ptr);
-        planned.memoryMb = vm_ptr->memoryMb();
-        // Plan a VM that is already heading somewhere at its destination
-        // (pinned), so its CPU and memory are not double-booked there.
         const dc::HostId inbound = migration_.destinationOf(vm_ptr->id());
         planned.movable = inbound == dc::invalidHostId;
         planned.host = planned.movable ? vm_ptr->host() : inbound;
-        vms.push_back(planned);
     }
-    PlacementModel model(std::move(hosts), std::move(vms));
+    if (hi != hosts.size() || vi != vms.size())
+        sim::panic("VpmManager::buildModel: refresh walked %zu/%zu hosts "
+                   "and %zu/%zu VMs despite an unchanged epoch",
+                   hi, hosts.size(), vi, vms.size());
+    model_.rebuildUsage();
     if (!config_.antiAffinityGroups.empty())
-        model.setAntiAffinityGroups(config_.antiAffinityGroups);
-    return model;
+        model_.setAntiAffinityGroups(config_.antiAffinityGroups);
+    return model_;
 }
 
 void
 VpmManager::rebalanceAndConsolidate()
 {
     PROF_ZONE("mgmt.rebalance");
-    PlacementModel model = buildModel();
+    PlacementModel &model = buildModel();
     int budget = config_.maxMigrationsPerCycle;
 
     // One decision id covers one planned batch (a rebalance pass or one

@@ -263,8 +263,15 @@ class VpmManager
     /** Step 5: put fully drained hosts to sleep. */
     void completeDrains();
 
-    /** Build the planning snapshot of the current cluster state. */
-    PlacementModel buildModel() const;
+    /**
+     * Return the planning snapshot of the current cluster state. The model
+     * is persistent: it is rebuilt from scratch only on first use or when
+     * the cluster's placement epoch moved (membership change); otherwise
+     * the per-entity fields and usage accumulators are refreshed in place,
+     * which yields a bit-identical model without reallocating. Any pins or
+     * applied moves from a previous pass are overwritten.
+     */
+    PlacementModel &buildModel() const;
 
     /** Pick the sleep state for @p host; nullptr means "stay on". */
     const power::SleepStateSpec *chooseSleepState(const dc::Host &host) const;
@@ -303,9 +310,15 @@ class VpmManager
     const dc::Topology *topology_ = nullptr;
     VpmConfig config_;
 
-    std::map<dc::VmId, std::unique_ptr<DemandPredictor>> vmPredictors_;
+    /** Per-VM predictors in dense VM-id slots (null = none yet). */
+    std::vector<std::unique_ptr<DemandPredictor>> vmPredictors_;
     std::unique_ptr<DemandPredictor> aggregatePredictor_;
     ForecastTracker forecastTracker_;
+
+    /** Persistent planning model; see buildModel(). */
+    mutable PlacementModel model_;
+    mutable std::uint64_t modelEpoch_ = 0;
+    mutable bool modelValid_ = false;
 
     /** true iff the host can hold VMs and take new ones. */
     bool hostUsable(const dc::Host &host) const;

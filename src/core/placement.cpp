@@ -23,14 +23,33 @@ toString(PackingHeuristic heuristic)
                static_cast<int>(heuristic));
 }
 
+namespace {
+
+/**
+ * Register @p id -> @p index in a dense slot table, growing it on demand.
+ * @return false if the id was already present.
+ */
+bool
+assignSlot(std::vector<std::int32_t> &slots, int id, std::size_t index)
+{
+    if (id < 0)
+        return true; // negative ids panic on lookup, as before
+    if (static_cast<std::size_t>(id) >= slots.size())
+        slots.resize(static_cast<std::size_t>(id) + 1, -1);
+    if (slots[static_cast<std::size_t>(id)] >= 0)
+        return false;
+    slots[static_cast<std::size_t>(id)] = static_cast<std::int32_t>(index);
+    return true;
+}
+
+} // namespace
+
 PlacementModel::PlacementModel(std::vector<PlannedHost> hosts,
                                std::vector<PlannedVm> vms)
     : hosts_(std::move(hosts)), vms_(std::move(vms))
 {
-    cpuUsed_.assign(hosts_.size(), 0.0);
-    memUsed_.assign(hosts_.size(), 0.0);
     for (std::size_t i = 0; i < hosts_.size(); ++i) {
-        if (!hostIndex_.emplace(hosts_[i].id, i).second)
+        if (!assignSlot(hostSlot_, hosts_[i].id, i))
             sim::panic("PlacementModel: duplicate host id %d", hosts_[i].id);
         if (hosts_[i].cpuCapacityMhz <= 0.0 ||
             hosts_[i].memoryCapacityMb <= 0.0) {
@@ -39,30 +58,40 @@ PlacementModel::PlacementModel(std::vector<PlannedHost> hosts,
         }
     }
     for (std::size_t i = 0; i < vms_.size(); ++i) {
-        if (!vmIndex_.emplace(vms_[i].id, i).second)
+        if (!assignSlot(vmSlot_, vms_[i].id, i))
             sim::panic("PlacementModel: duplicate VM id %d", vms_[i].id);
-        const std::size_t h = hostIndex(vms_[i].host);
-        cpuUsed_[h] += vms_[i].cpuMhz;
-        memUsed_[h] += vms_[i].memoryMb;
+    }
+    rebuildUsage();
+}
+
+void
+PlacementModel::rebuildUsage()
+{
+    cpuUsed_.assign(hosts_.size(), 0.0);
+    memUsed_.assign(hosts_.size(), 0.0);
+    for (const PlannedVm &vm_ref : vms_) {
+        const std::size_t h = hostIndex(vm_ref.host);
+        cpuUsed_[h] += vm_ref.cpuMhz;
+        memUsed_[h] += vm_ref.memoryMb;
     }
 }
 
 std::size_t
 PlacementModel::hostIndex(HostId id) const
 {
-    const auto it = hostIndex_.find(id);
-    if (it == hostIndex_.end())
+    if (id < 0 || static_cast<std::size_t>(id) >= hostSlot_.size() ||
+        hostSlot_[static_cast<std::size_t>(id)] < 0)
         sim::panic("PlacementModel: unknown host id %d", id);
-    return it->second;
+    return static_cast<std::size_t>(hostSlot_[static_cast<std::size_t>(id)]);
 }
 
 std::size_t
 PlacementModel::vmIndex(VmId id) const
 {
-    const auto it = vmIndex_.find(id);
-    if (it == vmIndex_.end())
+    if (id < 0 || static_cast<std::size_t>(id) >= vmSlot_.size() ||
+        vmSlot_[static_cast<std::size_t>(id)] < 0)
         sim::panic("PlacementModel: unknown VM id %d", id);
-    return it->second;
+    return static_cast<std::size_t>(vmSlot_[static_cast<std::size_t>(id)]);
 }
 
 double
@@ -128,7 +157,8 @@ PlacementModel::setAntiAffinityGroups(
     vmGroup_.clear();
     for (std::size_t g = 0; g < groups.size(); ++g) {
         for (const VmId id : groups[g]) {
-            if (!vmIndex_.contains(id))
+            if (id < 0 || static_cast<std::size_t>(id) >= vmSlot_.size() ||
+                vmSlot_[static_cast<std::size_t>(id)] < 0)
                 continue; // VM churned away; constraint is moot
             if (!vmGroup_.emplace(id, static_cast<int>(g)).second)
                 sim::panic("PlacementModel: VM %d in two anti-affinity "
@@ -147,6 +177,8 @@ PlacementModel::setAntiAffinityGroups(
 int
 PlacementModel::groupOf(VmId id) const
 {
+    if (vmGroup_.empty())
+        return -1; // common case: no anti-affinity configured
     const auto it = vmGroup_.find(id);
     return it != vmGroup_.end() ? it->second : -1;
 }
@@ -289,8 +321,11 @@ planEvacuation(PlacementModel &model, HostId victim,
             return std::nullopt;
     }
 
-    // Work on a copy so failure leaves the caller's model untouched.
-    PlacementModel trial = model;
+    // Work on a copy so failure leaves the caller's model untouched. The
+    // scratch model is reused across calls so its vectors keep their
+    // capacity instead of reallocating every evacuation attempt.
+    static thread_local PlacementModel trial;
+    trial = model;
     std::vector<Move> moves;
 
     for (VmId vm_id : vmsByDescendingCpu(trial, victim)) {

@@ -12,6 +12,7 @@
 #ifndef VPM_CORE_PLACEMENT_HPP
 #define VPM_CORE_PLACEMENT_HPP
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -76,11 +77,16 @@ const char *toString(PackingHeuristic heuristic);
 /**
  * Mutable planning snapshot with incremental usage bookkeeping.
  *
- * Host and VM ids may be sparse; lookups go through internal maps.
+ * Host and VM ids may be sparse; lookups go through dense slot tables
+ * sized by the largest id (cluster ids are sequential, so the tables are
+ * compact in practice).
  */
 class PlacementModel
 {
   public:
+    /** Empty model; assign or rebuild before use. */
+    PlacementModel() = default;
+
     PlacementModel(std::vector<PlannedHost> hosts,
                    std::vector<PlannedVm> vms);
 
@@ -134,14 +140,34 @@ class PlacementModel
     /** Anti-affinity group of a VM, or -1. */
     int groupOf(VmId id) const;
 
+    /** @name In-place refresh (same membership, new field values) */
+    ///@{
+    /**
+     * Direct access to the planned entities for a holder refreshing the
+     * model between management cycles. The id fields and the entry order
+     * must not change — only per-entity values (usable, cpuMhz, host,
+     * movable, ...). Call rebuildUsage() after editing VM assignments.
+     */
+    std::vector<PlannedHost> &mutableHosts() { return hosts_; }
+    std::vector<PlannedVm> &mutableVms() { return vms_; }
+
+    /**
+     * Recompute the per-host usage accumulators from vms_, in the same
+     * order as construction (so a refreshed model is bit-identical to a
+     * freshly built one).
+     */
+    void rebuildUsage();
+    ///@}
+
   private:
     std::size_t hostIndex(HostId id) const;
     std::size_t vmIndex(VmId id) const;
 
     std::vector<PlannedHost> hosts_;
     std::vector<PlannedVm> vms_;
-    std::unordered_map<HostId, std::size_t> hostIndex_;
-    std::unordered_map<VmId, std::size_t> vmIndex_;
+    /** id -> index into hosts_/vms_; -1 = unknown id. */
+    std::vector<std::int32_t> hostSlot_;
+    std::vector<std::int32_t> vmSlot_;
     std::vector<double> cpuUsed_;
     std::vector<double> memUsed_;
 

@@ -20,6 +20,7 @@ Cluster::addHost(const HostConfig &config,
     powerSpecs_.push_back(power_spec);
     hosts_.push_back(std::make_unique<Host>(simulator_, id, name, config,
                                             powerSpecs_.back()));
+    ++placementEpoch_;
     return *hosts_.back();
 }
 
@@ -28,6 +29,7 @@ Cluster::addVm(workload::VmWorkloadSpec spec)
 {
     const VmId id = static_cast<VmId>(vms_.size());
     vms_.push_back(std::make_unique<Vm>(id, std::move(spec)));
+    ++placementEpoch_;
     return *vms_.back();
 }
 
@@ -85,6 +87,7 @@ Cluster::placeVm(VmId vm_id, HostId host_id)
 
     host_ref.addVm(vm_ref);
     vm_ref.setHost(host_id);
+    ++placementEpoch_;
 }
 
 void
@@ -132,6 +135,7 @@ Cluster::retireVm(VmId vm_id)
         vm_ref.setGrantedMhz(0.0);
         vm_ref.setRetired();
     }
+    ++placementEpoch_;
 }
 
 bool

@@ -139,11 +139,21 @@ class Cluster
     void finishMetering(sim::SimTime t);
     ///@}
 
+    /**
+     * Monotone counter bumped whenever the membership of the placement
+     * problem changes (host added, VM added, placed, or retired). A holder
+     * of a derived placement model rebuilds from scratch when the epoch
+     * moved and refreshes in place otherwise; moves and power transitions
+     * are per-entity field changes, not membership changes.
+     */
+    std::uint64_t placementEpoch() const { return placementEpoch_; }
+
   private:
     sim::Simulator &simulator_;
     std::vector<std::unique_ptr<Host>> hosts_;
     std::vector<std::unique_ptr<Vm>> vms_;
     std::deque<power::HostPowerSpec> powerSpecs_;
+    std::uint64_t placementEpoch_ = 0;
 };
 
 } // namespace vpm::dc

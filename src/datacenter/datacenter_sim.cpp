@@ -68,6 +68,8 @@ DatacenterSim::sampleTelemetry()
     if (!tel.enabled())
         return;
 
+    // O(hosts): powerWatts and vmDemandMhz read the aggregates the
+    // evaluate pass just memoized instead of re-summing every VM.
     double watts = 0.0;
     double demand_mhz = 0.0;
     for (const auto &host_ptr : cluster_.hosts()) {
@@ -88,26 +90,43 @@ DatacenterSim::evaluate()
     // Only placed VMs demand CPU: retired VMs are gone, and pending
     // arrivals have not started working (their wait shows up in the
     // provisioning engine's placement-delay stats, not in the SLA).
+    // refreshDemand re-samples a trace only once its cached span expires;
+    // piecewise-constant traces therefore cost one lookup per segment
+    // instead of one per tick, and a value that did change marks the
+    // resident host dirty for the allocation pass below.
     const sim::SimTime now = simulator_.now();
-    for (const auto &vm_ptr : cluster_.vms()) {
-        if (vm_ptr->placed())
-            vm_ptr->setCurrentDemandMhz(vm_ptr->demandMhzAt(now));
+    const std::vector<Vm *> &placed = placedVms();
+    for (Vm *vm_ptr : placed)
+        vm_ptr->refreshDemand(now);
+
+    for (const auto &host_ptr : cluster_.hosts()) {
+        if (host_ptr->allocDirty()) {
+            allocateHost(*host_ptr);
+            host_ptr->clearAllocDirty();
+        }
     }
 
-    for (const auto &host_ptr : cluster_.hosts())
-        allocateHost(*host_ptr);
+    // The latency factor is a per-host quantity; evaluate it once per host
+    // with the same expression the per-VM samples used, so each VM reads
+    // an identical value without redoing the division five times.
+    latencyFactor_.resize(cluster_.hosts().size());
+    for (std::size_t i = 0; i < cluster_.hosts().size(); ++i) {
+        const Host &host = *cluster_.hosts()[i];
+        const double rho =
+            host.isOn() ? std::min(host.utilization(), 0.95) : 0.95;
+        latencyFactor_[i] = 1.0 / (1.0 - rho);
+    }
 
     // One SLA sample per placed VM per evaluation. A VM stranded on a
     // non-On host counts as fully starved.
     telemetry::EventJournal &journal = telemetry::global().journal();
-    for (const auto &vm_ptr : cluster_.vms()) {
-        if (!vm_ptr->placed())
-            continue;
-        sla_.record(vm_ptr->currentDemandMhz(), vm_ptr->grantedMhz());
+    const bool journal_on = journal.enabled();
+    for (const Vm *vm_ptr : placed) {
+        const double demand = vm_ptr->currentDemandMhz();
+        sla_.record(demand, vm_ptr->grantedMhz());
 
         // Journal each sample that falls below the SLA threshold.
-        const double demand = vm_ptr->currentDemandMhz();
-        if (journal.enabled() && demand > 0.0) {
+        if (journal_on && demand > 0.0) {
             const double sat = vm_ptr->grantedMhz() / demand;
             if (sat < config_.slaThreshold)
                 journal.slaViolation(now.micros(), vm_ptr->id(), sat,
@@ -116,22 +135,43 @@ DatacenterSim::evaluate()
 
         // Response-time inflation of the VM's host, M/M/1-style. Starved
         // VMs (host off, or rho pinned at the cap) land at the ceiling.
-        const Host &host = cluster_.host(vm_ptr->host());
-        const double rho =
-            host.isOn() ? std::min(host.utilization(), 0.95) : 0.95;
-        const double factor = 1.0 / (1.0 - rho);
+        const double factor =
+            latencyFactor_[static_cast<std::size_t>(vm_ptr->host())];
         latencyHist_.add(factor);
-        if (vm_ptr->currentDemandMhz() > 0.0)
+        if (demand > 0.0)
             latencyWeighted_.add(factor);
     }
+}
+
+const std::vector<Vm *> &
+DatacenterSim::placedVms()
+{
+    const std::uint64_t epoch = cluster_.placementEpoch();
+    if (epoch != placedEpoch_) {
+        placedVms_.clear();
+        for (const auto &vm_ptr : cluster_.vms()) {
+            if (vm_ptr->placed())
+                placedVms_.push_back(vm_ptr.get());
+        }
+        placedEpoch_ = epoch;
+    }
+    return placedVms_;
 }
 
 void
 DatacenterSim::reallocate()
 {
+    // Dirty-gated sweep: only hosts whose allocation inputs changed since
+    // their last pass (membership, demand, overhead, frequency, power
+    // phase) are re-run. A migration landing therefore re-spreads just its
+    // source and destination instead of the whole cluster.
     PROF_ZONE("dcsim.reallocate");
-    for (const auto &host_ptr : cluster_.hosts())
-        allocateHost(*host_ptr);
+    for (const auto &host_ptr : cluster_.hosts()) {
+        if (host_ptr->allocDirty()) {
+            allocateHost(*host_ptr);
+            host_ptr->clearAllocDirty();
+        }
+    }
 }
 
 void

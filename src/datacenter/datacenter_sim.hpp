@@ -118,6 +118,14 @@ class DatacenterSim
     /** Allocate grants on one host from its VMs' current demand. */
     void allocateHost(Host &host);
 
+    /**
+     * The placed VMs in VM-id order. The set only changes when the
+     * cluster's placement epoch moves (place, retire, membership), so the
+     * list is rebuilt exactly then; moves keep a VM placed and need no
+     * rebuild. Iteration order matches the full-sweep filter it replaces.
+     */
+    const std::vector<Vm *> &placedVms();
+
     /** Refresh cluster-level gauges and snapshot the metric series; no-op
      *  when global telemetry is disabled. */
     void sampleTelemetry();
@@ -134,6 +142,13 @@ class DatacenterSim
     bool started_ = false;
     sim::SimTime startedAt_;
     std::vector<EvaluationHook> hooks_;
+
+    /** Cached placed-VM list; valid while the epoch matches. */
+    std::vector<Vm *> placedVms_;
+    std::uint64_t placedEpoch_ = ~0ull;
+
+    /** Per-host latency-factor scratch, refilled every evaluation. */
+    std::vector<double> latencyFactor_;
 };
 
 } // namespace vpm::dc

@@ -20,8 +20,10 @@ Host::Host(sim::Simulator &simulator, HostId id, std::string name,
         sim::fatal("Host '%s': memory capacity must be positive",
                    name_.c_str());
 
-    // Keep the meter exact across phase changes.
+    // Keep the meter exact across phase changes. A phase change also
+    // flips the allocator's on/off branch, so the grants are stale.
     fsm_.addObserver([this](power::PowerPhase, power::PowerPhase) {
+        allocDirty_ = true;
         updatePowerDraw();
     });
 
@@ -63,6 +65,7 @@ Host::setFrequencyFraction(double fraction)
         sim::panic("Host '%s': frequency fraction %g outside (0, 1]",
                    name_.c_str(), fraction);
     frequencyFraction_ = fraction;
+    allocDirty_ = true; // effective capacity moved; grants must respread
     updatePowerDraw();
 }
 
@@ -79,6 +82,8 @@ Host::addVm(Vm &vm)
         sim::panic("Host '%s': VM '%s' added twice", name_.c_str(),
                    vm.name().c_str());
     vms_.push_back(&vm);
+    vm.setResidentHost(this);
+    markMembershipChanged();
 }
 
 void
@@ -89,33 +94,47 @@ Host::removeVm(Vm &vm)
         sim::panic("Host '%s': VM '%s' not resident", name_.c_str(),
                    vm.name().c_str());
     vms_.erase(it);
+    vm.setResidentHost(nullptr);
+    markMembershipChanged();
 }
 
 double
 Host::vmDemandMhz() const
 {
-    double total = 0.0;
-    for (const Vm *vm : vms_)
-        total += vm->currentDemandMhz();
-    return total;
+    if (vmDemandDirty_) {
+        double total = 0.0;
+        for (const Vm *vm : vms_)
+            total += vm->currentDemandMhz();
+        vmDemandCache_ = total;
+        vmDemandDirty_ = false;
+    }
+    return vmDemandCache_;
 }
 
 double
 Host::grantedMhz() const
 {
-    double total = 0.0;
-    for (const Vm *vm : vms_)
-        total += vm->grantedMhz();
-    return total;
+    if (grantedDirty_) {
+        double total = 0.0;
+        for (const Vm *vm : vms_)
+            total += vm->grantedMhz();
+        grantedCache_ = total;
+        grantedDirty_ = false;
+    }
+    return grantedCache_;
 }
 
 double
 Host::committedMemoryMb() const
 {
-    double total = 0.0;
-    for (const Vm *vm : vms_)
-        total += vm->memoryMb();
-    return total;
+    if (memoryDirty_) {
+        double total = 0.0;
+        for (const Vm *vm : vms_)
+            total += vm->memoryMb();
+        memoryCache_ = total;
+        memoryDirty_ = false;
+    }
+    return memoryCache_;
 }
 
 void
@@ -128,6 +147,7 @@ Host::addMigrationOverheadMhz(double mhz)
     // Snap accumulation residue so an idle host reads exactly zero.
     if (migrationOverheadMhz_ < 1e-9)
         migrationOverheadMhz_ = 0.0;
+    allocDirty_ = true; // overhead competes with VM grants for capacity
 }
 
 double

@@ -146,7 +146,38 @@ class Host
     void adjustActiveMigrations(int delta);
     ///@}
 
+    /** @name Incremental bookkeeping (see DESIGN.md) */
+    ///@{
+    /** A resident VM's demand changed: demand aggregate + grants stale. */
+    void markLoadChanged()
+    {
+        vmDemandDirty_ = true;
+        allocDirty_ = true;
+    }
+
+    /** A resident VM's granted CPU changed: granted aggregate stale. */
+    void markGrantedChanged() { grantedDirty_ = true; }
+
+    /**
+     * true when the per-VM grants may differ from what an allocation pass
+     * would produce now — set by demand, membership, migration-overhead,
+     * frequency, and power-phase changes; cleared by DatacenterSim after
+     * it re-runs the allocator on this host.
+     */
+    bool allocDirty() const { return allocDirty_; }
+    void clearAllocDirty() { allocDirty_ = false; }
+    ///@}
+
   private:
+    /** A VM arrived or departed: every cached aggregate is stale. */
+    void markMembershipChanged()
+    {
+        vmDemandDirty_ = true;
+        grantedDirty_ = true;
+        memoryDirty_ = true;
+        allocDirty_ = true;
+    }
+
     sim::Simulator &simulator_;
     HostId id_;
     std::string name_;
@@ -158,6 +189,18 @@ class Host
     double inboundReservedMemoryMb_ = 0.0;
     double frequencyFraction_ = 1.0;
     int activeMigrations_ = 0;
+
+    // Memoized aggregates over vms_. The recompute loops are identical to
+    // the pre-cache implementations, so a refresh after any sequence of
+    // mutations yields bit-identical sums; the flags only elide recomputes
+    // whose inputs provably did not change.
+    mutable double vmDemandCache_ = 0.0;
+    mutable double grantedCache_ = 0.0;
+    mutable double memoryCache_ = 0.0;
+    mutable bool vmDemandDirty_ = true;
+    mutable bool grantedDirty_ = true;
+    mutable bool memoryDirty_ = true;
+    bool allocDirty_ = true;
 };
 
 } // namespace vpm::dc

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "datacenter/host.hpp"
 
 namespace vpm::dc {
 
@@ -24,6 +25,40 @@ double
 Vm::demandMhzAt(sim::SimTime t) const
 {
     return spec_.trace->utilizationAt(t) * spec_.cpuMhz;
+}
+
+void
+Vm::setCurrentDemandMhz(double mhz)
+{
+    currentDemandMhz_ = mhz;
+    // External writes bypass the trace, so any cached span is void.
+    demandValidUntil_ = neverValid();
+    if (hostPtr_)
+        hostPtr_->markLoadChanged();
+}
+
+bool
+Vm::refreshDemand(sim::SimTime now)
+{
+    if (now < demandValidUntil_)
+        return false;
+    const workload::DemandSpan span = spec_.trace->spanAt(now);
+    demandValidUntil_ = span.validUntil;
+    const double demand = span.utilization * spec_.cpuMhz;
+    if (demand == currentDemandMhz_)
+        return false;
+    currentDemandMhz_ = demand;
+    if (hostPtr_)
+        hostPtr_->markLoadChanged();
+    return true;
+}
+
+void
+Vm::setGrantedMhz(double mhz)
+{
+    grantedMhz_ = mhz;
+    if (hostPtr_)
+        hostPtr_->markGrantedChanged();
 }
 
 } // namespace vpm::dc

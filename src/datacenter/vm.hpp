@@ -12,12 +12,16 @@
 #ifndef VPM_DATACENTER_VM_HPP
 #define VPM_DATACENTER_VM_HPP
 
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include "simcore/sim_time.hpp"
 #include "workload/mix.hpp"
 
 namespace vpm::dc {
+
+class Host;
 
 /** Dense, stable VM identifier within a Cluster. */
 using VmId = int;
@@ -55,17 +59,37 @@ class Vm
     HostId host() const { return host_; }
     bool placed() const { return host_ != invalidHostId; }
     void setHost(HostId host) { host_ = host; }
+
+    /**
+     * Direct pointer to the resident host, kept in lockstep with addVm /
+     * removeVm so demand and grant writes can invalidate the host's cached
+     * aggregates without a cluster lookup. Null while unplaced.
+     */
+    Host *residentHost() const { return hostPtr_; }
+    void setResidentHost(Host *host) { hostPtr_ = host; }
     ///@}
 
     /** @name Per-interval allocation (maintained by DatacenterSim) */
     ///@{
     /** Demand captured at the last evaluation, in MHz. */
     double currentDemandMhz() const { return currentDemandMhz_; }
-    void setCurrentDemandMhz(double mhz) { currentDemandMhz_ = mhz; }
+
+    /** Overwrite the captured demand, dropping any cached trace span. */
+    void setCurrentDemandMhz(double mhz);
+
+    /**
+     * Re-sample demand from the trace at @p now unless the cached span
+     * still covers it. Returns true when the value actually changed (the
+     * resident host's aggregates are invalidated in that case).
+     */
+    bool refreshDemand(sim::SimTime now);
+
+    /** End of the cached demand span, exclusive (exposed for tests). */
+    sim::SimTime demandValidUntil() const { return demandValidUntil_; }
 
     /** CPU granted at the last evaluation, in MHz. */
     double grantedMhz() const { return grantedMhz_; }
-    void setGrantedMhz(double mhz) { grantedMhz_ = mhz; }
+    void setGrantedMhz(double mhz);
     ///@}
 
     /** @name Migration state (maintained by MigrationEngine) */
@@ -82,11 +106,20 @@ class Vm
     ///@}
 
   private:
+    /** Sentinel horizon that forces the next refreshDemand to re-sample. */
+    static sim::SimTime neverValid()
+    {
+        return sim::SimTime::micros(
+            std::numeric_limits<std::int64_t>::min());
+    }
+
     VmId id_;
     workload::VmWorkloadSpec spec_;
     HostId host_ = invalidHostId;
+    Host *hostPtr_ = nullptr;
     double currentDemandMhz_ = 0.0;
     double grantedMhz_ = 0.0;
+    sim::SimTime demandValidUntil_ = neverValid();
     bool migrating_ = false;
     bool retired_ = false;
 };

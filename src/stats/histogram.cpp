@@ -14,12 +14,13 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
         sim::fatal("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
     if (buckets == 0)
         sim::fatal("Histogram: need at least one bucket");
+    width_ = (hi_ - lo_) / static_cast<double>(counts_.size());
 }
 
 double
 Histogram::bucketWidth() const
 {
-    return (hi_ - lo_) / static_cast<double>(counts_.size());
+    return width_;
 }
 
 void
@@ -34,7 +35,7 @@ Histogram::add(double x)
         ++overflow_;
         return;
     }
-    const auto index = static_cast<std::size_t>((x - lo_) / bucketWidth());
+    const auto index = static_cast<std::size_t>((x - lo_) / width_);
     ++counts_[std::min(index, counts_.size() - 1)];
 }
 

@@ -55,6 +55,8 @@ class Histogram
 
     double lo_;
     double hi_;
+    /** (hi - lo) / buckets, fixed at construction (hot path in add()). */
+    double width_ = 1.0;
     std::vector<std::uint64_t> counts_;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;

@@ -589,12 +589,28 @@ writeComparison(const BenchReport &base, const BenchReport &next,
                           "%.0f%%):\n",
                           options.minZoneMs, options.zoneThresholdPct);
             out << line;
+            std::snprintf(line, sizeof(line),
+                          "%-44s %12s %12s %8s  %21s %8s\n", "zone", "base",
+                          "new", "delta", "calls (base -> new)", "delta");
+            out << line;
             header = true;
         }
         std::string label = path;
         if (label.size() > 44)
             label = "..." + label.substr(label.size() - 41);
-        row(label.c_str(), old_zone->exclMs, new_zone->exclMs);
+        // A wall-time delta with an unchanged call count is a per-call
+        // cost change; a call-count delta localizes an algorithmic change
+        // (e.g. a sweep becoming incremental) before any timing argument.
+        std::snprintf(line, sizeof(line),
+                      "%-44s %12.2f %12.2f %+7.1f%%  %10llu -> %-8llu "
+                      "%+7.1f%%\n",
+                      label.c_str(), old_zone->exclMs, new_zone->exclMs,
+                      pctChange(old_zone->exclMs, new_zone->exclMs),
+                      static_cast<unsigned long long>(old_zone->calls),
+                      static_cast<unsigned long long>(new_zone->calls),
+                      pctChange(static_cast<double>(old_zone->calls),
+                                static_cast<double>(new_zone->calls)));
+        out << line;
     }
     for (const auto &[path, pair] : zones) {
         if (pair.first && !pair.second)

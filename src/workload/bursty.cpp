@@ -55,4 +55,19 @@ OnOffTrace::utilizationAt(sim::SimTime t) const
     return on ? config_.onLevel : config_.offLevel;
 }
 
+DemandSpan
+OnOffTrace::spanAt(sim::SimTime t) const
+{
+    // Negative times clamp to 0 in utilizationAt, so the pre-zero stretch
+    // shares segment 0's level and its end time.
+    if (t < sim::SimTime())
+        t = sim::SimTime();
+    extendTo(t);
+    const auto it =
+        std::upper_bound(segmentEnds_.begin(), segmentEnds_.end(), t);
+    const auto k = static_cast<std::size_t>(it - segmentEnds_.begin());
+    const bool on = (k % 2 == 0) == config_.startOn;
+    return {on ? config_.onLevel : config_.offLevel, segmentEnds_[k]};
+}
+
 } // namespace vpm::workload

@@ -53,6 +53,7 @@ class OnOffTrace : public DemandTrace
     explicit OnOffTrace(OnOffConfig config);
 
     double utilizationAt(sim::SimTime t) const override;
+    DemandSpan spanAt(sim::SimTime t) const override;
 
     const OnOffConfig &config() const { return config_; }
 

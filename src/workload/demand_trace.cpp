@@ -24,6 +24,12 @@ ConstantTrace::utilizationAt(sim::SimTime) const
     return level_;
 }
 
+DemandSpan
+ConstantTrace::spanAt(sim::SimTime) const
+{
+    return {level_, sim::SimTime::max()};
+}
+
 StepTrace::StepTrace(std::vector<Step> steps) : steps_(std::move(steps))
 {
     if (steps_.empty())
@@ -49,6 +55,19 @@ StepTrace::utilizationAt(sim::SimTime t) const
     return std::prev(it)->level;
 }
 
+DemandSpan
+StepTrace::spanAt(sim::SimTime t) const
+{
+    auto it = std::upper_bound(
+        steps_.begin(), steps_.end(), t,
+        [](sim::SimTime time, const Step &step) { return time < step.start; });
+    const double level =
+        it == steps_.begin() ? steps_.front().level : std::prev(it)->level;
+    if (it == steps_.end())
+        return {level, sim::SimTime::max()};
+    return {level, it->start};
+}
+
 ScaledTrace::ScaledTrace(TracePtr inner, double factor)
     : inner_(std::move(inner)), factor_(factor)
 {
@@ -62,6 +81,13 @@ double
 ScaledTrace::utilizationAt(sim::SimTime t) const
 {
     return clamp01(inner_->utilizationAt(t) * factor_);
+}
+
+DemandSpan
+ScaledTrace::spanAt(sim::SimTime t) const
+{
+    const DemandSpan inner = inner_->spanAt(t);
+    return {clamp01(inner.utilization * factor_), inner.validUntil};
 }
 
 SpikeTrace::SpikeTrace(TracePtr inner, sim::SimTime start, sim::SimTime width,
@@ -84,6 +110,22 @@ SpikeTrace::utilizationAt(sim::SimTime t) const
     return base;
 }
 
+DemandSpan
+SpikeTrace::spanAt(sim::SimTime t) const
+{
+    // The child span is truncated at whichever spike edge comes next, so
+    // the overlay never leaks across an on/off boundary.
+    const DemandSpan inner = inner_->spanAt(t);
+    if (t >= start_ && t < start_ + width_) {
+        return {std::max(inner.utilization, level_),
+                std::min(inner.validUntil, start_ + width_)};
+    }
+    DemandSpan span = inner;
+    if (t < start_)
+        span.validUntil = std::min(span.validUntil, start_);
+    return span;
+}
+
 TimeShiftedTrace::TimeShiftedTrace(TracePtr inner, sim::SimTime offset)
     : inner_(std::move(inner)), offset_(offset)
 {
@@ -95,6 +137,16 @@ double
 TimeShiftedTrace::utilizationAt(sim::SimTime t) const
 {
     return inner_->utilizationAt(t + offset_);
+}
+
+DemandSpan
+TimeShiftedTrace::spanAt(sim::SimTime t) const
+{
+    const DemandSpan inner = inner_->spanAt(t + offset_);
+    // "Constant forever" survives the shift; finite horizons shift back.
+    if (inner.validUntil == sim::SimTime::max())
+        return {inner.utilization, sim::SimTime::max()};
+    return {inner.utilization, inner.validUntil - offset_};
 }
 
 } // namespace vpm::workload

@@ -24,6 +24,24 @@
 
 namespace vpm::workload {
 
+/**
+ * A demand sample together with its validity horizon: the trace value is
+ * exactly @p utilization over the half-open window [t, validUntil), where
+ * t is the query time. validUntil == t means "valid only at t" (the
+ * conservative answer every trace may give); sim::SimTime::max() means
+ * "constant forever from here".
+ *
+ * The span contract is exact, not approximate: for every t' in the
+ * window, utilizationAt(t') must return the same double, bit for bit.
+ * Consumers (the evaluation loop) rely on this to skip re-sampling
+ * without changing simulation results.
+ */
+struct DemandSpan
+{
+    double utilization = 0.0;
+    sim::SimTime validUntil;
+};
+
 /** A time-indexed utilization signal in [0, 1]. */
 class DemandTrace
 {
@@ -35,6 +53,18 @@ class DemandTrace
      * Implementations clamp to [0, 1].
      */
     virtual double utilizationAt(sim::SimTime t) const = 0;
+
+    /**
+     * Demanded utilization at @p t plus how long that value stays exact
+     * (see DemandSpan). The default is the safe point-span
+     * {utilizationAt(t), t}; piecewise-constant traces override this so
+     * callers can sample once per constant segment instead of once per
+     * evaluation tick.
+     */
+    virtual DemandSpan spanAt(sim::SimTime t) const
+    {
+        return {utilizationAt(t), t};
+    }
 };
 
 /** Shared handle to a trace; traces are immutable once built. */
@@ -48,6 +78,7 @@ class ConstantTrace : public DemandTrace
     explicit ConstantTrace(double level);
 
     double utilizationAt(sim::SimTime t) const override;
+    DemandSpan spanAt(sim::SimTime t) const override;
 
   private:
     double level_;
@@ -74,6 +105,7 @@ class StepTrace : public DemandTrace
     explicit StepTrace(std::vector<Step> steps);
 
     double utilizationAt(sim::SimTime t) const override;
+    DemandSpan spanAt(sim::SimTime t) const override;
 
   private:
     std::vector<Step> steps_;
@@ -86,6 +118,7 @@ class ScaledTrace : public DemandTrace
     ScaledTrace(TracePtr inner, double factor);
 
     double utilizationAt(sim::SimTime t) const override;
+    DemandSpan spanAt(sim::SimTime t) const override;
 
   private:
     TracePtr inner_;
@@ -104,6 +137,7 @@ class SpikeTrace : public DemandTrace
                double level);
 
     double utilizationAt(sim::SimTime t) const override;
+    DemandSpan spanAt(sim::SimTime t) const override;
 
   private:
     TracePtr inner_;
@@ -119,6 +153,7 @@ class TimeShiftedTrace : public DemandTrace
     TimeShiftedTrace(TracePtr inner, sim::SimTime offset);
 
     double utilizationAt(sim::SimTime t) const override;
+    DemandSpan spanAt(sim::SimTime t) const override;
 
   private:
     TracePtr inner_;

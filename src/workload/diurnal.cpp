@@ -39,9 +39,32 @@ DiurnalTrace::utilizationAt(sim::SimTime t) const
     if (config_.noiseStd > 0.0) {
         const auto interval = static_cast<std::uint64_t>(
             t.micros() / config_.noiseInterval.micros());
-        u += config_.noiseStd * sim::hashedNormal(config_.seed, interval);
+        if (interval != noiseIntervalIdx_) {
+            noiseIntervalIdx_ = interval;
+            noiseValue_ = sim::hashedNormal(config_.seed, interval);
+        }
+        u += config_.noiseStd * noiseValue_;
     }
     return std::clamp(u, 0.0, 1.0);
+}
+
+DemandSpan
+DiurnalTrace::spanAt(sim::SimTime t) const
+{
+    // The sinusoid varies continuously, so spans collapse to a point unless
+    // the cycle is flat (amplitude 0, no weekend modulation). A flat cycle
+    // holds within each noise interval, and forever when noise is off too.
+    if (config_.amplitude != 0.0 || config_.weekendFactor != 1.0)
+        return {utilizationAt(t), t};
+    if (config_.noiseStd == 0.0)
+        return {utilizationAt(t), sim::SimTime::max()};
+    if (t < sim::SimTime())
+        return {utilizationAt(t), t};
+    const std::int64_t interval =
+        t.micros() / config_.noiseInterval.micros();
+    return {utilizationAt(t),
+            sim::SimTime::micros((interval + 1) *
+                                 config_.noiseInterval.micros())};
 }
 
 } // namespace vpm::workload

@@ -65,11 +65,22 @@ class DiurnalTrace : public DemandTrace
     explicit DiurnalTrace(DiurnalConfig config);
 
     double utilizationAt(sim::SimTime t) const override;
+    DemandSpan spanAt(sim::SimTime t) const override;
 
     const DiurnalConfig &config() const { return config_; }
 
   private:
     DiurnalConfig config_;
+
+    /**
+     * Memo of the last noise draw. The noise term is constant within a
+     * noiseInterval, but the surrounding sinusoid is not, so demand is
+     * resampled every evaluation; caching the (interval, draw) pair skips
+     * the Box-Muller transcendentals on the repeats. Same hashed value
+     * either way — the cache cannot change any trace output.
+     */
+    mutable std::uint64_t noiseIntervalIdx_ = ~0ull;
+    mutable double noiseValue_ = 0.0;
 };
 
 } // namespace vpm::workload

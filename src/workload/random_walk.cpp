@@ -76,4 +76,19 @@ RandomWalkTrace::utilizationAt(sim::SimTime t) const
     return path_[index];
 }
 
+DemandSpan
+RandomWalkTrace::spanAt(sim::SimTime t) const
+{
+    // Before t = 0 the walk sits at its start value, which also fills step
+    // 0, so the hold extends through the first interval.
+    if (t < sim::SimTime())
+        return {path_.front(), config_.interval};
+    const auto index =
+        static_cast<std::size_t>(t.micros() / config_.interval.micros());
+    extendTo(index);
+    return {path_[index],
+            sim::SimTime::micros(static_cast<std::int64_t>(index + 1) *
+                                 config_.interval.micros())};
+}
+
 } // namespace vpm::workload

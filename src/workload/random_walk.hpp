@@ -55,6 +55,7 @@ class RandomWalkTrace : public DemandTrace
     explicit RandomWalkTrace(RandomWalkConfig config);
 
     double utilizationAt(sim::SimTime t) const override;
+    DemandSpan spanAt(sim::SimTime t) const override;
 
     const RandomWalkConfig &config() const { return config_; }
 

@@ -44,6 +44,37 @@ SampledTrace::utilizationAt(sim::SimTime t) const
     return std::prev(it)->utilization;
 }
 
+DemandSpan
+SampledTrace::spanAt(sim::SimTime t) const
+{
+    // Work in cycle-local time, then shift the horizon back to absolute
+    // time so looping traces report the boundary in the caller's frame.
+    sim::SimTime local = t;
+    if (loop_) {
+        const std::int64_t len = samples_.back().time.micros();
+        std::int64_t us = t.micros() % len;
+        if (us < 0)
+            us += len;
+        local = sim::SimTime::micros(us);
+    }
+    if (local <= samples_.front().time) {
+        // Conservative horizon at the first timestamp: duplicate-time
+        // samples re-resolve through the ordinary lookup from there on.
+        return {samples_.front().utilization,
+                t + (samples_.front().time - local)};
+    }
+    const auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), local,
+        [](sim::SimTime time, const Sample &s) { return time < s.time; });
+    const double value = std::prev(it)->utilization;
+    if (it == samples_.end()) {
+        // Only reachable without looping (modulo keeps local below the
+        // last timestamp otherwise): the final value holds forever.
+        return {value, sim::SimTime::max()};
+    }
+    return {value, t + (it->time - local)};
+}
+
 std::vector<SampledTrace::Sample>
 parseTraceCsv(const std::string &text)
 {

@@ -43,6 +43,7 @@ class SampledTrace : public DemandTrace
     explicit SampledTrace(std::vector<Sample> samples, bool loop = false);
 
     double utilizationAt(sim::SimTime t) const override;
+    DemandSpan spanAt(sim::SimTime t) const override;
 
     const std::vector<Sample> &samples() const { return samples_; }
 

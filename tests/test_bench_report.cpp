@@ -231,6 +231,25 @@ TEST(BenchCompare, ComparisonTextNamesRegressedMetrics)
     EXPECT_NE(text.find("mgmt.cycle"), std::string::npos);
 }
 
+TEST(BenchCompare, ComparisonReportsZoneCallCountDeltas)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.zones[2].calls = base.zones[2].calls * 3;
+
+    const CompareOptions options;
+    const CompareResult result = compareBenchReports(base, next, options);
+    std::ostringstream out;
+    writeComparison(base, next, options, result, out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("calls (base -> new)"), std::string::npos);
+    const std::string expected =
+        std::to_string(base.zones[2].calls) + " -> " +
+        std::to_string(next.zones[2].calls);
+    EXPECT_NE(text.find(expected), std::string::npos);
+    EXPECT_NE(text.find("+200.0%"), std::string::npos);
+}
+
 TEST(BenchCompare, CleanComparisonSaysNoRegression)
 {
     const BenchReport report = sampleReport();

@@ -95,5 +95,159 @@ TEST(CombinatorTest, ComposesSpikeOverScaled)
     EXPECT_DOUBLE_EQ(spiked.utilizationAt(SimTime::minutes(1.5)), 0.8);
 }
 
+
+// ---------------------------------------------------------------------------
+// spanAt: the exactness contract. For every span {u, validUntil} returned at
+// t, utilizationAt(t') must equal u bit-for-bit for all t' in [t, validUntil).
+// ---------------------------------------------------------------------------
+
+TEST(SpanTest, ConstantTraceIsValidForever)
+{
+    const ConstantTrace trace(0.4);
+    const DemandSpan span = trace.spanAt(SimTime::minutes(3.0));
+    EXPECT_DOUBLE_EQ(span.utilization, 0.4);
+    EXPECT_EQ(span.validUntil, SimTime::max());
+}
+
+TEST(SpanTest, StepTraceSpansRunToTheNextBreakpoint)
+{
+    const StepTrace trace({{SimTime(), 0.2},
+                           {SimTime::minutes(10.0), 0.8},
+                           {SimTime::minutes(20.0), 0.5}});
+
+    // Mid-segment: valid until the next breakpoint.
+    const DemandSpan mid = trace.spanAt(SimTime::minutes(4.0));
+    EXPECT_DOUBLE_EQ(mid.utilization, 0.2);
+    EXPECT_EQ(mid.validUntil, SimTime::minutes(10.0));
+
+    // Exactly at a breakpoint: the new level, valid to the one after.
+    const DemandSpan at = trace.spanAt(SimTime::minutes(10.0));
+    EXPECT_DOUBLE_EQ(at.utilization, 0.8);
+    EXPECT_EQ(at.validUntil, SimTime::minutes(20.0));
+
+    // Just before a breakpoint: the old level, window closing right there.
+    const DemandSpan before =
+        trace.spanAt(SimTime::minutes(10.0) - SimTime::micros(1));
+    EXPECT_DOUBLE_EQ(before.utilization, 0.2);
+    EXPECT_EQ(before.validUntil, SimTime::minutes(10.0));
+
+    // Just after: already on the new level, same horizon as "at".
+    const DemandSpan after =
+        trace.spanAt(SimTime::minutes(10.0) + SimTime::micros(1));
+    EXPECT_DOUBLE_EQ(after.utilization, 0.8);
+    EXPECT_EQ(after.validUntil, SimTime::minutes(20.0));
+
+    // Final segment holds forever.
+    const DemandSpan last = trace.spanAt(SimTime::minutes(25.0));
+    EXPECT_DOUBLE_EQ(last.utilization, 0.5);
+    EXPECT_EQ(last.validUntil, SimTime::max());
+}
+
+TEST(SpanTest, StepTraceBeforeFirstBreakpoint)
+{
+    const StepTrace trace({{SimTime::minutes(5.0), 0.7}});
+    const DemandSpan span = trace.spanAt(SimTime());
+    EXPECT_DOUBLE_EQ(span.utilization, 0.7);
+    // The first level also applies before its start, so the pre-start
+    // stretch may extend through the first breakpoint; the contract only
+    // requires the value to hold over the whole window.
+    EXPECT_DOUBLE_EQ(trace.utilizationAt(span.validUntil - SimTime::micros(1)),
+                     span.utilization);
+}
+
+namespace {
+/** A trace that does not override spanAt: exercises the base fallback. */
+class PointOnlyTrace : public DemandTrace
+{
+  public:
+    double utilizationAt(sim::SimTime t) const override
+    {
+        return t < SimTime::minutes(1.0) ? 0.3 : 0.6;
+    }
+};
+} // namespace
+
+TEST(SpanTest, DefaultFallbackIsPointValid)
+{
+    const PointOnlyTrace trace;
+    const DemandSpan span = trace.spanAt(SimTime::seconds(30.0));
+    EXPECT_DOUBLE_EQ(span.utilization, 0.3);
+    EXPECT_EQ(span.validUntil, SimTime::seconds(30.0)); // valid only at t
+}
+
+TEST(SpanTest, ScaledTraceIntersectsChildSpan)
+{
+    const auto inner = std::make_shared<StepTrace>(
+        std::vector<StepTrace::Step>{{SimTime(), 0.4},
+                                     {SimTime::minutes(10.0), 0.8}});
+    const ScaledTrace trace(inner, 0.5);
+    const DemandSpan span = trace.spanAt(SimTime::minutes(2.0));
+    EXPECT_DOUBLE_EQ(span.utilization, 0.2);
+    EXPECT_EQ(span.validUntil, SimTime::minutes(10.0));
+}
+
+TEST(SpanTest, SpikeTraceTruncatesAtItsEdges)
+{
+    const auto inner = std::make_shared<ConstantTrace>(0.2);
+    const SpikeTrace trace(inner, SimTime::minutes(10.0),
+                           SimTime::minutes(5.0), 0.9);
+
+    // Before the spike: the inner's infinite span is cut at the spike edge.
+    const DemandSpan before = trace.spanAt(SimTime::minutes(1.0));
+    EXPECT_DOUBLE_EQ(before.utilization, 0.2);
+    EXPECT_EQ(before.validUntil, SimTime::minutes(10.0));
+
+    // Inside: raised level, valid to the spike's end at most.
+    const DemandSpan inside = trace.spanAt(SimTime::minutes(12.0));
+    EXPECT_DOUBLE_EQ(inside.utilization, 0.9);
+    EXPECT_EQ(inside.validUntil, SimTime::minutes(15.0));
+
+    // After: the inner trace shows through, unbounded again.
+    const DemandSpan after = trace.spanAt(SimTime::minutes(15.0));
+    EXPECT_DOUBLE_EQ(after.utilization, 0.2);
+    EXPECT_EQ(after.validUntil, SimTime::max());
+}
+
+TEST(SpanTest, TimeShiftedTraceShiftsTheWindowBack)
+{
+    const auto inner = std::make_shared<StepTrace>(
+        std::vector<StepTrace::Step>{{SimTime(), 0.1},
+                                     {SimTime::minutes(10.0), 0.9}});
+    const TimeShiftedTrace trace(inner, SimTime::minutes(4.0));
+    const DemandSpan span = trace.spanAt(SimTime::minutes(1.0));
+    EXPECT_DOUBLE_EQ(span.utilization, 0.1);
+    // inner's window closes at 10 min; shifted back by the 4 min offset.
+    EXPECT_EQ(span.validUntil, SimTime::minutes(6.0));
+
+    // An infinite inner span survives the shift.
+    const DemandSpan last = trace.spanAt(SimTime::minutes(20.0));
+    EXPECT_DOUBLE_EQ(last.utilization, 0.9);
+    EXPECT_EQ(last.validUntil, SimTime::max());
+}
+
+TEST(SpanTest, SpansAgreeWithPointSamplesAcrossTheWindow)
+{
+    // Property check over a composed trace: sample the span, then verify
+    // utilizationAt agrees at the window edges (the contract's guarantee).
+    const auto base = std::make_shared<StepTrace>(
+        std::vector<StepTrace::Step>{{SimTime(), 0.3},
+                                     {SimTime::minutes(7.0), 0.6},
+                                     {SimTime::minutes(11.0), 0.2}});
+    const auto scaled = std::make_shared<ScaledTrace>(base, 0.9);
+    const SpikeTrace trace(scaled, SimTime::minutes(9.0),
+                           SimTime::minutes(1.0), 0.95);
+
+    for (int m = 0; m < 15; ++m) {
+        const SimTime t = SimTime::minutes(static_cast<double>(m));
+        const DemandSpan span = trace.spanAt(t);
+        EXPECT_DOUBLE_EQ(span.utilization, trace.utilizationAt(t));
+        if (span.validUntil > t && span.validUntil < SimTime::max()) {
+            EXPECT_DOUBLE_EQ(
+                trace.utilizationAt(span.validUntil - SimTime::micros(1)),
+                span.utilization);
+        }
+    }
+}
+
 } // namespace
 } // namespace vpm::workload

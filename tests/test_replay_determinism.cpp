@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Replay determinism: the incremental evaluation core (span-cached demand,
+ * dirty-host reallocation, persistent placement models) must not change a
+ * single simulation outcome. Two runs with the same seed must agree on
+ * every end-of-run statistic bit for bit, and enabling telemetry — which
+ * swaps the cheap cached-gauge path in and out — must not perturb the
+ * simulation either.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hpp"
+#include "core/scenario.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vpm::mgmt {
+namespace {
+
+ScenarioConfig
+midSizeF7Config()
+{
+    // A shrunk f7 scale-out cell: enterprise mix, diurnal day, PM+S3 with
+    // live migration, consolidation and wakes all active. Big enough to
+    // exercise every cache-invalidation path (migrations, sleeps, wakes,
+    // model refreshes), small enough for a unit test.
+    ScenarioConfig config;
+    config.hostCount = 24;
+    config.vmCount = 120;
+    config.duration = sim::SimTime::hours(8.0);
+    config.seed = 42 + 24;
+    config.manager = makePolicy(PolicyKind::PmS3);
+    config.manager.maxMigrationsPerCycle = 12;
+    config.manager.maxEvacuationsPerCycle = 2;
+    return config;
+}
+
+void
+expectIdenticalResults(const ScenarioResult &a, const ScenarioResult &b)
+{
+    // RunMetrics. EXPECT_EQ (not NEAR/DOUBLE_EQ): the claim is bit
+    // identity, not approximate equality.
+    EXPECT_EQ(a.metrics.energyKwh, b.metrics.energyKwh);
+    EXPECT_EQ(a.metrics.averagePowerWatts, b.metrics.averagePowerWatts);
+    EXPECT_EQ(a.metrics.satisfaction, b.metrics.satisfaction);
+    EXPECT_EQ(a.metrics.violationFraction, b.metrics.violationFraction);
+    EXPECT_EQ(a.metrics.p5Performance, b.metrics.p5Performance);
+    EXPECT_EQ(a.metrics.worstPerformance, b.metrics.worstPerformance);
+    EXPECT_EQ(a.metrics.meanLatencyFactor, b.metrics.meanLatencyFactor);
+    EXPECT_EQ(a.metrics.p95LatencyFactor, b.metrics.p95LatencyFactor);
+    EXPECT_EQ(a.metrics.averageHostsOn, b.metrics.averageHostsOn);
+    EXPECT_EQ(a.metrics.migrations, b.metrics.migrations);
+    EXPECT_EQ(a.metrics.powerActions, b.metrics.powerActions);
+    EXPECT_EQ(a.metrics.simulatedHours, b.metrics.simulatedHours);
+
+    // ManagerStats.
+    EXPECT_EQ(a.manager.cycles, b.manager.cycles);
+    EXPECT_EQ(a.manager.migrationsRequested, b.manager.migrationsRequested);
+    EXPECT_EQ(a.manager.balanceMoves, b.manager.balanceMoves);
+    EXPECT_EQ(a.manager.evacuationsStarted, b.manager.evacuationsStarted);
+    EXPECT_EQ(a.manager.evacuationsAbandoned,
+              b.manager.evacuationsAbandoned);
+    EXPECT_EQ(a.manager.drainsCancelled, b.manager.drainsCancelled);
+    EXPECT_EQ(a.manager.sleepsIssued, b.manager.sleepsIssued);
+    EXPECT_EQ(a.manager.wakesIssued, b.manager.wakesIssued);
+    EXPECT_EQ(a.manager.wakesDeniedByCap, b.manager.wakesDeniedByCap);
+    EXPECT_EQ(a.manager.shortfallCycles, b.manager.shortfallCycles);
+    EXPECT_EQ(a.manager.haRestarts, b.manager.haRestarts);
+
+    // Scenario-level aggregates.
+    EXPECT_EQ(a.offeredLoadFraction, b.offeredLoadFraction);
+    EXPECT_EQ(a.idealProportionalKwh, b.idealProportionalKwh);
+    EXPECT_EQ(a.meanMigrationSeconds, b.meanMigrationSeconds);
+}
+
+TEST(ReplayDeterminismTest, SameSeedSameStats)
+{
+    const ScenarioConfig config = midSizeF7Config();
+    const ScenarioResult first = runScenario(config);
+    const ScenarioResult second = runScenario(config);
+
+    // The run must have actually exercised the interesting machinery.
+    EXPECT_GT(first.metrics.migrations, 0u);
+    EXPECT_GT(first.metrics.powerActions, 0u);
+
+    expectIdenticalResults(first, second);
+}
+
+TEST(ReplayDeterminismTest, TelemetryDoesNotPerturbTheSimulation)
+{
+    const ScenarioConfig config = midSizeF7Config();
+    const ScenarioResult baseline = runScenario(config);
+
+    telemetry::TelemetryConfig tconfig;
+    tconfig.enabled = true;
+    telemetry::global().configure(tconfig);
+    const ScenarioResult traced = runScenario(config);
+    telemetry::global().configure(telemetry::TelemetryConfig{});
+
+    expectIdenticalResults(baseline, traced);
+}
+
+} // namespace
+} // namespace vpm::mgmt
