@@ -18,6 +18,8 @@
  *                          --bench-json)
  *   --warmup <n>           unmeasured warmup runs (default 0; 1 under
  *                          --bench-json)
+ *   --threads <n>          evaluation worker threads (default 1); results
+ *                          are bit-identical at any value
  *   --help                 usage; unknown flags print usage and exit 2
  */
 
@@ -43,6 +45,7 @@
 #endif
 
 #include "core/scenario.hpp"
+#include "simcore/thread_pool.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "telemetry/bench_report.hpp"
@@ -65,6 +68,7 @@ struct BenchArgs
     std::string profileTracePath; ///< --profile-trace (wall-clock trace)
     int repeat = 1;
     int warmup = 0;
+    int threads = 1; ///< --threads (evaluation worker pool size)
 };
 
 inline void
@@ -75,7 +79,7 @@ printUsage(const char *bench_id, std::FILE *out)
         "usage: bench_%s [--quick] [--trace <path>] [--json <path>]\n"
         "       [--profile] [--profile-trace <path>]\n"
         "       [--bench-json <path>] [--repeat <n>] [--warmup <n>]\n"
-        "       [--help]\n",
+        "       [--threads <n>] [--help]\n",
         bench_id);
 }
 
@@ -142,6 +146,14 @@ parseArgs(const char *bench_id, int argc, char **argv)
                 std::exit(2);
             }
             saw_warmup = true;
+        } else if (arg == "--threads") {
+            args.threads = std::atoi(value("--threads"));
+            if (args.threads < 1) {
+                std::fprintf(stderr, "bench_%s: --threads wants n >= 1\n",
+                             bench_id);
+                std::exit(2);
+            }
+            sim::setGlobalThreads(static_cast<unsigned>(args.threads));
         } else {
             std::fprintf(stderr, "bench_%s: unknown option '%s'\n",
                          bench_id, arg.c_str());
@@ -280,8 +292,9 @@ runBench(const BenchArgs &args, const std::function<void()> &body)
         run.events = dispatched.value() - events_before;
         runs.push_back(run);
         std::vector<telemetry::BenchZoneRow> rows;
-        for (const std::uint32_t child : prof.nodes()[0].children)
-            collectZoneRows(prof.nodes(), child, "", rows);
+        const std::vector<telemetry::ZoneNode> merged = prof.mergedNodes();
+        for (const std::uint32_t child : merged[0].children)
+            collectZoneRows(merged, child, "", rows);
         zone_tables.push_back(std::move(rows));
     }
 

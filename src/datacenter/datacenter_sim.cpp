@@ -1,13 +1,39 @@
 #include "datacenter/datacenter_sim.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 #include "simcore/logging.hpp"
+#include "simcore/thread_pool.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vpm::dc {
+
+namespace {
+
+/**
+ * Sharding grains for the per-tick parallel passes. These are part of the
+ * determinism contract: ThreadPool::shardCount depends only on the item
+ * count and the grain, so every run of the same scenario — at any
+ * --threads value — sees the same shard structure and therefore the same
+ * reduction order (and bytes). Sized so unit-test clusters collapse to a
+ * single shard (the exact sequential accumulation path) while f7-scale
+ * cells fan out.
+ */
+constexpr std::size_t kHostShardGrain = 8;
+constexpr std::size_t kVmShardGrain = 64;
+
+/** Utilization cap of the M/M/1-style latency model (keeps 1/(1-rho)
+ *  finite); a host that cannot run its VMs is treated as pinned here. */
+constexpr double kUtilizationCap = 0.95;
+
+/** Latency factor of a fully starved VM — the model's ceiling, and the
+ *  value substituted when a VM carries a stale/out-of-range host id. */
+constexpr double kStarvedLatencyFactor = 1.0 / (1.0 - kUtilizationCap);
+
+} // namespace
 
 DatacenterSim::DatacenterSim(sim::Simulator &simulator, Cluster &cluster,
                              MigrationEngine &migration,
@@ -90,56 +116,136 @@ DatacenterSim::evaluate()
     // Only placed VMs demand CPU: retired VMs are gone, and pending
     // arrivals have not started working (their wait shows up in the
     // provisioning engine's placement-delay stats, not in the SLA).
-    // refreshDemand re-samples a trace only once its cached span expires;
-    // piecewise-constant traces therefore cost one lookup per segment
-    // instead of one per tick, and a value that did change marks the
-    // resident host dirty for the allocation pass below.
     const sim::SimTime now = simulator_.now();
     const std::vector<Vm *> &placed = placedVms();
-    for (Vm *vm_ptr : placed)
-        vm_ptr->refreshDemand(now);
+    const auto &hosts = cluster_.hosts();
+    sim::ThreadPool &pool = sim::globalPool();
 
-    for (const auto &host_ptr : cluster_.hosts()) {
-        if (host_ptr->allocDirty()) {
-            allocateHost(*host_ptr);
-            host_ptr->clearAllocDirty();
-        }
-    }
+    // Host pass, sharded over host-id ranges. Everything here is a pure
+    // per-host computation — demand refresh of the host's resident VMs
+    // (refreshDemand re-samples a trace only once its cached span expires
+    // and marks only the resident host dirty), the dirty-gated allocation,
+    // and the latency factor — so shards share nothing and the results
+    // are bit-identical to the sequential sweep in any order.
+    latencyFactor_.resize(hosts.size());
+    pool.parallelFor(
+        hosts.size(), kHostShardGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                Host &host = *hosts[i];
+                // The VM pass below indexes latencyFactor_ by HostId, so
+                // the cluster's dense-id invariant is what makes that
+                // lookup (and this loop's write) line up.
+                assert(host.id() == static_cast<HostId>(i) &&
+                       "cluster host ids must be dense and in order");
+                for (Vm *vm_ptr : host.vms())
+                    vm_ptr->refreshDemand(now);
+                if (host.allocDirty()) {
+                    allocateHost(host);
+                    host.clearAllocDirty();
+                }
+                // The latency factor is a per-host quantity; evaluate it
+                // once per host so each VM reads an identical value.
+                const double rho =
+                    host.isOn() ? std::min(host.utilization(),
+                                           kUtilizationCap)
+                                : kUtilizationCap;
+                latencyFactor_[i] = 1.0 / (1.0 - rho);
+            }
+        });
 
-    // The latency factor is a per-host quantity; evaluate it once per host
-    // with the same expression the per-VM samples used, so each VM reads
-    // an identical value without redoing the division five times.
-    latencyFactor_.resize(cluster_.hosts().size());
-    for (std::size_t i = 0; i < cluster_.hosts().size(); ++i) {
-        const Host &host = *cluster_.hosts()[i];
-        const double rho =
-            host.isOn() ? std::min(host.utilization(), 0.95) : 0.95;
-        latencyFactor_[i] = 1.0 / (1.0 - rho);
-    }
-
-    // One SLA sample per placed VM per evaluation. A VM stranded on a
-    // non-On host counts as fully starved.
+    // VM pass: one SLA sample per placed VM, sharded over VM ranges into
+    // per-shard accumulators. The shard structure depends only on the VM
+    // count, never the thread count. Stats accumulate in the per-shard
+    // partials across ticks — O(samples), no per-tick histogram traffic —
+    // and are folded into the persistent trackers in shard index order by
+    // collectShardSamples() when somebody reads them; staged journal
+    // events, whose order is observable per tick, flush in shard index
+    // order here, reproducing the sequential record sequence exactly.
     telemetry::EventJournal &journal = telemetry::global().journal();
     const bool journal_on = journal.enabled();
-    for (const Vm *vm_ptr : placed) {
+    const std::size_t shards =
+        sim::ThreadPool::shardCount(placed.size(), kVmShardGrain);
+    if (shards <= 1) {
+        // Single shard: record straight into the persistent accumulators,
+        // the exact code path (and FP summation order) of the historical
+        // sequential implementation.
+        sampleVms(0, placed.size(), now, journal_on, sla_, latencyWeighted_,
+                  latencyHist_, nullptr);
+        return;
+    }
+
+    while (shardSamples_.size() < shards)
+        shardSamples_.emplace_back(config_.slaThreshold);
+    pool.parallelFor(
+        placed.size(), kVmShardGrain,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+            ShardSample &acc = shardSamples_[shard];
+            sampleVms(begin, end, now, journal_on, acc.sla,
+                      acc.latencyWeighted, acc.latencyHist, &acc.stage);
+        });
+    for (std::size_t shard = 0; shard < shards; ++shard)
+        journal.flush(shardSamples_[shard].stage);
+}
+
+void
+DatacenterSim::collectShardSamples()
+{
+    // Fold every shard's pending partials into the persistent trackers,
+    // in shard index order (merge() is FP-order-sensitive), and leave the
+    // partials empty for the next accumulation window. Callers (metrics
+    // reads) occur at simulation-determined points, so the fold schedule —
+    // and therefore every summation order — is identical at any thread
+    // count.
+    for (ShardSample &acc : shardSamples_) {
+        sla_.merge(acc.sla);
+        acc.sla.reset();
+        latencyWeighted_.merge(acc.latencyWeighted);
+        acc.latencyWeighted.reset();
+        latencyHist_.merge(acc.latencyHist);
+        acc.latencyHist.reset();
+    }
+}
+
+void
+DatacenterSim::sampleVms(std::size_t begin, std::size_t end,
+                         sim::SimTime now, bool journal_on,
+                         stats::SlaTracker &sla,
+                         stats::Summary &latency_weighted,
+                         stats::Histogram &latency_hist,
+                         telemetry::JournalStage *stage)
+{
+    for (std::size_t v = begin; v < end; ++v) {
+        const Vm *vm_ptr = placedVms_[v];
         const double demand = vm_ptr->currentDemandMhz();
-        sla_.record(demand, vm_ptr->grantedMhz());
+        sla.record(demand, vm_ptr->grantedMhz());
 
         // Journal each sample that falls below the SLA threshold.
         if (journal_on && demand > 0.0) {
             const double sat = vm_ptr->grantedMhz() / demand;
-            if (sat < config_.slaThreshold)
-                journal.slaViolation(now.micros(), vm_ptr->id(), sat,
-                                     demand);
+            if (sat < config_.slaThreshold) {
+                if (stage)
+                    stage->slaViolation(now.micros(), vm_ptr->id(), sat,
+                                        demand);
+                else
+                    telemetry::global().journal().slaViolation(
+                        now.micros(), vm_ptr->id(), sat, demand);
+            }
         }
 
         // Response-time inflation of the VM's host, M/M/1-style. Starved
-        // VMs (host off, or rho pinned at the cap) land at the ceiling.
+        // VMs (host off, or rho pinned at the cap) land at the ceiling —
+        // as does a VM carrying a stale host id (e.g. its host was just
+        // removed), which used to index latencyFactor_ out of bounds.
+        const HostId host_id = vm_ptr->host();
+        const auto host_index = static_cast<std::size_t>(host_id);
         const double factor =
-            latencyFactor_[static_cast<std::size_t>(vm_ptr->host())];
-        latencyHist_.add(factor);
+            host_id >= 0 && host_index < latencyFactor_.size()
+                ? latencyFactor_[host_index]
+                : kStarvedLatencyFactor;
+        latency_hist.add(factor);
         if (demand > 0.0)
-            latencyWeighted_.add(factor);
+            latency_weighted.add(factor);
     }
 }
 
@@ -164,14 +270,21 @@ DatacenterSim::reallocate()
     // Dirty-gated sweep: only hosts whose allocation inputs changed since
     // their last pass (membership, demand, overhead, frequency, power
     // phase) are re-run. A migration landing therefore re-spreads just its
-    // source and destination instead of the whole cluster.
+    // source and destination instead of the whole cluster. Sharded by
+    // host like the evaluate() host pass: allocation is per-host state.
     PROF_ZONE("dcsim.reallocate");
-    for (const auto &host_ptr : cluster_.hosts()) {
-        if (host_ptr->allocDirty()) {
-            allocateHost(*host_ptr);
-            host_ptr->clearAllocDirty();
-        }
-    }
+    const auto &hosts = cluster_.hosts();
+    sim::globalPool().parallelFor(
+        hosts.size(), kHostShardGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                Host &host = *hosts[i];
+                if (host.allocDirty()) {
+                    allocateHost(host);
+                    host.clearAllocDirty();
+                }
+            }
+        });
 }
 
 void
@@ -208,6 +321,7 @@ DatacenterSim::metrics()
     const sim::SimTime now = simulator_.now();
     cluster_.finishMetering(now);
     hostsOnTracker_.finish(now);
+    collectShardSamples();
 
     RunMetrics m;
     m.energyKwh = cluster_.totalEnergyJoules() / 3.6e6;

@@ -22,6 +22,7 @@
 #include "stats/histogram.hpp"
 #include "stats/sla_tracker.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/event_journal.hpp"
 
 namespace vpm::dc {
 
@@ -104,7 +105,15 @@ class DatacenterSim
     /** Snapshot the aggregate metrics so far (meters closed at now()). */
     RunMetrics metrics();
 
-    stats::SlaTracker &sla() { return sla_; }
+    /** The SLA tracker, with any pending per-shard partials folded in. */
+    stats::SlaTracker &sla()
+    {
+        collectShardSamples();
+        return sla_;
+    }
+    /** Const view: current as of the last metrics()/sla() fold. Fleets
+     *  small enough for the single-shard path (the tests) are always
+     *  current. */
     const stats::SlaTracker &sla() const { return sla_; }
 
     /** Register a hook fired after every periodic evaluation. */
@@ -115,8 +124,22 @@ class DatacenterSim
   private:
     void evaluationTick();
 
-    /** Allocate grants on one host from its VMs' current demand. */
+    /** Allocate grants on one host from its VMs' current demand.
+     *  Touches only that host's state (plus its resident VMs), so hosts
+     *  in different shards may run this concurrently. */
     void allocateHost(Host &host);
+
+    /**
+     * Record the SLA/latency samples of placed VMs [begin, end) into the
+     * given accumulators. With @p stage non-null, SLA-violation events are
+     * staged instead of journaled directly (the parallel path); null means
+     * "record straight into the global journal" (the single-shard path).
+     */
+    void sampleVms(std::size_t begin, std::size_t end, sim::SimTime now,
+                   bool journal_on, stats::SlaTracker &sla,
+                   stats::Summary &latency_weighted,
+                   stats::Histogram &latency_hist,
+                   telemetry::JournalStage *stage);
 
     /**
      * The placed VMs in VM-id order. The set only changes when the
@@ -129,6 +152,17 @@ class DatacenterSim
     /** Refresh cluster-level gauges and snapshot the metric series; no-op
      *  when global telemetry is disabled. */
     void sampleTelemetry();
+
+    /**
+     * Fold every shard's pending stats partials into sla_ /
+     * latencyWeighted_ / latencyHist_ in shard index order and reset the
+     * partials. Deliberately lazy — called from metrics() and sla(), not
+     * per tick — because merging the trackers' multi-thousand-bucket
+     * histograms every tick dominates the evaluation loop. Fold points
+     * are simulation-event-driven, so the summation order is still
+     * independent of the thread count.
+     */
+    void collectShardSamples();
 
     sim::Simulator &simulator_;
     Cluster &cluster_;
@@ -149,6 +183,26 @@ class DatacenterSim
 
     /** Per-host latency-factor scratch, refilled every evaluation. */
     std::vector<double> latencyFactor_;
+
+    /**
+     * One shard's private accumulators for the parallel sampling pass.
+     * Stats partials accumulate across ticks and are folded into the
+     * persistent trackers only by collectShardSamples(); the journal
+     * stage is flushed (and thereby emptied) every tick, because record
+     * order is observable per tick while stats merges commute across
+     * ticks as long as the shard order is fixed. The histogram layout
+     * must match latencyHist_ and the tracker threshold must match sla_,
+     * or merge() panics.
+     */
+    struct ShardSample
+    {
+        explicit ShardSample(double threshold) : sla(threshold) {}
+        stats::SlaTracker sla;
+        stats::Summary latencyWeighted;
+        stats::Histogram latencyHist{1.0, 21.0, 800};
+        telemetry::JournalStage stage;
+    };
+    std::vector<ShardSample> shardSamples_;
 };
 
 } // namespace vpm::dc

@@ -14,13 +14,26 @@ EnergyMeter::EnergyMeter(sim::SimTime start, double initial_watts)
 void
 EnergyMeter::update(sim::SimTime t, double watts)
 {
-    if (t < lastTime_)
-        sim::panic("EnergyMeter::update: time moved backwards "
-                   "(%lld us < %lld us)",
-                   static_cast<long long>(t.micros()),
-                   static_cast<long long>(lastTime_.micros()));
     if (watts < 0.0)
         sim::panic("EnergyMeter::update: negative power %g W", watts);
+
+    if (t < lastTime_) {
+        // Clamp the delta at zero rather than integrating a negative
+        // interval (which would silently subtract joules). Warn once per
+        // meter: a backwards update is a caller bug worth flagging, but
+        // not worth aborting a long run over.
+        if (!warnedBackwards_) {
+            warnedBackwards_ = true;
+            sim::warn("EnergyMeter::update: time moved backwards "
+                      "(%lld us < %lld us); clamping interval to zero",
+                      static_cast<long long>(t.micros()),
+                      static_cast<long long>(lastTime_.micros()));
+        }
+        heldWatts_ = watts;
+        if (wattsGauge_)
+            wattsGauge_->set(watts);
+        return;
+    }
 
     joules_ += heldWatts_ * (t - lastTime_).toSeconds();
     lastTime_ = t;

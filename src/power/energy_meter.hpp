@@ -35,7 +35,10 @@ class EnergyMeter
     /**
      * Report that the power changed to @p watts at time @p t.
      * Integrates the previously held power over [last update, t].
-     * @p t must not precede the previous update.
+     * A @p t that precedes the previous update is a caller bug: the
+     * interval is clamped to zero (no joules are added or subtracted,
+     * and the meter's clock does not move backwards), the new power
+     * still takes effect, and a warning is logged once per meter.
      */
     void update(sim::SimTime t, double watts);
 
@@ -72,6 +75,7 @@ class EnergyMeter
     sim::SimTime lastTime_;
     double heldWatts_;
     double joules_ = 0.0;
+    bool warnedBackwards_ = false;
     telemetry::Gauge *wattsGauge_ = nullptr;
 };
 

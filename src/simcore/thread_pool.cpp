@@ -1,0 +1,183 @@
+#include "simcore/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "simcore/logging.hpp"
+
+namespace vpm::sim {
+
+namespace {
+
+/**
+ * Set while a pool worker is executing a shard body. Nested parallelFor
+ * calls check it and run inline: a worker blocking on its own pool would
+ * deadlock, and a shard body must finish before its thread helps with
+ * anything else anyway.
+ */
+thread_local bool inPoolWorker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    workerCount_ = std::max(threads, 1u) - 1;
+    workers_.reserve(workerCount_);
+    for (unsigned i = 0; i < workerCount_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::shardCount(std::size_t n, std::size_t grain)
+{
+    if (n == 0)
+        return 0;
+    grain = std::max<std::size_t>(grain, 1);
+    return std::min((n + grain - 1) / grain, kMaxShards);
+}
+
+std::pair<std::size_t, std::size_t>
+ThreadPool::shardRange(std::size_t n, std::size_t shards, std::size_t shard)
+{
+    const std::size_t base = n / shards;
+    const std::size_t rem = n % shards;
+    const std::size_t begin = shard * base + std::min(shard, rem);
+    const std::size_t end = begin + base + (shard < rem ? 1 : 0);
+    return {begin, end};
+}
+
+void
+ThreadPool::runInline(std::size_t n, std::size_t shards, const ShardFn &fn)
+{
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+        const auto [begin, end] = shardRange(n, shards, shard);
+        fn(shard, begin, end);
+    }
+}
+
+void
+ThreadPool::runShards(Job &job)
+{
+    for (;;) {
+        const std::size_t shard =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= job.shards)
+            return;
+        const auto [begin, end] = shardRange(job.n, job.shards, shard);
+        job.fn(shard, begin, end);
+        // acq_rel: release publishes this shard's writes to whoever reads
+        // `completed` with acquire (the joining caller); acquire on the
+        // final increment lets that caller piggyback on our read when we
+        // happen to be the caller itself.
+        if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            job.shards) {
+            // Taking the mutex (even empty-handed) prevents the lost-wakeup
+            // race with a caller that checked the predicate and is about to
+            // sleep.
+            std::lock_guard<std::mutex> lock(job.doneMutex);
+            job.doneCv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    inPoolWorker = true;
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                return stop_ || generation_ != seenGeneration;
+            });
+            if (stop_)
+                return;
+            seenGeneration = generation_;
+            job = job_;
+        }
+        // Holding a shared_ptr keeps the Job alive even if the caller
+        // returns (completion only needs the shards to be drained; a
+        // straggler that arrives after everything is claimed just loops
+        // out of runShards immediately).
+        runShards(*job);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, std::size_t grain, const ShardFn &fn)
+{
+    const std::size_t shards = shardCount(n, grain);
+    if (shards == 0)
+        return;
+    if (shards == 1 || workerCount_ == 0 || inPoolWorker) {
+        runInline(n, shards, fn);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->fn = fn;
+    job->n = n;
+    job->shards = shards;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        ++generation_;
+    }
+    cv_.notify_all();
+
+    // The caller drains shards alongside the workers, then joins. The
+    // acquire load in the predicate pairs with the release half of each
+    // worker's completed.fetch_add, so every shard's writes are visible
+    // once the wait returns.
+    runShards(*job);
+    std::unique_lock<std::mutex> lock(job->doneMutex);
+    job->doneCv.wait(lock, [&] {
+        return job->completed.load(std::memory_order_acquire) == job->shards;
+    });
+}
+
+namespace {
+
+unsigned configuredThreads = 1;
+std::unique_ptr<ThreadPool> globalPoolInstance;
+
+} // namespace
+
+void
+setGlobalThreads(unsigned threads)
+{
+    threads = std::max(threads, 1u);
+    if (globalPoolInstance && configuredThreads == threads)
+        return;
+    globalPoolInstance.reset(); // join the old workers before respawning
+    globalPoolInstance = std::make_unique<ThreadPool>(threads);
+    configuredThreads = threads;
+}
+
+unsigned
+globalThreads()
+{
+    return configuredThreads;
+}
+
+ThreadPool &
+globalPool()
+{
+    if (!globalPoolInstance)
+        globalPoolInstance = std::make_unique<ThreadPool>(configuredThreads);
+    return *globalPoolInstance;
+}
+
+} // namespace vpm::sim

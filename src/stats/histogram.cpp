@@ -39,6 +39,31 @@ Histogram::add(double x)
     ++counts_[std::min(index, counts_.size() - 1)];
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.lo_ != lo_ || other.hi_ != hi_ ||
+        other.counts_.size() != counts_.size())
+        sim::panic("Histogram::merge: layout mismatch "
+                   "([%g, %g) x %zu vs [%g, %g) x %zu)",
+                   lo_, hi_, counts_.size(), other.lo_, other.hi_,
+                   other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    count_ += other.count_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    count_ = 0;
+}
+
 double
 Histogram::percentile(double fraction) const
 {

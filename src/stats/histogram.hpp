@@ -30,6 +30,18 @@ class Histogram
     /** Record one sample (out-of-range samples land in under/overflow). */
     void add(double x);
 
+    /**
+     * Add another histogram's counts into this one. Both must have been
+     * constructed with identical (lo, hi, buckets) — anything else is a
+     * vpm bug and panics. Counts are integers, so merging is exact and
+     * order-independent; the sharded evaluation loops still merge in
+     * shard order for uniformity with the FP accumulators.
+     */
+    void merge(const Histogram &other);
+
+    /** Zero all counts, keeping the bucket layout (shard-scratch reuse). */
+    void reset();
+
     std::uint64_t count() const { return count_; }
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }

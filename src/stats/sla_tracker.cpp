@@ -33,6 +33,29 @@ SlaTracker::record(double requested_mhz, double granted_mhz)
         ++violations_;
 }
 
+void
+SlaTracker::merge(const SlaTracker &other)
+{
+    if (other.threshold_ != threshold_)
+        sim::panic("SlaTracker::merge: threshold mismatch (%g vs %g)",
+                   threshold_, other.threshold_);
+    totalRequested_ += other.totalRequested_;
+    totalGranted_ += other.totalGranted_;
+    violations_ += other.violations_;
+    ratios_.merge(other.ratios_);
+    ratioHist_.merge(other.ratioHist_);
+}
+
+void
+SlaTracker::reset()
+{
+    totalRequested_ = 0.0;
+    totalGranted_ = 0.0;
+    violations_ = 0;
+    ratios_.reset();
+    ratioHist_.reset();
+}
+
 double
 SlaTracker::satisfaction() const
 {

@@ -39,6 +39,19 @@ class SlaTracker
      */
     void record(double requested_mhz, double granted_mhz);
 
+    /**
+     * Fold another tracker's samples into this one, as if every one of
+     * its record() calls had been replayed here. Thresholds must match
+     * (panic otherwise). The FP totals make merging order-sensitive at
+     * the last ulp, so the sharded evaluation loops always merge shard 0,
+     * 1, 2, ... in index order — which is what keeps results identical at
+     * any thread count.
+     */
+    void merge(const SlaTracker &other);
+
+    /** Drop all samples, keeping the threshold (shard-scratch reuse). */
+    void reset();
+
     /** Total granted / total requested over all samples; 1 if no demand. */
     double satisfaction() const;
 

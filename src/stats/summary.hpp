@@ -44,6 +44,9 @@ class Summary
     /** Merge another summary into this one (parallel-combine rule). */
     void merge(const Summary &other);
 
+    /** Back to the empty state (shard-scratch reuse). */
+    void reset() { *this = Summary{}; }
+
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? mean_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }

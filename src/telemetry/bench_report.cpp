@@ -1,11 +1,14 @@
 #include "telemetry/bench_report.hpp"
 
+#include "telemetry/json_util.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <istream>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -67,16 +70,7 @@ void
 writeEscaped(std::ostream &out, const std::string &text)
 {
     out << '"';
-    for (const char c : text) {
-        if (c == '"' || c == '\\')
-            out << '\\' << c;
-        else if (c == '\n')
-            out << "\\n";
-        else if (static_cast<unsigned char>(c) < 0x20)
-            out << ' ';
-        else
-            out << c;
-    }
+    writeJsonEscaped(out, text);
     out << '"';
 }
 
@@ -488,7 +482,24 @@ namespace {
 double
 pctChange(double base, double next)
 {
-    return base > 0.0 ? 100.0 * (next - base) / base : 0.0;
+    if (base > 0.0)
+        return 100.0 * (next - base) / base;
+    // A metric that appears out of nothing has no finite percentage; +inf
+    // keeps it ordered above every real delta and is rendered as "(new)".
+    // Returning 0 here (the old behavior) made zero-baseline growth
+    // invisible to both the comparator and the report.
+    return next > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+/** Delta column: "(new)" for growth from a zero baseline, else +x.x%. */
+std::string
+fmtDeltaPct(double pct)
+{
+    if (std::isinf(pct))
+        return "  (new)";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+6.1f%%", pct);
+    return buf;
 }
 
 } // namespace
@@ -530,9 +541,14 @@ compareBenchReports(const BenchReport &base, const BenchReport &next,
         const BenchZoneRow &old = *it->second;
         if (old.exclMs < options.minZoneMs && zone.exclMs < options.minZoneMs)
             continue; // below the noise floor in both reports
-        if (old.exclMs > 0.0 &&
-            zone.exclMs >
-                old.exclMs * (1.0 + options.zoneThresholdPct / 100.0)) {
+        // A zone that grew from a 0 ms baseline defeats any percentage
+        // threshold; past the noise floor it is a regression outright
+        // (reported with an infinite delta, rendered as "(new)").
+        const bool grew_from_zero = old.exclMs <= 0.0 && zone.exclMs > 0.0;
+        if (grew_from_zero ||
+            (old.exclMs > 0.0 &&
+             zone.exclMs >
+                 old.exclMs * (1.0 + options.zoneThresholdPct / 100.0))) {
             result.regressions.push_back({zone.path, old.exclMs, zone.exclMs,
                                           pctChange(old.exclMs,
                                                     zone.exclMs)});
@@ -559,8 +575,8 @@ writeComparison(const BenchReport &base, const BenchReport &next,
                   "base", "new", "delta");
     out << line;
     const auto row = [&](const char *name, double a, double b) {
-        std::snprintf(line, sizeof(line), "%-44s %12.2f %12.2f %+7.1f%%\n",
-                      name, a, b, pctChange(a, b));
+        std::snprintf(line, sizeof(line), "%-44s %12.2f %12.2f %8s\n",
+                      name, a, b, fmtDeltaPct(pctChange(a, b)).c_str());
         out << line;
     };
     row("median_wall_ms", base.medianWallMs, next.medianWallMs);
@@ -602,14 +618,17 @@ writeComparison(const BenchReport &base, const BenchReport &next,
         // cost change; a call-count delta localizes an algorithmic change
         // (e.g. a sweep becoming incremental) before any timing argument.
         std::snprintf(line, sizeof(line),
-                      "%-44s %12.2f %12.2f %+7.1f%%  %10llu -> %-8llu "
-                      "%+7.1f%%\n",
+                      "%-44s %12.2f %12.2f %8s  %10llu -> %-8llu "
+                      "%8s\n",
                       label.c_str(), old_zone->exclMs, new_zone->exclMs,
-                      pctChange(old_zone->exclMs, new_zone->exclMs),
+                      fmtDeltaPct(pctChange(old_zone->exclMs,
+                                            new_zone->exclMs)).c_str(),
                       static_cast<unsigned long long>(old_zone->calls),
                       static_cast<unsigned long long>(new_zone->calls),
-                      pctChange(static_cast<double>(old_zone->calls),
-                                static_cast<double>(new_zone->calls)));
+                      fmtDeltaPct(
+                          pctChange(static_cast<double>(old_zone->calls),
+                                    static_cast<double>(new_zone->calls)))
+                          .c_str());
         out << line;
     }
     for (const auto &[path, pair] : zones) {
@@ -623,10 +642,17 @@ writeComparison(const BenchReport &base, const BenchReport &next,
         out << "\nRESULT: REGRESSION in " << result.regressions.size()
             << " metric(s):\n";
         for (const Regression &regression : result.regressions) {
-            std::snprintf(line, sizeof(line),
-                          "  %s: %.2f -> %.2f (%+.1f%%)\n",
-                          regression.what.c_str(), regression.oldValue,
-                          regression.newValue, regression.deltaPct);
+            if (std::isinf(regression.deltaPct))
+                std::snprintf(line, sizeof(line),
+                              "  %s: %.2f -> %.2f (new, from a zero "
+                              "baseline)\n",
+                              regression.what.c_str(), regression.oldValue,
+                              regression.newValue);
+            else
+                std::snprintf(line, sizeof(line),
+                              "  %s: %.2f -> %.2f (%+.1f%%)\n",
+                              regression.what.c_str(), regression.oldValue,
+                              regression.newValue, regression.deltaPct);
             out << line;
         }
     } else {

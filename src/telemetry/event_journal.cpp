@@ -306,6 +306,34 @@ EventJournal::slaViolation(std::int64_t t_us, std::int32_t vm,
     record(ev);
 }
 
+void
+JournalStage::slaViolation(std::int64_t t_us, std::int32_t vm,
+                           double satisfaction, double demand_mhz)
+{
+    JournalEvent ev;
+    ev.timeUs = t_us;
+    ev.kind = EventKind::SlaViolation;
+    ev.domain = TrackDomain::Vm;
+    ev.track = vm;
+    ev.a = satisfaction;
+    ev.b = demand_mhz;
+    staged_.push_back(ev);
+}
+
+std::size_t
+EventJournal::flush(JournalStage &stage)
+{
+    std::size_t flushed = 0;
+    if (enabled_) {
+        for (const JournalEvent &ev : stage.staged_) {
+            record(ev);
+            ++flushed;
+        }
+    }
+    stage.clear();
+    return flushed;
+}
+
 std::vector<JournalEvent>
 EventJournal::sortedEvents() const
 {

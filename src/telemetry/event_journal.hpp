@@ -96,6 +96,40 @@ struct JournalEvent
     double c = 0.0;
 };
 
+/**
+ * Thread-private staging buffer for events built away from the journal.
+ *
+ * The journal itself is single-threaded: record() mutates the ring,
+ * assigns sequence numbers and reads the ambient TraceContext, and
+ * intern() mutates the label table. Sharded evaluation loops therefore
+ * append into one JournalStage per shard — plain vector pushes touching
+ * nothing shared — and the owner flushes the stages in shard index order
+ * on the main thread, which reproduces the exact record order (and hence
+ * sequence numbers) of the sequential sweep.
+ *
+ * Only label-free events (or events whose labels were interned up front
+ * on the main thread) may be staged: intern() must never be called from
+ * a shard body.
+ */
+class JournalStage
+{
+  public:
+    /** Stage a raw event (seq/cause are assigned at flush time). */
+    void record(const JournalEvent &event) { staged_.push_back(event); }
+
+    /** Stage an SLA-violation sample (label-free by construction). */
+    void slaViolation(std::int64_t t_us, std::int32_t vm,
+                      double satisfaction, double demand_mhz);
+
+    bool empty() const { return staged_.empty(); }
+    std::size_t size() const { return staged_.size(); }
+    void clear() { staged_.clear(); }
+
+  private:
+    friend class EventJournal;
+    std::vector<JournalEvent> staged_;
+};
+
 /** Preallocated ring buffer of typed events plus the label/track tables. */
 class EventJournal
 {
@@ -189,6 +223,16 @@ class EventJournal
                                   std::int32_t subject_host);
     void slaViolation(std::int64_t t_us, std::int32_t vm,
                       double satisfaction, double demand_mhz);
+
+    /**
+     * Record every event staged in @p stage, in staging order, then clear
+     * the stage. Must run on the journal's (main) thread: this is where
+     * sequence numbers are assigned and the ambient TraceContext is
+     * stamped, exactly as if each event had been record()ed directly.
+     * @return the number of events recorded (0 when disabled; the stage
+     *         is cleared either way).
+     */
+    std::size_t flush(JournalStage &stage);
     ///@}
 
     /** @name Inspection */

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "telemetry/json_util.hpp"
 #include "telemetry/profiler.hpp"
 
 namespace vpm::telemetry {
@@ -31,39 +32,8 @@ fmtDouble(double v)
     return buf;
 }
 
-/** Minimal JSON string escape (our labels are tame, but be correct). */
-std::string
-jsonEscape(std::string_view s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+// JSON string escaping is shared with the profiler and bench writers:
+// see json_util.hpp (jsonEscape / writeJsonEscaped).
 
 /** Display name of a track, falling back to "<domain><id>". */
 std::string

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The one JSON string escaper shared by every telemetry exporter.
+ *
+ * All three JSON writers (journal/Chrome-trace export, profiler reports,
+ * bench reports) used to carry their own escape helpers, and two of them
+ * silently replaced control characters with spaces — lossy, and in the
+ * profiler's case emitted labels Perfetto could not round-trip. Escaping
+ * lives here exactly once: `"` and `\` are backslash-escaped, newline and
+ * tab use their two-character forms, and every other control character
+ * below 0x20 becomes a \u00xx escape, which is the minimal set RFC 8259
+ * requires for valid JSON.
+ */
+
+#ifndef VPM_TELEMETRY_JSON_UTIL_HPP
+#define VPM_TELEMETRY_JSON_UTIL_HPP
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace vpm::telemetry {
+
+/** Escaped form of @p s for a JSON string literal (no surrounding quotes). */
+std::string jsonEscape(std::string_view s);
+
+/** Stream jsonEscape(s) without building the intermediate string. */
+void writeJsonEscaped(std::ostream &out, std::string_view s);
+
+} // namespace vpm::telemetry
+
+#endif // VPM_TELEMETRY_JSON_UTIL_HPP

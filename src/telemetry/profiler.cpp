@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "telemetry/json_util.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
@@ -17,13 +19,34 @@ std::atomic<std::uint64_t> allocCount{0};
 std::atomic<std::uint64_t> allocBytes{0};
 } // namespace detail
 
-bool Profiler::enabledFlag_ = false;
+std::atomic<bool> Profiler::enabledFlag_{false};
 
-Profiler::Profiler()
+Profiler::ThreadState::ThreadState()
 {
     ZoneNode root;
     root.name = "(root)";
-    nodes_.push_back(std::move(root));
+    nodes.push_back(std::move(root));
+}
+
+Profiler::Profiler() : mainThreadId_(std::this_thread::get_id()) {}
+
+Profiler::ThreadState &
+Profiler::localState()
+{
+    // One pointer per (thread, process); the profiler is a singleton, so
+    // a function-local thread_local is equivalent to a per-instance one.
+    thread_local ThreadState *tls = nullptr;
+    if (tls == nullptr) {
+        if (std::this_thread::get_id() == mainThreadId_) {
+            tls = &mainState_;
+        } else {
+            auto state = std::make_unique<ThreadState>();
+            tls = state.get();
+            std::lock_guard<std::mutex> lock(statesMutex_);
+            workerStates_.push_back(std::move(state));
+        }
+    }
+    return *tls;
 }
 
 Profiler &
@@ -36,47 +59,50 @@ Profiler::instance()
 void
 Profiler::setEnabled(bool on)
 {
-    enabledFlag_ = on;
+    enabledFlag_.store(on, std::memory_order_relaxed);
 }
 
 std::uint32_t
 Profiler::enter(const char *name)
 {
-    ZoneNode &parent = nodes_[current_];
+    ThreadState &state = localState();
+    std::vector<ZoneNode> &nodes = state.nodes;
+    ZoneNode &parent = nodes[state.current];
     for (const std::uint32_t child : parent.children) {
-        if (nodes_[child].name == name) {
-            current_ = child;
+        if (nodes[child].name == name) {
+            state.current = child;
             return child;
         }
     }
-    const auto index = static_cast<std::uint32_t>(nodes_.size());
+    const auto index = static_cast<std::uint32_t>(nodes.size());
     ZoneNode node;
     node.name = name;
-    node.parent = current_;
+    node.parent = state.current;
     node.depth = parent.depth + 1;
-    nodes_.push_back(std::move(node));
+    nodes.push_back(std::move(node));
     // push_back may reallocate; re-reference the parent before linking.
-    nodes_[current_].children.push_back(index);
-    current_ = index;
+    nodes[state.current].children.push_back(index);
+    state.current = index;
     return index;
 }
 
 void
 Profiler::leave(std::uint32_t node, std::uint64_t start_ns)
 {
+    ThreadState &state = localState();
     // A reset() between enter and leave invalidates the index; tolerate it
     // (the harness only resets outside any zone, but be safe).
-    if (node >= nodes_.size()) {
-        current_ = 0;
+    if (node >= state.nodes.size()) {
+        state.current = 0;
         return;
     }
     const std::uint64_t now = nowNs();
     const std::uint64_t dt = now > start_ns ? now - start_ns : 0;
-    ZoneNode &n = nodes_[node];
+    ZoneNode &n = state.nodes[node];
     n.inclusiveNs += dt;
     ++n.calls;
-    nodes_[n.parent].childNs += dt;
-    current_ = n.parent;
+    state.nodes[n.parent].childNs += dt;
+    state.current = n.parent;
 }
 
 void
@@ -126,13 +152,69 @@ DispatchStats::percentileUs(double fraction) const
 void
 Profiler::reset()
 {
-    nodes_.clear();
-    ZoneNode root;
-    root.name = "(root)";
-    nodes_.push_back(std::move(root));
-    current_ = 0;
+    const auto resetState = [](ThreadState &state) {
+        state.nodes.clear();
+        ZoneNode root;
+        root.name = "(root)";
+        state.nodes.push_back(std::move(root));
+        state.current = 0;
+    };
+    resetState(mainState_);
+    {
+        // Worker states are reset in place, never destroyed: thread_local
+        // pointers into them must survive (a pool's threads outlive any
+        // number of resets).
+        std::lock_guard<std::mutex> lock(statesMutex_);
+        for (const auto &state : workerStates_)
+            resetState(*state);
+    }
     dispatch_.clear();
     dispatchIndex_.clear();
+}
+
+void
+Profiler::mergeTree(std::vector<ZoneNode> &merged, std::uint32_t into,
+                    const std::vector<ZoneNode> &from, std::uint32_t node)
+{
+    const ZoneNode &src = from[node];
+    merged[into].calls += src.calls;
+    merged[into].inclusiveNs += src.inclusiveNs;
+    merged[into].childNs += src.childNs;
+    for (const std::uint32_t child_index : src.children) {
+        const std::string &child_name = from[child_index].name;
+        // Find-or-create by (parent, name), the same key enter() uses, so
+        // a zone reached on several threads folds into one row. 0 is a
+        // safe "not found" sentinel: the root is never anyone's child.
+        std::uint32_t target = 0;
+        for (const std::uint32_t existing : merged[into].children) {
+            if (merged[existing].name == child_name) {
+                target = existing;
+                break;
+            }
+        }
+        if (target == 0) {
+            target = static_cast<std::uint32_t>(merged.size());
+            ZoneNode fresh;
+            fresh.name = child_name;
+            fresh.parent = into;
+            fresh.depth = merged[into].depth + 1;
+            merged.push_back(std::move(fresh));
+            merged[into].children.push_back(target);
+        }
+        mergeTree(merged, target, from, child_index);
+    }
+}
+
+std::vector<ZoneNode>
+Profiler::mergedNodes() const
+{
+    std::vector<ZoneNode> merged = mainState_.nodes;
+    std::lock_guard<std::mutex> lock(statesMutex_);
+    for (const auto &state : workerStates_) {
+        if (state->nodes.size() > 1)
+            mergeTree(merged, 0, state->nodes, 0);
+    }
+    return merged;
 }
 
 std::vector<DispatchStats>
@@ -189,41 +271,30 @@ writeZoneTree(std::ostream &out, const std::vector<ZoneNode> &nodes,
         writeZoneTree(out, nodes, child, tracked_ns);
 }
 
-void
-jsonEscape(std::ostream &out, const std::string &text)
-{
-    for (const char c : text) {
-        if (c == '"' || c == '\\')
-            out << '\\' << c;
-        else if (static_cast<unsigned char>(c) < 0x20)
-            out << ' ';
-        else
-            out << c;
-    }
-}
-
 } // namespace
 
 void
 Profiler::writeReport(std::ostream &out) const
 {
-    const std::uint64_t tracked = totalTrackedNs();
+    // Whole-process view: worker-thread zones folded in by (parent, name).
+    const std::vector<ZoneNode> nodes = mergedNodes();
+    const std::uint64_t tracked = nodes[0].childNs;
     char line[200];
     std::snprintf(line, sizeof(line),
                   "=== self-profile: zones (wall-clock) ===\n"
                   "tracked: %.2f ms across %zu zone(s); exclusive column "
                   "sums to the tracked total\n\n",
-                  toMs(tracked), nodes_.size() - 1);
+                  toMs(tracked), nodes.size() - 1);
     out << line;
     std::snprintf(line, sizeof(line), "%-44s %10s %11s %11s %7s\n", "zone",
                   "calls", "incl ms", "excl ms", "excl%");
     out << line;
-    std::vector<std::uint32_t> top = nodes_[0].children;
+    std::vector<std::uint32_t> top = nodes[0].children;
     std::sort(top.begin(), top.end(), [&](std::uint32_t a, std::uint32_t b) {
-        return nodes_[a].inclusiveNs > nodes_[b].inclusiveNs;
+        return nodes[a].inclusiveNs > nodes[b].inclusiveNs;
     });
     for (const std::uint32_t child : top)
-        writeZoneTree(out, nodes_, child, tracked);
+        writeZoneTree(out, nodes, child, tracked);
 
     const std::vector<DispatchStats> dispatch = dispatchStats();
     if (!dispatch.empty()) {
@@ -284,7 +355,7 @@ writeChromeSpan(std::ostream &out, const std::vector<ZoneNode> &nodes,
     first = false;
     char buf[96];
     out << R"({"ph":"X","pid":0,"tid":0,"cat":"profile","name":")";
-    jsonEscape(out, node.name);
+    writeJsonEscaped(out, node.name);
     std::snprintf(buf, sizeof(buf),
                   "\",\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"calls\":%" PRIu64
                   ",\"excl_ms\":%.3f}}",
@@ -309,9 +380,10 @@ Profiler::writeChromeTrace(std::ostream &out) const
         << R"x("args":{"name":"vpm self-profile (wall-clock, aggregate)"}})x";
     bool first = false; // metadata record already emitted
     double cursor = 0.0;
-    for (const std::uint32_t child : nodes_[0].children) {
-        writeChromeSpan(out, nodes_, child, cursor, first);
-        cursor += static_cast<double>(nodes_[child].inclusiveNs) / 1000.0;
+    const std::vector<ZoneNode> nodes = mergedNodes();
+    for (const std::uint32_t child : nodes[0].children) {
+        writeChromeSpan(out, nodes, child, cursor, first);
+        cursor += static_cast<double>(nodes[child].inclusiveNs) / 1000.0;
     }
     out << "\n]}\n";
 }

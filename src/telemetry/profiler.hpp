@@ -26,8 +26,14 @@
  * paths (event-queue push/pop, journal append). When enabled, a zone is
  * two steady_clock reads plus a small-children linear lookup.
  *
- * The profiler is process-global and single-threaded like the rest of the
- * simulator (see telemetry.hpp for the rationale); tests that want
+ * The profiler is process-global and thread-aware: each thread owns a
+ * private zone tree (a plain thread_local — enter/leave never touch a
+ * lock), and mergedNodes() folds the worker trees into the main thread's
+ * by (parent, name) when a report is written. Merging and reset() must
+ * run while no worker is inside a zone — in this codebase that means
+ * outside any ThreadPool::parallelFor, whose fork-join barrier provides
+ * the needed happens-before edge. nodes()/totalTrackedNs() keep their
+ * historical meaning: the main thread's tree only. Tests that want
  * isolation call reset().
  *
  * Beyond zones it also collects:
@@ -51,7 +57,10 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace vpm::telemetry {
@@ -131,11 +140,13 @@ class Profiler
 
     static Profiler &instance();
 
-    /** The disabled-mode fast path: one load + branch in ProfileScope. */
+    /** The disabled-mode fast path: one load + branch in ProfileScope.
+     *  A relaxed atomic load — same single mov as the plain bool it
+     *  replaces, but race-free when pool workers hit PROF_ZONEs. */
     static bool
     profilingEnabled()
     {
-        return enabledFlag_;
+        return enabledFlag_.load(std::memory_order_relaxed);
     }
 
     /** Flip collection on or off. Toggling mid-zone is safe: scopes that
@@ -144,15 +155,18 @@ class Profiler
 
     /** @name Hot-path hooks (call via ProfileScope / Simulator) */
     ///@{
-    /** Find-or-create the child zone @p name of the current zone, make it
-     *  current, and return its node index. */
+    /** Find-or-create the child zone @p name of the calling thread's
+     *  current zone, make it current, and return its node index (within
+     *  that thread's tree). Lock-free: touches only thread-local state. */
     std::uint32_t enter(const char *name);
 
     /** Close the zone opened at @p start_ns; restores its parent as the
-     *  current zone. Must pair LIFO with enter() (RAII guarantees it). */
+     *  calling thread's current zone. Must pair LIFO with enter() on the
+     *  same thread (RAII guarantees it). */
     void leave(std::uint32_t node, std::uint64_t start_ns);
 
-    /** Record one event dispatch of @p label taking @p ns wall-clock. */
+    /** Record one event dispatch of @p label taking @p ns wall-clock.
+     *  Main-thread only (fed by Simulator::dispatchOne). */
     void recordDispatch(const std::string &label, std::uint64_t ns);
     ///@}
 
@@ -166,15 +180,31 @@ class Profiler
                 .count());
     }
 
-    /** Drop every zone and dispatch record (keeps the enabled flag). */
+    /** Drop every zone and dispatch record (keeps the enabled flag),
+     *  across every thread's tree. Callers must ensure no thread is
+     *  inside a zone (pool quiescent). */
     void reset();
 
-    /** The zone tree; index 0 is the synthetic root. Valid until the next
-     *  enter()/reset(). */
-    const std::vector<ZoneNode> &nodes() const { return nodes_; }
+    /** The main thread's zone tree; index 0 is the synthetic root. Valid
+     *  until the next enter()/reset(). Worker-thread zones are NOT here —
+     *  use mergedNodes() for the whole-process view. */
+    const std::vector<ZoneNode> &nodes() const { return mainState_.nodes; }
 
-    /** Wall-clock accounted to top-level zones (the root's child time). */
-    std::uint64_t totalTrackedNs() const { return nodes_[0].childNs; }
+    /**
+     * The whole-process zone tree: the main thread's tree with every
+     * worker thread's tree folded in by (parent, name), worker trees in
+     * thread-registration order. Index 0 is the synthetic root; its
+     * childNs is the merged tracked total. Must run while no worker is
+     * inside a zone.
+     */
+    std::vector<ZoneNode> mergedNodes() const;
+
+    /** Wall-clock accounted to the main thread's top-level zones (the
+     *  root's child time); see mergedNodes()[0].childNs for all threads. */
+    std::uint64_t totalTrackedNs() const
+    {
+        return mainState_.nodes[0].childNs;
+    }
 
     /** Dispatch-cost table, most expensive label first. */
     std::vector<DispatchStats> dispatchStats() const;
@@ -206,12 +236,36 @@ class Profiler
     ///@}
 
   private:
-    // The enabled flag is static so ProfileScope's disabled path needs no
-    // instance() call; the simulator is single-threaded, so a plain bool.
-    static bool enabledFlag_;
+    /** One thread's private call tree; index 0 is the synthetic root. */
+    struct ThreadState
+    {
+        ThreadState();
+        std::vector<ZoneNode> nodes;
+        std::uint32_t current = 0;
+    };
 
-    std::vector<ZoneNode> nodes_;
-    std::uint32_t current_ = 0;
+    /** The calling thread's state: mainState_ on the thread that built
+     *  the profiler, a lazily registered per-thread state elsewhere. */
+    ThreadState &localState();
+
+    /** Fold `from[node]` (and its subtree) into `merged[into]`. */
+    static void mergeTree(std::vector<ZoneNode> &merged, std::uint32_t into,
+                          const std::vector<ZoneNode> &from,
+                          std::uint32_t node);
+
+    // The enabled flag is static so ProfileScope's disabled path needs no
+    // instance() call.
+    static std::atomic<bool> enabledFlag_;
+
+    ThreadState mainState_;
+    std::thread::id mainThreadId_;
+
+    /** Guards workerStates_ (registration + merge); never taken on the
+     *  enter/leave hot path. States live for the process lifetime so
+     *  thread_local pointers into them stay valid across reset(). */
+    mutable std::mutex statesMutex_;
+    std::vector<std::unique_ptr<ThreadState>> workerStates_;
+
     std::vector<DispatchStats> dispatch_;
     // label -> index into dispatch_; kept as a sorted flat vector would be
     // overkill: labels are few (tens), so a small open map suffices.

@@ -203,6 +203,51 @@ TEST(BenchCompare, NewAndRemovedZonesAreNotRegressions)
     EXPECT_FALSE(result.regressed());
 }
 
+TEST(BenchCompare, ZoneGrowingFromZeroBaselineIsAnExplicitRegression)
+{
+    // pctChange(0 -> x) used to report 0% — a zone that appeared out of
+    // nowhere sailed through the gate. It must trip, and the report must
+    // say the growth came from a zero baseline rather than print +0.0%.
+    BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    base.zones[2].exclMs = 0.0; // same path in both: not a "new zone"
+    next.zones[2].exclMs = 88.0;
+
+    const CompareOptions options;
+    const CompareResult result = compareBenchReports(base, next, options);
+    ASSERT_TRUE(result.comparable);
+    ASSERT_TRUE(result.regressed());
+    bool named = false;
+    for (const Regression &reg : result.regressions)
+        named = named || reg.what == "bench/sim.dispatch/mgmt.cycle";
+    EXPECT_TRUE(named);
+
+    std::ostringstream out;
+    writeComparison(base, next, options, result, out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("zero baseline"), std::string::npos);
+    // The zone row renders "(new)" in the delta column, not "+inf%" or a
+    // bogus "+0.0%": the 0.00 -> 88.00 line must carry the marker.
+    const std::size_t zone_line = text.find("mgmt.cycle");
+    ASSERT_NE(zone_line, std::string::npos);
+    const std::size_t line_end = text.find('\n', zone_line);
+    EXPECT_NE(text.substr(zone_line, line_end - zone_line).find("(new)"),
+              std::string::npos);
+}
+
+TEST(BenchCompare, ZeroBaselineGrowthBelowNoiseFloorStillPasses)
+{
+    BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    base.zones[2].exclMs = 0.0;
+    next.zones[2].exclMs = 0.5; // grew from zero, but under the 1 ms floor
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_FALSE(result.regressed());
+}
+
 TEST(BenchCompare, SchemaMismatchIsNotComparable)
 {
     BenchReport base = sampleReport();

@@ -228,6 +228,37 @@ TEST_F(DatacenterSimTest, OverloadPinsLatencyAtCeiling)
     EXPECT_NEAR(metrics.meanLatencyFactor, 20.0, 1e-6);
 }
 
+TEST_F(DatacenterSimTest, StaleHostIdGetsStarvedLatencyFactor)
+{
+    // A VM whose recorded host id no longer names a live host (e.g. the
+    // host was just removed from inventory while the placement record
+    // lagged) must read as fully starved — the 1/(1-0.95) ceiling — not
+    // index latencyFactor_ out of bounds.
+    Vm &vm = cluster.addVm(makeSpec(
+        "vm0", 4000.0, 4096.0,
+        std::make_shared<workload::ConstantTrace>(0.5)));
+    cluster.placeVm(vm.id(), 0);
+    vm.setHost(static_cast<HostId>(999)); // stale id past the host table
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    const RunMetrics metrics = dcsim.runFor(SimTime::minutes(5.0));
+    EXPECT_NEAR(metrics.meanLatencyFactor, 20.0, 1e-9);
+    EXPECT_NEAR(metrics.p95LatencyFactor, 20.0, 0.05);
+}
+
+TEST_F(DatacenterSimTest, NegativeHostIdGetsStarvedLatencyFactor)
+{
+    Vm &vm = cluster.addVm(makeSpec(
+        "vm0", 4000.0, 4096.0,
+        std::make_shared<workload::ConstantTrace>(0.5)));
+    cluster.placeVm(vm.id(), 0);
+    vm.setHost(static_cast<HostId>(-7)); // corrupt placement record
+
+    DatacenterSim dcsim(simulator, cluster, engine, config);
+    const RunMetrics metrics = dcsim.runFor(SimTime::minutes(5.0));
+    EXPECT_NEAR(metrics.meanLatencyFactor, 20.0, 1e-9);
+}
+
 TEST_F(DatacenterSimTest, IdleClusterHasUnitLatency)
 {
     DatacenterSim dcsim(simulator, cluster, engine, config);

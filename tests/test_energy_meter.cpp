@@ -69,10 +69,22 @@ TEST(EnergyMeterTest, FinishIsIdempotentAtSameTime)
     EXPECT_DOUBLE_EQ(meter.joules(), 200.0);
 }
 
-TEST(EnergyMeterDeathTest, RejectsTimeGoingBackwards)
+TEST(EnergyMeterTest, BackwardsTimeClampsToZeroInterval)
 {
-    EnergyMeter meter(SimTime::seconds(10.0), 1.0);
-    EXPECT_DEATH(meter.update(SimTime::seconds(5.0), 1.0), "backwards");
+    // Regression: a backwards update used to integrate a negative
+    // interval (silently subtracting joules). It must now add nothing,
+    // keep the meter's clock where it was, and still take the new power.
+    EnergyMeter meter(SimTime(), 100.0);
+    meter.update(SimTime::seconds(10.0), 100.0); // 1000 J so far
+    meter.update(SimTime::seconds(4.0), 300.0);  // backwards: clamped
+    EXPECT_DOUBLE_EQ(meter.joules(), 1000.0);
+    EXPECT_EQ(meter.elapsed(), SimTime::seconds(10.0));
+    EXPECT_DOUBLE_EQ(meter.heldWatts(), 300.0);
+
+    // The meter keeps working normally afterwards: the held power
+    // integrates from the (unchanged) last update time.
+    meter.finish(SimTime::seconds(12.0)); // 300 W over [10 s, 12 s]
+    EXPECT_DOUBLE_EQ(meter.joules(), 1600.0);
 }
 
 TEST(EnergyMeterDeathTest, RejectsNegativePower)

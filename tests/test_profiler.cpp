@@ -217,6 +217,52 @@ TEST_F(ProfilerTest, ChromeTraceNestsChildInsideParentSpan)
     EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
 }
 
+TEST_F(ProfilerTest, MergedNodesFoldWorkerZonesByParentAndName)
+{
+    // Main thread and a worker both run "shared.zone"; the worker also
+    // has a private one. mergedNodes() must fold same-(parent, name)
+    // zones together and keep the rest, while nodes() stays main-only.
+    {
+        PROF_ZONE("shared.zone");
+        spinFor(std::chrono::microseconds(100));
+    }
+    std::thread worker([] {
+        {
+            PROF_ZONE("shared.zone");
+            spinFor(std::chrono::microseconds(100));
+        }
+        {
+            PROF_ZONE("worker.only");
+            { PROF_ZONE("worker.child"); }
+        }
+    });
+    worker.join(); // join = the happens-before edge merging relies on
+
+    Profiler &prof = Profiler::instance();
+    // The historical main-thread view is untouched by worker activity.
+    EXPECT_NE(findZone(prof, "shared.zone"), nullptr);
+    EXPECT_EQ(findZone(prof, "worker.only"), nullptr);
+
+    const std::vector<ZoneNode> merged = prof.mergedNodes();
+    const auto find_merged = [&](const std::string &name) -> const ZoneNode * {
+        for (const ZoneNode &node : merged)
+            if (node.name == name)
+                return &node;
+        return nullptr;
+    };
+    const ZoneNode *shared = find_merged("shared.zone");
+    const ZoneNode *worker_only = find_merged("worker.only");
+    const ZoneNode *worker_child = find_merged("worker.child");
+    ASSERT_NE(shared, nullptr);
+    ASSERT_NE(worker_only, nullptr);
+    ASSERT_NE(worker_child, nullptr);
+    EXPECT_EQ(shared->calls, 2u); // one per thread, folded
+    EXPECT_EQ(worker_only->calls, 1u);
+    EXPECT_EQ(merged[worker_child->parent].name, "worker.only");
+    // The merged tracked total covers both threads' top-level zones.
+    EXPECT_GE(merged[0].childNs, prof.totalTrackedNs());
+}
+
 TEST_F(ProfilerTest, PeakRssIsPositiveOnSupportedPlatforms)
 {
 #if defined(__unix__) || defined(__APPLE__)

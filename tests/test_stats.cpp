@@ -133,6 +133,47 @@ TEST(HistogramDeathTest, RejectsBadConstruction)
                 "bucket");
 }
 
+TEST(HistogramTest, MergeMatchesSequentialFill)
+{
+    Histogram all(0.0, 10.0, 20);
+    Histogram a(0.0, 10.0, 20);
+    Histogram b(0.0, 10.0, 20);
+    for (int i = 0; i < 200; ++i) {
+        const double v = -1.0 + 12.0 * i / 200.0; // spans under/overflow
+        all.add(v);
+        (i < 90 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.underflow(), all.underflow());
+    EXPECT_EQ(a.overflow(), all.overflow());
+    for (double f : {0.05, 0.5, 0.95})
+        EXPECT_DOUBLE_EQ(a.percentile(f), all.percentile(f));
+}
+
+TEST(HistogramTest, ResetClearsAllCounts)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(5.0);
+    h.add(15.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    h.add(5.0); // still usable after reset
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramDeathTest, MergeRejectsLayoutMismatch)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram bad_range(0.0, 20.0, 10);
+    Histogram bad_buckets(0.0, 10.0, 20);
+    EXPECT_DEATH(a.merge(bad_range), "layout");
+    EXPECT_DEATH(a.merge(bad_buckets), "layout");
+}
+
 TEST(SlaTrackerTest, FullySatisfiedByDefault)
 {
     SlaTracker sla;
@@ -186,6 +227,48 @@ TEST(SlaTrackerDeathTest, RejectsInvalidSamples)
     SlaTracker sla;
     EXPECT_DEATH(sla.record(-1.0, 0.0), "negative");
     EXPECT_DEATH(sla.record(10.0, 20.0), "exceeds");
+}
+
+TEST(SlaTrackerTest, ShardOrderMergeMatchesSequentialRecording)
+{
+    // The exact reduction the parallel sampling pass performs: samples
+    // split across per-shard trackers, merged back in shard order. Counts
+    // and totals must be bit-identical to one sequential tracker.
+    SlaTracker sequential(0.95);
+    SlaTracker shard0(0.95);
+    SlaTracker shard1(0.95);
+    for (int i = 0; i < 100; ++i) {
+        const double requested = 100.0 + i;
+        const double granted = requested * (i % 10 == 0 ? 0.5 : 1.0);
+        sequential.record(requested, granted);
+        (i < 64 ? shard0 : shard1).record(requested, granted);
+    }
+    shard0.merge(shard1);
+    EXPECT_EQ(shard0.samples(), sequential.samples());
+    EXPECT_EQ(shard0.violations(), sequential.violations());
+    EXPECT_EQ(shard0.satisfaction(), sequential.satisfaction());
+    EXPECT_EQ(shard0.violationFraction(), sequential.violationFraction());
+    EXPECT_EQ(shard0.worstPerformance(), sequential.worstPerformance());
+    EXPECT_EQ(shard0.performancePercentile(0.05),
+              sequential.performancePercentile(0.05));
+}
+
+TEST(SlaTrackerTest, ResetClearsEverything)
+{
+    SlaTracker sla(0.95);
+    sla.record(100.0, 50.0);
+    sla.reset();
+    EXPECT_EQ(sla.samples(), 0u);
+    EXPECT_EQ(sla.violations(), 0u);
+    EXPECT_DOUBLE_EQ(sla.satisfaction(), 1.0);
+    EXPECT_DOUBLE_EQ(sla.threshold(), 0.95); // threshold survives reset
+}
+
+TEST(SlaTrackerDeathTest, MergeRejectsThresholdMismatch)
+{
+    SlaTracker a(0.99);
+    SlaTracker b(0.95);
+    EXPECT_DEATH(a.merge(b), "threshold");
 }
 
 } // namespace

@@ -170,6 +170,34 @@ TEST(TelemetryExportTest, CauseAndMigrateDecisionFieldsInJsonl)
     EXPECT_EQ(out.str(), expected);
 }
 
+TEST(TelemetryExportTest, ControlCharactersInLabelsAreEscaped)
+{
+    // Labels are free text (track names come from user-supplied VM/host
+    // names): quotes, backslashes and raw control bytes must come out as
+    // valid JSON escapes, never as raw bytes that corrupt the stream.
+    Telemetry telemetry;
+    TelemetryConfig config;
+    config.enabled = true;
+    telemetry.configure(config);
+    EventJournal &journal = telemetry.journal();
+    journal.registerTrack(TrackDomain::Host, 0, "host\t0\n\x01");
+    journal.wakeDecision(1'000'000, 0, "line1\nline2\ttab\x02! \"q\" back\\slash");
+
+    std::ostringstream jsonl;
+    writeJournalJsonl(journal, jsonl);
+    const char *expected =
+        R"({"t_us":1000000,"seq":1,"kind":"wake_decision","track":"host\t0\n\u0001","host":0,"reason":"line1\nline2\ttab\u0002! \"q\" back\\slash"}
+)";
+    EXPECT_EQ(jsonl.str(), expected);
+
+    // The Chrome trace writer shares the same escaper.
+    std::ostringstream chrome;
+    writeChromeTrace(telemetry, chrome);
+    EXPECT_NE(chrome.str().find(R"("name":"host\t0\n\u0001")"),
+              std::string::npos);
+    EXPECT_EQ(chrome.str().find('\x01'), std::string::npos);
+}
+
 TEST(TelemetryExportTest, DisabledTelemetryExportsEmptyShells)
 {
     Telemetry telemetry; // disabled

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * ThreadPool: deterministic shard structure (a pure function of item
+ * count and grain, never of thread count), fork-join completeness, the
+ * inline degenerate paths, and the global pool configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "simcore/thread_pool.hpp"
+
+namespace vpm::sim {
+namespace {
+
+TEST(ThreadPoolShardingTest, ShardCountIsCeilDividedByGrain)
+{
+    EXPECT_EQ(ThreadPool::shardCount(0, 8), 0u);
+    EXPECT_EQ(ThreadPool::shardCount(1, 8), 1u);
+    EXPECT_EQ(ThreadPool::shardCount(8, 8), 1u);
+    EXPECT_EQ(ThreadPool::shardCount(9, 8), 2u);
+    EXPECT_EQ(ThreadPool::shardCount(64, 8), 8u);
+    EXPECT_EQ(ThreadPool::shardCount(65, 8), 9u);
+}
+
+TEST(ThreadPoolShardingTest, ShardCountIsCappedAtKMaxShards)
+{
+    EXPECT_EQ(ThreadPool::shardCount(1'000'000, 1), ThreadPool::kMaxShards);
+    EXPECT_EQ(ThreadPool::shardCount(ThreadPool::kMaxShards * 100, 1),
+              ThreadPool::kMaxShards);
+}
+
+TEST(ThreadPoolShardingTest, ShardRangesTileTheInputExactly)
+{
+    for (const std::size_t n : {1u, 7u, 64u, 65u, 120u, 1000u}) {
+        const std::size_t shards = ThreadPool::shardCount(n, 8);
+        std::size_t expected_begin = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const auto [begin, end] = ThreadPool::shardRange(n, shards, s);
+            EXPECT_EQ(begin, expected_begin) << "n=" << n << " shard=" << s;
+            EXPECT_LT(begin, end);
+            // Equal partition: sizes differ by at most one, big ones first.
+            const std::size_t size = end - begin;
+            EXPECT_GE(size, n / shards);
+            EXPECT_LE(size, n / shards + 1);
+            expected_begin = end;
+        }
+        EXPECT_EQ(expected_begin, n) << "n=" << n;
+    }
+}
+
+TEST(ThreadPoolShardingTest, ShardStructureIgnoresThreadCount)
+{
+    // The whole determinism story rests on this: the shard layout has no
+    // thread-count input at all, so per-shard accumulators reduced in
+    // shard order see identical item partitions at any --threads value.
+    const std::size_t n = 123;
+    const std::size_t grain = 8;
+    const std::size_t shards = ThreadPool::shardCount(n, grain);
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<std::pair<std::size_t, std::size_t>> ranges(shards);
+        pool.parallelFor(n, grain,
+                         [&](std::size_t shard, std::size_t begin,
+                             std::size_t end) {
+                             ranges[shard] = {begin, end};
+                         });
+        for (std::size_t s = 0; s < shards; ++s)
+            EXPECT_EQ(ranges[s], ThreadPool::shardRange(n, shards, s))
+                << "threads=" << threads << " shard=" << s;
+    }
+}
+
+TEST(ThreadPoolTest, EveryItemVisitedExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.threads(), threads);
+        const std::size_t n = 997; // prime: ragged shard sizes
+        std::vector<std::atomic<int>> visits(n);
+        pool.parallelFor(n, 8,
+                         [&](std::size_t, std::size_t begin,
+                             std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i)
+                                 visits[i].fetch_add(
+                                     1, std::memory_order_relaxed);
+                         });
+        // Fork-join: by the time parallelFor returns, all writes are
+        // visible to the caller.
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(visits[i].load(std::memory_order_relaxed), 1)
+                << "item " << i << " at threads=" << threads;
+    }
+}
+
+TEST(ThreadPoolTest, PerShardReductionMatchesSequentialSum)
+{
+    std::vector<double> values(500);
+    std::iota(values.begin(), values.end(), 1.0);
+    double sequential = 0.0;
+    for (const double v : values)
+        sequential += v;
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        const std::size_t shards =
+            ThreadPool::shardCount(values.size(), 64);
+        std::vector<double> partial(shards, 0.0);
+        pool.parallelFor(values.size(), 64,
+                         [&](std::size_t shard, std::size_t begin,
+                             std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i)
+                                 partial[shard] += values[i];
+                         });
+        double reduced = 0.0;
+        for (const double p : partial) // shard order: deterministic FP
+            reduced += p;
+        // Shard-order reference reduction, single-threaded.
+        double reference = 0.0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const auto [b, e] =
+                ThreadPool::shardRange(values.size(), shards, s);
+            double acc = 0.0;
+            for (std::size_t i = b; i < e; ++i)
+                acc += values[i];
+            reference += acc;
+        }
+        EXPECT_EQ(reduced, reference) << "threads=" << threads;
+        // (Integers up to 500 sum exactly in doubles, so this also equals
+        // the plain left-to-right sum.)
+        EXPECT_EQ(reduced, sequential);
+    }
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, 8,
+                     [&](std::size_t, std::size_t, std::size_t) {
+                         ran = true;
+                     });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner_items{0};
+    pool.parallelFor(4, 1,
+                     [&](std::size_t, std::size_t, std::size_t) {
+                         // A nested call must not deadlock waiting on the
+                         // workers that are currently running *this* body.
+                         pool.parallelFor(
+                             10, 2,
+                             [&](std::size_t, std::size_t begin,
+                                 std::size_t end) {
+                                 inner_items.fetch_add(
+                                     static_cast<int>(end - begin),
+                                     std::memory_order_relaxed);
+                             });
+                     });
+    EXPECT_EQ(inner_items.load(), 40);
+}
+
+TEST(ThreadPoolTest, RepeatedForkJoinsReuseTheWorkers)
+{
+    ThreadPool pool(3);
+    std::atomic<std::size_t> total{0};
+    for (int round = 0; round < 200; ++round) {
+        pool.parallelFor(17, 2,
+                         [&](std::size_t, std::size_t begin,
+                             std::size_t end) {
+                             total.fetch_add(end - begin,
+                                             std::memory_order_relaxed);
+                         });
+    }
+    EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+TEST(GlobalPoolTest, SetGlobalThreadsRebuildsThePool)
+{
+    setGlobalThreads(3);
+    EXPECT_EQ(globalThreads(), 3u);
+    EXPECT_EQ(globalPool().threads(), 3u);
+
+    setGlobalThreads(1);
+    EXPECT_EQ(globalThreads(), 1u);
+    EXPECT_EQ(globalPool().threads(), 1u);
+}
+
+} // namespace
+} // namespace vpm::sim

@@ -21,6 +21,7 @@
 
 #include "core/scenario.hpp"
 #include "power/spec_file.hpp"
+#include "simcore/thread_pool.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -40,6 +41,7 @@ struct Options
     bool dvfs = false;
     bool legacyMix = false;
     double weekendFactor = 1.0;
+    int threads = 1;
     std::string csvPath;
     std::string specPath;
 };
@@ -66,6 +68,9 @@ usage(const char *argv0, int code)
         "VMs\n"
         "  --spec <path>         host power-spec file (see "
         "power/spec_file.hpp)\n"
+        "  --threads <n>         evaluation worker threads (default 1; "
+        "results\n"
+        "                        are bit-identical at any value)\n"
         "  --csv <path>          write a per-minute time series CSV\n"
         "  --help                this text\n",
         argv0);
@@ -127,6 +132,8 @@ parseArgs(int argc, char **argv)
             opts.legacyMix = true;
         else if (arg == "--weekend")
             opts.weekendFactor = std::atof(need_value(i));
+        else if (arg == "--threads")
+            opts.threads = std::atoi(need_value(i));
         else if (arg == "--csv")
             opts.csvPath = need_value(i);
         else if (arg == "--spec")
@@ -139,7 +146,8 @@ parseArgs(int argc, char **argv)
 
     if (opts.hosts < 1 || opts.vms < 0 || opts.hours <= 0.0 ||
         opts.loadScale < 0.0 || opts.managerMinutes < 1.0 ||
-        opts.churnPerHour < 0.0 || opts.weekendFactor < 0.0) {
+        opts.churnPerHour < 0.0 || opts.weekendFactor < 0.0 ||
+        opts.threads < 1) {
         std::fprintf(stderr, "invalid option values\n\n");
         usage(argv[0], 1);
     }
@@ -152,6 +160,7 @@ int
 main(int argc, char **argv)
 {
     const Options opts = parseArgs(argc, argv);
+    sim::setGlobalThreads(static_cast<unsigned>(opts.threads));
 
     mgmt::ScenarioConfig config;
     config.hostCount = opts.hosts;
