@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "power/idle_hierarchy.hpp"
 #include "simcore/logging.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
@@ -346,6 +347,26 @@ VpmManager::projectedPeakWatts(const dc::Host *extra) const
 bool
 VpmManager::wakeOneHost(const char *reason)
 {
+    // Parked capacity is free and instant — always reclaim it before
+    // paying for a power-state exit. (A parked host that crashed is no
+    // longer On; drop it and let the repair path handle it.)
+    while (!parked_.empty()) {
+        const dc::HostId host_id = *parked_.begin();
+        parked_.erase(parked_.begin());
+        parkedAt_.erase(host_id);
+        dc::Host &host = cluster_.host(host_id);
+        if (!host.isOn())
+            continue;
+        const std::uint64_t decision = telemetry::newDecisionId();
+        telemetry::TraceScope scope(decision);
+        if (power::IdleHierarchy *hier = host.idleHierarchy())
+            hier->wakeAll();
+        ++stats_.hostsUnparked;
+        sim::inform("host '%s' unparked (%s)", host.name().c_str(),
+                    reason);
+        return true;
+    }
+
     dc::Host *best = findWakeCandidate();
     if (!best)
         return false;
@@ -669,6 +690,25 @@ VpmManager::completeDrains()
         if (!host.empty() || host.activeMigrations() > 0 || !host.isOn())
             continue;
 
+        if (!config_.hostSleep || config_.parkedReserve > 0) {
+            // Park instead of (or before) sleeping: hold the host On at
+            // the bottom of its idle hierarchy, out of placement's
+            // reach. Reclaiming it later is instant, so no boot latency
+            // is ever risked. With a parkedReserve, the overflow
+            // escalates to a real sleep below.
+            const std::uint64_t decision = telemetry::newDecisionId();
+            telemetry::TraceScope scope(decision);
+            if (power::IdleHierarchy *hier = host.idleHierarchy())
+                hier->descendFully();
+            parked_.insert(host_id);
+            parkedAt_.emplace(host_id, simulator_.now());
+            draining_.erase(host_id);
+            ++stats_.hostsParked;
+            sim::inform("host '%s' parked (On, deepest idle state)",
+                        host.name().c_str());
+            continue;
+        }
+
         const power::SleepStateSpec *state = chooseSleepState(host);
         if (!state) {
             cancelDrain(host_id);
@@ -679,6 +719,11 @@ VpmManager::completeDrains()
         // compute the episode's energy saving without the host spec.
         const std::uint64_t decision = telemetry::newDecisionId();
         telemetry::TraceScope scope(decision);
+        // The S-states sit above the idle hierarchy: descend it fully
+        // first (the cluster refuses the sleep otherwise). The resulting
+        // idle_transition records carry this decision id.
+        if (power::IdleHierarchy *hier = host.idleHierarchy())
+            hier->descendFully();
         if (cluster_.requestHostSleep(host_id, state->name)) {
             ++stats_.sleepsIssued;
             telemetry::global().journal().sleepDecision(
@@ -690,13 +735,50 @@ VpmManager::completeDrains()
             draining_.erase(host_id);
         }
     }
+
+    // Reserve overflow: the oldest parked hosts graduate to a real
+    // S-state — they have proven idle the longest, so they are the least
+    // likely to be reclaimed before the sleep's break-even passes.
+    while (config_.hostSleep &&
+           static_cast<int>(parked_.size()) > config_.parkedReserve) {
+        dc::HostId oldest = *parked_.begin();
+        for (const dc::HostId host_id : parked_) {
+            if (parkedAt_[host_id] < parkedAt_[oldest])
+                oldest = host_id;
+        }
+        parked_.erase(oldest);
+        parkedAt_.erase(oldest);
+
+        dc::Host &host = cluster_.host(oldest);
+        if (!host.isOn() || !host.empty())
+            continue; // crashed or repurposed under us; nothing to sleep
+        const power::SleepStateSpec *state = chooseSleepState(host);
+        if (!state)
+            continue; // stays ordinary capacity
+        const std::uint64_t decision = telemetry::newDecisionId();
+        telemetry::TraceScope scope(decision);
+        // The joint policy may have lifted the parked host to a shallower
+        // state since it parked; re-descend so the sleep gate passes.
+        if (power::IdleHierarchy *hier = host.idleHierarchy())
+            hier->descendFully();
+        if (cluster_.requestHostSleep(oldest, state->name)) {
+            ++stats_.sleepsIssued;
+            telemetry::global().journal().sleepDecision(
+                simulator_.now().micros(), oldest, state->name,
+                expectedIdle_.toSeconds(),
+                host.powerFsm().spec().idlePowerWatts(),
+                state->sleepPowerWatts);
+            sleepStartedAt_[oldest] = simulator_.now();
+        }
+    }
 }
 
 bool
 VpmManager::hostUsable(const dc::Host &host) const
 {
     return !draining_.contains(host.id()) &&
-           !maintenance_.contains(host.id());
+           !maintenance_.contains(host.id()) &&
+           !parked_.contains(host.id());
 }
 
 bool
@@ -704,8 +786,10 @@ VpmManager::requestMaintenance(dc::HostId host)
 {
     if (!maintenance_.insert(host).second)
         return false;
-    // Maintenance supersedes any in-progress consolidation drain.
+    // Maintenance supersedes any in-progress consolidation drain or park.
     draining_.erase(host);
+    parked_.erase(host);
+    parkedAt_.erase(host);
     sim::inform("host '%s' entering maintenance",
                 cluster_.host(host).name().c_str());
     return true;

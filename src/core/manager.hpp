@@ -109,6 +109,28 @@ struct VpmConfig
 
     /** Seed/floor for the observed idle-interval estimate (adaptive mode).*/
     sim::SimTime expectedIdleSeed = sim::SimTime::minutes(20.0);
+
+    /**
+     * Issue S-state sleep commands for drained hosts. When false the
+     * manager *parks* them instead: the host stays On with its idle
+     * hierarchy fully descended, is excluded from placement, balancing
+     * and consolidation like a maintenance host, and is reclaimed
+     * instantly (no boot transition) on a capacity shortfall. Models
+     * consolidation on hardware whose only idle mechanism is C-states;
+     * without an attached hierarchy a parked host just burns idle watts.
+     */
+    bool hostSleep = true;
+
+    /**
+     * With hostSleep on: drained hosts park first, and only once more
+     * than this many are parked does the oldest escalate to a real
+     * S-state sleep. The reserve absorbs surges with zero boot latency
+     * (a parked host is usable in the same management cycle) while the
+     * overflow still reaches deep-sleep watts — the host-level tier of
+     * the idle hierarchy. 0 keeps the classic behavior: every drained
+     * host is slept immediately.
+     */
+    int parkedReserve = 0;
     ///@}
 
     /**
@@ -148,6 +170,8 @@ struct ManagerStats
     std::uint64_t drainsCancelled = 0;
     std::uint64_t sleepsIssued = 0;
     std::uint64_t wakesIssued = 0;
+    std::uint64_t hostsParked = 0;
+    std::uint64_t hostsUnparked = 0;
     std::uint64_t wakesDeniedByCap = 0;
     std::uint64_t shortfallCycles = 0;
     std::uint64_t haRestarts = 0;
@@ -221,6 +245,9 @@ class VpmManager
 
     /** Hosts currently being evacuated for consolidation. */
     const std::set<dc::HostId> &drainingHosts() const { return draining_; }
+
+    /** Drained hosts held On in deep idle (hostSleep = false mode). */
+    const std::set<dc::HostId> &parkedHosts() const { return parked_; }
 
     /** Current estimate of a sleeping host's idle interval. */
     sim::SimTime expectedIdle() const { return expectedIdle_; }
@@ -325,6 +352,8 @@ class VpmManager
 
     std::set<dc::HostId> draining_;
     std::set<dc::HostId> maintenance_;
+    std::set<dc::HostId> parked_;
+    std::map<dc::HostId, sim::SimTime> parkedAt_; ///< for oldest-first escalation
     std::map<dc::HostId, sim::SimTime> sleepStartedAt_;
     sim::SimTime expectedIdle_;
     int surplusStreak_ = 0;

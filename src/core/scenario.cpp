@@ -96,6 +96,13 @@ runScenario(const ScenarioConfig &config)
     for (workload::VmWorkloadSpec &spec : fleet)
         cluster.addVm(std::move(spec));
 
+    if (config.idleHierarchy) {
+        for (const auto &host_ptr : cluster.hosts())
+            host_ptr->attachIdleHierarchy(
+                std::make_unique<power::IdleHierarchy>(
+                    simulator, *config.idleHierarchy));
+    }
+
     staticInitialPlacement(cluster, config.manager.antiAffinityGroups);
 
     dc::MigrationEngine migration(simulator, cluster, config.migration);
@@ -123,9 +130,19 @@ runScenario(const ScenarioConfig &config)
 
     std::unique_ptr<DvfsController> dvfs;
     if (config.dvfs) {
+        if (config.jointPolicy)
+            sim::fatal("runScenario: dvfs and jointPolicy both set — the "
+                       "joint policy owns the speed knob");
         dvfs = std::make_unique<DvfsController>(cluster, dcsim,
                                                 *config.dvfs);
         dvfs->start();
+    }
+
+    std::unique_ptr<JointPolicyController> joint;
+    if (config.jointPolicy) {
+        joint = std::make_unique<JointPolicyController>(cluster, dcsim,
+                                                        *config.jointPolicy);
+        joint->start();
     }
 
     std::unique_ptr<dc::FailureInjector> failures;
@@ -172,6 +189,18 @@ runScenario(const ScenarioConfig &config)
     result.crossRackMigrations = migration.crossRackCount();
     if (dvfs)
         result.dvfsTransitions = dvfs->transitions();
+    if (joint) {
+        result.jointSpeedTransitions = joint->speedTransitions();
+        result.jointIdleTransitions = joint->idleTransitions();
+    }
+    if (config.idleHierarchy) {
+        for (const auto &host_ptr : cluster.hosts()) {
+            power::IdleHierarchy *hier = host_ptr->idleHierarchy();
+            hier->finish(simulator.now());
+            result.idleTransitions += hier->transitions();
+            result.idleTransitionJoules += hier->transitionEnergyJoules();
+        }
+    }
     if (failures) {
         result.hostCrashes = failures->crashes();
         result.hostRepairs = failures->repairs();

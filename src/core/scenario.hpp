@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "core/dvfs.hpp"
+#include "core/joint_policy.hpp"
 #include "core/manager.hpp"
 #include "core/policies.hpp"
 #include "datacenter/datacenter_sim.hpp"
@@ -59,6 +60,16 @@ struct ScenarioConfig
 
     /** When set, a DVFS governor scales host frequencies to demand. */
     std::optional<DvfsConfig> dvfs;
+
+    /** When set, every host gets this idle-state hierarchy attached under
+     *  its power FSM (core C-states + package states). */
+    std::optional<power::IdleHierarchySpec> idleHierarchy;
+
+    /** When set, a joint speed/sleep governor runs each control period
+     *  (requires idleHierarchy for the sleep half to do anything).
+     *  Mutually exclusive with dvfs — the joint policy owns the speed
+     *  knob via controlSpeed. */
+    std::optional<JointPolicyConfig> jointPolicy;
 
     /** When set, hosts crash and get repaired per the failure process;
      *  the manager's HA restart and spare floor handle the fallout. */
@@ -114,6 +125,19 @@ struct ScenarioResult
 
     /** Frequency-change commands (zero unless DVFS was enabled). */
     std::uint64_t dvfsTransitions = 0;
+
+    /** @name Joint-policy outcomes (zero unless jointPolicy was set) */
+    ///@{
+    std::uint64_t jointSpeedTransitions = 0;
+    std::uint64_t jointIdleTransitions = 0;
+    ///@}
+
+    /** Idle-hierarchy group transitions fleet-wide (policy + manager
+     *  descents; zero unless idleHierarchy was set). */
+    std::uint64_t idleTransitions = 0;
+
+    /** Fleet-wide C-state transition energy, joules (part of totalKwh). */
+    double idleTransitionJoules = 0.0;
 
     /** Completed migrations that crossed racks (zero on flat networks). */
     std::uint64_t crossRackMigrations = 0;

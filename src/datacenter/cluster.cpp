@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "power/idle_hierarchy.hpp"
 #include "simcore/logging.hpp"
 #include "telemetry/profiler.hpp"
 
@@ -155,6 +156,17 @@ Cluster::requestHostSleep(HostId host_id, const std::string &state_name)
     if (host_ref.activeMigrations() > 0) {
         sim::warn("requestHostSleep: host '%s' has in-flight migrations",
                   host_ref.name().c_str());
+        return false;
+    }
+    // Descent gating, outermost level: the server S-states sit above the
+    // idle hierarchy, so the whole tree must be resident at its deepest
+    // states before the host itself may leave On.
+    if (const power::IdleHierarchy *hier = host_ref.idleHierarchy();
+        hier != nullptr && !hier->fullyDescended()) {
+        sim::warn("requestHostSleep: host '%s' idle hierarchy not fully "
+                  "descended (busy=%d core=%d pkg=%d)",
+                  host_ref.name().c_str(), hier->busyCores(),
+                  hier->coreDepth(), hier->packageDepth());
         return false;
     }
     return host_ref.powerFsm().requestSleep(state_name);

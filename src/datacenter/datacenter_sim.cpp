@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <utility>
 
+#include "power/idle_hierarchy.hpp"
 #include "simcore/logging.hpp"
 #include "simcore/thread_pool.hpp"
 #include "telemetry/profiler.hpp"
@@ -98,14 +100,56 @@ DatacenterSim::sampleTelemetry()
     // evaluate pass just memoized instead of re-summing every VM.
     double watts = 0.0;
     double demand_mhz = 0.0;
+    // Per-level idle-hierarchy occupancy across the fleet: how many cores
+    // (and packages) are resident at each named state right now.
+    std::map<std::string, double> idle_occupancy;
+    bool any_hierarchy = false;
     for (const auto &host_ptr : cluster_.hosts()) {
         watts += host_ptr->powerWatts();
         demand_mhz += host_ptr->vmDemandMhz();
+        if (const power::IdleHierarchy *hier = host_ptr->idleHierarchy()) {
+            any_hierarchy = true;
+            if (!hier->active())
+                continue;
+            const power::IdleHierarchySpec &spec = hier->spec();
+            const int idle_cores = spec.coreCount - hier->busyCores();
+            if (hier->coreDepth() > 0) {
+                idle_occupancy["cluster.idle.core." +
+                               spec.coreStates[static_cast<std::size_t>(
+                                                   hier->coreDepth() - 1)]
+                                   .name] +=
+                    static_cast<double>(idle_cores);
+                idle_occupancy["cluster.idle.core.C0"] +=
+                    static_cast<double>(hier->busyCores());
+            } else {
+                idle_occupancy["cluster.idle.core.C0"] +=
+                    static_cast<double>(spec.coreCount);
+            }
+            if (hier->packageDepth() > 0) {
+                idle_occupancy["cluster.idle.pkg." +
+                               spec.packageStates[static_cast<std::size_t>(
+                                                      hier->packageDepth() -
+                                                      1)]
+                                   .name] += 1.0;
+            } else {
+                idle_occupancy["cluster.idle.pkg.C0"] += 1.0;
+            }
+        }
     }
     tel.metrics().gauge("cluster.power.watts").set(watts);
     tel.metrics().gauge("cluster.hosts.on")
         .set(static_cast<double>(cluster_.hostsOn()));
     tel.metrics().gauge("cluster.demand.mhz").set(demand_mhz);
+    if (any_hierarchy) {
+        // Re-zero every known idle gauge first: a level nobody occupies
+        // this tick must read 0, not its last value.
+        for (const std::string &name : idleGaugeNames_)
+            tel.metrics().gauge(name).set(0.0);
+        for (const auto &[name, value] : idle_occupancy) {
+            tel.metrics().gauge(name).set(value);
+            idleGaugeNames_.insert(name);
+        }
+    }
     tel.sampleSeries(simulator_.now().micros());
 }
 
@@ -151,6 +195,17 @@ DatacenterSim::evaluate()
                                            kUtilizationCap)
                                 : kUtilizationCap;
                 latencyFactor_[i] = 1.0 / (1.0 - rho);
+                // C-state exit adds a latency term: demand arriving this
+                // interval waits on the deepest resident exit before the
+                // cores can serve it, amortized over the interval. Pure
+                // read of a cached field — shard-safe.
+                if (const power::IdleHierarchy *hier =
+                        host.idleHierarchy();
+                    hier != nullptr && host.isOn()) {
+                    latencyFactor_[i] +=
+                        hier->wakeLatency().toSeconds() /
+                        config_.evaluationInterval.toSeconds();
+                }
             }
         });
 

@@ -14,6 +14,8 @@
 #define VPM_DATACENTER_DATACENTER_SIM_HPP
 
 #include <functional>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "datacenter/cluster.hpp"
@@ -183,6 +185,10 @@ class DatacenterSim
 
     /** Per-host latency-factor scratch, refilled every evaluation. */
     std::vector<double> latencyFactor_;
+
+    /** Idle-hierarchy occupancy gauges ever touched, so levels that empty
+     *  out are re-zeroed instead of holding their last sample. */
+    std::set<std::string> idleGaugeNames_;
 
     /**
      * One shard's private accumulators for the parallel sampling pass.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "power/idle_hierarchy.hpp"
 #include "simcore/logging.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -36,6 +37,8 @@ Host::Host(sim::Simulator &simulator, HostId id, std::string name,
             &tel.metrics().gauge("host." + name_ + ".watts"));
 }
 
+Host::~Host() = default;
+
 void
 Host::updatePowerDraw()
 {
@@ -45,17 +48,54 @@ Host::updatePowerDraw()
 double
 Host::powerWatts() const
 {
-    if (!isOn() || frequencyFraction_ >= 1.0)
-        return fsm_.powerWatts(utilization());
+    double watts;
+    if (!isOn() || frequencyFraction_ >= 1.0) {
+        watts = fsm_.powerWatts(utilization());
+    } else {
+        // DVFS model: static (idle) power is frequency-independent; the
+        // dynamic part scales ~quadratically with frequency (voltage
+        // tracks frequency). Utilization is already relative to scaled
+        // capacity.
+        const power::HostPowerSpec &spec = fsm_.spec();
+        const double idle = spec.idlePowerWatts();
+        const double at_full = spec.activePowerWatts(utilization());
+        watts = idle +
+                (at_full - idle) * frequencyFraction_ * frequencyFraction_;
+    }
+    // Idle-hierarchy residency shaves the static share while On (the
+    // hierarchy reports zero savings when paused, i.e. off-phase power
+    // is entirely the FSM's business).
+    if (idleHierarchy_ && isOn())
+        watts = std::max(0.0, watts - idleHierarchy_->powerSavingsWatts());
+    return watts;
+}
 
-    // DVFS model: static (idle) power is frequency-independent; the
-    // dynamic part scales ~quadratically with frequency (voltage tracks
-    // frequency). Utilization is already relative to scaled capacity.
-    const power::HostPowerSpec &spec = fsm_.spec();
-    const double idle = spec.idlePowerWatts();
-    const double at_full = spec.activePowerWatts(utilization());
-    return idle +
-           (at_full - idle) * frequencyFraction_ * frequencyFraction_;
+void
+Host::attachIdleHierarchy(std::unique_ptr<power::IdleHierarchy> hierarchy)
+{
+    if (idleHierarchy_)
+        sim::panic("Host '%s': idle hierarchy attached twice",
+                   name_.c_str());
+    idleHierarchy_ = std::move(hierarchy);
+
+    // Transition energy is an impulse on the meter; any residency change
+    // also moves the On draw, so re-hold.
+    idleHierarchy_->setTransitionCallback([this](double joules) {
+        meter_.addEnergyJoules(joules);
+        updatePowerDraw();
+    });
+    idleHierarchy_->setTelemetryTrack(id_);
+
+    // The hierarchy lives under the FSM: leaving On pauses it (forced
+    // exits ride the system transition), reaching On resumes it at C0.
+    fsm_.addObserver([this](power::PowerPhase, power::PowerPhase to) {
+        if (to == power::PowerPhase::On)
+            idleHierarchy_->resume();
+        else if (idleHierarchy_->active())
+            idleHierarchy_->pause();
+    });
+    if (!isOn())
+        idleHierarchy_->pause();
 }
 
 void

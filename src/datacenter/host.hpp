@@ -11,6 +11,7 @@
 #ifndef VPM_DATACENTER_HOST_HPP
 #define VPM_DATACENTER_HOST_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@
 #include "power/power_state_machine.hpp"
 #include "simcore/simulator.hpp"
 #include "datacenter/vm.hpp"
+
+namespace vpm::power {
+class IdleHierarchy;
+}
 
 namespace vpm::dc {
 
@@ -48,6 +53,8 @@ class Host
     Host(const Host &) = delete;
     Host &operator=(const Host &) = delete;
 
+    ~Host(); // out-of-line: idleHierarchy_ is an incomplete type here
+
     HostId id() const { return id_; }
     const std::string &name() const { return name_; }
 
@@ -76,6 +83,22 @@ class Host
 
     /** Close out the meter at @p t (end of a measurement window). */
     void finishMetering(sim::SimTime t);
+
+    /**
+     * Attach a per-host idle-state hierarchy (core C-states + package
+     * states nested under the FSM — see power/idle_hierarchy.hpp). The
+     * host wires it up: transition energy impulses charge the meter,
+     * hierarchy savings subtract from the On power draw, and the FSM's
+     * phase changes pause/resume it. At most one hierarchy per host.
+     */
+    void attachIdleHierarchy(std::unique_ptr<power::IdleHierarchy> hierarchy);
+
+    /** The attached hierarchy, or nullptr. */
+    power::IdleHierarchy *idleHierarchy() { return idleHierarchy_.get(); }
+    const power::IdleHierarchy *idleHierarchy() const
+    {
+        return idleHierarchy_.get();
+    }
     ///@}
 
     /** @name DVFS (maintained by the frequency controller) */
@@ -184,6 +207,7 @@ class Host
     HostConfig config_;
     power::PowerStateMachine fsm_;
     power::EnergyMeter meter_;
+    std::unique_ptr<power::IdleHierarchy> idleHierarchy_;
     std::vector<Vm *> vms_;
     double migrationOverheadMhz_ = 0.0;
     double inboundReservedMemoryMb_ = 0.0;

@@ -49,19 +49,41 @@ breakEvenSeconds(const HostPowerSpec &spec, const SleepStateSpec &state)
 const SleepStateSpec *
 bestStateForInterval(const HostPowerSpec &spec, double idle_seconds)
 {
-    const double idle_energy = idleEnergyJoules(spec, idle_seconds);
+    return cheapestSleepChoice(spec, idle_seconds).state;
+}
 
-    const SleepStateSpec *best = nullptr;
-    double best_energy = idle_energy;
+SleepChoice
+cheapestSleepChoice(const HostPowerSpec &spec, double idle_seconds)
+{
+    SleepChoice choice;
+    choice.energyJoules = idleEnergyJoules(spec, idle_seconds);
+
+    // Strict '<' is the documented tie-break: at equal energy the
+    // incumbent (S0-idle, then the earlier-listed = shallower state)
+    // keeps the win, because the shallower choice exits faster for free.
     for (const SleepStateSpec &state : spec.sleepStates()) {
         const std::optional<double> energy =
             sleepEnergyJoules(state, idle_seconds);
-        if (energy && *energy < best_energy) {
-            best_energy = *energy;
-            best = &state;
+        if (energy && *energy < choice.energyJoules) {
+            choice.energyJoules = *energy;
+            choice.state = &state;
         }
     }
-    return best;
+    return choice;
+}
+
+std::optional<double>
+breakEvenSecondsFor(double baseline_watts, double state_watts,
+                    double round_trip_energy_j, double round_trip_latency_s)
+{
+    if (state_watts >= baseline_watts)
+        return std::nullopt;
+
+    // Solve  E_rt + P_state * (T - t_rt) = P_baseline * T  for T.
+    const double numerator =
+        round_trip_energy_j - state_watts * round_trip_latency_s;
+    const double t_star = numerator / (baseline_watts - state_watts);
+    return std::max(t_star, round_trip_latency_s);
 }
 
 double

@@ -57,6 +57,42 @@ std::optional<double> breakEvenSeconds(const HostPowerSpec &spec,
 const SleepStateSpec *bestStateForInterval(const HostPowerSpec &spec,
                                            double idle_seconds);
 
+/** Outcome of cheapestSleepChoice: the winner and its interval energy. */
+struct SleepChoice
+{
+    /** Winning state, or nullptr when S0-idle is cheapest. */
+    const SleepStateSpec *state = nullptr;
+
+    /** Energy of the chosen action over the whole interval, joules
+     *  (the idle energy when state is nullptr). */
+    double energyJoules = 0.0;
+};
+
+/**
+ * The cheapest way to spend an idle interval of @p idle_seconds, with its
+ * energy. Tie-breaking is defined: when two choices cost equal energy, the
+ * SHALLOWEST wins — S0-idle beats any state that merely matches it, and
+ * among states the earlier-listed one (spec order is shallowest-first)
+ * keeps the win. Rationale: at equal energy the shallower state has the
+ * smaller exit latency, so agility is the free tie-break dividend.
+ */
+SleepChoice cheapestSleepChoice(const HostPowerSpec &spec,
+                                double idle_seconds);
+
+/**
+ * Break-even interval for a generic pair of draws — the hierarchy levels'
+ * version of breakEvenSeconds, free of SleepStateSpec: the shortest
+ * interval for which dropping from @p baseline_watts to @p state_watts
+ * repays @p round_trip_energy_j, floored at @p round_trip_latency_s.
+ *
+ * @return Break-even seconds, or nullopt if @p state_watts does not
+ *         undercut @p baseline_watts.
+ */
+std::optional<double> breakEvenSecondsFor(double baseline_watts,
+                                          double state_watts,
+                                          double round_trip_energy_j,
+                                          double round_trip_latency_s);
+
 /**
  * Net energy saved (joules, may be negative) by sleeping in @p state for an
  * idle interval of @p idle_seconds versus staying idle. Returns the most

@@ -43,6 +43,20 @@ EnergyMeter::update(sim::SimTime t, double watts)
 }
 
 void
+EnergyMeter::addEnergyJoules(double joules)
+{
+    if (joules < 0.0) {
+        if (!warnedNegativeImpulse_) {
+            warnedNegativeImpulse_ = true;
+            sim::warn("EnergyMeter::addEnergyJoules: negative impulse "
+                      "%g J ignored", joules);
+        }
+        return;
+    }
+    joules_ += joules;
+}
+
+void
 EnergyMeter::attachTelemetry(telemetry::Gauge *gauge)
 {
     wattsGauge_ = gauge;

@@ -45,6 +45,16 @@ class EnergyMeter
     /** Integrate the held power up to @p t without changing it. */
     void finish(sim::SimTime t);
 
+    /**
+     * Charge an energy impulse directly, in joules. Used for transition
+     * energies whose duration is far below the step-hold resolution (µs
+     * C-state entries/exits): the impulse adds to the accumulator without
+     * touching the held power or the meter's clock, so it is
+     * order-independent with respect to update()/finish(). Negative
+     * impulses are a caller bug and are ignored with a one-shot warning.
+     */
+    void addEnergyJoules(double joules);
+
     /** Total accumulated energy, in joules. */
     double joules() const { return joules_; }
 
@@ -76,6 +86,7 @@ class EnergyMeter
     double heldWatts_;
     double joules_ = 0.0;
     bool warnedBackwards_ = false;
+    bool warnedNegativeImpulse_ = false;
     telemetry::Gauge *wattsGauge_ = nullptr;
 };
 

@@ -93,6 +93,46 @@ energyProportionalIdeal()
                          std::make_shared<LinearPowerCurve>(0.0, 255.0), {});
 }
 
+IdleHierarchySpec
+modernIdleHierarchy()
+{
+    IdleHierarchySpec spec;
+    spec.coreCount = 16;
+    spec.corePowerC0Watts = 5.0;   // active-idle per core
+    spec.uncorePowerC0Watts = 75.0; // caches, fabric, memory PHY, NIC
+    // 16 * 5 + 75 = 155 W: exactly the blade curve's idle point, so an
+    // all-awake hierarchy saves nothing.
+
+    IdleStateSpec c1;
+    c1.name = "C1";
+    c1.powerWatts = 2.5; // clock-gated halt
+    c1.entryLatency = SimTime::micros(1);
+    c1.exitLatency = SimTime::micros(2);
+    c1.entryEnergyJoules = 5e-6;
+    c1.exitEnergyJoules = 1e-5;
+
+    IdleStateSpec c6;
+    c6.name = "C6";
+    c6.powerWatts = 0.5; // power-gated, state saved to SRAM
+    c6.entryLatency = SimTime::micros(50);
+    c6.exitLatency = SimTime::micros(133);
+    c6.entryEnergyJoules = 2e-4;
+    c6.exitEnergyJoules = 5e-4;
+
+    IdleStateSpec pc6;
+    pc6.name = "PC6";
+    pc6.powerWatts = 25.0; // uncore retention; memory in self-refresh
+    pc6.entryLatency = SimTime::micros(150);
+    pc6.exitLatency = SimTime::micros(400);
+    pc6.entryEnergyJoules = 0.02;
+    pc6.exitEnergyJoules = 0.05;
+    pc6.requiredChildDepth = 2; // every core must reach C6 first
+
+    spec.coreStates = {c1, c6};
+    spec.packageStates = {pc6};
+    return spec;
+}
+
 HostPowerSpec
 bladeWithSyntheticState(sim::SimTime exit_latency, double sleep_watts)
 {

@@ -15,6 +15,7 @@
 #ifndef VPM_POWER_SERVER_MODELS_HPP
 #define VPM_POWER_SERVER_MODELS_HPP
 
+#include "power/idle_hierarchy.hpp"
 #include "power/power_state.hpp"
 
 namespace vpm::power {
@@ -60,6 +61,19 @@ HostPowerSpec energyProportionalIdeal();
  */
 HostPowerSpec bladeWithSyntheticState(sim::SimTime exit_latency,
                                       double sleep_watts = 10.0);
+
+/**
+ * Idle-state tree for a modern descendant of the blade, with AgilePkgC-
+ * magnitude C-states (PAPERS.md): per-core C1 (µs-scale halt) and C6
+ * (power-gated core), plus package PC6 gated on every core reaching C6.
+ *
+ * The decomposition ties to the blade curve's 155 W idle: 16 cores x 5 W
+ * active-idle + 75 W uncore. Full descent (16x C6 at 0.5 W + PC6 uncore
+ * at 25 W) leaves a 33 W S0-floor — between S0-idle and S3, reachable in
+ * microseconds instead of seconds, which is exactly the gap this PR's
+ * policy space explores.
+ */
+IdleHierarchySpec modernIdleHierarchy();
 
 } // namespace vpm::power
 

@@ -44,6 +44,8 @@ toString(EventKind kind)
         return "migrate_decision";
       case EventKind::SlaViolation:
         return "sla_violation";
+      case EventKind::IdleTransition:
+        return "idle_transition";
     }
     return "unknown";
 }
@@ -303,6 +305,28 @@ EventJournal::slaViolation(std::int64_t t_us, std::int32_t vm,
     ev.track = vm;
     ev.a = satisfaction;
     ev.b = demand_mhz;
+    record(ev);
+}
+
+void
+EventJournal::idleTransition(std::int64_t t_us, std::int32_t host,
+                             std::string_view level, std::string_view from,
+                             std::string_view to, int cores,
+                             double from_seconds, double joules)
+{
+    if (!enabled_)
+        return;
+    JournalEvent ev;
+    ev.timeUs = t_us;
+    ev.kind = EventKind::IdleTransition;
+    ev.domain = TrackDomain::Host;
+    ev.track = host;
+    ev.labelA = intern(level);
+    ev.labelB = intern(from);
+    ev.labelC = intern(to);
+    ev.a = cores;
+    ev.b = from_seconds;
+    ev.c = joules;
     record(ev);
 }
 

@@ -38,6 +38,7 @@ enum class EventKind : std::uint8_t
     WakeDecision,    ///< manager woke a host
     MigrateDecision, ///< manager planned a batch of migrations
     SlaViolation,    ///< a VM-interval fell below the SLA threshold
+    IdleTransition,  ///< idle-hierarchy level moved between C-states
 };
 
 /** Stable wire name of an event kind (used by the JSONL exporter). */
@@ -72,6 +73,10 @@ using LabelId = std::uint16_t;
  *  MigrateDecision: labelA=reason ("balance"/"evacuate"/"maintenance"),
  *                   a=planned moves, b=subject host (-1 when cluster-wide).
  *  SlaViolation:    a=satisfaction (granted/requested), b=demand MHz.
+ *  IdleTransition:  labelA=level ("core"/"pkg"), labelB=from state,
+ *                   labelC=to state, a=cores affected (1 for package),
+ *                   b=seconds the group spent in the from-state,
+ *                   c=transition joules charged.
  *
  * Every record additionally carries the causal context current when it was
  * recorded: `cause` is the decision id responsible for it (0 = none) and
@@ -223,6 +228,10 @@ class EventJournal
                                   std::int32_t subject_host);
     void slaViolation(std::int64_t t_us, std::int32_t vm,
                       double satisfaction, double demand_mhz);
+    void idleTransition(std::int64_t t_us, std::int32_t host,
+                        std::string_view level, std::string_view from,
+                        std::string_view to, int cores, double from_seconds,
+                        double joules);
 
     /**
      * Record every event staged in @p stage, in staging order, then clear

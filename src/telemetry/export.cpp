@@ -117,6 +117,14 @@ writeJournalJsonl(const EventJournal &journal, std::ostream &out)
             out << ",\"satisfaction\":" << fmtDouble(ev.a)
                 << ",\"demand_mhz\":" << fmtDouble(ev.b);
             break;
+          case EventKind::IdleTransition:
+            out << ",\"level\":\"" << jsonEscape(journal.label(ev.labelA))
+                << "\",\"from\":\"" << jsonEscape(journal.label(ev.labelB))
+                << "\",\"to\":\"" << jsonEscape(journal.label(ev.labelC))
+                << "\",\"cores\":" << fmtDouble(ev.a)
+                << ",\"dur_s\":" << fmtDouble(ev.b)
+                << ",\"joules\":" << fmtDouble(ev.c);
+            break;
         }
         out << "}\n";
     }

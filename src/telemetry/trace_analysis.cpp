@@ -189,6 +189,13 @@ parseJournalLine(const std::string &line, TraceRecord &out)
     } else if (rec.kind == "sla_violation") {
         num("satisfaction", rec.a);
         num("demand_mhz", rec.b);
+    } else if (rec.kind == "idle_transition") {
+        text("level", rec.textA);
+        text("from", rec.textB);
+        text("to", rec.textC);
+        num("cores", rec.a);
+        num("dur_s", rec.b);
+        num("joules", rec.c);
     }
     out = std::move(rec);
     return true;
@@ -296,6 +303,11 @@ analyzeTrace(const std::vector<TraceRecord> &records,
             sleep_decisions.push_back(&rec);
         } else if (rec.kind == "sla_violation") {
             violations.push_back(&rec);
+        } else if (rec.kind == "idle_transition") {
+            ++analysis.idleTransitions;
+            if (rec.cause != 0)
+                ++analysis.idleTransitionsAttributed;
+            analysis.idleTransitionJoules += rec.c;
         }
     }
 
@@ -550,6 +562,18 @@ writeAnalysisText(const TraceAnalysis &analysis, std::ostream &out)
         }
     }
 
+    if (analysis.idleTransitions > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "\nidle-hierarchy transitions: %llu total, %llu attributed to "
+            "a decision, %.3f J of transition energy\n",
+            static_cast<unsigned long long>(analysis.idleTransitions),
+            static_cast<unsigned long long>(
+                analysis.idleTransitionsAttributed),
+            analysis.idleTransitionJoules);
+        out << buf;
+    }
+
     std::snprintf(buf, sizeof(buf),
                   "\nSLA violations: %llu total, %llu attributed, %llu "
                   "unattributed\n",
@@ -608,6 +632,9 @@ writeAnalysisJson(const TraceAnalysis &analysis, std::ostream &out)
     }
     out << "],\"violations\":{\"total\":" << analysis.violations
         << ",\"attributed\":" << analysis.violationsAttributed
+        << "},\"idle_transitions\":{\"total\":" << analysis.idleTransitions
+        << ",\"attributed\":" << analysis.idleTransitionsAttributed
+        << ",\"joules\":" << fmtDouble(analysis.idleTransitionJoules)
         << "},\"summary\":{\"wake_chains\":" << analysis.wakes.size()
         << ",\"total_wait_s\":" << fmtDouble(analysis.totalWaitS)
         << ",\"total_resume_s\":" << fmtDouble(analysis.totalResumeS)

@@ -141,6 +141,15 @@ struct TraceAnalysis
     std::uint64_t violations = 0;
     std::uint64_t violationsAttributed = 0;
 
+    /** @name Idle-hierarchy activity (zero when no hierarchy journaled) */
+    ///@{
+    std::uint64_t idleTransitions = 0;
+    /** Transitions carrying a decision id (policy- or manager-caused, as
+     *  opposed to legacy/untraced records). */
+    std::uint64_t idleTransitionsAttributed = 0;
+    double idleTransitionJoules = 0.0;
+    ///@}
+
     /** Component totals over complete wake chains. */
     double totalWaitS = 0.0, totalResumeS = 0.0, totalRespreadS = 0.0;
     /** Chains whose dominant component is wait / resume / respread. */

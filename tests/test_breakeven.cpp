@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "power/breakeven.hpp"
 #include "power/server_models.hpp"
 
@@ -113,6 +115,64 @@ TEST_F(BreakEvenTest, SavingsGrowWithIntervalLength)
         EXPECT_GT(savings, previous);
         previous = savings;
     }
+}
+
+TEST_F(BreakEvenTest, CheapestChoiceMatchesBestState)
+{
+    for (const double t : {5.0, 120.0, 4.0 * 3600.0}) {
+        const SleepChoice choice = cheapestSleepChoice(spec, t);
+        EXPECT_EQ(choice.state, bestStateForInterval(spec, t));
+        if (choice.state == nullptr)
+            EXPECT_DOUBLE_EQ(choice.energyJoules, idleEnergyJoules(spec, t));
+        else
+            EXPECT_DOUBLE_EQ(choice.energyJoules,
+                             *sleepEnergyJoules(*choice.state, t));
+    }
+}
+
+TEST_F(BreakEvenTest, TieBreakShallowestWins)
+{
+    // At exactly the break-even interval S3 merely matches S0-idle; the
+    // tie-break awards the shallower choice, whose exit latency is zero.
+    const double t_star = *breakEvenSeconds(spec, s3);
+    const SleepChoice at_tie = cheapestSleepChoice(spec, t_star);
+    EXPECT_EQ(at_tie.state, nullptr);
+    EXPECT_DOUBLE_EQ(at_tie.energyJoules, idleEnergyJoules(spec, t_star));
+
+    // Two energy-identical states: spec order is shallowest-first, so
+    // the earlier-listed one keeps the win (strict-< comparison only).
+    SleepStateSpec clone = s3;
+    clone.name = "S3-twin";
+    const HostPowerSpec twin(
+        "twin-blade",
+        std::make_shared<LinearPowerCurve>(spec.idlePowerWatts(),
+                                           spec.peakPowerWatts()),
+        {s3, clone, s5});
+    const SleepChoice chosen = cheapestSleepChoice(twin, 600.0);
+    ASSERT_NE(chosen.state, nullptr);
+    EXPECT_EQ(chosen.state->name, "S3");
+}
+
+TEST_F(BreakEvenTest, GenericBreakEvenMatchesSleepStateMath)
+{
+    // The hierarchy-level helper reduces to breakEvenSeconds when fed a
+    // sleep state's numbers against the blade's idle draw.
+    const auto generic = breakEvenSecondsFor(
+        spec.idlePowerWatts(), s3.sleepPowerWatts,
+        s3.roundTripEnergyJoules(), s3.roundTripLatency().toSeconds());
+    const auto classic = breakEvenSeconds(spec, s3);
+    ASSERT_TRUE(generic.has_value());
+    ASSERT_TRUE(classic.has_value());
+    EXPECT_NEAR(*generic, *classic, 1e-9);
+
+    // No undercut, no break-even.
+    EXPECT_FALSE(breakEvenSecondsFor(10.0, 10.0, 1.0, 0.1).has_value());
+    EXPECT_FALSE(breakEvenSecondsFor(10.0, 12.0, 1.0, 0.1).has_value());
+
+    // Free transitions still floor at the round-trip latency.
+    const auto floored = breakEvenSecondsFor(10.0, 5.0, 0.0, 2.0);
+    ASSERT_TRUE(floored.has_value());
+    EXPECT_DOUBLE_EQ(*floored, 2.0);
 }
 
 /** Property sweep: break-even consistency across synthetic exit latencies. */

@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 
 #include "datacenter/migration.hpp"
+#include "power/idle_hierarchy.hpp"
 #include "power/power_state_machine.hpp"
 #include "power/server_models.hpp"
 #include "simcore/logging.hpp"
@@ -175,6 +177,122 @@ TEST_P(MigrationFuzzTest, RandomRequestStormConservesEverything)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MigrationFuzzTest, ::testing::Range(1, 9));
+
+class IdleHierarchyFuzzTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IdleHierarchyFuzzTest, RandomCommandStreamKeepsInvariants)
+{
+    sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271u + 3);
+    sim::Simulator simulator;
+    const power::IdleHierarchySpec spec = power::modernIdleHierarchy();
+    power::IdleHierarchy hier(simulator, spec);
+
+    double charged = 0.0;
+    hier.setTransitionCallback([&](double joules) {
+        ASSERT_GE(joules, 0.0);
+        charged += joules;
+    });
+
+    const int core_max = static_cast<int>(spec.coreStates.size());
+    const int pkg_max = static_cast<int>(spec.packageStates.size());
+    double active_s = 0.0; // wall time with the hierarchy unpaused
+
+    for (int step = 0; step < 400; ++step) {
+        switch (rng.uniformInt(0, 6)) {
+          case 0:
+            // Deliberately out-of-range: commands clamp, never trap.
+            hier.setBusyCores(
+                static_cast<int>(rng.uniformInt(-2, spec.coreCount + 2)));
+            break;
+          case 1:
+            hier.requestDepth(
+                static_cast<int>(rng.uniformInt(0, core_max)),
+                static_cast<int>(rng.uniformInt(0, pkg_max)));
+            break;
+          case 2:
+            hier.descendFully();
+            break;
+          case 3:
+            hier.wakeAll();
+            break;
+          case 4:
+            // A random FSM phase excursion around the hierarchy.
+            if (hier.active())
+                hier.pause();
+            else
+                hier.resume();
+            break;
+          default: {
+            // Round to the simulator's µs grid BEFORE accumulating, so
+            // the expected active seconds match the clock exactly.
+            const SimTime slice = SimTime::seconds(rng.uniform(0.01, 30.0));
+            if (hier.active())
+                active_s += slice.toSeconds();
+            simulator.runUntil(simulator.now() + slice);
+            break;
+          }
+        }
+
+        // Descent gating: no resident package state whose child gate the
+        // core residency does not satisfy.
+        if (hier.packageDepth() > 0) {
+            const int gate =
+                spec.packageStates[static_cast<std::size_t>(
+                                       hier.packageDepth() - 1)]
+                    .requiredChildDepth;
+            ASSERT_EQ(hier.busyCores(), 0);
+            ASSERT_GE(hier.coreDepth(), gate);
+        }
+
+        // Wake latency: the MAX of the resident exits, never the sum.
+        SimTime expected;
+        if (hier.active()) {
+            if (hier.coreDepth() > 0 && hier.busyCores() < spec.coreCount) {
+                expected = std::max(
+                    expected, spec.coreStates[static_cast<std::size_t>(
+                                                  hier.coreDepth() - 1)]
+                                  .exitLatency);
+            }
+            if (hier.packageDepth() > 0) {
+                expected = std::max(
+                    expected, spec.packageStates[static_cast<std::size_t>(
+                                                     hier.packageDepth() - 1)]
+                                  .exitLatency);
+            }
+        }
+        ASSERT_EQ(hier.wakeLatency(), expected);
+
+        // Savings bounded by the full-descent delta, zero while paused.
+        ASSERT_GE(hier.powerSavingsWatts(), 0.0);
+        ASSERT_LE(hier.powerSavingsWatts(), spec.maxSavingsWatts() + 1e-9);
+        if (!hier.active()) {
+            ASSERT_DOUBLE_EQ(hier.powerSavingsWatts(), 0.0);
+        }
+    }
+
+    // Energy conservation: every joule the hierarchy claims to have
+    // charged went through the callback, and transitions were counted.
+    EXPECT_DOUBLE_EQ(charged, hier.transitionEnergyJoules());
+    EXPECT_GT(hier.transitions(), 0u);
+
+    // Residency closure: core-seconds and package-seconds each sum to
+    // exactly the wall time the hierarchy was ACTIVE (paused intervals
+    // belong to the FSM's phase accounting, not the hierarchy's).
+    hier.finish(simulator.now());
+    double core_s = 0.0;
+    for (int d = 0; d <= static_cast<int>(spec.coreStates.size()); ++d)
+        core_s += hier.coreResidencySeconds(d);
+    double pkg_s = 0.0;
+    for (int d = 0; d <= static_cast<int>(spec.packageStates.size()); ++d)
+        pkg_s += hier.packageResidencySeconds(d);
+    EXPECT_NEAR(core_s, spec.coreCount * active_s, active_s * 1e-6 + 1e-9);
+    EXPECT_NEAR(pkg_s, active_s, active_s * 1e-6 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdleHierarchyFuzzTest,
+                         ::testing::Range(1, 9));
 
 } // namespace
 } // namespace vpm

@@ -124,7 +124,8 @@ constexpr const char *kCsvColumns[] = {
     "predictor",   "src",          "dst",      "dur_s",
     "expected_s",  "expected_idle_s", "idle_w", "sleep_w",
     "satisfaction", "demand_mhz",  "forecast", "actual",
-    "moves",       "subject_host", "joules",
+    "moves",       "subject_host", "joules",   "level",
+    "cores",
 };
 
 /** One CSV cell: the field's literal JSON value, or empty when absent.
@@ -270,6 +271,8 @@ main(int argc, char **argv)
     // Power-phase span durations keyed by the phase just left.
     std::map<std::string, DurationStats> phase_durations;
     DurationStats migration_durations;
+    // Idle-hierarchy residency spans keyed by "level:from-state".
+    std::map<std::string, DurationStats> idle_spans;
 
     std::string line;
     while (std::getline(in, line)) {
@@ -332,6 +335,12 @@ main(int argc, char **argv)
         } else if (*kind == "migration_finish") {
             if (const auto dur = findNumber(line, "dur_s"))
                 migration_durations.add(*dur);
+        } else if (*kind == "idle_transition") {
+            const auto level = findString(line, "level");
+            const auto from = findString(line, "from");
+            const auto dur = findNumber(line, "dur_s");
+            if (level && from && dur)
+                idle_spans[*level + ":" + *from].add(*dur);
         }
     }
 
@@ -383,6 +392,16 @@ main(int argc, char **argv)
             std::printf("  %-10s n=%-6llu min=%-10.3f mean=%-10.3f "
                         "max=%.3f\n",
                         phase.c_str(),
+                        static_cast<unsigned long long>(stats.count),
+                        stats.min, stats.mean(), stats.max);
+    }
+    if (!idle_spans.empty()) {
+        std::printf("\nidle-state spans (seconds resident before "
+                    "transition, by level:state):\n");
+        for (const auto &[key, stats] : idle_spans)
+            std::printf("  %-10s n=%-6llu min=%-10.6f mean=%-10.6f "
+                        "max=%.6f\n",
+                        key.c_str(),
                         static_cast<unsigned long long>(stats.count),
                         stats.min, stats.mean(), stats.max);
     }
