@@ -28,6 +28,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,11 +86,38 @@ printUsage(const char *bench_id, std::FILE *out)
 }
 
 /**
+ * Strict integer flag value: the whole token must parse as a base-10
+ * integer no smaller than @p min. Anything else — trailing junk ("5x"),
+ * non-numeric ("five"), empty, out of range — prints the reason plus
+ * usage and exits 2, so `--repeat 0` or `--warmup -1` cannot silently
+ * degrade a measurement.
+ */
+inline int
+parseIntFlag(const char *bench_id, const char *flag, const char *text,
+             int min)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(text, &end, 10);
+    const bool numeric =
+        end != text && *end == '\0' && errno != ERANGE &&
+        parsed >= INT_MIN && parsed <= INT_MAX;
+    if (!numeric || parsed < min) {
+        std::fprintf(stderr,
+                     "bench_%s: %s wants an integer >= %d, got '%s'\n",
+                     bench_id, flag, min, text);
+        printUsage(bench_id, stderr);
+        std::exit(2);
+    }
+    return static_cast<int>(parsed);
+}
+
+/**
  * The one flag parser all benches share. Side effect: `--trace` switches
  * the global telemetry sink on (journal sized for a full bench run)
  * BEFORE any simulator objects are built, exactly like the old traceFlag
- * helper did. `--help` prints usage and exits 0; an unknown flag prints
- * usage and exits 2.
+ * helper did. `--help` prints usage and exits 0; an unknown flag or a
+ * malformed/out-of-range flag value prints usage and exits 2.
  */
 inline BenchArgs
 parseArgs(const char *bench_id, int argc, char **argv)
@@ -131,28 +160,16 @@ parseArgs(const char *bench_id, int argc, char **argv)
             args.profileTracePath = value("--profile-trace");
             args.profile = true;
         } else if (arg == "--repeat") {
-            args.repeat = std::atoi(value("--repeat"));
-            if (args.repeat < 1) {
-                std::fprintf(stderr, "bench_%s: --repeat wants n >= 1\n",
-                             bench_id);
-                std::exit(2);
-            }
+            args.repeat =
+                parseIntFlag(bench_id, "--repeat", value("--repeat"), 1);
             saw_repeat = true;
         } else if (arg == "--warmup") {
-            args.warmup = std::atoi(value("--warmup"));
-            if (args.warmup < 0) {
-                std::fprintf(stderr, "bench_%s: --warmup wants n >= 0\n",
-                             bench_id);
-                std::exit(2);
-            }
+            args.warmup =
+                parseIntFlag(bench_id, "--warmup", value("--warmup"), 0);
             saw_warmup = true;
         } else if (arg == "--threads") {
-            args.threads = std::atoi(value("--threads"));
-            if (args.threads < 1) {
-                std::fprintf(stderr, "bench_%s: --threads wants n >= 1\n",
-                             bench_id);
-                std::exit(2);
-            }
+            args.threads =
+                parseIntFlag(bench_id, "--threads", value("--threads"), 1);
             sim::setGlobalThreads(static_cast<unsigned>(args.threads));
         } else {
             std::fprintf(stderr, "bench_%s: unknown option '%s'\n",

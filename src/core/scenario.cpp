@@ -213,6 +213,27 @@ runScenario(const ScenarioConfig &config)
         result.maxPlacementDelaySeconds =
             provisioning->placementDelays().max();
     }
+
+    // Fleet-wide wake agility: every completed wake's end-to-end latency,
+    // pooled across hosts. The p99 is exact (per-wake samples, not
+    // buckets) — it is the sweep orchestrator's agility objective.
+    std::vector<double> wake_latencies;
+    for (const auto &host_ptr : cluster.hosts()) {
+        const std::vector<double> &samples =
+            host_ptr->powerFsm().wakeLatenciesSeconds();
+        wake_latencies.insert(wake_latencies.end(), samples.begin(),
+                              samples.end());
+    }
+    result.wakes = wake_latencies.size();
+    if (!wake_latencies.empty()) {
+        stats::Summary wake_summary;
+        for (const double s : wake_latencies)
+            wake_summary.add(s);
+        result.meanWakeSeconds = wake_summary.mean();
+        result.wakeP99Seconds =
+            stats::percentileExact(std::move(wake_latencies), 0.99);
+    }
+    result.eventsProcessed = simulator.eventsProcessed();
     return result;
 }
 

@@ -147,6 +147,17 @@ struct ScenarioResult
     std::uint64_t hostCrashes = 0;
     std::uint64_t hostRepairs = 0;
     ///@}
+
+    /** @name Wake agility (fleet-wide, from the power FSM wake samples) */
+    ///@{
+    std::uint64_t wakes = 0;         ///< completed host wakes
+    double meanWakeSeconds = 0.0;    ///< mean end-to-end wake latency
+    double wakeP99Seconds = 0.0;     ///< 99th pct end-to-end wake latency
+    ///@}
+
+    /** Simulator events dispatched by this run (per-instance counter, so
+     *  concurrent sweep cells attribute throughput correctly). */
+    std::uint64_t eventsProcessed = 0;
 };
 
 /**

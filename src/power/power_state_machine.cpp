@@ -102,8 +102,10 @@ PowerStateMachine::requestWake()
         // Cannot abort a firmware transition; latch the wake instead.
         wakePending_ = true;
         wakeContext_ = telemetry::currentContext();
+        wakeRequestedAt_ = simulator_.now();
         return true;
       case PowerPhase::Asleep:
+        wakeRequestedAt_ = simulator_.now();
         beginExit();
         return true;
     }
@@ -228,6 +230,11 @@ PowerStateMachine::onExitComplete()
             transitionEnd_, [this] { onExitComplete(); }, "psm.exit.retry");
         return;
     }
+
+    // The wake completed; charge its end-to-end latency (latch wait +
+    // remaining entry + exits, retries included) to the wake that asked.
+    wakeLatenciesSeconds_.push_back(
+        (simulator_.now() - wakeRequestedAt_).toSeconds());
 
     // Notify before clearing state_ so the journal can still name the sleep
     // state the host is waking out of. Observers see phase() == On, which

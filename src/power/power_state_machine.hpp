@@ -18,6 +18,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "power/power_state.hpp"
 #include "simcore/random.hpp"
@@ -153,6 +154,19 @@ class PowerStateMachine
 
     /** Cumulative time spent in the given phase so far. */
     sim::SimTime timeInPhase(PowerPhase phase) const;
+
+    /**
+     * End-to-end latency of every completed wake, in seconds, in
+     * completion order: requestWake() (including wakes latched while the
+     * machine was still Entering, which pay the remaining entry time) to
+     * the return to On, retries included. The sweep orchestrator's wake
+     * p99 aggregates these across the fleet; one double per wake, and
+     * wakes are management-rate events, so the memory cost is trivial.
+     */
+    const std::vector<double> &wakeLatenciesSeconds() const
+    {
+        return wakeLatenciesSeconds_;
+    }
     ///@}
 
     /** Subscribe to phase changes. Observers are invoked in order added. */
@@ -197,6 +211,11 @@ class PowerStateMachine
     std::uint64_t sleepCount_ = 0;
     std::uint64_t wakeCount_ = 0;
     std::uint64_t wakeRetryCount_ = 0;
+
+    /** When the in-flight wake was requested (latch time for wakes that
+     *  arrive mid-entry); meaningful while a wake is pending/exiting. */
+    sim::SimTime wakeRequestedAt_;
+    std::vector<double> wakeLatenciesSeconds_;
 
     sim::SimTime phaseEnteredAt_;
     std::map<PowerPhase, sim::SimTime> timeInPhase_;

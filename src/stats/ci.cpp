@@ -1,0 +1,186 @@
+#include "stats/ci.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace vpm::stats {
+
+namespace {
+
+/** SplitMix64: the repo's seed expander, re-used as the bootstrap stream
+ *  so intervals are reproducible without dragging in sim::Rng state. */
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Uniform index in [0, n) by rejection-free multiply-shift. */
+std::size_t
+uniformIndex(std::uint64_t &state, std::size_t n)
+{
+    // 128-bit multiply-high keeps the mapping bias negligible for any
+    // sample count a sweep will ever see.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(splitMix64(state)) * n;
+    return static_cast<std::size_t>(product >> 64);
+}
+
+bool
+allIdentical(const std::vector<double> &samples)
+{
+    for (const double x : samples)
+        if (x != samples.front())
+            return false;
+    return true;
+}
+
+ConfidenceInterval
+degenerate(double value, std::uint64_t n)
+{
+    ConfidenceInterval ci;
+    ci.point = value;
+    ci.lo = value;
+    ci.hi = value;
+    ci.n = n;
+    return ci;
+}
+
+} // namespace
+
+double
+tCritical975(std::uint64_t df)
+{
+    // Two-sided 95% (upper 97.5% quantile) of Student's t. Exact to three
+    // decimals for df <= 30; the normal 1.96 beyond, where the error is
+    // under half a percent.
+    static constexpr double table[31] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df < 1)
+        return std::numeric_limits<double>::infinity();
+    if (df <= 30)
+        return table[df];
+    return 1.96;
+}
+
+ConfidenceInterval
+confidenceInterval(const std::vector<double> &samples, CiMethod method,
+                   std::uint32_t iterations, std::uint64_t seed)
+{
+    ConfidenceInterval ci;
+    if (samples.empty())
+        return ci;
+    if (samples.size() == 1)
+        return degenerate(samples.front(), 1);
+    if (allIdentical(samples))
+        return degenerate(samples.front(), samples.size());
+
+    const double median = percentileExact(samples, 0.5);
+    ci.point = median;
+    ci.n = samples.size();
+
+    if (method == CiMethod::TBased) {
+        Summary summary;
+        for (const double x : samples)
+            summary.add(x);
+        const double half =
+            tCritical975(samples.size() - 1) * summary.stddev() /
+            std::sqrt(static_cast<double>(samples.size()));
+        // Interval from the mean's sampling distribution, re-centered on
+        // the median point estimate so point always lies inside [lo, hi]
+        // even for skewed samples.
+        const double center = summary.mean();
+        ci.lo = std::min(center - half, median);
+        ci.hi = std::max(center + half, median);
+        return ci;
+    }
+
+    // Bootstrap percentile on the median. Resampled medians are collected
+    // and the outer percentiles read off exactly; fully deterministic for
+    // a given (samples, iterations, seed).
+    std::uint64_t state = seed;
+    std::vector<double> medians;
+    medians.reserve(iterations);
+    std::vector<double> resample(samples.size());
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            resample[i] = samples[uniformIndex(state, samples.size())];
+        medians.push_back(percentileExact(resample, 0.5));
+    }
+    ci.lo = std::min(percentileExact(medians, 0.025), median);
+    ci.hi = std::max(percentileExact(medians, 0.975), median);
+    return ci;
+}
+
+bool
+intervalsSeparated(const ConfidenceInterval &a, const ConfidenceInterval &b)
+{
+    if (a.empty() || b.empty())
+        return false;
+    return a.hi < b.lo || b.hi < a.lo;
+}
+
+RankSumResult
+mannWhitneyU(const std::vector<double> &a, const std::vector<double> &b)
+{
+    RankSumResult result;
+    const std::size_t na = a.size();
+    const std::size_t nb = b.size();
+    if (na < 2 || nb < 2)
+        return result;
+
+    // Midrank assignment over the pooled samples, tagged by origin.
+    std::vector<std::pair<double, int>> pooled;
+    pooled.reserve(na + nb);
+    for (const double x : a)
+        pooled.emplace_back(x, 0);
+    for (const double x : b)
+        pooled.emplace_back(x, 1);
+    std::sort(pooled.begin(), pooled.end());
+
+    double rank_sum_a = 0.0;
+    double tie_term = 0.0; // sum of t^3 - t over tie groups
+    std::size_t i = 0;
+    while (i < pooled.size()) {
+        std::size_t j = i;
+        while (j < pooled.size() && pooled[j].first == pooled[i].first)
+            ++j;
+        const double t = static_cast<double>(j - i);
+        // Ranks are 1-based; every member of the tie group gets the mean
+        // of the ranks the group spans.
+        const double midrank =
+            (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+        for (std::size_t k = i; k < j; ++k)
+            if (pooled[k].second == 0)
+                rank_sum_a += midrank;
+        tie_term += t * t * t - t;
+        i = j;
+    }
+
+    const double dn_a = static_cast<double>(na);
+    const double dn_b = static_cast<double>(nb);
+    const double n = dn_a + dn_b;
+    result.u = rank_sum_a - dn_a * (dn_a + 1.0) / 2.0;
+
+    const double mean_u = dn_a * dn_b / 2.0;
+    const double var_u = dn_a * dn_b / 12.0 *
+                         ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if (var_u <= 0.0)
+        return result; // every pooled value tied: no ordering evidence
+    result.z = (result.u - mean_u) / std::sqrt(var_u);
+    // Two-sided p from the standard normal tail via erfc.
+    result.pTwoSided = std::erfc(std::fabs(result.z) / std::sqrt(2.0));
+    result.valid = true;
+    return result;
+}
+
+} // namespace vpm::stats

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Confidence intervals and two-sample comparison tests — the statistics
+ * layer under the sweep orchestrator and the bench regression gates.
+ *
+ * The bench harness used to gate on bare medians with a fixed 5%
+ * threshold; anything inside runner noise was either a false alarm or an
+ * invisible regression depending on which side of the threshold it fell.
+ * This module replaces point estimates with interval estimates:
+ *
+ *  - confidenceInterval(): a t-based (Student) or bootstrap-percentile
+ *    95% CI around the sample median/mean. Degenerate inputs are handled
+ *    explicitly: n = 0 -> empty interval, n = 1 -> zero-width interval at
+ *    the sample, identical samples -> zero-width interval.
+ *  - intervalsSeparated(): the gate predicate. Two measurements count as
+ *    different only when their CIs do not overlap — statistically honest
+ *    regression detection.
+ *  - mannWhitneyU(): a nonparametric rank-sum test (normal approximation
+ *    with tie correction) for when the samples are heavy-tailed enough
+ *    that interval overlap on means is misleading.
+ *
+ * Everything here is deterministic: the bootstrap resampler uses a fixed
+ * SplitMix64 stream seeded from a caller-supplied constant, so the same
+ * samples always produce byte-identical intervals (a sweep re-run at a
+ * different --threads value must reproduce its tables exactly).
+ */
+
+#ifndef VPM_STATS_CI_HPP
+#define VPM_STATS_CI_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace vpm::stats {
+
+/** An interval estimate around a point statistic. */
+struct ConfidenceInterval
+{
+    double point = 0.0; ///< sample median (the sweep's headline statistic)
+    double lo = 0.0;    ///< lower confidence bound
+    double hi = 0.0;    ///< upper confidence bound
+    std::uint64_t n = 0; ///< sample count the interval was computed from
+
+    /** Half-open emptiness: no samples -> nothing to claim. */
+    bool empty() const { return n == 0; }
+
+    /** Width of the interval (0 for degenerate/empty intervals). */
+    double width() const { return hi - lo; }
+};
+
+/** How confidenceInterval() builds the interval. */
+enum class CiMethod
+{
+    /**
+     * Student-t interval around the mean: mean +/- t(df, 97.5%) * s/sqrt(n),
+     * re-centered on the median as the point estimate. Exact under
+     * normality, conservative and cheap; the default for timing samples.
+     */
+    TBased,
+
+    /**
+     * Bootstrap percentile interval on the median: resample n-out-of-n
+     * with replacement `iterations` times, take the 2.5th/97.5th
+     * percentiles of the resampled medians. Distribution-free; preferred
+     * for heavy-tailed policy metrics. Deterministic given the seed.
+     */
+    BootstrapPercentile,
+};
+
+/**
+ * 95% confidence interval for @p samples with the chosen method.
+ *
+ * Degenerate cases (both methods): n = 0 returns an empty interval;
+ * n = 1 returns a zero-width interval at the sample; identical samples
+ * return a zero-width interval at that value.
+ *
+ * @param iterations Bootstrap resample count (BootstrapPercentile only).
+ * @param seed Bootstrap RNG seed (BootstrapPercentile only); the same
+ *        samples + seed always yield the same interval.
+ */
+ConfidenceInterval
+confidenceInterval(const std::vector<double> &samples,
+                   CiMethod method = CiMethod::TBased,
+                   std::uint32_t iterations = 2000,
+                   std::uint64_t seed = 0x5eedu);
+
+/**
+ * Two-sided 97.5% Student-t critical value for @p df degrees of freedom
+ * (table for df <= 30, 1.96 asymptote beyond). df < 1 returns infinity —
+ * a single sample supports no finite interval width claim.
+ */
+double tCritical975(std::uint64_t df);
+
+/**
+ * The regression-gate predicate: true when the intervals share no common
+ * value, i.e. the measurements are distinguishable at the interval's
+ * confidence level. Empty intervals are never separated (no evidence).
+ * Touching endpoints (a.hi == b.lo) count as overlapping — ties go to
+ * "not a regression".
+ */
+bool intervalsSeparated(const ConfidenceInterval &a,
+                        const ConfidenceInterval &b);
+
+/** Result of the Mann-Whitney U rank-sum test. */
+struct RankSumResult
+{
+    double u = 0.0;     ///< U statistic of the first sample
+    double z = 0.0;     ///< normal approximation z-score (tie-corrected)
+    double pTwoSided = 1.0; ///< two-sided p-value from the z approximation
+    bool valid = false; ///< false when either sample has n < 2
+};
+
+/**
+ * Mann-Whitney U test of samples @p a vs @p b via the normal
+ * approximation with tie correction. valid == false (and p = 1) when
+ * either side has fewer than 2 samples or all values are tied.
+ */
+RankSumResult mannWhitneyU(const std::vector<double> &a,
+                           const std::vector<double> &b);
+
+} // namespace vpm::stats
+
+#endif // VPM_STATS_CI_HPP

@@ -1,0 +1,221 @@
+#include "sweep/manifest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <sstream>
+
+#include "telemetry/json_util.hpp"
+
+namespace vpm::sweep {
+
+const std::vector<std::string> kKnownPolicies = {"nopm", "s3", "cstates",
+                                                 "joint"};
+const std::vector<std::string> kKnownWorkloads = {"steady", "surge"};
+
+namespace {
+
+using telemetry::JsonValue;
+
+/** Compact canonical number form for ids ("15", "0.5", "1e+06"). */
+std::string
+axisNum(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+bool
+readStringAxis(const JsonValue *axes, const char *name,
+               const std::vector<std::string> &known,
+               std::vector<std::string> &out, std::string *error)
+{
+    const JsonValue *axis = axes->find(name);
+    if (!axis)
+        return true; // keep the default
+    if (!axis->isArray() || axis->array.empty())
+        return fail(error, std::string("axis '") + name +
+                               "' must be a non-empty array");
+    out.clear();
+    for (const JsonValue &value : axis->array) {
+        if (value.kind != JsonValue::Kind::String)
+            return fail(error, std::string("axis '") + name +
+                                   "' holds a non-string value");
+        if (std::find(known.begin(), known.end(), value.string) ==
+            known.end())
+            return fail(error, std::string("axis '") + name +
+                                   "': unknown value '" + value.string +
+                                   "'");
+        out.push_back(value.string);
+    }
+    return true;
+}
+
+bool
+readNumberAxis(const JsonValue *axes, const char *name, double min,
+               std::vector<double> &out, std::string *error)
+{
+    const JsonValue *axis = axes->find(name);
+    if (!axis)
+        return true;
+    if (!axis->isArray() || axis->array.empty())
+        return fail(error, std::string("axis '") + name +
+                               "' must be a non-empty array");
+    out.clear();
+    for (const JsonValue &value : axis->array) {
+        if (value.kind != JsonValue::Kind::Number || value.number < min)
+            return fail(error, std::string("axis '") + name +
+                                   "' wants numbers >= " + axisNum(min));
+        out.push_back(value.number);
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+SweepManifest::cellCount() const
+{
+    return static_cast<std::uint64_t>(policies.size()) * workloads.size() *
+           exitLatenciesS.size() * loadScales.size() * hostCounts.size() *
+           vmCounts.size();
+}
+
+bool
+parseManifest(std::istream &in, SweepManifest &out, std::string *error)
+{
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue root;
+    if (!telemetry::parseJson(buffer.str(), root, error))
+        return false;
+    if (!root.isObject())
+        return fail(error, "top level is not an object");
+
+    const std::string schema =
+        telemetry::stringOr(root.find("schema"), "");
+    if (schema != "vpm-sweep-manifest-1")
+        return fail(error, "unsupported schema '" + schema +
+                               "' (want vpm-sweep-manifest-1)");
+
+    out.name = telemetry::stringOr(root.find("name"), "sweep");
+    out.durationHours =
+        telemetry::numberOr(root.find("duration_hours"), 6.0);
+    if (out.durationHours <= 0.0)
+        return fail(error, "duration_hours must be positive");
+    out.repeats = static_cast<int>(
+        telemetry::numberOr(root.find("repeats"), 1.0));
+    if (out.repeats < 1)
+        return fail(error, "repeats must be >= 1");
+
+    // Defaults for every optional axis (single-valued axes collapse in
+    // the cross product, so they are free).
+    out.policies = {"joint"};
+    out.workloads = {"steady"};
+    out.exitLatenciesS = {15.0};
+    out.loadScales = {0.5};
+    out.hostCounts = {8};
+    out.vmCounts = {40};
+    out.seeds = {42};
+
+    const JsonValue *axes = root.find("axes");
+    if (!axes)
+        return fail(error, "missing 'axes' object");
+    if (!axes->isObject())
+        return fail(error, "'axes' is not an object");
+
+    if (!readStringAxis(axes, "policy", kKnownPolicies, out.policies,
+                        error))
+        return false;
+    if (!readStringAxis(axes, "workload", kKnownWorkloads, out.workloads,
+                        error))
+        return false;
+    if (!readNumberAxis(axes, "exit_latency_s", 1e-6, out.exitLatenciesS,
+                        error))
+        return false;
+    if (!readNumberAxis(axes, "load_scale", 1e-6, out.loadScales, error))
+        return false;
+
+    std::vector<double> hosts_axis;
+    std::vector<double> vms_axis;
+    std::vector<double> seeds_axis;
+    if (!readNumberAxis(axes, "hosts", 1.0, hosts_axis, error))
+        return false;
+    if (!readNumberAxis(axes, "vms", 1.0, vms_axis, error))
+        return false;
+    if (!readNumberAxis(axes, "seeds", 0.0, seeds_axis, error))
+        return false;
+    if (!hosts_axis.empty()) {
+        out.hostCounts.clear();
+        for (const double h : hosts_axis)
+            out.hostCounts.push_back(static_cast<int>(h));
+    }
+    if (!vms_axis.empty()) {
+        out.vmCounts.clear();
+        for (const double v : vms_axis)
+            out.vmCounts.push_back(static_cast<int>(v));
+    }
+    if (!seeds_axis.empty()) {
+        out.seeds.clear();
+        for (const double s : seeds_axis)
+            out.seeds.push_back(static_cast<std::uint64_t>(s));
+    }
+
+    // Reject axes we do not understand: a typo ("exit_latency") must not
+    // silently sweep nothing.
+    for (const auto &[key, value] : axes->object) {
+        static const std::vector<std::string> known = {
+            "policy",     "workload", "exit_latency_s", "load_scale",
+            "hosts",      "vms",      "seeds"};
+        if (std::find(known.begin(), known.end(), key) == known.end())
+            return fail(error, "unknown axis '" + key + "'");
+    }
+    return true;
+}
+
+std::vector<CellSpec>
+expandGrid(const SweepManifest &manifest)
+{
+    std::vector<CellSpec> cells;
+    cells.reserve(manifest.cellCount());
+    std::uint64_t index = 0;
+    for (const std::string &policy : manifest.policies) {
+        for (const std::string &workload : manifest.workloads) {
+            for (const double exit_s : manifest.exitLatenciesS) {
+                for (const double load : manifest.loadScales) {
+                    for (const int hosts : manifest.hostCounts) {
+                        for (const int vms : manifest.vmCounts) {
+                            CellSpec cell;
+                            cell.index = index++;
+                            cell.policy = policy;
+                            cell.workload = workload;
+                            cell.exitLatencyS = exit_s;
+                            cell.loadScale = load;
+                            cell.hosts = hosts;
+                            cell.vms = vms;
+                            cell.id = "policy=" + policy +
+                                      "/workload=" + workload +
+                                      "/exit=" + axisNum(exit_s) +
+                                      "/load=" + axisNum(load) +
+                                      "/hosts=" + std::to_string(hosts) +
+                                      "/vms=" + std::to_string(vms);
+                            cells.push_back(std::move(cell));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+} // namespace vpm::sweep

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Sweep manifests: the declarative "vpm-sweep-manifest-1" grid format and
+ * its deterministic expansion into cells.
+ *
+ * A manifest declares axes; the orchestrator runs the cross product:
+ *
+ *     {
+ *       "schema": "vpm-sweep-manifest-1",
+ *       "name": "example_grid",
+ *       "duration_hours": 6.0,
+ *       "repeats": 3,                    // wall-clock samples per cell
+ *       "axes": {
+ *         "policy": ["joint", "s3", "cstates"],
+ *         "workload": ["steady", "surge"],
+ *         "exit_latency_s": [15, 120, 600],
+ *         "load_scale": [0.5],           // optional, default [0.5]
+ *         "hosts": [8],                  // optional, default [8]
+ *         "vms": [40],                   // optional, default [40]
+ *         "seeds": [42, 43, 44, 45, 46]  // within-cell samples, NOT a
+ *       }                                //   grid axis (see below)
+ *     }
+ *
+ * Expansion is row-major over the FIXED canonical axis order
+ * policy > workload > exit_latency_s > load_scale > hosts > vms (last
+ * axis fastest), regardless of the order axes appear in the manifest.
+ * The cell id spells out the full assignment ("policy=joint/workload=
+ * surge/exit=15/load=0.5/hosts=8/vms=40"), and the cell index is the
+ * position in that expansion — both are therefore functions of the
+ * manifest alone, never of --threads or scheduling.
+ *
+ * Seeds are deliberately not a grid axis: the simulator is deterministic
+ * given a seed, so re-running a cell cannot produce new values — the seed
+ * list IS the cell's sample set for the deterministic metrics (energy,
+ * SLA, wake p99), from which the confidence intervals are computed.
+ */
+
+#ifndef VPM_SWEEP_MANIFEST_HPP
+#define VPM_SWEEP_MANIFEST_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vpm::sweep {
+
+/** Policies a cell can run (the F11 grid plus the NoPM baseline). */
+extern const std::vector<std::string> kKnownPolicies;
+
+/** Workload shapes a cell can run. */
+extern const std::vector<std::string> kKnownWorkloads;
+
+/** A parsed "vpm-sweep-manifest-1" document. */
+struct SweepManifest
+{
+    std::string name;
+    double durationHours = 6.0;
+    int repeats = 1;
+
+    /** @name Axes (each non-empty after a successful parse) */
+    ///@{
+    std::vector<std::string> policies;
+    std::vector<std::string> workloads;
+    std::vector<double> exitLatenciesS;
+    std::vector<double> loadScales;
+    std::vector<int> hostCounts;
+    std::vector<int> vmCounts;
+    ///@}
+
+    /** Within-cell sample seeds (not a grid axis). */
+    std::vector<std::uint64_t> seeds;
+
+    /** Cells in the expanded grid (product of the six axes). */
+    std::uint64_t cellCount() const;
+};
+
+/** One fully-assigned grid point. */
+struct CellSpec
+{
+    std::uint64_t index = 0; ///< canonical position in the expansion
+    std::string id;          ///< canonical "axis=value/..." string
+    std::string policy;
+    std::string workload;
+    double exitLatencyS = 15.0;
+    double loadScale = 0.5;
+    int hosts = 8;
+    int vms = 40;
+};
+
+/**
+ * Parse a manifest.
+ * @return false with @p error set on malformed JSON, a schema mismatch,
+ *         an unknown policy/workload, or a degenerate axis (empty list,
+ *         non-positive counts/durations, repeats < 1).
+ */
+bool parseManifest(std::istream &in, SweepManifest &out,
+                   std::string *error);
+
+/**
+ * Expand the manifest's axes into the canonical cell list. Pure function
+ * of the manifest: byte-identical ids and indices on every call.
+ */
+std::vector<CellSpec> expandGrid(const SweepManifest &manifest);
+
+} // namespace vpm::sweep
+
+#endif // VPM_SWEEP_MANIFEST_HPP

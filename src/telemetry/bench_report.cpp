@@ -1,5 +1,6 @@
 #include "telemetry/bench_report.hpp"
 
+#include "stats/ci.hpp"
 #include "telemetry/json_util.hpp"
 
 #include <algorithm>
@@ -131,270 +132,7 @@ writeBenchJson(const BenchReport &report, std::ostream &out)
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON reader (objects, arrays, strings, numbers, bools, null) —
-// just enough for the schema above plus unknown-field tolerance.
-
-namespace {
-
-struct JsonValue
-{
-    enum class Kind
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object
-    };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    JsonParser(const std::string &text, std::string *error)
-        : text_(text), error_(error)
-    {
-    }
-
-    bool
-    parse(JsonValue &out)
-    {
-        skipSpace();
-        if (!parseValue(out))
-            return false;
-        skipSpace();
-        if (pos_ != text_.size())
-            return fail("trailing characters after JSON value");
-        return true;
-    }
-
-  private:
-    bool
-    fail(const char *message)
-    {
-        if (error_ && error_->empty()) {
-            std::ostringstream oss;
-            oss << message << " (offset " << pos_ << ")";
-            *error_ = oss.str();
-        }
-        return false;
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const std::size_t n = std::string(word).size();
-        if (text_.compare(pos_, n, word) != 0)
-            return fail("bad literal");
-        pos_ += n;
-        return true;
-    }
-
-    bool
-    parseValue(JsonValue &out)
-    {
-        if (pos_ >= text_.size())
-            return fail("unexpected end of input");
-        const char c = text_[pos_];
-        if (c == '{')
-            return parseObject(out);
-        if (c == '[')
-            return parseArray(out);
-        if (c == '"') {
-            out.kind = JsonValue::Kind::String;
-            return parseString(out.string);
-        }
-        if (c == 't') {
-            out.kind = JsonValue::Kind::Bool;
-            out.boolean = true;
-            return literal("true");
-        }
-        if (c == 'f') {
-            out.kind = JsonValue::Kind::Bool;
-            out.boolean = false;
-            return literal("false");
-        }
-        if (c == 'n') {
-            out.kind = JsonValue::Kind::Null;
-            return literal("null");
-        }
-        return parseNumber(out);
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        ++pos_; // opening quote
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    return fail("unterminated escape");
-                const char e = text_[pos_++];
-                switch (e) {
-                case 'n': out += '\n'; break;
-                case 't': out += '\t'; break;
-                case 'r': out += '\r'; break;
-                case 'u':
-                    // Schema strings are ASCII; keep \u escapes verbatim.
-                    out += "\\u";
-                    break;
-                default: out += e; break;
-                }
-            } else {
-                out += c;
-            }
-        }
-        return fail("unterminated string");
-    }
-
-    bool
-    parseNumber(JsonValue &out)
-    {
-        const std::size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '-' || text_[pos_] == '+' ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E'))
-            ++pos_;
-        if (pos_ == start)
-            return fail("expected a value");
-        try {
-            out.number = std::stod(text_.substr(start, pos_ - start));
-        } catch (...) {
-            return fail("bad number");
-        }
-        out.kind = JsonValue::Kind::Number;
-        return true;
-    }
-
-    bool
-    parseArray(JsonValue &out)
-    {
-        out.kind = JsonValue::Kind::Array;
-        ++pos_; // '['
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            JsonValue item;
-            skipSpace();
-            if (!parseValue(item))
-                return false;
-            out.array.push_back(std::move(item));
-            skipSpace();
-            if (pos_ >= text_.size())
-                return fail("unterminated array");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or ']'");
-        }
-    }
-
-    bool
-    parseObject(JsonValue &out)
-    {
-        out.kind = JsonValue::Kind::Object;
-        ++pos_; // '{'
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipSpace();
-            if (pos_ >= text_.size() || text_[pos_] != '"')
-                return fail("expected object key");
-            std::string key;
-            if (!parseString(key))
-                return false;
-            skipSpace();
-            if (pos_ >= text_.size() || text_[pos_] != ':')
-                return fail("expected ':'");
-            ++pos_;
-            skipSpace();
-            JsonValue value;
-            if (!parseValue(value))
-                return false;
-            out.object.emplace_back(std::move(key), std::move(value));
-            skipSpace();
-            if (pos_ >= text_.size())
-                return fail("unterminated object");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or '}'");
-        }
-    }
-
-    const std::string &text_;
-    std::string *error_;
-    std::size_t pos_ = 0;
-};
-
-double
-numberOr(const JsonValue *value, double fallback)
-{
-    return value && value->kind == JsonValue::Kind::Number ? value->number
-                                                          : fallback;
-}
-
-std::string
-stringOr(const JsonValue *value, const std::string &fallback)
-{
-    return value && value->kind == JsonValue::Kind::String ? value->string
-                                                           : fallback;
-}
-
-bool
-boolOr(const JsonValue *value, bool fallback)
-{
-    return value && value->kind == JsonValue::Kind::Bool ? value->boolean
-                                                         : fallback;
-}
-
-} // namespace
+// Reader (the JSON mini-parser itself lives in json_util)
 
 bool
 readBenchJson(std::istream &in, BenchReport &out, std::string *error)
@@ -405,8 +143,7 @@ readBenchJson(std::istream &in, BenchReport &out, std::string *error)
 
     JsonValue root;
     std::string parse_error;
-    JsonParser parser(text, &parse_error);
-    if (!parser.parse(root) || root.kind != JsonValue::Kind::Object) {
+    if (!parseJson(text, root, &parse_error) || !root.isObject()) {
         if (error)
             *error = parse_error.empty() ? "not a JSON object" : parse_error;
         return false;
@@ -516,14 +253,40 @@ compareBenchReports(const BenchReport &base, const BenchReport &next,
     }
     result.comparable = true;
 
-    if (base.medianWallMs > 0.0 &&
-        next.medianWallMs >
-            base.medianWallMs * (1.0 + options.thresholdPct / 100.0)) {
+    // Headline wall-clock: with enough repeats on both sides the raw
+    // percentage threshold gives way to CI overlap — a regression must be
+    // a worse median AND statistically separated from the baseline's
+    // spread. Single-shot reports keep the old threshold semantics.
+    result.usedCiGate =
+        options.ciGate && base.runs.size() >= 3 && next.runs.size() >= 3;
+    if (result.usedCiGate) {
+        std::vector<double> base_walls;
+        std::vector<double> next_walls;
+        for (const BenchRun &run : base.runs)
+            base_walls.push_back(run.wallMs);
+        for (const BenchRun &run : next.runs)
+            next_walls.push_back(run.wallMs);
+        const stats::ConfidenceInterval base_ci =
+            stats::confidenceInterval(base_walls);
+        const stats::ConfidenceInterval next_ci =
+            stats::confidenceInterval(next_walls);
+        if (next_ci.point > base_ci.point &&
+            stats::intervalsSeparated(base_ci, next_ci)) {
+            result.regressions.push_back(
+                {"median_wall_ms", base.medianWallMs, next.medianWallMs,
+                 pctChange(base.medianWallMs, next.medianWallMs)});
+        }
+    } else if (base.medianWallMs > 0.0 &&
+               next.medianWallMs >
+                   base.medianWallMs * (1.0 + options.thresholdPct / 100.0)) {
         result.regressions.push_back(
             {"median_wall_ms", base.medianWallMs, next.medianWallMs,
              pctChange(base.medianWallMs, next.medianWallMs)});
     }
+    // events/sec is derived from the median-rank run either way; it keeps
+    // the percentage gate (its per-run samples are the same walls again).
     if (base.eventsPerSec > 0.0 && next.eventsPerSec > 0.0 &&
+        !result.usedCiGate &&
         next.eventsPerSec <
             base.eventsPerSec * (1.0 - options.thresholdPct / 100.0)) {
         result.regressions.push_back(
@@ -656,11 +419,19 @@ writeComparison(const BenchReport &base, const BenchReport &next,
             out << line;
         }
     } else {
-        std::snprintf(line, sizeof(line),
-                      "\nRESULT: no regression (headline %.0f%%, zones "
-                      "%.0f%% above %.1f ms)\n",
-                      options.thresholdPct, options.zoneThresholdPct,
-                      options.minZoneMs);
+        if (result.usedCiGate)
+            std::snprintf(line, sizeof(line),
+                          "\nRESULT: no regression (headline gated on 95%% "
+                          "CI overlap over %zu vs %zu runs; zones %.0f%% "
+                          "above %.1f ms)\n",
+                          base.runs.size(), next.runs.size(),
+                          options.zoneThresholdPct, options.minZoneMs);
+        else
+            std::snprintf(line, sizeof(line),
+                          "\nRESULT: no regression (headline %.0f%%, zones "
+                          "%.0f%% above %.1f ms)\n",
+                          options.thresholdPct, options.zoneThresholdPct,
+                          options.minZoneMs);
         out << line;
     }
 }

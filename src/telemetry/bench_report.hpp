@@ -113,6 +113,18 @@ struct CompareOptions
     /** Ignore zones whose exclusive time is below this in BOTH reports:
      *  sub-millisecond zones are clock noise, not signal. */
     double minZoneMs = 1.0;
+
+    /**
+     * Statistically honest headline gating: when both reports carry >= 3
+     * measured runs, the headline wall-clock gate uses 95% confidence
+     * intervals over the per-run samples instead of the raw percentage
+     * threshold — a regression is flagged only when the candidate median
+     * is worse AND the two intervals do not overlap. Reports with fewer
+     * runs (or this set to false) fall back to the threshold path. Zones
+     * always use the percentage threshold (the schema stores only the
+     * median-rank run's zone table).
+     */
+    bool ciGate = true;
 };
 
 /** One regressed metric (headline or zone). */
@@ -130,6 +142,10 @@ struct CompareResult
     bool comparable = false; ///< schemas matched and both parsed
     std::string error;       ///< set when !comparable
     std::vector<Regression> regressions;
+
+    /** True when the headline wall-clock gate ran on CI overlap (both
+     *  reports had >= 3 runs and CompareOptions::ciGate was set). */
+    bool usedCiGate = false;
 
     bool regressed() const { return !regressions.empty(); }
 };

@@ -14,6 +14,13 @@ HistogramMetric::HistogramMetric(std::string name, double lo, double hi,
         hi_ = lo_ + 1.0; // degenerate range: clamp rather than crash
 }
 
+HistogramMetric::HistogramMetric(const HistogramMetric &other)
+    : name_(other.name_), lo_(other.lo_), hi_(other.hi_),
+      counts_(other.counts_), underflow_(other.underflow_),
+      overflow_(other.overflow_), count_(other.count_), sum_(other.sum_)
+{
+}
+
 double
 HistogramMetric::bucketWidth() const
 {
@@ -23,6 +30,7 @@ HistogramMetric::bucketWidth() const
 void
 HistogramMetric::observe(double x)
 {
+    const std::lock_guard<std::mutex> guard(observeMutex_);
     ++count_;
     sum_ += x;
     if (x < lo_) {
@@ -62,6 +70,7 @@ HistogramMetric::percentile(double fraction) const
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
+    const std::lock_guard<std::mutex> guard(lookupMutex_);
     const auto it = counterIndex_.find(std::string(name));
     if (it != counterIndex_.end())
         return counters_[it->second];
@@ -73,6 +82,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
+    const std::lock_guard<std::mutex> guard(lookupMutex_);
     const auto it = gaugeIndex_.find(std::string(name));
     if (it != gaugeIndex_.end())
         return gauges_[it->second];
@@ -85,6 +95,7 @@ HistogramMetric &
 MetricsRegistry::histogram(std::string_view name, double lo, double hi,
                            std::size_t buckets)
 {
+    const std::lock_guard<std::mutex> guard(lookupMutex_);
     const auto it = histogramIndex_.find(std::string(name));
     if (it != histogramIndex_.end())
         return histograms_[it->second];
@@ -97,11 +108,13 @@ MetricsRegistry::histogram(std::string_view name, double lo, double hi,
 void
 MetricsRegistry::zero()
 {
+    const std::lock_guard<std::mutex> guard(lookupMutex_);
     for (Counter &c : counters_)
-        c.value_ = 0;
+        c.value_.store(0, std::memory_order_relaxed);
     for (Gauge &g : gauges_)
-        g.value_ = 0.0;
+        g.value_.store(0.0, std::memory_order_relaxed);
     for (HistogramMetric &h : histograms_) {
+        const std::lock_guard<std::mutex> hist_guard(h.observeMutex_);
         std::fill(h.counts_.begin(), h.counts_.end(), 0);
         h.underflow_ = h.overflow_ = h.count_ = 0;
         h.sum_ = 0.0;

@@ -7,13 +7,31 @@
  * event journaling is disabled. Handles returned by the registry are stable
  * for the registry's lifetime, so hot paths resolve a metric by name once
  * and then touch only the handle.
+ *
+ * Thread safety: the sweep orchestrator runs whole simulations concurrently
+ * on plain OS threads, and several metrics are written unconditionally
+ * (the dispatch counter, log counters, predictor MAE gauge, migration
+ * histogram), so the registry is safe for concurrent use:
+ *
+ *  - find-or-create lookups take the registry mutex (hot paths resolve
+ *    handles once, so this is constructor-time cost);
+ *  - Counter and Gauge use relaxed atomics (Gauge::add is last-writer-wins
+ *    read-modify-write, which is fine for an instantaneous measurement);
+ *  - HistogramMetric::observe takes a per-histogram mutex (observations
+ *    are management-rate events, not per-dispatch).
+ *
+ * Cross-metric consistency is NOT promised — an exporter may see counter A
+ * updated and counter B not yet; that has always been true on a single
+ * thread too (exports happen mid-run).
  */
 
 #ifndef VPM_TELEMETRY_METRICS_REGISTRY_HPP
 #define VPM_TELEMETRY_METRICS_REGISTRY_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -25,33 +43,64 @@ namespace vpm::telemetry {
 class Counter
 {
   public:
-    void increment(std::uint64_t by = 1) { value_ += by; }
-    std::uint64_t value() const { return value_; }
+    void increment(std::uint64_t by = 1)
+    {
+        value_.fetch_add(by, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
     const std::string &name() const { return name_; }
+
+    /** Deque growth relocates nothing, but needs copy-insertability. */
+    Counter(const Counter &other)
+        : name_(other.name_),
+          value_(other.value_.load(std::memory_order_relaxed))
+    {
+    }
 
   private:
     friend class MetricsRegistry;
     explicit Counter(std::string name) : name_(std::move(name)) {}
 
     std::string name_;
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /** Last-value-wins instantaneous measurement. */
 class Gauge
 {
   public:
-    void set(double value) { value_ = value; }
-    void add(double delta) { value_ += delta; }
-    double value() const { return value_; }
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    /** Not an atomic RMW: concurrent add() is last-writer-wins, which is
+     *  acceptable for a gauge (it is a sampled instantaneous value). */
+    void add(double delta)
+    {
+        value_.store(value_.load(std::memory_order_relaxed) + delta,
+                     std::memory_order_relaxed);
+    }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
     const std::string &name() const { return name_; }
+
+    Gauge(const Gauge &other)
+        : name_(other.name_),
+          value_(other.value_.load(std::memory_order_relaxed))
+    {
+    }
 
   private:
     friend class MetricsRegistry;
     explicit Gauge(std::string name) : name_(std::move(name)) {}
 
     std::string name_;
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /**
@@ -94,6 +143,9 @@ class HistogramMetric
     double mean() const { return count_ > 0 ? sum_ / double(count_) : 0.0; }
     const std::string &name() const { return name_; }
 
+    /** Copies the data, not the mutex (deque copy-insertability). */
+    HistogramMetric(const HistogramMetric &other);
+
   private:
     friend class MetricsRegistry;
     HistogramMetric(std::string name, double lo, double hi,
@@ -107,6 +159,9 @@ class HistogramMetric
     std::uint64_t overflow_ = 0;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+
+    /** Serializes observe(); readers are end-of-run exporters. */
+    std::mutex observeMutex_;
 };
 
 /**
@@ -153,6 +208,9 @@ class MetricsRegistry
     void zero();
 
   private:
+    /** Guards the three find-or-create indexes and deque growth. */
+    std::mutex lookupMutex_;
+
     std::deque<Counter> counters_;
     std::deque<Gauge> gauges_;
     std::deque<HistogramMetric> histograms_;

@@ -1,0 +1,372 @@
+#include "telemetry/sweep_matrix.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "telemetry/json_util.hpp"
+
+namespace vpm::telemetry {
+
+namespace {
+
+/** Shortest round-trip decimal form (matches the bench report writer). */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) {
+        // Try to shorten: %.17g is exact but ugly; %g usually suffices.
+        char short_buf[64];
+        std::snprintf(short_buf, sizeof(short_buf), "%g", v);
+        std::sscanf(short_buf, "%lf", &parsed);
+        if (parsed == v)
+            return short_buf;
+    }
+    return buf;
+}
+
+void
+writeCi(const stats::ConfidenceInterval &ci, std::ostream &out)
+{
+    out << "{\"point\":" << num(ci.point) << ",\"lo\":" << num(ci.lo)
+        << ",\"hi\":" << num(ci.hi) << ",\"n\":" << ci.n << "}";
+}
+
+void
+writeCellBody(const SweepCell &cell, std::ostream &out,
+              const std::string &indent)
+{
+    out << indent << "\"id\": \"" << jsonEscape(cell.id) << "\",\n";
+    out << indent << "\"index\": " << cell.index << ",\n";
+    out << indent << "\"status\": \"" << toString(cell.status) << "\",\n";
+    out << indent << "\"error\": \"" << jsonEscape(cell.error) << "\",\n";
+    out << indent << "\"axes\": {";
+    for (std::size_t i = 0; i < cell.axes.size(); ++i) {
+        if (i > 0)
+            out << ", ";
+        out << "\"" << jsonEscape(cell.axes[i].axis) << "\": \""
+            << jsonEscape(cell.axes[i].value) << "\"";
+    }
+    out << "},\n";
+    out << indent << "\"seeds\": [";
+    for (std::size_t i = 0; i < cell.seeds.size(); ++i) {
+        if (i > 0)
+            out << ", ";
+        out << cell.seeds[i];
+    }
+    out << "],\n";
+    out << indent << "\"repeats\": " << cell.repeats << ",\n";
+    out << indent << "\"metrics\": {";
+    for (std::size_t i = 0; i < cell.metrics.size(); ++i) {
+        if (i > 0)
+            out << ",";
+        out << "\n" << indent << "  \"" << jsonEscape(cell.metrics[i].name)
+            << "\": ";
+        writeCi(cell.metrics[i].ci, out);
+    }
+    if (!cell.metrics.empty())
+        out << "\n" << indent;
+    out << "}\n";
+}
+
+bool
+parseCi(const JsonValue *node, stats::ConfidenceInterval &ci)
+{
+    if (!node || !node->isObject())
+        return false;
+    ci.point = numberOr(node->find("point"), 0.0);
+    ci.lo = numberOr(node->find("lo"), 0.0);
+    ci.hi = numberOr(node->find("hi"), 0.0);
+    ci.n = static_cast<std::uint64_t>(numberOr(node->find("n"), 0.0));
+    return true;
+}
+
+bool
+parseCell(const JsonValue &node, SweepCell &cell, std::string *error)
+{
+    if (!node.isObject()) {
+        if (error)
+            *error = "cell is not an object";
+        return false;
+    }
+    cell.id = stringOr(node.find("id"), "");
+    cell.index =
+        static_cast<std::uint64_t>(numberOr(node.find("index"), 0.0));
+    const std::string status = stringOr(node.find("status"), "ok");
+    if (status == "ok") {
+        cell.status = CellStatus::Ok;
+    } else if (status == "failed") {
+        cell.status = CellStatus::Failed;
+    } else if (status == "timeout") {
+        cell.status = CellStatus::Timeout;
+    } else {
+        if (error)
+            *error = "cell '" + cell.id + "': unknown status '" + status +
+                     "'";
+        return false;
+    }
+    cell.error = stringOr(node.find("error"), "");
+    if (const JsonValue *axes = node.find("axes");
+        axes && axes->isObject()) {
+        for (const auto &[key, value] : axes->object)
+            cell.axes.push_back({key, stringOr(&value, "")});
+    }
+    if (const JsonValue *seeds = node.find("seeds");
+        seeds && seeds->isArray()) {
+        for (const JsonValue &seed : seeds->array)
+            cell.seeds.push_back(
+                static_cast<std::uint64_t>(numberOr(&seed, 0.0)));
+    }
+    cell.repeats = static_cast<int>(numberOr(node.find("repeats"), 0.0));
+    if (const JsonValue *metrics = node.find("metrics");
+        metrics && metrics->isObject()) {
+        for (const auto &[key, value] : metrics->object) {
+            CellMetric metric;
+            metric.name = key;
+            if (!parseCi(&value, metric.ci)) {
+                if (error)
+                    *error = "cell '" + cell.id + "': metric '" + key +
+                             "' is not an interval object";
+                return false;
+            }
+            cell.metrics.push_back(std::move(metric));
+        }
+    }
+    if (cell.id.empty()) {
+        if (error)
+            *error = "cell without an id";
+        return false;
+    }
+    return true;
+}
+
+std::string
+slurp(std::istream &in)
+{
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace
+
+const char *
+toString(CellStatus status)
+{
+    switch (status) {
+      case CellStatus::Ok:
+        return "ok";
+      case CellStatus::Failed:
+        return "failed";
+      case CellStatus::Timeout:
+        return "timeout";
+    }
+    return "failed";
+}
+
+const CellMetric *
+SweepCell::metric(const std::string &name) const
+{
+    for (const CellMetric &m : metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+std::string
+SweepCell::axis(const std::string &name) const
+{
+    for (const AxisValue &a : axes)
+        if (a.axis == name)
+            return a.value;
+    return "";
+}
+
+const SweepCell *
+SweepMatrix::cell(const std::string &id) const
+{
+    for (const SweepCell &c : cells)
+        if (c.id == id)
+            return &c;
+    return nullptr;
+}
+
+void
+writeSweepJson(const SweepMatrix &matrix, std::ostream &out)
+{
+    out << "{\n";
+    out << "  \"schema\": \"" << jsonEscape(matrix.schema) << "\",\n";
+    out << "  \"name\": \"" << jsonEscape(matrix.name) << "\",\n";
+    out << "  \"threads\": " << matrix.threads << ",\n";
+    out << "  \"exec\": \"" << jsonEscape(matrix.exec) << "\",\n";
+    out << "  \"cells\": [";
+    for (std::size_t i = 0; i < matrix.cells.size(); ++i) {
+        if (i > 0)
+            out << ",";
+        out << "\n    {\n";
+        writeCellBody(matrix.cells[i], out, "      ");
+        out << "    }";
+    }
+    if (!matrix.cells.empty())
+        out << "\n  ";
+    out << "]\n}\n";
+}
+
+void
+writeCellJson(const SweepCell &cell, std::ostream &out)
+{
+    out << "{\n";
+    writeCellBody(cell, out, "  ");
+    out << "}\n";
+}
+
+bool
+readSweepJson(std::istream &in, SweepMatrix &out, std::string *error)
+{
+    JsonValue root;
+    if (!parseJson(slurp(in), root, error))
+        return false;
+    if (!root.isObject()) {
+        if (error)
+            *error = "top level is not an object";
+        return false;
+    }
+    out.schema = stringOr(root.find("schema"), "");
+    if (out.schema != "vpm-sweep-1") {
+        if (error)
+            *error = "unsupported schema '" + out.schema +
+                     "' (want vpm-sweep-1)";
+        return false;
+    }
+    out.name = stringOr(root.find("name"), "");
+    out.threads = static_cast<int>(numberOr(root.find("threads"), 1.0));
+    out.exec = stringOr(root.find("exec"), "inproc");
+    const JsonValue *cells = root.find("cells");
+    if (!cells || !cells->isArray()) {
+        if (error)
+            *error = "missing 'cells' array";
+        return false;
+    }
+    for (const JsonValue &node : cells->array) {
+        SweepCell cell;
+        if (!parseCell(node, cell, error))
+            return false;
+        out.cells.push_back(std::move(cell));
+    }
+    return true;
+}
+
+bool
+readCellJson(std::istream &in, SweepCell &out, std::string *error)
+{
+    JsonValue root;
+    if (!parseJson(slurp(in), root, error))
+        return false;
+    return parseCell(root, out, error);
+}
+
+SweepCompareResult
+compareSweepMatrices(const SweepMatrix &base, const SweepMatrix &next,
+                     const SweepCompareOptions &options)
+{
+    SweepCompareResult result;
+    if (base.schema != next.schema) {
+        result.error = "schema mismatch: '" + base.schema + "' vs '" +
+                       next.schema + "'";
+        return result;
+    }
+    result.comparable = true;
+
+    std::unordered_map<std::string, const SweepCell *> base_cells;
+    for (const SweepCell &cell : base.cells)
+        base_cells.emplace(cell.id, &cell);
+
+    for (const SweepCell &next_cell : next.cells) {
+        const auto it = base_cells.find(next_cell.id);
+        if (it == base_cells.end()) {
+            result.onlyInNext.push_back(next_cell.id);
+            continue;
+        }
+        const SweepCell &base_cell = *it->second;
+        base_cells.erase(it);
+
+        if (next_cell.status != CellStatus::Ok) {
+            result.unhealthyNext.push_back(next_cell.id);
+            continue;
+        }
+        if (base_cell.status != CellStatus::Ok)
+            continue; // nothing sound to compare against
+
+        for (const auto &[metric_name, larger_is_worse] :
+             options.gatedMetrics) {
+            const CellMetric *base_metric = base_cell.metric(metric_name);
+            const CellMetric *next_metric = next_cell.metric(metric_name);
+            if (!base_metric || !next_metric)
+                continue;
+            if (!stats::intervalsSeparated(base_metric->ci,
+                                           next_metric->ci))
+                continue; // indistinguishable at 95% — the gate stays quiet
+            SweepDelta delta;
+            delta.cellId = next_cell.id;
+            delta.metric = metric_name;
+            delta.base = base_metric->ci;
+            delta.next = next_metric->ci;
+            const bool larger = next_metric->ci.point > base_metric->ci.point;
+            delta.worse = larger == larger_is_worse;
+            if (delta.worse)
+                result.regressions.push_back(std::move(delta));
+            else
+                result.improvements.push_back(std::move(delta));
+        }
+    }
+    for (const auto &[id, cell] : base_cells)
+        result.onlyInBase.push_back(id);
+    std::sort(result.onlyInBase.begin(), result.onlyInBase.end());
+    return result;
+}
+
+void
+writeSweepComparison(const SweepMatrix &base, const SweepMatrix &next,
+                     const SweepCompareResult &result, std::ostream &out)
+{
+    out << "sweep_compare: '" << base.name << "' (" << base.cells.size()
+        << " cells) vs '" << next.name << "' (" << next.cells.size()
+        << " cells)\n";
+    if (!result.comparable) {
+        out << "  not comparable: " << result.error << "\n";
+        return;
+    }
+    for (const std::string &id : result.onlyInBase)
+        out << "  removed cell (informational): " << id << "\n";
+    for (const std::string &id : result.onlyInNext)
+        out << "  new cell (informational): " << id << "\n";
+    for (const std::string &id : result.unhealthyNext)
+        out << "  UNHEALTHY: " << id << " did not complete\n";
+
+    const auto show = [&](const SweepDelta &delta, const char *tag) {
+        out << "  " << tag << ": " << delta.cellId << " " << delta.metric
+            << " " << delta.base.point << " [" << delta.base.lo << ", "
+            << delta.base.hi << "] -> " << delta.next.point << " ["
+            << delta.next.lo << ", " << delta.next.hi
+            << "] (CIs separated, n=" << delta.base.n << " vs "
+            << delta.next.n << ")\n";
+    };
+    for (const SweepDelta &delta : result.regressions)
+        show(delta, "REGRESSION");
+    for (const SweepDelta &delta : result.improvements)
+        show(delta, "improvement");
+
+    if (!result.regressed() && result.improvements.empty())
+        out << "  no statistically separable change on any gated metric\n";
+    else if (!result.regressed())
+        out << "  no regression (improvements only)\n";
+}
+
+} // namespace vpm::telemetry

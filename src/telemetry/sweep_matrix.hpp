@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The sweep matrix artifact: the stable "vpm-sweep-1" schema produced by
+ * tools/sweep, its reader/writer, and the statistically-gated comparator
+ * behind tools/sweep_compare.
+ *
+ * Schema "vpm-sweep-1":
+ *
+ *     {
+ *       "schema": "vpm-sweep-1",
+ *       "name": "example_grid",          // manifest name
+ *       "threads": 4,                    // concurrent cells (informational)
+ *       "exec": "inproc",                // execution mode (informational)
+ *       "cells": [
+ *         {
+ *           "id": "policy=joint/workload=surge/exit=15/...",
+ *           "index": 0,                  // position in canonical order
+ *           "status": "ok",              // "ok" | "failed" | "timeout"
+ *           "error": "",                 // populated when not ok
+ *           "axes": { "policy": "joint", "workload": "surge",
+ *                     "exit_latency_s": 15, "load_scale": 0.5,
+ *                     "hosts": 8, "vms": 40 },
+ *           "seeds": [42, 43, 44],       // within-cell sample axis
+ *           "repeats": 3,                // wall-clock sample count
+ *           "metrics": {
+ *             "energy_j":          {"point":..,"lo":..,"hi":..,"n":3},
+ *             "sla_violation_pct": {...},   // n = seeds (deterministic)
+ *             "wake_p99_s":        {...},   // n = seeds (deterministic)
+ *             "wall_ms":           {...},   // n = repeats (wall-clock)
+ *             "events_per_sec":    {...}    // n = repeats (wall-clock)
+ *           }
+ *         }, ...
+ *       ]
+ *     }
+ *
+ * Sample semantics: the simulator is deterministic given a seed, so
+ * repeats of the same cell cannot produce new values for energy/SLA/wake
+ * metrics — their intervals come from the manifest's seed list (one
+ * deterministic run per seed). Wall-clock metrics are the opposite: seeds
+ * are pooled into one timed execution and the repeat count provides the
+ * samples. Consequently everything except wall_ms/events_per_sec is
+ * byte-identical across --threads values; the comparator never gates on
+ * the wall metrics by default.
+ *
+ * Stability contract: identical to vpm-bench-1 — fields are only added,
+ * never renamed; a breaking change bumps the schema string and
+ * sweep_compare refuses mixed versions. Cell identity for comparison is
+ * the "id" string (the canonical axis assignment), so re-ordering axes in
+ * a manifest does not silently re-pair cells.
+ */
+
+#ifndef VPM_TELEMETRY_SWEEP_MATRIX_HPP
+#define VPM_TELEMETRY_SWEEP_MATRIX_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/ci.hpp"
+
+namespace vpm::telemetry {
+
+/** Terminal state of one sweep cell. */
+enum class CellStatus
+{
+    Ok,      ///< ran to completion; metrics are populated
+    Failed,  ///< the cell process/body failed; see error
+    Timeout, ///< the cell process exceeded the per-cell timeout
+};
+
+const char *toString(CellStatus status);
+
+/** One axis assignment, kept ordered so cell ids are canonical. */
+struct AxisValue
+{
+    std::string axis;  ///< "policy", "workload", "exit_latency_s", ...
+    std::string value; ///< formatted value ("joint", "15", "0.5")
+};
+
+/** One named interval estimate inside a cell. */
+struct CellMetric
+{
+    std::string name; ///< "energy_j", "sla_violation_pct", ...
+    stats::ConfidenceInterval ci;
+};
+
+/** One cell of the sweep matrix. */
+struct SweepCell
+{
+    std::string id;     ///< canonical "axis=value/..." string
+    std::uint64_t index = 0;
+    CellStatus status = CellStatus::Ok;
+    std::string error;
+    std::vector<AxisValue> axes;
+    std::vector<std::uint64_t> seeds;
+    int repeats = 0;
+    std::vector<CellMetric> metrics;
+
+    /** The named metric, or nullptr when absent. */
+    const CellMetric *metric(const std::string &name) const;
+
+    /** The named axis value, or "" when absent. */
+    std::string axis(const std::string &name) const;
+};
+
+/** The whole matrix artifact. */
+struct SweepMatrix
+{
+    std::string schema = "vpm-sweep-1";
+    std::string name;
+    int threads = 1;
+    std::string exec = "inproc";
+    std::vector<SweepCell> cells;
+
+    /** The cell with the given id, or nullptr. */
+    const SweepCell *cell(const std::string &id) const;
+};
+
+/** Serialize @p matrix (pretty, stable field order, %.17g numbers). */
+void writeSweepJson(const SweepMatrix &matrix, std::ostream &out);
+
+/** Serialize a single cell as a standalone JSON object (the per-cell
+ *  resume file and the child-process handoff format). */
+void writeCellJson(const SweepCell &cell, std::ostream &out);
+
+/**
+ * Parse a matrix previously written by writeSweepJson (unknown extra
+ * fields tolerated). @return false with @p error set on malformed input
+ * or a schema mismatch.
+ */
+bool readSweepJson(std::istream &in, SweepMatrix &out, std::string *error);
+
+/** Parse a standalone cell object written by writeCellJson. */
+bool readCellJson(std::istream &in, SweepCell &out, std::string *error);
+
+/** Knobs for compareSweepMatrices. */
+struct SweepCompareOptions
+{
+    /**
+     * Metrics gated on, in report order, with their direction: true means
+     * larger is worse. The default set covers the deterministic policy
+     * metrics only — wall_ms/events_per_sec are machine-dependent and
+     * would make the gate flaky across runners.
+     */
+    std::vector<std::pair<std::string, bool>> gatedMetrics = {
+        {"energy_j", true},
+        {"sla_violation_pct", true},
+        {"wake_p99_s", true},
+    };
+};
+
+/** One statistically-significant per-cell metric change. */
+struct SweepDelta
+{
+    std::string cellId;
+    std::string metric;
+    stats::ConfidenceInterval base;
+    stats::ConfidenceInterval next;
+    bool worse = false; ///< direction after applying the metric's polarity
+};
+
+/** Outcome of comparing two matrices. */
+struct SweepCompareResult
+{
+    bool comparable = false;
+    std::string error;
+
+    /** CI-separated changes in the worse direction — the gate. */
+    std::vector<SweepDelta> regressions;
+
+    /** CI-separated changes in the better direction (informational). */
+    std::vector<SweepDelta> improvements;
+
+    /** Cells present on only one side (informational, never a gate). */
+    std::vector<std::string> onlyInBase;
+    std::vector<std::string> onlyInNext;
+
+    /** Cells that are not ok on either side (reported, gate on next). */
+    std::vector<std::string> unhealthyNext;
+
+    bool regressed() const
+    {
+        return !regressions.empty() || !unhealthyNext.empty();
+    }
+};
+
+/**
+ * Compare @p next against @p base cell-by-cell (matched by id). A metric
+ * counts as a regression only when it moved in the worse direction AND
+ * the two confidence intervals do not overlap — overlapping intervals
+ * mean the sweep cannot distinguish the runs at 95% confidence, so the
+ * gate stays quiet. Cells that are failed/timeout in @p next gate
+ * unconditionally.
+ */
+SweepCompareResult compareSweepMatrices(const SweepMatrix &base,
+                                        const SweepMatrix &next,
+                                        const SweepCompareOptions &options);
+
+/** Human-readable comparison report. */
+void writeSweepComparison(const SweepMatrix &base, const SweepMatrix &next,
+                          const SweepCompareResult &result,
+                          std::ostream &out);
+
+} // namespace vpm::telemetry
+
+#endif // VPM_TELEMETRY_SWEEP_MATRIX_HPP

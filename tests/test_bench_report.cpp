@@ -106,6 +106,16 @@ TEST(BenchCompare, IdenticalReportsDoNotRegress)
     EXPECT_FALSE(result.regressed());
 }
 
+/** The legacy threshold gate (both sample reports have 3 runs, which
+ *  would select the CI gate by default). */
+CompareOptions
+thresholdOnly()
+{
+    CompareOptions options;
+    options.ciGate = false;
+    return options;
+}
+
 TEST(BenchCompare, HeadlineWallClockRegressionPastThresholdTrips)
 {
     const BenchReport base = sampleReport();
@@ -113,8 +123,9 @@ TEST(BenchCompare, HeadlineWallClockRegressionPastThresholdTrips)
     next.medianWallMs = base.medianWallMs * 1.10; // +10% > 5% default
 
     const CompareResult result =
-        compareBenchReports(base, next, CompareOptions{});
+        compareBenchReports(base, next, thresholdOnly());
     ASSERT_TRUE(result.comparable);
+    EXPECT_FALSE(result.usedCiGate);
     ASSERT_TRUE(result.regressed());
     bool named = false;
     for (const Regression &reg : result.regressions)
@@ -130,7 +141,7 @@ TEST(BenchCompare, HeadlineRegressionWithinThresholdPasses)
     next.eventsPerSec = base.eventsPerSec * 0.97; // −3% < 5% default
 
     const CompareResult result =
-        compareBenchReports(base, next, CompareOptions{});
+        compareBenchReports(base, next, thresholdOnly());
     ASSERT_TRUE(result.comparable);
     EXPECT_FALSE(result.regressed());
 }
@@ -142,9 +153,83 @@ TEST(BenchCompare, ThroughputDropIsARegression)
     next.eventsPerSec = base.eventsPerSec * 0.80;
 
     const CompareResult result =
-        compareBenchReports(base, next, CompareOptions{});
+        compareBenchReports(base, next, thresholdOnly());
     ASSERT_TRUE(result.regressed());
     EXPECT_EQ(result.regressions[0].what, "events_per_sec");
+}
+
+TEST(BenchCompare, CiGateEngagesWithThreeRunsPerSide)
+{
+    // Disjoint run samples: base around 100 ms, candidate around 150 ms.
+    BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.runs = {{151.0, 12345}, {149.5, 12345}, {150.25, 12345}};
+    next.medianWallMs = 150.25;
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_TRUE(result.usedCiGate);
+    ASSERT_TRUE(result.regressed());
+    EXPECT_EQ(result.regressions[0].what, "median_wall_ms");
+}
+
+TEST(BenchCompare, CiGateStaysQuietWhenIntervalsOverlap)
+{
+    // +10% median would trip the 5% threshold, but the per-run samples
+    // are noisy enough that the intervals overlap — not distinguishable.
+    BenchReport base = sampleReport();
+    base.runs = {{80.0, 12345}, {100.0, 12345}, {120.0, 12345}};
+    base.medianWallMs = 100.0;
+    BenchReport next = sampleReport();
+    next.runs = {{90.0, 12345}, {110.0, 12345}, {130.0, 12345}};
+    next.medianWallMs = 110.0;
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_TRUE(result.usedCiGate);
+    EXPECT_FALSE(result.regressed());
+}
+
+TEST(BenchCompare, CiGateRequiresThreeRunsOnBothSides)
+{
+    BenchReport base = sampleReport();
+    base.runs.resize(2); // too few: fall back to the threshold path
+    BenchReport next = sampleReport();
+    next.medianWallMs = base.medianWallMs * 1.10;
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_FALSE(result.usedCiGate);
+    EXPECT_TRUE(result.regressed()); // the 5% threshold still applies
+}
+
+TEST(BenchCompare, CiGateFasterCandidateIsNeverARegression)
+{
+    BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.runs = {{50.0, 12345}, {49.5, 12345}, {50.25, 12345}};
+    next.medianWallMs = 50.0; // clearly separated, but faster
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_TRUE(result.usedCiGate);
+    EXPECT_FALSE(result.regressed());
+}
+
+TEST(BenchCompare, CiGateComparisonTextMentionsTheGate)
+{
+    const BenchReport report = sampleReport();
+    const CompareOptions options;
+    const CompareResult result =
+        compareBenchReports(report, report, options);
+    EXPECT_TRUE(result.usedCiGate);
+    std::ostringstream out;
+    writeComparison(report, report, options, result, out);
+    EXPECT_NE(out.str().find("95% CI overlap"), std::string::npos);
 }
 
 TEST(BenchCompare, InjectedZoneRegressionNamesTheZonePath)
@@ -182,11 +267,11 @@ TEST(BenchCompare, CustomThresholdTightensTheGate)
     BenchReport next = sampleReport();
     next.medianWallMs = base.medianWallMs * 1.03; // +3%
 
-    CompareOptions strict;
+    CompareOptions strict = thresholdOnly();
     strict.thresholdPct = 1.0;
     EXPECT_TRUE(compareBenchReports(base, next, strict).regressed());
     EXPECT_FALSE(
-        compareBenchReports(base, next, CompareOptions{}).regressed());
+        compareBenchReports(base, next, thresholdOnly()).regressed());
 }
 
 TEST(BenchCompare, NewAndRemovedZonesAreNotRegressions)
@@ -266,7 +351,7 @@ TEST(BenchCompare, ComparisonTextNamesRegressedMetrics)
     next.medianWallMs = base.medianWallMs * 1.5;
     next.zones[2].exclMs = base.zones[2].exclMs * 2.0;
 
-    const CompareOptions options;
+    const CompareOptions options = thresholdOnly();
     const CompareResult result = compareBenchReports(base, next, options);
     std::ostringstream out;
     writeComparison(base, next, options, result, out);

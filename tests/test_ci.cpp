@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Confidence-interval layer tests: degenerate inputs (n = 0, 1, 2,
+ * identical samples), heavy-tailed bootstrap behaviour, determinism, the
+ * interval-separation gate predicate, and the Mann-Whitney rank-sum test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/ci.hpp"
+
+namespace vpm::stats {
+namespace {
+
+TEST(ConfidenceIntervalTest, EmptySampleYieldsEmptyInterval)
+{
+    for (const CiMethod method :
+         {CiMethod::TBased, CiMethod::BootstrapPercentile}) {
+        const ConfidenceInterval ci = confidenceInterval({}, method);
+        EXPECT_TRUE(ci.empty());
+        EXPECT_EQ(ci.n, 0u);
+        EXPECT_EQ(ci.width(), 0.0);
+    }
+}
+
+TEST(ConfidenceIntervalTest, SingleSampleYieldsZeroWidthAtTheSample)
+{
+    for (const CiMethod method :
+         {CiMethod::TBased, CiMethod::BootstrapPercentile}) {
+        const ConfidenceInterval ci = confidenceInterval({7.25}, method);
+        EXPECT_FALSE(ci.empty());
+        EXPECT_EQ(ci.n, 1u);
+        EXPECT_EQ(ci.point, 7.25);
+        EXPECT_EQ(ci.lo, 7.25);
+        EXPECT_EQ(ci.hi, 7.25);
+    }
+}
+
+TEST(ConfidenceIntervalTest, TwoSamplesYieldFiniteIntervalContainingBoth)
+{
+    const ConfidenceInterval ci = confidenceInterval({10.0, 12.0});
+    EXPECT_EQ(ci.n, 2u);
+    EXPECT_TRUE(std::isfinite(ci.lo));
+    EXPECT_TRUE(std::isfinite(ci.hi));
+    // df = 1 has a wide t critical value (12.7): the interval must at
+    // least cover the samples.
+    EXPECT_LE(ci.lo, 10.0);
+    EXPECT_GE(ci.hi, 12.0);
+    EXPECT_GE(ci.point, 10.0);
+    EXPECT_LE(ci.point, 12.0);
+}
+
+TEST(ConfidenceIntervalTest, IdenticalSamplesCollapseToZeroWidth)
+{
+    const std::vector<double> samples(5, 3.5);
+    for (const CiMethod method :
+         {CiMethod::TBased, CiMethod::BootstrapPercentile}) {
+        const ConfidenceInterval ci = confidenceInterval(samples, method);
+        EXPECT_EQ(ci.point, 3.5);
+        EXPECT_EQ(ci.lo, 3.5);
+        EXPECT_EQ(ci.hi, 3.5);
+        EXPECT_EQ(ci.n, 5u);
+    }
+}
+
+TEST(ConfidenceIntervalTest, PointLiesInsideTheInterval)
+{
+    const std::vector<double> samples = {3.0, 1.0, 4.0, 1.0, 5.0,
+                                         9.0, 2.0, 6.0};
+    for (const CiMethod method :
+         {CiMethod::TBased, CiMethod::BootstrapPercentile}) {
+        const ConfidenceInterval ci = confidenceInterval(samples, method);
+        EXPECT_LE(ci.lo, ci.point);
+        EXPECT_GE(ci.hi, ci.point);
+        EXPECT_GT(ci.width(), 0.0);
+    }
+}
+
+TEST(ConfidenceIntervalTest, HeavyTailBootstrapStaysNearTheMedian)
+{
+    // One extreme outlier: the bootstrap median interval must not be
+    // dragged to the outlier the way a mean-based interval is.
+    const std::vector<double> samples = {1.0, 1.1, 0.9,  1.05,
+                                         0.95, 1.0, 1e6};
+    const ConfidenceInterval boot =
+        confidenceInterval(samples, CiMethod::BootstrapPercentile);
+    EXPECT_NEAR(boot.point, 1.0, 0.2);
+    EXPECT_LT(boot.hi, 1e6); // upper bound well below the outlier
+
+    const ConfidenceInterval t = confidenceInterval(samples);
+    // The t interval's width blows up with the outlier's variance.
+    EXPECT_GT(t.width(), boot.width());
+}
+
+TEST(ConfidenceIntervalTest, BootstrapIsDeterministicGivenSeed)
+{
+    const std::vector<double> samples = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+    const ConfidenceInterval a = confidenceInterval(
+        samples, CiMethod::BootstrapPercentile, 500, 1234);
+    const ConfidenceInterval b = confidenceInterval(
+        samples, CiMethod::BootstrapPercentile, 500, 1234);
+    EXPECT_EQ(a.lo, b.lo);
+    EXPECT_EQ(a.hi, b.hi);
+    EXPECT_EQ(a.point, b.point);
+
+    const ConfidenceInterval c = confidenceInterval(
+        samples, CiMethod::BootstrapPercentile, 500, 99);
+    // A different stream may coincide, but lo and hi both matching the
+    // first stream exactly would be suspicious; only assert validity.
+    EXPECT_LE(c.lo, c.point);
+    EXPECT_GE(c.hi, c.point);
+}
+
+TEST(IntervalSeparationTest, DisjointIntervalsAreSeparated)
+{
+    const ConfidenceInterval a{1.0, 0.5, 1.5, 5};
+    const ConfidenceInterval b{3.0, 2.5, 3.5, 5};
+    EXPECT_TRUE(intervalsSeparated(a, b));
+    EXPECT_TRUE(intervalsSeparated(b, a));
+}
+
+TEST(IntervalSeparationTest, OverlappingIntervalsAreNot)
+{
+    const ConfidenceInterval a{1.0, 0.5, 2.6, 5};
+    const ConfidenceInterval b{3.0, 2.5, 3.5, 5};
+    EXPECT_FALSE(intervalsSeparated(a, b));
+}
+
+TEST(IntervalSeparationTest, TouchingEndpointsCountAsOverlap)
+{
+    const ConfidenceInterval a{1.0, 0.5, 2.5, 5};
+    const ConfidenceInterval b{3.0, 2.5, 3.5, 5};
+    EXPECT_FALSE(intervalsSeparated(a, b));
+}
+
+TEST(IntervalSeparationTest, EmptyIntervalsAreNeverSeparated)
+{
+    const ConfidenceInterval empty{};
+    const ConfidenceInterval real{3.0, 2.5, 3.5, 5};
+    EXPECT_FALSE(intervalsSeparated(empty, real));
+    EXPECT_FALSE(intervalsSeparated(real, empty));
+    EXPECT_FALSE(intervalsSeparated(empty, empty));
+}
+
+TEST(IntervalSeparationTest, ZeroWidthIntervalsSeparateWhenDistinct)
+{
+    // Deterministic metrics produce zero-width intervals; two different
+    // deterministic values ARE distinguishable.
+    const ConfidenceInterval a{1.0, 1.0, 1.0, 3};
+    const ConfidenceInterval b{2.0, 2.0, 2.0, 3};
+    EXPECT_TRUE(intervalsSeparated(a, b));
+    EXPECT_FALSE(intervalsSeparated(a, a));
+}
+
+TEST(TCriticalTest, TableMatchesKnownValuesAndAsymptote)
+{
+    EXPECT_NEAR(tCritical975(1), 12.706, 0.01);
+    EXPECT_NEAR(tCritical975(4), 2.776, 0.01);
+    EXPECT_NEAR(tCritical975(30), 2.042, 0.01);
+    EXPECT_NEAR(tCritical975(1000), 1.96, 0.01);
+    EXPECT_TRUE(std::isinf(tCritical975(0)));
+}
+
+TEST(MannWhitneyTest, ClearlyShiftedSamplesGiveSmallP)
+{
+    const std::vector<double> a = {1.0, 1.1, 1.2, 0.9, 1.05,
+                                   0.95, 1.15, 1.02};
+    const std::vector<double> b = {2.0, 2.1, 2.2, 1.9, 2.05,
+                                   1.95, 2.15, 2.02};
+    const RankSumResult result = mannWhitneyU(a, b);
+    ASSERT_TRUE(result.valid);
+    EXPECT_LT(result.pTwoSided, 0.01);
+}
+
+TEST(MannWhitneyTest, SameDistributionGivesLargeP)
+{
+    const std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+    const std::vector<double> b = {1.5, 2.5, 3.5, 4.5, 5.5, 0.5};
+    const RankSumResult result = mannWhitneyU(a, b);
+    ASSERT_TRUE(result.valid);
+    EXPECT_GT(result.pTwoSided, 0.2);
+}
+
+TEST(MannWhitneyTest, TinySamplesAreInvalid)
+{
+    EXPECT_FALSE(mannWhitneyU({1.0}, {2.0, 3.0}).valid);
+    EXPECT_FALSE(mannWhitneyU({1.0, 2.0}, {3.0}).valid);
+    EXPECT_FALSE(mannWhitneyU({}, {}).valid);
+}
+
+TEST(MannWhitneyTest, AllTiedSamplesAreInvalid)
+{
+    const std::vector<double> same(4, 5.0);
+    const RankSumResult result = mannWhitneyU(same, same);
+    EXPECT_FALSE(result.valid);
+    EXPECT_EQ(result.pTwoSided, 1.0);
+}
+
+} // namespace
+} // namespace vpm::stats

@@ -5,7 +5,14 @@
  * Usage:
  *     bench_compare <baseline.json> <candidate.json>
  *                   [--threshold-pct <p>] [--zone-threshold-pct <p>]
- *                   [--min-zone-ms <ms>] [--advisory]
+ *                   [--min-zone-ms <ms>] [--no-ci] [--advisory]
+ *
+ * Headline gating: when BOTH reports carry >= 3 measured runs, the wall
+ * time is gated on 95% confidence-interval overlap (a regression needs
+ * the candidate's CI to sit entirely above the baseline's), which is
+ * robust to runner noise that a raw percentage threshold is not.
+ * `--no-ci` forces the legacy median-vs-median percentage gate; reports
+ * with fewer runs always use it.
  *
  * Exit codes: 0 no regression (or --advisory), 1 regression past a
  * threshold, 2 usage error, 3 unreadable/mismatched input. CI runs this
@@ -34,8 +41,12 @@ printUsage(std::FILE *out)
         "       [--zone-threshold-pct <p>]  per-zone exclusive-time gate "
         "(default 25)\n"
         "       [--min-zone-ms <ms>]        zone noise floor (default 1)\n"
+        "       [--no-ci]                   force the raw %% headline gate "
+        "even\n"
+        "                                   when both sides have >= 3 runs\n"
         "       [--advisory]                report but always exit 0\n"
-        "       [--help]\n");
+        "       [--help]\n"
+        "exit codes: 0 ok/advisory, 1 regression, 2 usage, 3 bad input\n");
 }
 
 bool
@@ -93,6 +104,8 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--advisory") {
             advisory = true;
+        } else if (arg == "--no-ci") {
+            options.ciGate = false;
         } else if (arg == "--threshold-pct") {
             if (!parseDouble(value("--threshold-pct"),
                              options.thresholdPct)) {
