@@ -20,6 +20,13 @@
  *                          --bench-json)
  *   --threads <n>          evaluation worker threads (default 1); results
  *                          are bit-identical at any value
+ *   --timeseries <path>    compressed vpm-ts-1 snapshot of the downsampling
+ *                          store (+ <path>.prom Prometheus text), refreshed
+ *                          periodically and finalized at exit; inspect with
+ *                          tools/vpm_top
+ *   --watchdog <rules>     JSON watchdog rules evaluated as buckets seal
+ *                          (implies the time-series store); alerts land in
+ *                          the journal as `alert` records
  *   --help                 usage; unknown flags print usage and exit 2
  */
 
@@ -37,6 +44,7 @@
 #include <functional>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -71,6 +79,8 @@ struct BenchArgs
     int repeat = 1;
     int warmup = 0;
     int threads = 1; ///< --threads (evaluation worker pool size)
+    std::string timeseriesPath; ///< --timeseries (vpm-ts-1 snapshot)
+    std::string watchdogPath;   ///< --watchdog (JSON rule file)
 };
 
 inline void
@@ -81,7 +91,8 @@ printUsage(const char *bench_id, std::FILE *out)
         "usage: bench_%s [--quick] [--trace <path>] [--json <path>]\n"
         "       [--profile] [--profile-trace <path>]\n"
         "       [--bench-json <path>] [--repeat <n>] [--warmup <n>]\n"
-        "       [--threads <n>] [--help]\n",
+        "       [--threads <n>] [--timeseries <path>]\n"
+        "       [--watchdog <rules.json>] [--help]\n",
         bench_id);
 }
 
@@ -112,11 +123,30 @@ parseIntFlag(const char *bench_id, const char *flag, const char *text,
     return static_cast<int>(parsed);
 }
 
+/** Read a whole file into a string; exits 2 (with usage) when unreadable.
+ *  Used for the --watchdog rule file. */
+inline std::string
+slurpFileOrDie(const char *bench_id, const char *flag,
+               const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_%s: %s: cannot read '%s'\n", bench_id,
+                     flag, path.c_str());
+        printUsage(bench_id, stderr);
+        std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
 /**
- * The one flag parser all benches share. Side effect: `--trace` switches
- * the global telemetry sink on (journal sized for a full bench run)
- * BEFORE any simulator objects are built, exactly like the old traceFlag
- * helper did. `--help` prints usage and exits 0; an unknown flag or a
+ * The one flag parser all benches share. Side effect: `--trace`,
+ * `--timeseries` and `--watchdog` switch the global telemetry sink on
+ * (journal sized for a full bench run / time-series store enabled) BEFORE
+ * any simulator objects are built, exactly like the old traceFlag helper
+ * did. `--help` prints usage and exits 0; an unknown flag or a
  * malformed/out-of-range flag value prints usage and exits 2.
  */
 inline BenchArgs
@@ -148,10 +178,10 @@ parseArgs(const char *bench_id, int argc, char **argv)
             args.profile = true;
         } else if (arg == "--trace") {
             args.tracePath = value("--trace");
-            telemetry::TelemetryConfig config;
-            config.enabled = true;
-            config.journalCapacity = 1u << 20;
-            telemetry::global().configure(config);
+        } else if (arg == "--timeseries") {
+            args.timeseriesPath = value("--timeseries");
+        } else if (arg == "--watchdog") {
+            args.watchdogPath = value("--watchdog");
         } else if (arg == "--json") {
             args.jsonPath = value("--json");
         } else if (arg == "--bench-json") {
@@ -185,6 +215,39 @@ parseArgs(const char *bench_id, int argc, char **argv)
             args.repeat = 5;
         if (!saw_warmup)
             args.warmup = 1;
+    }
+
+    // Configure the global sink exactly once, after all flags are seen,
+    // so --trace and --timeseries compose instead of the later flag's
+    // configure() clobbering the earlier one.
+    const bool want_store =
+        !args.timeseriesPath.empty() || !args.watchdogPath.empty();
+    if (!args.tracePath.empty() || want_store) {
+        telemetry::TelemetryConfig config;
+        config.enabled = true;
+        // A deep ring only pays off when the journal is exported at the
+        // end (--trace). Store-only runs keep a small ring so watchdog
+        // alerts stay inspectable without the preallocation cost.
+        config.journalCapacity =
+            args.tracePath.empty() ? (1u << 14) : (1u << 20);
+        // Per-tick metric rows only matter when the trace export will
+        // write them out.
+        config.seriesRowsEnabled = !args.tracePath.empty();
+        config.timeseriesEnabled = want_store;
+        telemetry::global().configure(config);
+        if (!args.timeseriesPath.empty())
+            telemetry::global().setSnapshotTarget(args.timeseriesPath);
+        if (!args.watchdogPath.empty()) {
+            const std::string rules = slurpFileOrDie(
+                bench_id, "--watchdog", args.watchdogPath);
+            std::string error;
+            if (!telemetry::global().watchdog().configure(rules, &error)) {
+                std::fprintf(stderr,
+                             "bench_%s: --watchdog %s: %s\n", bench_id,
+                             args.watchdogPath.c_str(), error.c_str());
+                std::exit(2);
+            }
+        }
     }
     return args;
 }
@@ -262,6 +325,22 @@ collectZoneRows(const std::vector<telemetry::ZoneNode> &nodes,
  * deltas recorded; then the BENCH_*.json report (median-of-N), the
  * self-profile text report, and the wall-clock Chrome trace, as requested.
  */
+/** Final --timeseries snapshot write: a complete whole-store dump at
+ *  process end (the periodic refreshes may have stopped mid-run). */
+inline void
+finishTimeseries(const BenchArgs &args)
+{
+    if (args.timeseriesPath.empty())
+        return;
+    if (telemetry::global().writeSnapshotFiles()) {
+        std::printf("\ntimeseries snapshot written: %s (+ .prom text); "
+                    "inspect with vpm_top\n", args.timeseriesPath.c_str());
+    } else {
+        std::fprintf(stderr, "cannot write timeseries snapshot '%s'\n",
+                     args.timeseriesPath.c_str());
+    }
+}
+
 inline int
 runBench(const BenchArgs &args, const std::function<void()> &body)
 {
@@ -269,6 +348,7 @@ runBench(const BenchArgs &args, const std::function<void()> &body)
     if (!measuring && !args.profile && args.repeat == 1 &&
         args.warmup == 0) {
         body();
+        finishTimeseries(args);
         return 0;
     }
 
@@ -396,6 +476,7 @@ runBench(const BenchArgs &args, const std::function<void()> &body)
                     args.benchJsonPath.c_str(), median_wall, args.repeat,
                     report.eventsPerSec);
     }
+    finishTimeseries(args);
     return 0;
 }
 

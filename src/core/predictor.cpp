@@ -223,6 +223,13 @@ ForecastTracker::observe(std::int64_t t_us, double actual,
         telemetry::Telemetry &tel = telemetry::global();
         tel.journal().forecast(t_us, name_, pendingForecast_, actual);
         tel.metrics().gauge("predictor.mae").set(meanAbsoluteError());
+        // Per-cycle |error| history: one shared series across trackers, so
+        // the watchdog can alarm on forecast quality regardless of which
+        // predictor the policy runs.
+        telemetry::TimeSeriesStore &store = tel.timeseries();
+        if (store.enabled())
+            store.record(store.seriesId("forecast.abs_error"), t_us,
+                         std::abs(pendingForecast_ - actual));
     }
     pendingForecast_ = next_forecast;
     hasPending_ = true;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <utility>
 
 #include "power/idle_hierarchy.hpp"
@@ -66,6 +65,7 @@ DatacenterSim::start()
                 hostsOnTracker_.update(
                     simulator_.now(),
                     static_cast<double>(cluster_.hostsOn()));
+                hostCountsDirty_ = true;
             });
     }
 
@@ -88,6 +88,28 @@ DatacenterSim::evaluationTick()
                         [this] { evaluationTick(); }, "dcsim.evaluate");
 }
 
+std::size_t
+DatacenterSim::idleOccSlot(const std::string &name)
+{
+    const auto it = idleOccIndex_.find(name);
+    if (it != idleOccIndex_.end())
+        return it->second;
+    const std::size_t idx = idleOccSlots_.size();
+    IdleOccSlot slot;
+    slot.name = name;
+    slot.gauge = &telemetry::global().metrics().gauge(name);
+    idleOccSlots_.push_back(std::move(slot));
+    idleOccIndex_.emplace(name, idx);
+    idleOccOrder_.push_back(idx);
+    // Slot creation is rare (new level name); re-sorting here keeps every
+    // per-tick visit a plain ordered walk.
+    std::sort(idleOccOrder_.begin(), idleOccOrder_.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return idleOccSlots_[a].name < idleOccSlots_[b].name;
+              });
+    return idx;
+}
+
 void
 DatacenterSim::sampleTelemetry()
 {
@@ -96,61 +118,136 @@ DatacenterSim::sampleTelemetry()
     if (!tel.enabled())
         return;
 
-    // O(hosts): powerWatts and vmDemandMhz read the aggregates the
-    // evaluate pass just memoized instead of re-summing every VM.
+    // O(hosts) of plain loads: the evaluate pass just pushed each host's
+    // power into its energy meter (updatePowerDraw) and refreshed the
+    // per-host demand cache, so summing heldWatts()/vmDemandMhz() here
+    // reads memoized values instead of recomputing the power model per
+    // host — and reports exactly the power the energy accounting is
+    // integrating.
     double watts = 0.0;
     double demand_mhz = 0.0;
     // Per-level idle-hierarchy occupancy across the fleet: how many cores
-    // (and packages) are resident at each named state right now.
-    std::map<std::string, double> idle_occupancy;
+    // (and packages) are resident at each named state right now. A slot
+    // whose epoch matches this tick was touched; everything else reads 0.
+    ++idleOccEpoch_;
+    const auto touch = [this](std::size_t idx, double v) {
+        IdleOccSlot &slot = idleOccSlots_[idx];
+        if (slot.epoch != idleOccEpoch_) {
+            slot.epoch = idleOccEpoch_;
+            slot.value = 0.0;
+        }
+        slot.value += v;
+    };
     bool any_hierarchy = false;
     for (const auto &host_ptr : cluster_.hosts()) {
-        watts += host_ptr->powerWatts();
+        watts += host_ptr->meter().heldWatts();
         demand_mhz += host_ptr->vmDemandMhz();
         if (const power::IdleHierarchy *hier = host_ptr->idleHierarchy()) {
             any_hierarchy = true;
             if (!hier->active())
                 continue;
             const power::IdleHierarchySpec &spec = hier->spec();
+            auto spec_it = idleSpecSlots_.find(&spec);
+            if (spec_it == idleSpecSlots_.end()) {
+                SpecOccSlots fresh;
+                fresh.coreC0 = idleOccSlot("cluster.idle.core.C0");
+                fresh.pkgC0 = idleOccSlot("cluster.idle.pkg.C0");
+                for (const auto &state : spec.coreStates)
+                    fresh.coreByDepth.push_back(
+                        idleOccSlot("cluster.idle.core." + state.name));
+                for (const auto &state : spec.packageStates)
+                    fresh.pkgByDepth.push_back(
+                        idleOccSlot("cluster.idle.pkg." + state.name));
+                spec_it =
+                    idleSpecSlots_.emplace(&spec, std::move(fresh)).first;
+            }
+            const SpecOccSlots &slots = spec_it->second;
             const int idle_cores = spec.coreCount - hier->busyCores();
             if (hier->coreDepth() > 0) {
-                idle_occupancy["cluster.idle.core." +
-                               spec.coreStates[static_cast<std::size_t>(
-                                                   hier->coreDepth() - 1)]
-                                   .name] +=
-                    static_cast<double>(idle_cores);
-                idle_occupancy["cluster.idle.core.C0"] +=
-                    static_cast<double>(hier->busyCores());
+                touch(slots.coreByDepth[static_cast<std::size_t>(
+                          hier->coreDepth() - 1)],
+                      static_cast<double>(idle_cores));
+                touch(slots.coreC0, static_cast<double>(hier->busyCores()));
             } else {
-                idle_occupancy["cluster.idle.core.C0"] +=
-                    static_cast<double>(spec.coreCount);
+                touch(slots.coreC0, static_cast<double>(spec.coreCount));
             }
-            if (hier->packageDepth() > 0) {
-                idle_occupancy["cluster.idle.pkg." +
-                               spec.packageStates[static_cast<std::size_t>(
-                                                      hier->packageDepth() -
-                                                      1)]
-                                   .name] += 1.0;
-            } else {
-                idle_occupancy["cluster.idle.pkg.C0"] += 1.0;
-            }
+            if (hier->packageDepth() > 0)
+                touch(slots.pkgByDepth[static_cast<std::size_t>(
+                          hier->packageDepth() - 1)],
+                      1.0);
+            else
+                touch(slots.pkgC0, 1.0);
         }
     }
-    tel.metrics().gauge("cluster.power.watts").set(watts);
-    tel.metrics().gauge("cluster.hosts.on")
-        .set(static_cast<double>(cluster_.hostsOn()));
-    tel.metrics().gauge("cluster.demand.mhz").set(demand_mhz);
+    if (hostCountsDirty_) {
+        cachedHostsOn_ = cluster_.hostsOn();
+        cachedHostsAsleep_ = cluster_.hostsAsleep();
+        hostCountsDirty_ = false;
+    }
+    if (wattsGauge_ == nullptr) {
+        wattsGauge_ = &tel.metrics().gauge("cluster.power.watts");
+        hostsOnGauge_ = &tel.metrics().gauge("cluster.hosts.on");
+        demandGauge_ = &tel.metrics().gauge("cluster.demand.mhz");
+    }
+    wattsGauge_->set(watts);
+    hostsOnGauge_->set(static_cast<double>(cachedHostsOn_));
+    demandGauge_->set(demand_mhz);
     if (any_hierarchy) {
-        // Re-zero every known idle gauge first: a level nobody occupies
-        // this tick must read 0, not its last value.
-        for (const std::string &name : idleGaugeNames_)
-            tel.metrics().gauge(name).set(0.0);
-        for (const auto &[name, value] : idle_occupancy) {
-            tel.metrics().gauge(name).set(value);
-            idleGaugeNames_.insert(name);
+        // A level nobody occupies this tick must read 0, not its last
+        // value.
+        for (const std::size_t idx : idleOccOrder_) {
+            IdleOccSlot &slot = idleOccSlots_[idx];
+            slot.gauge->set(slot.epoch == idleOccEpoch_ ? slot.value : 0.0);
+        }
+    }
+    // Downsampling store: the same cluster aggregates, plus queue/
+    // migration pressure, folded into compressed bucket history the
+    // watchdog and vpm_top read.
+    telemetry::TimeSeriesStore &tstore = tel.timeseries();
+    if (tstore.enabled()) {
+        const std::int64_t t_us = simulator_.now().micros();
+        if (!tsMainResolved_) {
+            tsPower_ = tstore.seriesId("cluster.power.watts");
+            tsDemand_ = tstore.seriesId("cluster.demand.mhz");
+            tsHostsOn_ = tstore.seriesId("cluster.hosts.on");
+            tsHostsAsleep_ = tstore.seriesId("cluster.hosts.asleep");
+            tsQueueDepth_ = tstore.seriesId("sim.queue.depth");
+            tsMigInflight_ = tstore.seriesId("migration.inflight");
+            tsBackClamps_ = tstore.seriesId("power.meter.backwards_clamps");
+            backClampsCounter_ =
+                &tel.metrics().counter("power.meter.backwards_clamps");
+            tsMainResolved_ = true;
+        }
+        tstore.record(tsPower_, t_us, watts);
+        tstore.record(tsDemand_, t_us, demand_mhz);
+        tstore.record(tsHostsOn_, t_us,
+                      static_cast<double>(cachedHostsOn_));
+        tstore.record(tsHostsAsleep_, t_us,
+                      static_cast<double>(cachedHostsAsleep_));
+        tstore.record(tsQueueDepth_, t_us,
+                      static_cast<double>(simulator_.pendingCount()));
+        tstore.record(tsMigInflight_, t_us,
+                      static_cast<double>(migration_.activeCount()));
+        tstore.record(tsBackClamps_, t_us,
+                      static_cast<double>(backClampsCounter_->value()));
+        // Idle-hierarchy occupancy reuses the gauge names; levels nobody
+        // occupies this tick simply record nothing (gaps, not zeros).
+        // Name order keeps series registration deterministic.
+        for (const std::size_t idx : idleOccOrder_) {
+            IdleOccSlot &slot = idleOccSlots_[idx];
+            if (slot.epoch != idleOccEpoch_)
+                continue;
+            if (!slot.seriesResolved) {
+                slot.series = tstore.seriesId(slot.name);
+                slot.seriesResolved = true;
+            }
+            tstore.record(slot.series, t_us, slot.value);
         }
     }
     tel.sampleSeries(simulator_.now().micros());
+    // Seal finished buckets and run the watchdog over them; a no-op when
+    // the store is disabled.
+    tel.flushTimeseries(simulator_.now().micros());
 }
 
 void
@@ -219,6 +316,15 @@ DatacenterSim::evaluate()
     // order here, reproducing the sequential record sequence exactly.
     telemetry::EventJournal &journal = telemetry::global().journal();
     const bool journal_on = journal.enabled();
+    // Series ids are interned here on the main thread, before any shard
+    // can touch a recorder: SeriesRecorder keys partials by id, and the
+    // store's intern map is not shard-safe.
+    telemetry::TimeSeriesStore &tstore = telemetry::global().timeseries();
+    const bool ts_on = tstore.enabled();
+    if (ts_on && !tsViolResolved_) {
+        tsViolSat_ = tstore.seriesId("sla.violation.sat");
+        tsViolResolved_ = true;
+    }
     const std::size_t shards =
         sim::ThreadPool::shardCount(placed.size(), kVmShardGrain);
     if (shards <= 1) {
@@ -226,7 +332,9 @@ DatacenterSim::evaluate()
         // the exact code path (and FP summation order) of the historical
         // sequential implementation.
         sampleVms(0, placed.size(), now, journal_on, sla_, latencyWeighted_,
-                  latencyHist_, nullptr);
+                  latencyHist_, nullptr, ts_on ? &seqSeriesRec_ : nullptr);
+        if (ts_on)
+            tstore.mergeRecorder(seqSeriesRec_, now.micros());
         return;
     }
 
@@ -237,10 +345,19 @@ DatacenterSim::evaluate()
         [&](std::size_t shard, std::size_t begin, std::size_t end) {
             ShardSample &acc = shardSamples_[shard];
             sampleVms(begin, end, now, journal_on, acc.sla,
-                      acc.latencyWeighted, acc.latencyHist, &acc.stage);
+                      acc.latencyWeighted, acc.latencyHist, &acc.stage,
+                      ts_on ? &acc.seriesRec : nullptr);
         });
     for (std::size_t shard = 0; shard < shards; ++shard)
         journal.flush(shardSamples_[shard].stage);
+    // Same shard-index-order fold as the journal stages: the bucket the
+    // partials land in is a pure function of `now`, so the store's bytes
+    // stay thread-count-independent.
+    if (ts_on) {
+        for (std::size_t shard = 0; shard < shards; ++shard)
+            tstore.mergeRecorder(shardSamples_[shard].seriesRec,
+                                 now.micros());
+    }
 }
 
 void
@@ -268,23 +385,30 @@ DatacenterSim::sampleVms(std::size_t begin, std::size_t end,
                          stats::SlaTracker &sla,
                          stats::Summary &latency_weighted,
                          stats::Histogram &latency_hist,
-                         telemetry::JournalStage *stage)
+                         telemetry::JournalStage *stage,
+                         telemetry::SeriesRecorder *series_rec)
 {
     for (std::size_t v = begin; v < end; ++v) {
         const Vm *vm_ptr = placedVms_[v];
         const double demand = vm_ptr->currentDemandMhz();
         sla.record(demand, vm_ptr->grantedMhz());
 
-        // Journal each sample that falls below the SLA threshold.
-        if (journal_on && demand > 0.0) {
+        // Journal each sample that falls below the SLA threshold, and fold
+        // its satisfaction into the violation series (whose per-bucket
+        // `count` channel is the violation rate the watchdog watches).
+        if (demand > 0.0) {
             const double sat = vm_ptr->grantedMhz() / demand;
             if (sat < config_.slaThreshold) {
-                if (stage)
-                    stage->slaViolation(now.micros(), vm_ptr->id(), sat,
-                                        demand);
-                else
-                    telemetry::global().journal().slaViolation(
-                        now.micros(), vm_ptr->id(), sat, demand);
+                if (series_rec)
+                    series_rec->record(tsViolSat_, sat);
+                if (journal_on) {
+                    if (stage)
+                        stage->slaViolation(now.micros(), vm_ptr->id(), sat,
+                                            demand);
+                    else
+                        telemetry::global().journal().slaViolation(
+                            now.micros(), vm_ptr->id(), sat, demand);
+                }
             }
         }
 

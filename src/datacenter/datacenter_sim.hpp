@@ -16,6 +16,7 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "datacenter/cluster.hpp"
@@ -25,6 +26,12 @@
 #include "stats/sla_tracker.hpp"
 #include "stats/summary.hpp"
 #include "telemetry/event_journal.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace vpm::power {
+struct IdleHierarchySpec;
+}
 
 namespace vpm::dc {
 
@@ -141,7 +148,8 @@ class DatacenterSim
                    bool journal_on, stats::SlaTracker &sla,
                    stats::Summary &latency_weighted,
                    stats::Histogram &latency_hist,
-                   telemetry::JournalStage *stage);
+                   telemetry::JournalStage *stage,
+                   telemetry::SeriesRecorder *series_rec);
 
     /**
      * The placed VMs in VM-id order. The set only changes when the
@@ -186,9 +194,46 @@ class DatacenterSim
     /** Per-host latency-factor scratch, refilled every evaluation. */
     std::vector<double> latencyFactor_;
 
-    /** Idle-hierarchy occupancy gauges ever touched, so levels that empty
-     *  out are re-zeroed instead of holding their last sample. */
-    std::set<std::string> idleGaugeNames_;
+    /**
+     * @name Idle-hierarchy occupancy accumulation, allocation-free per tick
+     *
+     * Every distinct occupancy gauge ("cluster.idle.core.C6", ...) gets
+     * one slot caching the gauge handle and time-series id, and every
+     * hierarchy spec caches the slot index for each depth, so the
+     * per-host sampling loop is pure integer indexing — no string
+     * concatenation, no map of strings. A slot whose epoch matches the
+     * current tick was touched this tick; stale slots read 0 (a level
+     * nobody occupies must not hold its last sample). Slots are visited
+     * in name order, reproducing the iteration order of the
+     * std::map<std::string, double> accumulator this replaced, which is
+     * observable as series registration order in snapshots.
+     */
+    ///@{
+    struct IdleOccSlot
+    {
+        std::string name;
+        telemetry::Gauge *gauge = nullptr;
+        std::uint32_t series = 0;
+        bool seriesResolved = false;
+        double value = 0.0;
+        std::uint64_t epoch = 0;
+    };
+    struct SpecOccSlots
+    {
+        std::vector<std::size_t> coreByDepth; ///< [depth-1] -> slot index
+        std::vector<std::size_t> pkgByDepth;
+        std::size_t coreC0 = 0;
+        std::size_t pkgC0 = 0;
+    };
+    /** Find or create the slot for @p name (registers the gauge). */
+    std::size_t idleOccSlot(const std::string &name);
+    std::vector<IdleOccSlot> idleOccSlots_;
+    std::vector<std::size_t> idleOccOrder_; ///< slot indices, name-sorted
+    std::unordered_map<std::string, std::size_t> idleOccIndex_;
+    std::unordered_map<const power::IdleHierarchySpec *, SpecOccSlots>
+        idleSpecSlots_;
+    std::uint64_t idleOccEpoch_ = 0;
+    ///@}
 
     /**
      * One shard's private accumulators for the parallel sampling pass.
@@ -207,8 +252,43 @@ class DatacenterSim
         stats::Summary latencyWeighted;
         stats::Histogram latencyHist{1.0, 21.0, 800};
         telemetry::JournalStage stage;
+        /** Time-series partials (violation satisfaction); folded into the
+         *  store in shard index order every tick, like the stage. */
+        telemetry::SeriesRecorder seriesRec;
     };
     std::vector<ShardSample> shardSamples_;
+
+    /** Single-shard counterpart of ShardSample::seriesRec, so both VM-pass
+     *  paths fold series partials through the identical merge. */
+    telemetry::SeriesRecorder seqSeriesRec_;
+
+    /** @name Lazily interned time-series ids (store registrations survive
+     *  reconfiguration, so resolving once per sim is safe). */
+    ///@{
+    bool tsViolResolved_ = false;
+    std::uint32_t tsViolSat_ = 0;
+    bool tsMainResolved_ = false;
+    std::uint32_t tsPower_ = 0;
+    std::uint32_t tsDemand_ = 0;
+    std::uint32_t tsHostsOn_ = 0;
+    std::uint32_t tsHostsAsleep_ = 0;
+    std::uint32_t tsQueueDepth_ = 0;
+    std::uint32_t tsMigInflight_ = 0;
+    std::uint32_t tsBackClamps_ = 0;
+    /** `power.meter.backwards_clamps` counter handle (stable). */
+    telemetry::Counter *backClampsCounter_ = nullptr;
+    /** Cluster-aggregate gauge handles (registry storage is stable). */
+    telemetry::Gauge *wattsGauge_ = nullptr;
+    telemetry::Gauge *hostsOnGauge_ = nullptr;
+    telemetry::Gauge *demandGauge_ = nullptr;
+    ///@}
+
+    /** hostsOn/hostsAsleep are O(hosts) scans; phases change orders of
+     *  magnitude less often than ticks, so the phase-edge observer marks
+     *  the counts dirty and sampleTelemetry() rescans only then. */
+    bool hostCountsDirty_ = true;
+    int cachedHostsOn_ = 0;
+    int cachedHostsAsleep_ = 0;
 };
 
 } // namespace vpm::dc

@@ -29,10 +29,11 @@ Host::Host(sim::Simulator &simulator, HostId id, std::string name,
     });
 
     // Journal this host's power timeline under its cluster id/name, and
-    // mirror the meter into a per-host watts gauge when tracing is on.
+    // mirror the meter into a per-host watts gauge when per-tick metric
+    // rows are collected (the only consumer of per-host gauges).
     fsm_.setTelemetryTrack(id_, name_);
     telemetry::Telemetry &tel = telemetry::global();
-    if (tel.enabled())
+    if (tel.enabled() && tel.config().seriesRowsEnabled)
         meter_.attachTelemetry(
             &tel.metrics().gauge("host." + name_ + ".watts"));
 }

@@ -1,6 +1,7 @@
 #include "power/energy_meter.hpp"
 
 #include "simcore/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vpm::power {
 
@@ -29,6 +30,13 @@ EnergyMeter::update(sim::SimTime t, double watts)
                       static_cast<long long>(t.micros()),
                       static_cast<long long>(lastTime_.micros()));
         }
+        // Count every clamp (the warning fires once): the periodic
+        // telemetry sample turns this into a series a watchdog absence/
+        // rate rule can trip on.
+        telemetry::global()
+            .metrics()
+            .counter("power.meter.backwards_clamps")
+            .increment();
         heldWatts_ = watts;
         if (wattsGauge_)
             wattsGauge_->set(watts);

@@ -46,6 +46,8 @@ toString(EventKind kind)
         return "sla_violation";
       case EventKind::IdleTransition:
         return "idle_transition";
+      case EventKind::Alert:
+        return "alert";
     }
     return "unknown";
 }
@@ -328,6 +330,27 @@ EventJournal::idleTransition(std::int64_t t_us, std::int32_t host,
     ev.b = from_seconds;
     ev.c = joules;
     record(ev);
+}
+
+std::uint64_t
+EventJournal::alert(std::int64_t t_us, std::string_view rule,
+                    std::string_view rule_kind, std::string_view series,
+                    double value, double threshold, int buckets)
+{
+    if (!enabled_)
+        return 0;
+    JournalEvent ev;
+    ev.timeUs = t_us;
+    ev.kind = EventKind::Alert;
+    ev.domain = TrackDomain::Manager;
+    ev.track = 0;
+    ev.labelA = intern(rule);
+    ev.labelB = intern(rule_kind);
+    ev.labelC = intern(series);
+    ev.a = value;
+    ev.b = threshold;
+    ev.c = buckets;
+    return record(ev);
 }
 
 void

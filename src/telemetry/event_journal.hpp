@@ -39,6 +39,7 @@ enum class EventKind : std::uint8_t
     MigrateDecision, ///< manager planned a batch of migrations
     SlaViolation,    ///< a VM-interval fell below the SLA threshold
     IdleTransition,  ///< idle-hierarchy level moved between C-states
+    Alert,           ///< a watchdog rule tripped on the time-series store
 };
 
 /** Stable wire name of an event kind (used by the JSONL exporter). */
@@ -77,6 +78,10 @@ using LabelId = std::uint16_t;
  *                   labelC=to state, a=cores affected (1 for package),
  *                   b=seconds the group spent in the from-state,
  *                   c=transition joules charged.
+ *  Alert:           labelA=rule name, labelB=rule kind ("above"/"below"/
+ *                   "rate_above"/"absence"), labelC=series name,
+ *                   a=observed value, b=threshold, c=consecutive buckets
+ *                   the condition held before tripping.
  *
  * Every record additionally carries the causal context current when it was
  * recorded: `cause` is the decision id responsible for it (0 = none) and
@@ -232,6 +237,13 @@ class EventJournal
                         std::string_view level, std::string_view from,
                         std::string_view to, int cores, double from_seconds,
                         double joules);
+    /** Record a watchdog alert. Carries the ambient TraceContext like any
+     *  other record, so the decision active when the rule tripped is
+     *  recoverable via trace_analyze.
+     *  @return the record's sequence number (0 when disabled). */
+    std::uint64_t alert(std::int64_t t_us, std::string_view rule,
+                        std::string_view rule_kind, std::string_view series,
+                        double value, double threshold, int buckets);
 
     /**
      * Record every event staged in @p stage, in staging order, then clear

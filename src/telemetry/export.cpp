@@ -125,9 +125,33 @@ writeJournalJsonl(const EventJournal &journal, std::ostream &out)
                 << ",\"dur_s\":" << fmtDouble(ev.b)
                 << ",\"joules\":" << fmtDouble(ev.c);
             break;
+          case EventKind::Alert:
+            out << ",\"rule\":\"" << jsonEscape(journal.label(ev.labelA))
+                << "\",\"op\":\"" << jsonEscape(journal.label(ev.labelB))
+                << "\",\"series\":\""
+                << jsonEscape(journal.label(ev.labelC))
+                << "\",\"value\":" << fmtDouble(ev.a)
+                << ",\"threshold\":" << fmtDouble(ev.b)
+                << ",\"buckets\":" << fmtDouble(ev.c);
+            break;
         }
         out << "}\n";
     }
+}
+
+std::string
+csvQuote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
 }
 
 void
@@ -136,7 +160,7 @@ writeMetricsCsv(const Telemetry &telemetry, std::ostream &out)
     PROF_ZONE("telemetry.export.csv");
     out << "t_us";
     for (const std::string &column : telemetry.seriesColumns())
-        out << ',' << column;
+        out << ',' << csvQuote(column);
     out << '\n';
     for (const SeriesRow &row : telemetry.seriesRows()) {
         out << row.timeUs;
@@ -304,6 +328,15 @@ writeChromeTrace(const Telemetry &telemetry, std::ostream &out)
                  << ev.track << ",\"ts\":" << ev.timeUs
                  << ",\"args\":{\"satisfaction\":" << fmtDouble(ev.a)
                  << "}}";
+            emit(line.str());
+            break;
+          case EventKind::Alert:
+            line << "{\"ph\":\"i\",\"s\":\"g\",\"cat\":\"alert\","
+                    "\"name\":\"alert "
+                 << jsonEscape(journal.label(ev.labelA))
+                 << "\",\"pid\":" << kPidManager << ",\"tid\":0,\"ts\":"
+                 << ev.timeUs << ",\"args\":{\"value\":" << fmtDouble(ev.a)
+                 << ",\"threshold\":" << fmtDouble(ev.b) << "}}";
             emit(line.str());
             break;
         }

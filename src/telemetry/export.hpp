@@ -23,6 +23,15 @@
 
 namespace vpm::telemetry {
 
+/**
+ * RFC 4180 CSV quoting: a cell containing a comma, quote, CR or LF is
+ * wrapped in quotes with embedded quotes doubled; anything else passes
+ * through untouched. Shared by every CSV writer (metric series,
+ * trace_inspect) so user-supplied strings — watchdog rule names, track
+ * names — cannot break row structure.
+ */
+std::string csvQuote(const std::string &cell);
+
 /** One event per line; see DESIGN.md for the per-kind field layout. */
 void writeJournalJsonl(const EventJournal &journal, std::ostream &out);
 

@@ -15,10 +15,16 @@ HistogramMetric::HistogramMetric(std::string name, double lo, double hi,
 }
 
 HistogramMetric::HistogramMetric(const HistogramMetric &other)
-    : name_(other.name_), lo_(other.lo_), hi_(other.hi_),
-      counts_(other.counts_), underflow_(other.underflow_),
-      overflow_(other.overflow_), count_(other.count_), sum_(other.sum_)
+    : name_(other.name_)
 {
+    const std::lock_guard<std::mutex> guard(other.observeMutex_);
+    lo_ = other.lo_;
+    hi_ = other.hi_;
+    counts_ = other.counts_;
+    underflow_ = other.underflow_;
+    overflow_ = other.overflow_;
+    count_ = other.count_;
+    sum_ = other.sum_;
 }
 
 double
@@ -46,25 +52,46 @@ HistogramMetric::observe(double x)
 }
 
 double
-HistogramMetric::percentile(double fraction) const
+HistogramSnapshot::percentile(double fraction) const
 {
-    if (count_ == 0)
+    if (count == 0)
         return 0.0;
     fraction = std::clamp(fraction, 0.0, 1.0);
-    const double target = fraction * static_cast<double>(count_);
+    const double target = fraction * static_cast<double>(count);
 
-    double seen = static_cast<double>(underflow_);
+    double seen = static_cast<double>(underflow);
     if (target <= seen)
-        return lo_;
-    for (std::size_t i = 0; i < counts_.size(); ++i) {
-        const double in_bucket = static_cast<double>(counts_[i]);
+        return lo;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const double in_bucket = static_cast<double>(buckets[i]);
         if (seen + in_bucket >= target && in_bucket > 0.0) {
             const double within = (target - seen) / in_bucket;
-            return lo_ + (static_cast<double>(i) + within) * bucketWidth();
+            return lo + (static_cast<double>(i) + within) * bucketWidth();
         }
         seen += in_bucket;
     }
-    return hi_;
+    return hi;
+}
+
+HistogramSnapshot
+HistogramMetric::snapshot() const
+{
+    const std::lock_guard<std::mutex> guard(observeMutex_);
+    HistogramSnapshot snap;
+    snap.lo = lo_;
+    snap.hi = hi_;
+    snap.buckets = counts_;
+    snap.underflow = underflow_;
+    snap.overflow = overflow_;
+    snap.count = count_;
+    snap.sum = sum_;
+    return snap;
+}
+
+double
+HistogramMetric::percentile(double fraction) const
+{
+    return snapshot().percentile(fraction);
 }
 
 Counter &

@@ -104,6 +104,35 @@ class Gauge
 };
 
 /**
+ * A consistent copy of one histogram's state, taken under its observe
+ * guard. Percentiles computed from a snapshot can never mix bucket counts
+ * from before an observe() with a sum/count from after it.
+ */
+struct HistogramSnapshot
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    double bucketWidth() const
+    {
+        return (hi - lo) / static_cast<double>(buckets.empty()
+                                                   ? 1
+                                                   : buckets.size());
+    }
+    double mean() const
+    {
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    /** Same contract as HistogramMetric::percentile. */
+    double percentile(double fraction) const;
+};
+
+/**
  * Fixed-range histogram over [lo, hi) with equal-width buckets plus
  * underflow/overflow buckets.
  *
@@ -135,15 +164,25 @@ class HistogramMetric
     /**
      * Value below which @p fraction of the samples fall, by linear
      * interpolation within the containing bucket. Under/overflow samples
-     * clamp to the range edges. Returns 0 when empty.
+     * clamp to the range edges. Returns 0 when empty. Computed from a
+     * consistent snapshot (takes the observe guard).
      */
     double percentile(double fraction) const;
+
+    /**
+     * All fields copied under the observe guard, so readers racing a
+     * concurrent observe() see either all of an observation or none of
+     * it. The raw accessors above remain for single-field reads; any
+     * multi-field computation (p50/p99 exports) must go through here.
+     */
+    HistogramSnapshot snapshot() const;
 
     double sum() const { return sum_; }
     double mean() const { return count_ > 0 ? sum_ / double(count_) : 0.0; }
     const std::string &name() const { return name_; }
 
-    /** Copies the data, not the mutex (deque copy-insertability). */
+    /** Copies the data, not the mutex (deque copy-insertability); takes
+     *  the source's observe guard so the copy is never torn. */
     HistogramMetric(const HistogramMetric &other);
 
   private:
@@ -160,8 +199,9 @@ class HistogramMetric
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
 
-    /** Serializes observe(); readers are end-of-run exporters. */
-    std::mutex observeMutex_;
+    /** Serializes observe() against snapshot()/percentile()/copy, so
+     *  concurrent readers never see a half-applied observation. */
+    mutable std::mutex observeMutex_;
 };
 
 /**

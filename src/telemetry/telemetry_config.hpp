@@ -12,6 +12,7 @@
 #define VPM_TELEMETRY_TELEMETRY_CONFIG_HPP
 
 #include <cstddef>
+#include <cstdint>
 
 namespace vpm::telemetry {
 
@@ -30,6 +31,25 @@ struct TelemetryConfig
 
     /** Rows reserved up front for the metric time series. */
     std::size_t seriesReserveRows = 4096;
+
+    /**
+     * Collect per-tick rows of every counter/gauge (the CSV export path).
+     * Store-only runs (--timeseries/--watchdog without --trace) turn this
+     * off: the compressed store already holds the history, and the rows
+     * would grow unbounded for nothing.
+     */
+    bool seriesRowsEnabled = true;
+
+    /** Enables the compressed downsampling time-series store (vpm-ts-1).
+     *  Independent switch under the master one: tracing a run does not
+     *  imply paying for the store and vice versa. */
+    bool timeseriesEnabled = false;
+
+    /** Downsampling interval of the time-series store. */
+    std::int64_t timeseriesBucketUs = 60'000'000;
+
+    /** Memory budget for sealed compressed blocks (oldest evicted). */
+    std::size_t timeseriesBudgetBytes = 1u << 20;
 };
 
 } // namespace vpm::telemetry

@@ -196,6 +196,13 @@ parseJournalLine(const std::string &line, TraceRecord &out)
         num("cores", rec.a);
         num("dur_s", rec.b);
         num("joules", rec.c);
+    } else if (rec.kind == "alert") {
+        text("rule", rec.textA);
+        text("op", rec.textB);
+        text("series", rec.textC);
+        num("value", rec.a);
+        num("threshold", rec.b);
+        num("buckets", rec.c);
     }
     out = std::move(rec);
     return true;
@@ -308,6 +315,36 @@ analyzeTrace(const std::vector<TraceRecord> &records,
             if (rec.cause != 0)
                 ++analysis.idleTransitionsAttributed;
             analysis.idleTransitionJoules += rec.c;
+        } else if (rec.kind == "alert") {
+            const bool known_op = rec.textB == "above" ||
+                                  rec.textB == "below" ||
+                                  rec.textB == "rate_above" ||
+                                  rec.textB == "absence";
+            if (rec.textA.empty() || !known_op || rec.c < 1.0) {
+                ++analysis.malformedAlerts;
+                continue;
+            }
+            AlertSummary *summary = nullptr;
+            for (AlertSummary &existing : analysis.alerts) {
+                if (existing.rule == rec.textA) {
+                    summary = &existing;
+                    break;
+                }
+            }
+            if (!summary) {
+                AlertSummary fresh;
+                fresh.rule = rec.textA;
+                fresh.op = rec.textB;
+                fresh.series = rec.textC;
+                fresh.firstUs = rec.timeUs;
+                fresh.firstCause = rec.cause;
+                analysis.alerts.push_back(std::move(fresh));
+                summary = &analysis.alerts.back();
+            }
+            ++summary->count;
+            summary->lastUs = rec.timeUs;
+            if (rec.cause != 0)
+                ++summary->attributed;
         }
     }
 
@@ -574,6 +611,39 @@ writeAnalysisText(const TraceAnalysis &analysis, std::ostream &out)
         out << buf;
     }
 
+    if (!analysis.alerts.empty() || analysis.malformedAlerts > 0) {
+        out << "\nwatchdog alerts (" << analysis.alerts.size()
+            << " rules tripped)\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  %-20s %-10s %-24s %6s %12s %12s %10s\n", "rule",
+                      "op", "series", "trips", "first at", "last at",
+                      "decision");
+        out << buf;
+        for (const AlertSummary &alert : analysis.alerts) {
+            char cause[24];
+            if (alert.firstCause != 0)
+                std::snprintf(cause, sizeof(cause), "#%llu",
+                              static_cast<unsigned long long>(
+                                  alert.firstCause));
+            else
+                std::snprintf(cause, sizeof(cause), "-");
+            std::snprintf(
+                buf, sizeof(buf),
+                "  %-20s %-10s %-24s %6llu %11.1fs %11.1fs %10s\n",
+                alert.rule.c_str(), alert.op.c_str(), alert.series.c_str(),
+                static_cast<unsigned long long>(alert.count),
+                usToS(alert.firstUs), usToS(alert.lastUs), cause);
+            out << buf;
+        }
+        if (analysis.malformedAlerts > 0) {
+            std::snprintf(buf, sizeof(buf),
+                          "  %llu MALFORMED alert records\n",
+                          static_cast<unsigned long long>(
+                              analysis.malformedAlerts));
+            out << buf;
+        }
+    }
+
     std::snprintf(buf, sizeof(buf),
                   "\nSLA violations: %llu total, %llu attributed, %llu "
                   "unattributed\n",
@@ -630,7 +700,22 @@ writeAnalysisJson(const TraceAnalysis &analysis, std::ostream &out)
             << ",\"violations_charged\":" << chain.violationsCharged
             << ",\"open\":" << (chain.open ? "true" : "false") << '}';
     }
-    out << "],\"violations\":{\"total\":" << analysis.violations
+    out << "],\"alerts\":[";
+    first = true;
+    for (const AlertSummary &alert : analysis.alerts) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << "{\"rule\":\"" << jsonEscape(alert.rule) << "\",\"op\":\""
+            << jsonEscape(alert.op) << "\",\"series\":\""
+            << jsonEscape(alert.series) << "\",\"count\":" << alert.count
+            << ",\"first_us\":" << alert.firstUs
+            << ",\"last_us\":" << alert.lastUs
+            << ",\"first_cause\":" << alert.firstCause
+            << ",\"attributed\":" << alert.attributed << '}';
+    }
+    out << "],\"malformed_alerts\":" << analysis.malformedAlerts
+        << ",\"violations\":{\"total\":" << analysis.violations
         << ",\"attributed\":" << analysis.violationsAttributed
         << "},\"idle_transitions\":{\"total\":" << analysis.idleTransitions
         << ",\"attributed\":" << analysis.idleTransitionsAttributed
@@ -681,6 +766,17 @@ analysisPassesChecks(const TraceAnalysis &analysis,
             }
             return false;
         }
+    }
+    if (analysis.malformedAlerts > 0) {
+        if (why) {
+            std::snprintf(buf, sizeof(buf),
+                          "%llu malformed alert records (missing rule/op or "
+                          "non-positive streak)",
+                          static_cast<unsigned long long>(
+                              analysis.malformedAlerts));
+            *why = buf;
+        }
+        return false;
     }
     if (analysis.violationsAttributed < analysis.violations) {
         if (why) {

@@ -132,11 +132,33 @@ struct SleepChain
     bool open = false; ///< episode not finished within the journal
 };
 
+/** Per-rule roll-up of watchdog `alert` records. */
+struct AlertSummary
+{
+    std::string rule;
+    std::string op;     ///< rule kind ("above"/"below"/"rate_above"/...)
+    std::string series; ///< watched series name
+    std::uint64_t count = 0;
+    std::int64_t firstUs = 0; ///< first trip time
+    std::int64_t lastUs = 0;  ///< last trip time
+    /** Decision id ambient at the first trip (0 = none active). */
+    std::uint64_t firstCause = 0;
+    /** Trips that carried a non-zero causal decision id. */
+    std::uint64_t attributed = 0;
+};
+
 /** Everything analyzeTrace() reconstructs. */
 struct TraceAnalysis
 {
     std::vector<WakeChain> wakes;
     std::vector<SleepChain> sleeps;
+
+    /** Alert roll-ups, in first-trip order. */
+    std::vector<AlertSummary> alerts;
+    /** Alert records missing their rule name or kind, or with a
+     *  non-positive streak length — a malformed emitter or a corrupt
+     *  trace; fails analysisPassesChecks(). */
+    std::uint64_t malformedAlerts = 0;
 
     std::uint64_t violations = 0;
     std::uint64_t violationsAttributed = 0;

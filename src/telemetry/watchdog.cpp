@@ -1,0 +1,300 @@
+#include "telemetry/watchdog.hpp"
+
+#include <limits>
+
+#include "telemetry/event_journal.hpp"
+#include "telemetry/json_util.hpp"
+
+namespace vpm::telemetry {
+
+namespace {
+
+double
+aggValue(const TsBucket &bucket, WatchAgg agg)
+{
+    switch (agg) {
+      case WatchAgg::Last:
+        return bucket.last;
+      case WatchAgg::Min:
+        return bucket.min;
+      case WatchAgg::Max:
+        return bucket.max;
+      case WatchAgg::Mean:
+        return bucket.mean();
+      case WatchAgg::Sum:
+        return bucket.sum;
+      case WatchAgg::Count:
+        return static_cast<double>(bucket.count);
+    }
+    return 0.0;
+}
+
+bool
+parseAgg(const std::string &name, WatchAgg &out)
+{
+    if (name == "last")
+        out = WatchAgg::Last;
+    else if (name == "min")
+        out = WatchAgg::Min;
+    else if (name == "max")
+        out = WatchAgg::Max;
+    else if (name == "mean")
+        out = WatchAgg::Mean;
+    else if (name == "sum")
+        out = WatchAgg::Sum;
+    else if (name == "count")
+        out = WatchAgg::Count;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseKind(const std::string &name, WatchKind &out)
+{
+    if (name == "above")
+        out = WatchKind::Above;
+    else if (name == "below")
+        out = WatchKind::Below;
+    else if (name == "rate_above")
+        out = WatchKind::RateAbove;
+    else if (name == "absence")
+        out = WatchKind::Absence;
+    else
+        return false;
+    return true;
+}
+
+std::int64_t
+alignDown(std::int64_t t_us, std::int64_t bucket_us)
+{
+    return t_us - ((t_us % bucket_us) + bucket_us) % bucket_us;
+}
+
+} // namespace
+
+const char *
+toString(WatchAgg agg)
+{
+    switch (agg) {
+      case WatchAgg::Last:
+        return "last";
+      case WatchAgg::Min:
+        return "min";
+      case WatchAgg::Max:
+        return "max";
+      case WatchAgg::Mean:
+        return "mean";
+      case WatchAgg::Sum:
+        return "sum";
+      case WatchAgg::Count:
+        return "count";
+    }
+    return "unknown";
+}
+
+const char *
+toString(WatchKind kind)
+{
+    switch (kind) {
+      case WatchKind::Above:
+        return "above";
+      case WatchKind::Below:
+        return "below";
+      case WatchKind::RateAbove:
+        return "rate_above";
+      case WatchKind::Absence:
+        return "absence";
+    }
+    return "unknown";
+}
+
+bool
+Watchdog::configure(const std::string &rules_json, std::string *error)
+{
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    JsonValue doc;
+    std::string parse_error;
+    if (!parseJson(rules_json, doc, &parse_error))
+        return fail("watchdog rules: " + parse_error);
+    if (!doc.isObject())
+        return fail("watchdog rules: top level must be an object");
+    const JsonValue *rules_node = doc.find("rules");
+    if (!rules_node || !rules_node->isArray())
+        return fail("watchdog rules: missing \"rules\" array");
+
+    std::vector<WatchRule> parsed;
+    for (std::size_t i = 0; i < rules_node->array.size(); ++i) {
+        const JsonValue &node = rules_node->array[i];
+        const std::string at = "rule #" + std::to_string(i) + ": ";
+        if (!node.isObject())
+            return fail("watchdog " + at + "must be an object");
+        WatchRule rule;
+        rule.name = stringOr(node.find("name"), "");
+        rule.series = stringOr(node.find("series"), "");
+        if (rule.name.empty())
+            return fail("watchdog " + at + "missing \"name\"");
+        if (rule.series.empty())
+            return fail("watchdog " + at + "missing \"series\"");
+        for (const WatchRule &seen : parsed)
+            if (seen.name == rule.name)
+                return fail("watchdog " + at + "duplicate name \"" +
+                            rule.name + "\"");
+        const std::string kind = stringOr(node.find("kind"), "above");
+        if (!parseKind(kind, rule.kind))
+            return fail("watchdog " + at + "unknown kind \"" + kind + "\"");
+        const std::string agg = stringOr(node.find("agg"), "last");
+        if (!parseAgg(agg, rule.agg))
+            return fail("watchdog " + at + "unknown agg \"" + agg + "\"");
+        rule.threshold = numberOr(node.find("threshold"), 0.0);
+        const double for_buckets = numberOr(node.find("for_buckets"), 1.0);
+        rule.forBuckets = static_cast<int>(for_buckets);
+        if (rule.forBuckets < 1 ||
+            static_cast<double>(rule.forBuckets) != for_buckets)
+            return fail("watchdog " + at +
+                        "\"for_buckets\" must be a positive integer");
+        parsed.push_back(std::move(rule));
+    }
+    configure(std::move(parsed));
+    return true;
+}
+
+void
+Watchdog::configure(std::vector<WatchRule> rules)
+{
+    rules_ = std::move(rules);
+    reset();
+}
+
+void
+Watchdog::reset()
+{
+    states_.assign(rules_.size(), RuleState{});
+    alertCount_ = 0;
+}
+
+std::vector<WatchAlert>
+Watchdog::evaluate(TimeSeriesStore &store, EventJournal &journal,
+                   std::int64_t t_us)
+{
+    std::vector<WatchAlert> out;
+    if (rules_.empty() || !store.enabled())
+        return out;
+    const std::int64_t bucket_us = store.config().bucketUs;
+    // Intervals starting before sealed_end have fully ended by t_us, so
+    // flushAt(t_us) has sealed whatever buckets they will ever have.
+    const std::int64_t sealed_end = alignDown(t_us, bucket_us);
+
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+        const WatchRule &rule = rules_[r];
+        RuleState &state = states_[r];
+        if (!state.haveCursor) {
+            state.series = store.seriesId(rule.series);
+            // Baseline at the series' first sealed bucket: absence means
+            // "went silent", not "has not started yet". Until the series
+            // seals its first bucket there is nothing to walk — keep
+            // re-checking on later evaluations instead of latching a
+            // cursor that would turn the pre-data gap into absence.
+            const auto first = store.query(
+                state.series, std::numeric_limits<std::int64_t>::min() / 4,
+                sealed_end - 1);
+            if (first.empty())
+                continue;
+            state.cursorUs = first.front().startUs;
+            state.haveCursor = true;
+        }
+        if (state.cursorUs >= sealed_end)
+            continue;
+        const auto step = [&](std::int64_t start, const TsBucket *bucket) {
+            bool satisfied = false;
+            double observed = 0.0;
+            switch (rule.kind) {
+              case WatchKind::Above:
+              case WatchKind::Below:
+                if (bucket) {
+                    observed = aggValue(*bucket, rule.agg);
+                    satisfied = rule.kind == WatchKind::Above
+                                    ? observed > rule.threshold
+                                    : observed < rule.threshold;
+                }
+                break;
+              case WatchKind::RateAbove:
+                if (bucket) {
+                    const double value = aggValue(*bucket, rule.agg);
+                    if (state.havePrev) {
+                        observed = value - state.prev;
+                        satisfied = observed > rule.threshold;
+                    }
+                    state.prev = value;
+                    state.havePrev = true;
+                } else {
+                    // A gap breaks the delta chain; never rate across it.
+                    state.havePrev = false;
+                }
+                break;
+              case WatchKind::Absence:
+                satisfied = bucket == nullptr;
+                break;
+            }
+
+            if (satisfied) {
+                ++state.streak;
+                if (!state.latched && state.streak >= rule.forBuckets) {
+                    state.latched = true;
+                    ++alertCount_;
+                    WatchAlert alert;
+                    alert.rule = rule.name;
+                    alert.timeUs = start;
+                    alert.value = observed;
+                    alert.threshold = rule.threshold;
+                    alert.buckets = state.streak;
+                    journal.alert(alert.timeUs, rule.name,
+                                  toString(rule.kind), rule.series,
+                                  alert.value, alert.threshold,
+                                  alert.buckets);
+                    out.push_back(std::move(alert));
+                }
+            } else {
+                state.streak = 0;
+                state.latched = false; // re-arm
+            }
+        };
+
+        if (sealed_end - state.cursorUs == bucket_us) {
+            // Steady state: exactly one interval ended since the last
+            // evaluation, and sealing is time-ordered, so the newest
+            // sealed bucket either IS that interval or the interval is a
+            // gap — an O(1) peek instead of a materialized query.
+            TsBucket peek;
+            const TsBucket *bucket =
+                store.lastSealed(state.series, peek) &&
+                        peek.startUs == state.cursorUs
+                    ? &peek
+                    : nullptr;
+            step(state.cursorUs, bucket);
+        } else {
+            // Catch-up after a pause (or first walk): materialize the
+            // window and join it against the wall grid.
+            const std::vector<TsBucket> sealed =
+                store.query(state.series, state.cursorUs, sealed_end - 1);
+            std::size_t next = 0;
+            for (std::int64_t start = state.cursorUs; start < sealed_end;
+                 start += bucket_us) {
+                const TsBucket *bucket = nullptr;
+                while (next < sealed.size() && sealed[next].startUs < start)
+                    ++next;
+                if (next < sealed.size() && sealed[next].startUs == start)
+                    bucket = &sealed[next++];
+                step(start, bucket);
+            }
+        }
+        state.cursorUs = sealed_end;
+    }
+    return out;
+}
+
+} // namespace vpm::telemetry

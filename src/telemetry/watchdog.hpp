@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Declarative watchdog rules over the time-series store.
+ *
+ * A watchdog turns the passive telemetry stream into an active one: each
+ * time the store seals buckets (TimeSeriesStore::flushAt), the watchdog
+ * re-evaluates a small set of declarative rules against the freshly sealed
+ * buckets and emits an `alert` journal record when one trips. Because
+ * alerts go through EventJournal::record() they pick up the ambient causal
+ * TraceContext for free — `trace_analyze` can answer "which management
+ * decision was in flight when the SLA alert fired".
+ *
+ * Rule grammar (JSON, parsed with the shared mini-parser):
+ *
+ * ```json
+ * {
+ *   "rules": [
+ *     {
+ *       "name": "sla-burn",            // required, unique
+ *       "series": "sla.violations",    // required, a store series name
+ *       "kind": "above",               // above | below | rate_above | absence
+ *       "threshold": 25.0,             // compared value (unused by absence)
+ *       "for_buckets": 3,              // consecutive buckets before tripping
+ *       "agg": "sum"                   // last|min|max|mean|sum|count (default last)
+ *     }
+ *   ]
+ * }
+ * ```
+ *
+ * Semantics per sealed bucket of the rule's series:
+ *  - `above` / `below`: the chosen aggregate is > / < threshold.
+ *  - `rate_above`: the aggregate's delta vs. the previous sealed bucket
+ *    is > threshold (first bucket never satisfies it).
+ *  - `absence`: the series sealed no bucket covering this flush interval
+ *    (threshold ignored). Evaluated against wall buckets, so a silent
+ *    series still trips.
+ *
+ * Hysteresis: a rule trips once after `for_buckets` *consecutive*
+ * satisfying buckets, then stays latched until one non-satisfying bucket
+ * re-arms it. Evaluation is pure over the sealed-bucket sequence, so alert
+ * records are byte-identical at any thread count like everything else.
+ */
+
+#ifndef VPM_TELEMETRY_WATCHDOG_HPP
+#define VPM_TELEMETRY_WATCHDOG_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/timeseries.hpp"
+
+namespace vpm::telemetry {
+
+class EventJournal;
+
+/** Which aggregate channel of a bucket a rule compares. */
+enum class WatchAgg : std::uint8_t
+{
+    Last,
+    Min,
+    Max,
+    Mean,
+    Sum,
+    Count,
+};
+
+const char *toString(WatchAgg agg);
+
+/** Rule comparison kinds. */
+enum class WatchKind : std::uint8_t
+{
+    Above,     ///< aggregate > threshold
+    Below,     ///< aggregate < threshold
+    RateAbove, ///< aggregate delta vs. previous bucket > threshold
+    Absence,   ///< series sealed nothing in the flush interval
+};
+
+const char *toString(WatchKind kind);
+
+/** One parsed rule. */
+struct WatchRule
+{
+    std::string name;
+    std::string series;
+    WatchKind kind = WatchKind::Above;
+    WatchAgg agg = WatchAgg::Last;
+    double threshold = 0.0;
+    int forBuckets = 1; ///< consecutive satisfying buckets before tripping
+};
+
+/** An alert the watchdog raised (also journaled as an `alert` record). */
+struct WatchAlert
+{
+    std::string rule;
+    std::int64_t timeUs = 0; ///< bucket start that completed the streak
+    double value = 0.0;      ///< observed aggregate (or delta for rate)
+    double threshold = 0.0;
+    int buckets = 0; ///< streak length at trip time
+};
+
+/**
+ * The evaluator. Owns parsed rules plus per-rule streak/latch state;
+ * borrows the store and journal at evaluation time.
+ */
+class Watchdog
+{
+  public:
+    Watchdog() = default;
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Parse @p rules_json and replace the rule set (resetting all streak
+     * state). @return false with @p error set on malformed JSON, an
+     * unknown kind/agg, a missing name/series, a duplicate rule name, or
+     * for_buckets < 1.
+     */
+    bool configure(const std::string &rules_json, std::string *error);
+
+    /** Replace the rule set programmatically (tests, embedders). */
+    void configure(std::vector<WatchRule> rules);
+
+    const std::vector<WatchRule> &rules() const { return rules_; }
+    bool empty() const { return rules_.empty(); }
+
+    /**
+     * Evaluate every rule against buckets of @p store sealed since the
+     * previous call, where "sealed" means buckets whose interval ended at
+     * or before @p t_us. Emits one `alert` record into @p journal per trip
+     * (journal may be disabled; alerts are still returned). Call right
+     * after TimeSeriesStore::flushAt(t_us).
+     * @return alerts raised by this evaluation, in rule order.
+     */
+    std::vector<WatchAlert> evaluate(TimeSeriesStore &store,
+                                     EventJournal &journal,
+                                     std::int64_t t_us);
+
+    /** Total alerts raised since configure(). */
+    std::uint64_t alertCount() const { return alertCount_; }
+
+    /** Drop streak/latch state, keep the rules. */
+    void reset();
+
+  private:
+    struct RuleState
+    {
+        std::uint32_t series = 0; ///< resolved store series id
+        int streak = 0;
+        bool latched = false;     ///< tripped; waiting for a clear bucket
+        bool havePrev = false;    ///< previous aggregate seen (for rate)
+        double prev = 0.0;
+        std::int64_t cursorUs = 0; ///< next bucket interval to examine
+        bool haveCursor = false;
+    };
+
+    std::vector<WatchRule> rules_;
+    std::vector<RuleState> states_;
+    std::uint64_t alertCount_ = 0;
+};
+
+} // namespace vpm::telemetry
+
+#endif // VPM_TELEMETRY_WATCHDOG_HPP

@@ -1,0 +1,21 @@
+# Runs vpm_top --query against the committed vpm-ts-1 golden snapshot and
+# fails when the CSV output diverges from the committed expectation.
+# Driven by tests/CMakeLists.txt; variables: VPM_TOP, SNAPSHOT, GOLDEN, OUT.
+execute_process(
+    COMMAND ${VPM_TOP} ${SNAPSHOT}
+            --query cluster.power.watts,cluster.hosts.on
+            --range 0:1800000000
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "vpm_top --query failed (rc=${run_rc}) on ${SNAPSHOT}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR
+        "vpm_top query output diverged from ${GOLDEN}; if the vpm-ts-1 "
+        "format changed intentionally, regenerate the goldens per "
+        "tests/golden/README.md")
+endif()

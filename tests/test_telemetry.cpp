@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
+#include <thread>
 
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace vpm::telemetry {
 namespace {
@@ -372,6 +375,120 @@ TEST(TelemetryTest, ResetDropsDataButKeepsRegistrations)
     EXPECT_EQ(telemetry.journal().size(), 0u);
     EXPECT_TRUE(telemetry.seriesRows().empty());
     EXPECT_EQ(&telemetry.metrics().counter("kept"), &c);
+}
+
+// ------------------------------------------------ staging x wraparound
+
+TEST(EventJournalTest, StagedFlushWrapsTheRingLikeDirectRecording)
+{
+    EventJournal journal;
+    journal.configure(4, true);
+
+    // Ten events staged across two stages, flushed in order under an
+    // ambient decision scope: the flush assigns the same sequence numbers
+    // and cause stamps direct record() calls would have.
+    JournalStage a;
+    JournalStage b;
+    for (int i = 0; i < 6; ++i)
+        a.slaViolation(i * 100, i, 0.5, 1000.0);
+    for (int i = 6; i < 10; ++i)
+        b.slaViolation(i * 100, i, 0.5, 1000.0);
+
+    TraceScope scope(777);
+    EXPECT_EQ(journal.flush(a), 6u);
+    EXPECT_EQ(journal.flush(b), 4u);
+    EXPECT_TRUE(a.empty());
+    EXPECT_TRUE(b.empty());
+
+    EXPECT_EQ(journal.recorded(), 10u);
+    EXPECT_EQ(journal.size(), 4u);
+    EXPECT_EQ(journal.dropped(), 6u);
+
+    // Only the newest four survive, with contiguous sequence numbers and
+    // the ambient cause stamped at flush time.
+    const auto events = journal.sortedEvents();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].seq, 7u + i);
+        EXPECT_EQ(events[i].track, static_cast<std::int32_t>(6 + i));
+        EXPECT_EQ(events[i].cause, 777u);
+    }
+}
+
+TEST(EventJournalTest, FlushIntoDisabledJournalClearsTheStage)
+{
+    EventJournal journal; // never configured: disabled
+    JournalStage stage;
+    stage.slaViolation(0, 1, 0.5, 1000.0);
+    EXPECT_EQ(journal.flush(stage), 0u);
+    EXPECT_TRUE(stage.empty());
+    EXPECT_EQ(journal.recorded(), 0u);
+}
+
+// -------------------------------------------- histogram snapshot reads
+
+TEST(HistogramTest, SnapshotMatchesRawAccessorsAndPercentiles)
+{
+    MetricsRegistry registry;
+    HistogramMetric &h = registry.histogram("lat", 0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.observe(static_cast<double>(i % 12)); // includes overflow at 10,11
+
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.lo, h.lowerEdge());
+    EXPECT_EQ(snap.hi, h.upperEdge());
+    EXPECT_EQ(snap.buckets, h.buckets());
+    EXPECT_EQ(snap.underflow, h.underflow());
+    EXPECT_EQ(snap.overflow, h.overflow());
+    EXPECT_EQ(snap.count, h.count());
+    EXPECT_DOUBLE_EQ(snap.sum, h.sum());
+    EXPECT_DOUBLE_EQ(snap.mean(), h.mean());
+    for (const double f : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(snap.percentile(f), h.percentile(f));
+}
+
+TEST(HistogramTest, SnapshotsAreNeverTornUnderConcurrentObserves)
+{
+    MetricsRegistry registry;
+    HistogramMetric &h = registry.histogram("lat", 0.0, 100.0, 20);
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        double x = 0.0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            h.observe(x);
+            x += 1.0;
+            if (x > 120.0)
+                x = -5.0; // exercise under- and overflow too
+        }
+    });
+
+    // Every snapshot must be internally consistent: the bucket counts plus
+    // the out-of-range tallies always add up to the total observation
+    // count, which a torn (un-guarded) copy would violate.
+    for (int i = 0; i < 2000; ++i) {
+        const HistogramSnapshot snap = h.snapshot();
+        std::uint64_t in_range = 0;
+        for (const std::uint64_t c : snap.buckets)
+            in_range += c;
+        ASSERT_EQ(in_range + snap.underflow + snap.overflow, snap.count);
+    }
+    stop.store(true);
+    writer.join();
+}
+
+// --------------------------------------------------- CSV field quoting
+
+TEST(CsvQuoteTest, FollowsRfc4180)
+{
+    EXPECT_EQ(csvQuote("plain"), "plain");
+    EXPECT_EQ(csvQuote(""), "");
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvQuote("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvQuote("cr\rhere"), "\"cr\rhere\"");
+    EXPECT_EQ(csvQuote(","), "\",\"");
+    EXPECT_EQ(csvQuote("\""), "\"\"\"\"");
 }
 
 } // namespace

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Watchdog tests: rule parsing, trip/latch/re-arm hysteresis across every
+ * rule kind, alert journaling with causal attribution (the decision id
+ * active at trip time is recoverable through trace_analyze), and the
+ * malformed-alert gate in analysisPassesChecks().
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/event_journal.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/timeseries.hpp"
+#include "telemetry/trace_analysis.hpp"
+#include "telemetry/trace_context.hpp"
+#include "telemetry/watchdog.hpp"
+
+namespace vpm::telemetry {
+namespace {
+
+TimeSeriesConfig
+tinyConfig()
+{
+    TimeSeriesConfig config;
+    config.bucketUs = 1000;
+    return config;
+}
+
+/** Feed one sample per bucket, flushing after each, and collect alerts. */
+std::vector<WatchAlert>
+drive(Watchdog &dog, TimeSeriesStore &store, EventJournal &journal,
+      std::uint32_t series, const std::vector<double> &per_bucket)
+{
+    std::vector<WatchAlert> alerts;
+    std::int64_t t = 0;
+    for (const double value : per_bucket) {
+        store.record(series, t + 500, value);
+        t += 1000;
+        store.flushAt(t);
+        for (WatchAlert &alert : dog.evaluate(store, journal, t))
+            alerts.push_back(std::move(alert));
+    }
+    return alerts;
+}
+
+// ------------------------------------------------------------- parsing
+
+TEST(WatchdogConfigTest, ParsesTheDocumentedGrammar)
+{
+    Watchdog dog;
+    std::string error;
+    const bool ok = dog.configure(
+        R"({"rules":[
+             {"name":"hot","series":"w","kind":"above","threshold":9,
+              "for_buckets":2,"agg":"mean"},
+             {"name":"gone","series":"w","kind":"absence","for_buckets":5}
+           ]})",
+        &error);
+    ASSERT_TRUE(ok) << error;
+    ASSERT_EQ(dog.rules().size(), 2u);
+    EXPECT_EQ(dog.rules()[0].kind, WatchKind::Above);
+    EXPECT_EQ(dog.rules()[0].agg, WatchAgg::Mean);
+    EXPECT_EQ(dog.rules()[0].forBuckets, 2);
+    EXPECT_EQ(dog.rules()[1].kind, WatchKind::Absence);
+}
+
+TEST(WatchdogConfigTest, RejectsMalformedRules)
+{
+    Watchdog dog;
+    std::string error;
+    EXPECT_FALSE(dog.configure("{]", &error));
+    EXPECT_FALSE(dog.configure(R"({"rules":[{"series":"w"}]})", &error));
+    EXPECT_NE(error.find("name"), std::string::npos);
+    EXPECT_FALSE(dog.configure(
+        R"({"rules":[{"name":"a","series":"w","kind":"sideways"}]})",
+        &error));
+    EXPECT_FALSE(dog.configure(
+        R"({"rules":[{"name":"a","series":"w","agg":"median"}]})", &error));
+    EXPECT_FALSE(dog.configure(
+        R"({"rules":[{"name":"a","series":"w","for_buckets":0}]})",
+        &error));
+    EXPECT_FALSE(dog.configure(
+        R"({"rules":[{"name":"a","series":"w"},
+                     {"name":"a","series":"x"}]})",
+        &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+    // A failed configure leaves the watchdog empty, not half-configured.
+    EXPECT_TRUE(dog.empty());
+}
+
+// ------------------------------------------------- trip semantics
+
+TEST(WatchdogTest, AboveTripsAfterConsecutiveBucketsThenLatches)
+{
+    TimeSeriesStore store;
+    store.configure(tinyConfig(), true);
+    EventJournal journal;
+    const std::uint32_t w = store.seriesId("w");
+
+    Watchdog dog;
+    dog.configure({WatchRule{"hot", "w", WatchKind::Above, WatchAgg::Last,
+                             10.0, 2}});
+
+    // Two hot buckets trip once; staying hot stays latched; one cool
+    // bucket re-arms; two more hot buckets trip again.
+    const auto alerts = drive(dog, store, journal, w,
+                              {20.0, 20.0, 20.0, 1.0, 20.0, 20.0});
+    ASSERT_EQ(alerts.size(), 2u);
+    EXPECT_EQ(alerts[0].rule, "hot");
+    EXPECT_EQ(alerts[0].timeUs, 1000); // second hot bucket's start
+    EXPECT_EQ(alerts[0].buckets, 2);
+    EXPECT_EQ(alerts[0].value, 20.0);
+    EXPECT_EQ(alerts[1].timeUs, 5000);
+    EXPECT_EQ(dog.alertCount(), 2u);
+}
+
+TEST(WatchdogTest, BelowAndAggregateChannelsAreHonored)
+{
+    TimeSeriesStore store;
+    store.configure(tinyConfig(), true);
+    EventJournal journal;
+    const std::uint32_t w = store.seriesId("w");
+
+    Watchdog dog;
+    dog.configure({WatchRule{"cold", "w", WatchKind::Below, WatchAgg::Max,
+                             5.0, 1}});
+    // Bucket max 6 -> no trip; bucket max 4 -> trip.
+    store.record(w, 100, 2.0);
+    store.record(w, 200, 6.0);
+    store.flushAt(1000);
+    EXPECT_TRUE(dog.evaluate(store, journal, 1000).empty());
+    store.record(w, 1100, 4.0);
+    store.flushAt(2000);
+    const auto alerts = dog.evaluate(store, journal, 2000);
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].value, 4.0);
+}
+
+TEST(WatchdogTest, RateAboveComparesDeltasNotLevels)
+{
+    TimeSeriesStore store;
+    store.configure(tinyConfig(), true);
+    EventJournal journal;
+    const std::uint32_t w = store.seriesId("w");
+
+    Watchdog dog;
+    dog.configure({WatchRule{"spike", "w", WatchKind::RateAbove,
+                             WatchAgg::Last, 50.0, 1}});
+    // Levels are huge but deltas small: never trips; then one jump.
+    const auto alerts = drive(dog, store, journal, w,
+                              {1000.0, 1010.0, 1020.0, 1200.0, 1210.0});
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].timeUs, 3000);
+    EXPECT_EQ(alerts[0].value, 180.0); // the delta, not the level
+}
+
+TEST(WatchdogTest, AbsenceTripsOnlyAfterTheSeriesWentSilent)
+{
+    TimeSeriesStore store;
+    store.configure(tinyConfig(), true);
+    EventJournal journal;
+    const std::uint32_t w = store.seriesId("w");
+    const std::uint32_t clock = store.seriesId("clock");
+
+    Watchdog dog;
+    dog.configure({WatchRule{"silent", "w", WatchKind::Absence,
+                             WatchAgg::Last, 0.0, 3}});
+
+    // The watched series never produced data: no baseline, no trip, even
+    // though wall buckets keep sealing on the clock series.
+    for (int i = 0; i < 10; ++i) {
+        store.record(clock, i * 1000 + 500, 1.0);
+        store.flushAt((i + 1) * 1000);
+        EXPECT_TRUE(dog.evaluate(store, journal, (i + 1) * 1000).empty())
+            << "tripped before the series ever started";
+    }
+
+    // Series speaks for two buckets, then goes silent: trips after three
+    // empty wall buckets.
+    std::vector<WatchAlert> alerts;
+    for (int i = 10; i < 17; ++i) {
+        if (i < 12)
+            store.record(w, i * 1000 + 500, 1.0);
+        store.record(clock, i * 1000 + 500, 1.0);
+        store.flushAt((i + 1) * 1000);
+        for (WatchAlert &alert :
+             dog.evaluate(store, journal, (i + 1) * 1000))
+            alerts.push_back(std::move(alert));
+    }
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].rule, "silent");
+    EXPECT_EQ(alerts[0].buckets, 3);
+}
+
+// ------------------------------------------ journaling and attribution
+
+TEST(WatchdogTest, AlertRecordCarriesTheAmbientDecisionId)
+{
+    TimeSeriesStore store;
+    store.configure(tinyConfig(), true);
+    EventJournal journal;
+    journal.configure(256, true);
+    const std::uint32_t w = store.seriesId("sla.violations");
+
+    Watchdog dog;
+    dog.configure({WatchRule{"sla-burn", "sla.violations",
+                             WatchKind::Above, WatchAgg::Count, 2.0, 1}});
+
+    {
+        // Simulates the manager tick: a decision scope is active while
+        // buckets seal and the watchdog runs.
+        TraceScope scope(4242);
+        for (int i = 0; i < 4; ++i)
+            store.record(w, 500, 0.5);
+        store.flushAt(1000);
+        const auto alerts = dog.evaluate(store, journal, 1000);
+        ASSERT_EQ(alerts.size(), 1u);
+    }
+
+    // The journal row: kind, labels, numbers, and the stamped cause.
+    const auto events = journal.sortedEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, EventKind::Alert);
+    EXPECT_EQ(events[0].cause, 4242u);
+    EXPECT_EQ(journal.label(events[0].labelA), "sla-burn");
+    EXPECT_EQ(journal.label(events[0].labelB), "above");
+    EXPECT_EQ(journal.label(events[0].labelC), "sla.violations");
+    EXPECT_EQ(events[0].a, 4.0); // count aggregate
+    EXPECT_EQ(events[0].b, 2.0);
+    EXPECT_EQ(events[0].c, 1.0);
+
+    // End to end through the analyzer: JSONL -> records -> alert summary
+    // with the first trip's decision id.
+    std::ostringstream jsonl;
+    writeJournalJsonl(journal, jsonl);
+    std::istringstream in(jsonl.str());
+    const TraceAnalysis analysis = analyzeTrace(readJournalFile(in));
+    ASSERT_EQ(analysis.alerts.size(), 1u);
+    EXPECT_EQ(analysis.alerts[0].rule, "sla-burn");
+    EXPECT_EQ(analysis.alerts[0].op, "above");
+    EXPECT_EQ(analysis.alerts[0].series, "sla.violations");
+    EXPECT_EQ(analysis.alerts[0].count, 1u);
+    EXPECT_EQ(analysis.alerts[0].firstCause, 4242u);
+    EXPECT_EQ(analysis.alerts[0].attributed, 1u);
+    EXPECT_EQ(analysis.malformedAlerts, 0u);
+
+    std::string why;
+    EXPECT_TRUE(analysisPassesChecks(analysis, {}, &why)) << why;
+}
+
+TEST(WatchdogTest, MalformedAlertRecordsFailTheCheckGate)
+{
+    // A hand-forged alert row with no rule name and a zero streak: the
+    // analyzer must count it and the --check gate must fail.
+    TraceRecord rec;
+    rec.kind = "alert";
+    rec.timeUs = 1000;
+    rec.textB = "above";
+    rec.c = 0.0;
+    const TraceAnalysis analysis = analyzeTrace({rec});
+    EXPECT_EQ(analysis.malformedAlerts, 1u);
+    EXPECT_TRUE(analysis.alerts.empty());
+
+    std::string why;
+    EXPECT_FALSE(analysisPassesChecks(analysis, {}, &why));
+    EXPECT_NE(why.find("malformed"), std::string::npos);
+}
+
+TEST(WatchdogTest, ResetClearsStateButKeepsRules)
+{
+    EventJournal journal;
+    Watchdog dog;
+    dog.configure({WatchRule{"hot", "w", WatchKind::Above, WatchAgg::Last,
+                             10.0, 2}});
+
+    TimeSeriesStore first;
+    first.configure(tinyConfig(), true);
+    auto alerts = drive(dog, first, journal, first.seriesId("w"),
+                        {20.0, 20.0});
+    EXPECT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(dog.alertCount(), 1u);
+
+    dog.reset();
+    EXPECT_EQ(dog.rules().size(), 1u);
+    EXPECT_EQ(dog.alertCount(), 0u);
+
+    // A fresh store after reset (the Telemetry::configure() pattern): the
+    // rule re-resolves its series against the new store and trips again
+    // from a clean streak.
+    TimeSeriesStore second;
+    second.configure(tinyConfig(), true);
+    alerts = drive(dog, second, journal, second.seriesId("w"),
+                   {20.0, 20.0});
+    EXPECT_EQ(alerts.size(), 1u);
+}
+
+} // namespace
+} // namespace vpm::telemetry

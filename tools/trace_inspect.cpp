@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/export.hpp"
+
 namespace {
 
 /** Value of a top-level "key":<number> pair, if present. */
@@ -125,16 +127,22 @@ constexpr const char *kCsvColumns[] = {
     "expected_s",  "expected_idle_s", "idle_w", "sleep_w",
     "satisfaction", "demand_mhz",  "forecast", "actual",
     "moves",       "subject_host", "joules",   "level",
-    "cores",
+    "cores",       "rule",         "op",       "series",
+    "value",       "threshold",    "buckets",
 };
 
-/** One CSV cell: the field's literal JSON value, or empty when absent.
- *  Journal labels contain no commas or quotes, so no quoting is needed. */
+// RFC 4180 quoting lives in the export library (telemetry::csvQuote):
+// the journal's own label vocabulary is tame, but user-supplied strings
+// (watchdog rule names, track names) flow through here unrestricted.
+using vpm::telemetry::csvQuote;
+
+/** One CSV cell: the field's value, quoted when necessary, or empty when
+ *  the kind does not populate the column. */
 std::string
 csvCell(const std::string &line, const char *key)
 {
     if (const auto s = findString(line, key))
-        return *s;
+        return csvQuote(*s);
     const std::string needle = std::string("\"") + key + "\":";
     const std::size_t pos = line.find(needle);
     if (pos == std::string::npos)
@@ -143,7 +151,7 @@ csvCell(const std::string &line, const char *key)
     std::string out;
     while (i < line.size() && line[i] != ',' && line[i] != '}')
         out += line[i++];
-    return out;
+    return csvQuote(out);
 }
 
 void
@@ -273,6 +281,15 @@ main(int argc, char **argv)
     DurationStats migration_durations;
     // Idle-hierarchy residency spans keyed by "level:from-state".
     std::map<std::string, DurationStats> idle_spans;
+    // Watchdog alert roll-up per rule name.
+    struct AlertStats
+    {
+        std::uint64_t count = 0;
+        std::int64_t firstUs = 0;
+        std::int64_t lastUs = 0;
+        std::uint64_t firstCause = 0;
+    };
+    std::map<std::string, AlertStats> alerts;
 
     std::string line;
     while (std::getline(in, line)) {
@@ -341,6 +358,19 @@ main(int argc, char **argv)
             const auto dur = findNumber(line, "dur_s");
             if (level && from && dur)
                 idle_spans[*level + ":" + *from].add(*dur);
+        } else if (*kind == "alert") {
+            const auto rule = findString(line, "rule");
+            if (rule) {
+                AlertStats &stats = alerts[*rule];
+                if (stats.count == 0) {
+                    stats.firstUs = t_us;
+                    if (const auto cause = findNumber(line, "cause"))
+                        stats.firstCause =
+                            static_cast<std::uint64_t>(*cause);
+                }
+                ++stats.count;
+                stats.lastUs = t_us;
+            }
         }
     }
 
@@ -412,6 +442,21 @@ main(int argc, char **argv)
                         migration_durations.count),
                     migration_durations.min, migration_durations.mean(),
                     migration_durations.max);
+    }
+    if (!alerts.empty()) {
+        std::printf("\nwatchdog alerts (per rule):\n");
+        for (const auto &[rule, stats] : alerts) {
+            std::printf("  %-20s trips=%-5llu first=%.1fs last=%.1fs",
+                        rule.c_str(),
+                        static_cast<unsigned long long>(stats.count),
+                        static_cast<double>(stats.firstUs) * 1e-6,
+                        static_cast<double>(stats.lastUs) * 1e-6);
+            if (stats.firstCause != 0)
+                std::printf(" decision=#%llu",
+                            static_cast<unsigned long long>(
+                                stats.firstCause));
+            std::printf("\n");
+        }
     }
     return 0;
 }

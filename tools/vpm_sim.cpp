@@ -16,13 +16,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/scenario.hpp"
 #include "power/spec_file.hpp"
 #include "simcore/thread_pool.hpp"
 #include "stats/table.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -44,6 +47,8 @@ struct Options
     int threads = 1;
     std::string csvPath;
     std::string specPath;
+    std::string timeseriesPath;
+    std::string watchdogPath;
 };
 
 [[noreturn]] void
@@ -72,6 +77,11 @@ usage(const char *argv0, int code)
         "results\n"
         "                        are bit-identical at any value)\n"
         "  --csv <path>          write a per-minute time series CSV\n"
+        "  --timeseries <path>   write a compressed vpm-ts-1 snapshot\n"
+        "                        (+ <path>.prom), refreshed periodically;\n"
+        "                        inspect with vpm_top\n"
+        "  --watchdog <rules>    JSON watchdog rules evaluated as buckets\n"
+        "                        seal (implies --timeseries store)\n"
         "  --help                this text\n",
         argv0);
     std::exit(code);
@@ -138,6 +148,10 @@ parseArgs(int argc, char **argv)
             opts.csvPath = need_value(i);
         else if (arg == "--spec")
             opts.specPath = need_value(i);
+        else if (arg == "--timeseries")
+            opts.timeseriesPath = need_value(i);
+        else if (arg == "--watchdog")
+            opts.watchdogPath = need_value(i);
         else {
             std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
             usage(argv[0], 1);
@@ -161,6 +175,37 @@ main(int argc, char **argv)
 {
     const Options opts = parseArgs(argc, argv);
     sim::setGlobalThreads(static_cast<unsigned>(opts.threads));
+
+    // Live telemetry: enable the downsampling store (and watchdog rules)
+    // before any simulator objects exist, like the benches do.
+    if (!opts.timeseriesPath.empty() || !opts.watchdogPath.empty()) {
+        telemetry::TelemetryConfig tel_config;
+        tel_config.enabled = true;
+        tel_config.timeseriesEnabled = true;
+        // The compressed store holds the history; per-tick metric rows
+        // would only duplicate it (vpm_sim's --csv has its own sampler).
+        tel_config.seriesRowsEnabled = false;
+        telemetry::global().configure(tel_config);
+        if (!opts.timeseriesPath.empty())
+            telemetry::global().setSnapshotTarget(opts.timeseriesPath);
+        if (!opts.watchdogPath.empty()) {
+            std::ifstream rules_in(opts.watchdogPath);
+            if (!rules_in) {
+                std::fprintf(stderr, "cannot read watchdog rules '%s'\n",
+                             opts.watchdogPath.c_str());
+                return 1;
+            }
+            std::ostringstream rules;
+            rules << rules_in.rdbuf();
+            std::string error;
+            if (!telemetry::global().watchdog().configure(rules.str(),
+                                                          &error)) {
+                std::fprintf(stderr, "--watchdog %s: %s\n",
+                             opts.watchdogPath.c_str(), error.c_str());
+                return 1;
+            }
+        }
+    }
 
     mgmt::ScenarioConfig config;
     config.hostCount = opts.hosts;
@@ -243,6 +288,23 @@ main(int argc, char **argv)
         series.writeCsv(opts.csvPath);
         std::printf("\ntime series written to %s (%zu rows)\n",
                     opts.csvPath.c_str(), series.rows());
+    }
+
+    if (!opts.timeseriesPath.empty()) {
+        if (telemetry::global().writeSnapshotFiles()) {
+            std::printf("\ntimeseries snapshot written: %s (+ .prom "
+                        "text); inspect with vpm_top\n",
+                        opts.timeseriesPath.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write timeseries snapshot '%s'\n",
+                         opts.timeseriesPath.c_str());
+            return 1;
+        }
+        const std::uint64_t alerts =
+            telemetry::global().watchdog().alertCount();
+        if (alerts > 0)
+            std::printf("watchdog: %llu alert(s) raised\n",
+                        static_cast<unsigned long long>(alerts));
     }
     return 0;
 }
