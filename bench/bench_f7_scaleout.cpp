@@ -40,11 +40,13 @@ runBody(const vpm::bench::BenchArgs &args)
          "pwr actions/host-day", "avg hosts on"});
 
     // --quick keeps the shape (savings flat with scale) at CI cost.
+    // --hosts pins a single size instead of the sweep (--vms optional).
     const std::vector<int> sizes =
-        args.quick ? std::vector<int>{16, 32, 64}
-                   : std::vector<int>{16, 32, 64, 128, 256, 512};
+        args.hosts > 0 ? std::vector<int>{args.hosts}
+        : args.quick   ? std::vector<int>{16, 32, 64}
+                       : std::vector<int>{16, 32, 64, 128, 256, 512};
     for (const int hosts : sizes) {
-        const int vms = hosts * 5;
+        const int vms = args.vms > 0 ? args.vms : hosts * 5;
 
         const auto run = [&](mgmt::PolicyKind policy) {
             mgmt::ScenarioConfig config;

@@ -27,6 +27,10 @@
  *   --watchdog <rules>     JSON watchdog rules evaluated as buckets seal
  *                          (implies the time-series store); alerts land in
  *                          the journal as `alert` records
+ *   --hosts <n>            fleet-size override for benches that honor it
+ *                          (f7, f12): one run at this host count instead
+ *                          of the built-in size sweep
+ *   --vms <n>              VM-count override, normally paired with --hosts
  *   --help                 usage; unknown flags print usage and exit 2
  */
 
@@ -81,6 +85,14 @@ struct BenchArgs
     int threads = 1; ///< --threads (evaluation worker pool size)
     std::string timeseriesPath; ///< --timeseries (vpm-ts-1 snapshot)
     std::string watchdogPath;   ///< --watchdog (JSON rule file)
+
+    /**
+     * Fleet-size overrides (0 = use the bench's own defaults). Benches
+     * that honor them (f7, f12) scale one run to the requested shape
+     * instead of sweeping their built-in size list.
+     */
+    int hosts = 0; ///< --hosts
+    int vms = 0;   ///< --vms
 };
 
 inline void
@@ -92,7 +104,8 @@ printUsage(const char *bench_id, std::FILE *out)
         "       [--profile] [--profile-trace <path>]\n"
         "       [--bench-json <path>] [--repeat <n>] [--warmup <n>]\n"
         "       [--threads <n>] [--timeseries <path>]\n"
-        "       [--watchdog <rules.json>] [--help]\n",
+        "       [--watchdog <rules.json>] [--hosts <n>] [--vms <n>]\n"
+        "       [--help]\n",
         bench_id);
 }
 
@@ -201,6 +214,11 @@ parseArgs(const char *bench_id, int argc, char **argv)
             args.threads =
                 parseIntFlag(bench_id, "--threads", value("--threads"), 1);
             sim::setGlobalThreads(static_cast<unsigned>(args.threads));
+        } else if (arg == "--hosts") {
+            args.hosts =
+                parseIntFlag(bench_id, "--hosts", value("--hosts"), 1);
+        } else if (arg == "--vms") {
+            args.vms = parseIntFlag(bench_id, "--vms", value("--vms"), 1);
         } else {
             std::fprintf(stderr, "bench_%s: unknown option '%s'\n",
                          bench_id, arg.c_str());

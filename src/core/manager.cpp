@@ -43,6 +43,10 @@ VpmManager::VpmManager(sim::Simulator &simulator, dc::Cluster &cluster,
         sim::fatal("VpmManager: negative evacuation budget");
     if (config_.spareHostsFloor < 0)
         sim::fatal("VpmManager: negative spare-hosts floor");
+    if (config_.hierarchical &&
+        (config_.hostsPerRack == 0 || config_.racksPerPod == 0))
+        sim::fatal("VpmManager: hierarchical mode needs positive rack and "
+                   "pod widths");
 
     aggregatePredictor_ = makeConfiguredPredictor();
 }
@@ -70,6 +74,10 @@ VpmManager::start()
         config_.period.micros() /
         dcsim_.config().evaluationInterval.micros());
 
+    if (config_.hierarchical)
+        tree_.configure(cluster_, config_.hostsPerRack,
+                        config_.racksPerPod);
+
     dcsim_.addEvaluationHook([this] {
         ++evaluationsSeen_;
         if ((evaluationsSeen_ - 1) % evaluationsPerCycle_ == 0)
@@ -92,6 +100,10 @@ VpmManager::attachTopology(const dc::Topology &topology)
 void
 VpmManager::managementCycle()
 {
+    if (config_.hierarchical) {
+        hierarchicalCycle();
+        return;
+    }
     PROF_ZONE("mgmt.cycle");
     ++stats_.cycles;
     observeDemand();
@@ -104,6 +116,167 @@ VpmManager::managementCycle()
     rebalanceAndConsolidate();
     if (config_.powerManage)
         completeDrains();
+}
+
+void
+VpmManager::hierarchicalCycle()
+{
+    PROF_ZONE("mgmt.hier_cycle");
+    ++stats_.cycles;
+    // Tests drive managementCycle() directly without start(); lazily
+    // configure the tree so they get the same path.
+    if (!tree_.configured())
+        tree_.configure(cluster_, config_.hostsPerRack,
+                        config_.racksPerPod);
+    tree_.refresh();
+    const dc::FleetAggregate &root = tree_.root();
+
+    // Aggregate-only prediction: the root row replaces the per-VM scan
+    // and the per-VM predictor slots entirely.
+    aggregatePredictor_->observe(root.demandMhz);
+    forecastTracker_.observe(simulator_.now().micros(), root.demandMhz,
+                             aggregatePredictor_->predict());
+    if (!config_.powerManage)
+        return;
+
+    double required =
+        aggregatePredictor_->predict() * (1.0 + config_.capacityBuffer);
+    if (provisioning_)
+        required += provisioning_->pendingDemandMhz();
+    required += spareFloorMhz();
+    const double limit = config_.targetUtilization;
+
+    // Committed = On capacity straight off the root row, plus arriving
+    // hosts found by descending only into racks reporting transitioning
+    // members.
+    double committed = root.onEffectiveCapMhz;
+    for (const dc::FleetAggregate &rack : tree_.racks()) {
+        if (rack.hostsTransitioning == 0)
+            continue;
+        for (std::size_t i = rack.begin; i < rack.end; ++i) {
+            const dc::Host &host =
+                cluster_.host(static_cast<dc::HostId>(i));
+            const auto &fsm = host.powerFsm();
+            const power::PowerPhase phase = fsm.phase();
+            if (phase == power::PowerPhase::Exiting ||
+                (phase == power::PowerPhase::Entering &&
+                 fsm.wakePending()))
+                committed += host.cpuCapacityMhz();
+        }
+    }
+
+    if (required > limit * committed) {
+        ++stats_.shortfallCycles;
+        surplusStreak_ = 0;
+        wakeHierarchical(required, limit, committed);
+        return;
+    }
+
+    // Sustained surplus: sleep naturally empty hosts. The same
+    // hysteresis knob as flat mode gates the first sleep of a streak.
+    ++surplusStreak_;
+    if (surplusStreak_ >= config_.hysteresisCycles && config_.hostSleep)
+        sleepHierarchical(required, limit, committed);
+}
+
+void
+VpmManager::wakeHierarchical(double required, double limit,
+                             double committed)
+{
+    // Racks with the most sleeping hosts first: reclaimed capacity
+    // concentrates, so later cycles touch fewer racks. Ties resolve to
+    // the lower rack index, keeping the order deterministic.
+    std::vector<std::size_t> candidates;
+    const std::vector<dc::FleetAggregate> &racks = tree_.racks();
+    for (std::size_t r = 0; r < racks.size(); ++r)
+        if (racks[r].hostsAsleep > 0)
+            candidates.push_back(r);
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&racks](std::size_t a, std::size_t b) {
+                         return racks[a].hostsAsleep > racks[b].hostsAsleep;
+                     });
+
+    for (const std::size_t r : candidates) {
+        for (std::size_t i = racks[r].begin; i < racks[r].end; ++i) {
+            if (required <= limit * committed)
+                return;
+            const auto host_id = static_cast<dc::HostId>(i);
+            if (maintenance_.contains(host_id))
+                continue;
+            dc::Host &host = cluster_.host(host_id);
+            const auto &fsm = host.powerFsm();
+            if (fsm.wakeInhibited())
+                continue;
+            const power::PowerPhase phase = fsm.phase();
+            const bool wakeable =
+                phase == power::PowerPhase::Asleep ||
+                (phase == power::PowerPhase::Entering &&
+                 !fsm.wakePending());
+            if (!wakeable)
+                continue;
+            if (config_.clusterPowerCapWatts > 0.0 &&
+                projectedPeakWatts(&host) > config_.clusterPowerCapWatts) {
+                ++stats_.wakesDeniedByCap;
+                return; // the cap binds; more wakes only project higher
+            }
+            const std::uint64_t decision = telemetry::newDecisionId();
+            telemetry::TraceScope scope(decision);
+            if (!cluster_.requestHostWake(host_id))
+                continue;
+            ++stats_.wakesIssued;
+            telemetry::global().journal().wakeDecision(
+                simulator_.now().micros(), host_id, "capacity-shortfall");
+            if (const auto it = sleepStartedAt_.find(host_id);
+                it != sleepStartedAt_.end()) {
+                const sim::SimTime observed = simulator_.now() - it->second;
+                expectedIdle_ = expectedIdle_ * 0.7 + observed * 0.3;
+                sleepStartedAt_.erase(it);
+            }
+            committed += host.cpuCapacityMhz();
+        }
+    }
+}
+
+void
+VpmManager::sleepHierarchical(double required, double limit,
+                              double committed)
+{
+    // Only racks advertising empty On hosts are walked; each sleep must
+    // leave the committed margin intact, so the loop self-limits.
+    const std::vector<dc::FleetAggregate> &racks = tree_.racks();
+    for (const dc::FleetAggregate &rack : racks) {
+        if (rack.emptyOn == 0)
+            continue;
+        for (std::size_t i = rack.begin; i < rack.end; ++i) {
+            const auto host_id = static_cast<dc::HostId>(i);
+            if (maintenance_.contains(host_id))
+                continue;
+            dc::Host &host = cluster_.host(host_id);
+            if (!host.isOn() || !host.empty() ||
+                host.activeMigrations() > 0)
+                continue;
+            if (required >
+                limit * (committed - host.effectiveCpuCapacityMhz()))
+                return; // sleeping this host would dip below the margin
+            const power::SleepStateSpec *state = chooseSleepState(host);
+            if (!state)
+                continue;
+            const std::uint64_t decision = telemetry::newDecisionId();
+            telemetry::TraceScope scope(decision);
+            if (power::IdleHierarchy *hier = host.idleHierarchy())
+                hier->descendFully();
+            if (!cluster_.requestHostSleep(host_id, state->name))
+                continue;
+            ++stats_.sleepsIssued;
+            telemetry::global().journal().sleepDecision(
+                simulator_.now().micros(), host_id, state->name,
+                expectedIdle_.toSeconds(),
+                host.powerFsm().spec().idlePowerWatts(),
+                state->sleepPowerWatts);
+            sleepStartedAt_[host_id] = simulator_.now();
+            committed -= host.effectiveCpuCapacityMhz();
+        }
+    }
 }
 
 void

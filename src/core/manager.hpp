@@ -32,6 +32,7 @@
 #include "core/placement.hpp"
 #include "core/predictor.hpp"
 #include "datacenter/datacenter_sim.hpp"
+#include "datacenter/fleet_tree.hpp"
 #include "datacenter/provisioning.hpp"
 #include "power/breakeven.hpp"
 
@@ -131,6 +132,29 @@ struct VpmConfig
      * host is slept immediately.
      */
     int parkedReserve = 0;
+    ///@}
+
+    /** @name Hierarchical fleet mode */
+    ///@{
+    /**
+     * Manage through the rack → pod → cluster aggregate tree instead of
+     * per-VM scans: demand is predicted from the tree's root row alone,
+     * capacity decisions descend only into racks whose aggregates changed
+     * or that report relevant members (asleep hosts for wakes, empty On
+     * hosts for sleeps), and per-cycle cost is O(dirty racks x rack
+     * width), not O(VMs). Consolidation is wake/sleep of naturally empty
+     * hosts only — no balancing or evacuation migrations — which is the
+     * regime that scales to 100k hosts (F12). Off by default: the tree's
+     * rack-wise demand fold changes FP summation order versus the flat
+     * walk, so enabling it is a (tiny but real) policy change.
+     */
+    bool hierarchical = false;
+
+    /** Contiguous hosts per rack for the aggregate tree. */
+    std::size_t hostsPerRack = 32;
+
+    /** Contiguous racks per pod for the aggregate tree. */
+    std::size_t racksPerPod = 16;
     ///@}
 
     /**
@@ -263,6 +287,21 @@ class VpmManager
     /** Feed predictors with this cycle's demand. */
     void observeDemand();
 
+    /**
+     * The whole management cycle in hierarchical mode: refresh the
+     * aggregate tree, predict from its root row, then triage — wake
+     * asleep hosts rack by rack on a shortfall, sleep empty On hosts
+     * rack by rack on a sustained surplus. Never walks a rack whose
+     * aggregate rules it out.
+     */
+    void hierarchicalCycle();
+
+    /** Rack-triage wake loop; updates @p committed as hosts are issued. */
+    void wakeHierarchical(double required, double limit, double committed);
+
+    /** Rack-triage sleep loop over empty On hosts. */
+    void sleepHierarchical(double required, double limit, double committed);
+
     /** Predicted demand of one VM, clamped to its size, in MHz. */
     double predictedVmMhz(const dc::Vm &vm) const;
 
@@ -341,6 +380,9 @@ class VpmManager
     std::vector<std::unique_ptr<DemandPredictor>> vmPredictors_;
     std::unique_ptr<DemandPredictor> aggregatePredictor_;
     ForecastTracker forecastTracker_;
+
+    /** Aggregate tree driving hierarchical mode (configured in start()). */
+    dc::FleetTree tree_;
 
     /** Persistent planning model; see buildModel(). */
     mutable PlacementModel model_;

@@ -19,8 +19,9 @@ Cluster::addHost(const HostConfig &config,
     char name[32];
     std::snprintf(name, sizeof(name), "host%03d", id);
     powerSpecs_.push_back(power_spec);
+    fleet_.registerHost(id, config.cpuCapacityMhz);
     hosts_.push_back(std::make_unique<Host>(simulator_, id, name, config,
-                                            powerSpecs_.back()));
+                                            powerSpecs_.back(), fleet_));
     ++placementEpoch_;
     return *hosts_.back();
 }
@@ -29,7 +30,8 @@ Vm &
 Cluster::addVm(workload::VmWorkloadSpec spec)
 {
     const VmId id = static_cast<VmId>(vms_.size());
-    vms_.push_back(std::make_unique<Vm>(id, std::move(spec)));
+    fleet_.registerVm(id, spec.cpuMhz, spec.memoryMb, spec.trace.get());
+    vms_.push_back(std::make_unique<Vm>(id, std::move(spec), fleet_));
     ++placementEpoch_;
     return *vms_.back();
 }
@@ -181,9 +183,14 @@ Cluster::requestHostWake(HostId host_id)
 double
 Cluster::totalVmDemandMhz() const
 {
+    // Linear sweep of the store's demand column in VM-id order — the same
+    // values, in the same summation order, as the historical walk over Vm
+    // objects (retired VMs hold demand 0).
     double total = 0.0;
-    for (const auto &vm_ptr : vms_)
-        total += vm_ptr->currentDemandMhz();
+    const double *demand = fleet_.vmDemandData();
+    const std::size_t n = fleet_.vmCount();
+    for (std::size_t v = 0; v < n; ++v)
+        total += demand[v];
     return total;
 }
 
@@ -191,9 +198,10 @@ double
 Cluster::onCpuCapacityMhz() const
 {
     double total = 0.0;
-    for (const auto &host_ptr : hosts_) {
-        if (host_ptr->isOn())
-            total += host_ptr->cpuCapacityMhz();
+    const std::size_t n = fleet_.hostCount();
+    for (std::size_t h = 0; h < n; ++h) {
+        if (fleet_.hostIsOn(static_cast<HostId>(h)))
+            total += fleet_.hostCpuCapacityMhz(static_cast<HostId>(h));
     }
     return total;
 }
@@ -202,42 +210,28 @@ double
 Cluster::totalCpuCapacityMhz() const
 {
     double total = 0.0;
-    for (const auto &host_ptr : hosts_)
-        total += host_ptr->cpuCapacityMhz();
+    const std::size_t n = fleet_.hostCount();
+    for (std::size_t h = 0; h < n; ++h)
+        total += fleet_.hostCpuCapacityMhz(static_cast<HostId>(h));
     return total;
 }
 
 int
 Cluster::hostsOn() const
 {
-    int count = 0;
-    for (const auto &host_ptr : hosts_)
-        count += host_ptr->isOn() ? 1 : 0;
-    return count;
+    return fleet_.hostsOn();
 }
 
 int
 Cluster::hostsAsleep() const
 {
-    int count = 0;
-    for (const auto &host_ptr : hosts_) {
-        count += host_ptr->powerFsm().phase() == power::PowerPhase::Asleep
-                     ? 1 : 0;
-    }
-    return count;
+    return fleet_.hostsAsleep();
 }
 
 int
 Cluster::hostsTransitioning() const
 {
-    int count = 0;
-    for (const auto &host_ptr : hosts_) {
-        const power::PowerPhase phase = host_ptr->powerFsm().phase();
-        count += (phase == power::PowerPhase::Entering ||
-                  phase == power::PowerPhase::Exiting)
-                     ? 1 : 0;
-    }
-    return count;
+    return fleet_.hostsTransitioning();
 }
 
 double

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "datacenter/fleet_store.hpp"
 #include "datacenter/host.hpp"
 #include "datacenter/vm.hpp"
 #include "power/power_state.hpp"
@@ -67,6 +68,10 @@ class Cluster
     const std::vector<std::unique_ptr<Vm>> &vms() const { return vms_; }
 
     sim::Simulator &simulator() { return simulator_; }
+
+    /** The struct-of-arrays hot state every host/VM view points into. */
+    FleetStore &fleet() { return fleet_; }
+    const FleetStore &fleet() const { return fleet_; }
     ///@}
 
     /** @name Placement */
@@ -150,6 +155,8 @@ class Cluster
 
   private:
     sim::Simulator &simulator_;
+    /** Declared before the views that point into it. */
+    FleetStore fleet_;
     std::vector<std::unique_ptr<Host>> hosts_;
     std::vector<std::unique_ptr<Vm>> vms_;
     std::deque<power::HostPowerSpec> powerSpecs_;

@@ -26,6 +26,15 @@ namespace {
 constexpr std::size_t kHostShardGrain = 8;
 constexpr std::size_t kVmShardGrain = 64;
 
+/**
+ * Grain of the flat demand-refresh pass. Unlike the SLA sampling pass,
+ * the refresh kernel folds nothing — re-samples are per-VM independent
+ * and idempotent — so its shard structure is not part of the determinism
+ * contract and can use a coarse grain that keeps per-shard dispatch
+ * overhead negligible at millions of VMs.
+ */
+constexpr std::size_t kVmRefreshShardGrain = 4096;
+
 /** Utilization cap of the M/M/1-style latency model (keeps 1/(1-rho)
  *  finite); a host that cannot run its VMs is treated as pinned here. */
 constexpr double kUtilizationCap = 0.95;
@@ -139,9 +148,24 @@ DatacenterSim::sampleTelemetry()
         slot.value += v;
     };
     bool any_hierarchy = false;
-    for (const auto &host_ptr : cluster_.hosts()) {
-        watts += host_ptr->meter().heldWatts();
-        demand_mhz += host_ptr->vmDemandMhz();
+    const FleetStore &fleet = cluster_.fleet();
+    const auto &hosts = cluster_.hosts();
+    const double *held_watts = fleet.hostHeldWattsData();
+    const double *demand_cache = fleet.hostDemandCacheData();
+    const std::size_t host_count = fleet.hostCount();
+    for (std::size_t i = 0; i < host_count; ++i) {
+        const HostId h = static_cast<HostId>(i);
+        // The evaluate pass leaves every allocator-serviced host's demand
+        // cache clean; hosts it skipped (e.g. off hosts with residents,
+        // from failure injection) recompute lazily here, exactly like the
+        // historical vmDemandMhz() walk.
+        if (fleet.hostFlags(h) & FleetStore::kDemandDirty)
+            (void)hosts[i]->vmDemandMhz();
+        watts += held_watts[i];
+        demand_mhz += demand_cache[i];
+        if (!fleet.hostHasHierarchy(h))
+            continue;
+        const Host *host_ptr = hosts[i].get();
         if (const power::IdleHierarchy *hier = host_ptr->idleHierarchy()) {
             any_hierarchy = true;
             if (!hier->active())
@@ -260,51 +284,99 @@ DatacenterSim::evaluate()
     const sim::SimTime now = simulator_.now();
     const std::vector<Vm *> &placed = placedVms();
     const auto &hosts = cluster_.hosts();
+    FleetStore &fleet = cluster_.fleet();
     sim::ThreadPool &pool = sim::globalPool();
 
+    // Demand-refresh pass: a flat linear scan of the placed-VM id list
+    // against the store's trace/span/demand columns. Re-samples are
+    // per-VM independent and idempotent, and a changed demand marks the
+    // resident host through the store's atomic flag bytes (a VM shard may
+    // touch hosts of any host shard), so this partitioning produces the
+    // identical columns and flags as the historical per-host interleaved
+    // refresh.
+    const std::int64_t now_us = now.micros();
+    {
+        PROF_ZONE("dcsim.evaluate.refresh");
+        pool.parallelFor(
+            placed.size(), kVmRefreshShardGrain,
+            [&](std::size_t, std::size_t begin, std::size_t end) {
+                fleet.refreshPlacedDemand(placedIds_.data() + begin,
+                                          end - begin, now_us);
+            });
+    }
+
     // Host pass, sharded over host-id ranges. Everything here is a pure
-    // per-host computation — demand refresh of the host's resident VMs
-    // (refreshDemand re-samples a trace only once its cached span expires
-    // and marks only the resident host dirty), the dirty-gated allocation,
-    // and the latency factor — so shards share nothing and the results
-    // are bit-identical to the sequential sweep in any order.
-    latencyFactor_.resize(hosts.size());
-    pool.parallelFor(
-        hosts.size(), kHostShardGrain,
-        [&](std::size_t, std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-                Host &host = *hosts[i];
-                // The VM pass below indexes latencyFactor_ by HostId, so
-                // the cluster's dense-id invariant is what makes that
-                // lookup (and this loop's write) line up.
-                assert(host.id() == static_cast<HostId>(i) &&
-                       "cluster host ids must be dense and in order");
-                for (Vm *vm_ptr : host.vms())
-                    vm_ptr->refreshDemand(now);
-                if (host.allocDirty()) {
-                    allocateHost(host);
-                    host.clearAllocDirty();
+    // per-host computation — the dirty-gated allocation and the latency
+    // factor — so shards share nothing and the results are bit-identical
+    // to the sequential sweep in any order. The common clean-host case
+    // reads only store columns (one flag byte, the phase byte, the
+    // memoized granted sum); the Host object is dereferenced only for
+    // dirty hosts and hierarchy-equipped hosts.
+    {
+        PROF_ZONE("dcsim.evaluate.hostpass");
+        pool.parallelFor(
+            hosts.size(), kHostShardGrain,
+            [&](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    const HostId h = static_cast<HostId>(i);
+                    // The VM pass below gathers latencyFactor by HostId, so
+                    // the cluster's dense-id invariant is what makes that
+                    // lookup (and this loop's write) line up.
+                    assert(hosts[i]->id() == h &&
+                           "cluster host ids must be dense and in order");
+                    std::uint8_t flags = fleet.hostFlags(h);
+                    // No flag set means no factor input moved since the last
+                    // service: the stored factor is exactly what this pass
+                    // would recompute (hierarchy wake-latency drift marks
+                    // kFactorDirty), so skip the host entirely.
+                    if (flags == 0)
+                        continue;
+                    if (flags & FleetStore::kAllocDirty) {
+                        allocateHost(*hosts[i]);
+                        fleet.clearHostFlags(h, FleetStore::kAllocDirty);
+                        flags = fleet.hostFlags(h);
+                    }
+                    // The latency factor is a per-host quantity; evaluate it
+                    // once per host so each VM reads an identical value.
+                    double factor;
+                    if (!fleet.hostIsOn(h)) {
+                        factor = kStarvedLatencyFactor;
+                    } else {
+                        // Same arithmetic as Host::utilization(): the granted
+                        // cache is clean on every On host once the allocator
+                        // has serviced it (the off-branch presets it too), so
+                        // the store read equals the lazy recompute.
+                        const double busy =
+                            (flags & FleetStore::kGrantedDirty)
+                                ? hosts[i]->grantedMhz() +
+                                      fleet.hostMigrationOverheadMhz(h)
+                                : fleet.hostGrantedCacheMhz(h) +
+                                      fleet.hostMigrationOverheadMhz(h);
+                        const double util = std::clamp(
+                            busy / fleet.hostEffectiveCapacityMhz(h), 0.0, 1.0);
+                        const double rho = std::min(util, kUtilizationCap);
+                        factor = 1.0 / (1.0 - rho);
+                        // C-state exit adds a latency term: demand arriving
+                        // this interval waits on the deepest resident exit
+                        // before the cores can serve it, amortized over the
+                        // interval. Pure read of a cached field — shard-safe.
+                        if (fleet.hostHasHierarchy(h)) {
+                            const power::IdleHierarchy *hier =
+                                hosts[i]->idleHierarchy();
+                            factor += hier->wakeLatency().toSeconds() /
+                                      config_.evaluationInterval.toSeconds();
+                        }
+                    }
+                    fleet.setLatencyFactor(h, factor);
+                    if (flags & FleetStore::kFactorDirty)
+                        fleet.clearHostFlags(h, FleetStore::kFactorDirty);
                 }
-                // The latency factor is a per-host quantity; evaluate it
-                // once per host so each VM reads an identical value.
-                const double rho =
-                    host.isOn() ? std::min(host.utilization(),
-                                           kUtilizationCap)
-                                : kUtilizationCap;
-                latencyFactor_[i] = 1.0 / (1.0 - rho);
-                // C-state exit adds a latency term: demand arriving this
-                // interval waits on the deepest resident exit before the
-                // cores can serve it, amortized over the interval. Pure
-                // read of a cached field — shard-safe.
-                if (const power::IdleHierarchy *hier =
-                        host.idleHierarchy();
-                    hier != nullptr && host.isOn()) {
-                    latencyFactor_[i] +=
-                        hier->wakeLatency().toSeconds() /
-                        config_.evaluationInterval.toSeconds();
-                }
-            }
-        });
+            });
+        // Every host was just serviced, so the reallocate() work queue holds
+        // nothing the pass above did not already handle.
+        fleet.clearAllocQueue();
+    }
+    PROF_ZONE("dcsim.evaluate.sample");
 
     // VM pass: one SLA sample per placed VM, sharded over VM ranges into
     // per-shard accumulators. The shard structure depends only on the VM
@@ -388,26 +460,32 @@ DatacenterSim::sampleVms(std::size_t begin, std::size_t end,
                          telemetry::JournalStage *stage,
                          telemetry::SeriesRecorder *series_rec)
 {
+    // Store-direct: reads only the demand/granted/host columns plus the
+    // latency-factor scratch — no Vm object is touched.
+    const FleetStore &fleet = cluster_.fleet();
+    const double *latency_factor = fleet.latencyFactorData();
+    const std::size_t host_count = fleet.hostCount();
     for (std::size_t v = begin; v < end; ++v) {
-        const Vm *vm_ptr = placedVms_[v];
-        const double demand = vm_ptr->currentDemandMhz();
-        sla.record(demand, vm_ptr->grantedMhz());
+        const VmId vm_id = placedIds_[v];
+        const double demand = fleet.vmDemandMhz(vm_id);
+        const double granted = fleet.vmGrantedMhz(vm_id);
+        sla.record(demand, granted);
 
         // Journal each sample that falls below the SLA threshold, and fold
         // its satisfaction into the violation series (whose per-bucket
         // `count` channel is the violation rate the watchdog watches).
         if (demand > 0.0) {
-            const double sat = vm_ptr->grantedMhz() / demand;
+            const double sat = granted / demand;
             if (sat < config_.slaThreshold) {
                 if (series_rec)
                     series_rec->record(tsViolSat_, sat);
                 if (journal_on) {
                     if (stage)
-                        stage->slaViolation(now.micros(), vm_ptr->id(), sat,
+                        stage->slaViolation(now.micros(), vm_id, sat,
                                             demand);
                     else
                         telemetry::global().journal().slaViolation(
-                            now.micros(), vm_ptr->id(), sat, demand);
+                            now.micros(), vm_id, sat, demand);
                 }
             }
         }
@@ -415,13 +493,12 @@ DatacenterSim::sampleVms(std::size_t begin, std::size_t end,
         // Response-time inflation of the VM's host, M/M/1-style. Starved
         // VMs (host off, or rho pinned at the cap) land at the ceiling —
         // as does a VM carrying a stale host id (e.g. its host was just
-        // removed), which used to index latencyFactor_ out of bounds.
-        const HostId host_id = vm_ptr->host();
+        // removed), which used to index the factor array out of bounds.
+        const HostId host_id = fleet.vmHost(vm_id);
         const auto host_index = static_cast<std::size_t>(host_id);
-        const double factor =
-            host_id >= 0 && host_index < latencyFactor_.size()
-                ? latencyFactor_[host_index]
-                : kStarvedLatencyFactor;
+        const double factor = host_id >= 0 && host_index < host_count
+                                  ? latency_factor[host_index]
+                                  : kStarvedLatencyFactor;
         latency_hist.add(factor);
         if (demand > 0.0)
             latency_weighted.add(factor);
@@ -434,9 +511,12 @@ DatacenterSim::placedVms()
     const std::uint64_t epoch = cluster_.placementEpoch();
     if (epoch != placedEpoch_) {
         placedVms_.clear();
+        placedIds_.clear();
         for (const auto &vm_ptr : cluster_.vms()) {
-            if (vm_ptr->placed())
+            if (vm_ptr->placed()) {
                 placedVms_.push_back(vm_ptr.get());
+                placedIds_.push_back(vm_ptr->id());
+            }
         }
         placedEpoch_ = epoch;
     }
@@ -446,51 +526,78 @@ DatacenterSim::placedVms()
 void
 DatacenterSim::reallocate()
 {
-    // Dirty-gated sweep: only hosts whose allocation inputs changed since
-    // their last pass (membership, demand, overhead, frequency, power
-    // phase) are re-run. A migration landing therefore re-spreads just its
-    // source and destination instead of the whole cluster. Sharded by
-    // host like the evaluate() host pass: allocation is per-host state.
+    // Queue drain: every main-thread mutation that dirtied a host's
+    // allocation inputs (membership, demand, overhead, frequency, power
+    // phase) also enqueued it, so this visits O(dirty hosts) instead of
+    // sweeping the fleet — a migration landing re-spreads just its source
+    // and destination even at 100k hosts. Allocation is per-host state,
+    // so the drain order cannot affect results; the queue's enqueue order
+    // is event-driven and thus deterministic anyway.
     PROF_ZONE("dcsim.reallocate");
+    FleetStore &fleet = cluster_.fleet();
     const auto &hosts = cluster_.hosts();
-    sim::globalPool().parallelFor(
-        hosts.size(), kHostShardGrain,
-        [&](std::size_t, std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-                Host &host = *hosts[i];
-                if (host.allocDirty()) {
-                    allocateHost(host);
-                    host.clearAllocDirty();
-                }
-            }
-        });
+    for (const HostId h : fleet.allocQueue()) {
+        if (fleet.hostFlags(h) & FleetStore::kAllocDirty) {
+            allocateHost(*hosts[static_cast<std::size_t>(h)]);
+            fleet.clearHostFlags(h, FleetStore::kAllocDirty);
+        }
+    }
+    fleet.clearAllocQueue();
 }
 
 void
 DatacenterSim::allocateHost(Host &host)
 {
+    // Store-direct: the inner loops read and write the fleet columns via
+    // the host's resident-id list, never the Vm objects. vmIds() is in
+    // vms() order, so every sum below reproduces the FP summation order
+    // of the historical object walk (and of the lazy cache recomputes it
+    // presets). Cluster-owned hosts share the cluster store, which is
+    // what makes the id-based access equivalent.
+    FleetStore &fleet = cluster_.fleet();
+    const HostId h = host.id();
+    const std::vector<VmId> &ids = host.vmIds();
+
     if (!host.isOn()) {
         // VMs cannot run on a host that is not On. The management layer
         // never suspends occupied hosts; this branch covers hand-scripted
         // experiments and failure injection.
-        for (Vm *vm : host.vms())
-            vm->setGrantedMhz(0.0);
+        for (const VmId v : ids)
+            fleet.setVmGrantedMhz(v, 0.0);
+        fleet.setHostGrantedCacheClean(h, 0.0);
         return;
     }
 
     const double available = std::max(
-        host.effectiveCpuCapacityMhz() - host.migrationOverheadMhz(), 0.0);
-    const double demand = host.vmDemandMhz();
+        fleet.hostEffectiveCapacityMhz(h) -
+            fleet.hostMigrationOverheadMhz(h), 0.0);
+    double demand;
+    if (fleet.hostFlags(h) & FleetStore::kDemandDirty) {
+        demand = 0.0;
+        for (const VmId v : ids)
+            demand += fleet.vmDemandMhz(v);
+        fleet.setHostDemandCacheClean(h, demand);
+    } else {
+        demand = fleet.hostDemandCacheMhz(h);
+    }
 
+    double granted_total = 0.0;
     if (demand <= available) {
-        for (Vm *vm : host.vms())
-            vm->setGrantedMhz(vm->currentDemandMhz());
+        for (const VmId v : ids) {
+            const double g = fleet.vmDemandMhz(v);
+            fleet.setVmGrantedMhz(v, g);
+            granted_total += g;
+        }
     } else {
         // Proportional share under contention, hypervisor-style.
         const double share = demand > 0.0 ? available / demand : 0.0;
-        for (Vm *vm : host.vms())
-            vm->setGrantedMhz(vm->currentDemandMhz() * share);
+        for (const VmId v : ids) {
+            const double g = fleet.vmDemandMhz(v) * share;
+            fleet.setVmGrantedMhz(v, g);
+            granted_total += g;
+        }
     }
+    fleet.setHostGrantedCacheClean(h, granted_total);
     host.updatePowerDraw();
 }
 

@@ -187,12 +187,11 @@ class DatacenterSim
     sim::SimTime startedAt_;
     std::vector<EvaluationHook> hooks_;
 
-    /** Cached placed-VM list; valid while the epoch matches. */
+    /** Cached placed-VM list (and the parallel id list the store-direct
+     *  passes index with); valid while the epoch matches. */
     std::vector<Vm *> placedVms_;
+    std::vector<VmId> placedIds_;
     std::uint64_t placedEpoch_ = ~0ull;
-
-    /** Per-host latency-factor scratch, refilled every evaluation. */
-    std::vector<double> latencyFactor_;
 
     /**
      * @name Idle-hierarchy occupancy accumulation, allocation-free per tick

@@ -1,0 +1,140 @@
+#include "datacenter/fleet_tree.hpp"
+
+#include <algorithm>
+
+#include "datacenter/cluster.hpp"
+#include "simcore/logging.hpp"
+#include "telemetry/profiler.hpp"
+
+namespace vpm::dc {
+
+void
+FleetTree::configure(Cluster &cluster, std::size_t hosts_per_rack,
+                     std::size_t racks_per_pod)
+{
+    if (hosts_per_rack == 0 || racks_per_pod == 0)
+        sim::panic("FleetTree::configure: rack/pod widths must be positive");
+    cluster_ = &cluster;
+    hostsPerRack_ = hosts_per_rack;
+    racksPerPod_ = racks_per_pod;
+
+    FleetStore &fleet = cluster.fleet();
+    fleet.setRackWidth(hosts_per_rack);
+
+    const std::size_t hosts = fleet.hostCount();
+    const std::size_t rack_count =
+        (hosts + hosts_per_rack - 1) / hosts_per_rack;
+    racks_.assign(rack_count, FleetAggregate{});
+    for (std::size_t r = 0; r < rack_count; ++r) {
+        racks_[r].begin = r * hosts_per_rack;
+        racks_[r].end = std::min(hosts, (r + 1) * hosts_per_rack);
+    }
+    const std::size_t pod_count =
+        rack_count == 0 ? 0 : (rack_count + racks_per_pod - 1) / racks_per_pod;
+    pods_.assign(pod_count, FleetAggregate{});
+    for (std::size_t p = 0; p < pod_count; ++p) {
+        pods_[p].begin = p * racks_per_pod;
+        pods_[p].end = std::min(rack_count, (p + 1) * racks_per_pod);
+    }
+    root_ = FleetAggregate{};
+    root_.end = pod_count;
+}
+
+void
+FleetTree::recomputeRack(std::size_t rack)
+{
+    const FleetStore &fleet = cluster_->fleet();
+    const auto &hosts = cluster_->hosts();
+    FleetAggregate next;
+    next.begin = racks_[rack].begin;
+    next.end = racks_[rack].end;
+    for (std::size_t i = next.begin; i < next.end; ++i) {
+        const HostId h = static_cast<HostId>(i);
+        // Demand aggregates recompute lazily through the Host view (off
+        // hosts can be demand-dirty; see sampleTelemetry), then the clean
+        // cache column is the rack's input — host-id order, FP-stable.
+        if (fleet.hostFlags(h) & FleetStore::kDemandDirty)
+            (void)hosts[i]->vmDemandMhz();
+        next.demandMhz += fleet.hostDemandCacheMhz(h);
+        next.cpuCapacityMhz += fleet.hostCpuCapacityMhz(h);
+        switch (fleet.hostPhase(h)) {
+        case static_cast<std::uint8_t>(power::PowerPhase::On):
+            ++next.hostsOn;
+            next.onEffectiveCapMhz += fleet.hostEffectiveCapacityMhz(h);
+            if (hosts[i]->empty())
+                ++next.emptyOn;
+            break;
+        case static_cast<std::uint8_t>(power::PowerPhase::Asleep):
+            ++next.hostsAsleep;
+            break;
+        default:
+            ++next.hostsTransitioning;
+            break;
+        }
+    }
+    const FleetAggregate &prev = racks_[rack];
+    next.changed = next.demandMhz != prev.demandMhz ||
+                   next.onEffectiveCapMhz != prev.onEffectiveCapMhz ||
+                   next.cpuCapacityMhz != prev.cpuCapacityMhz ||
+                   next.hostsOn != prev.hostsOn ||
+                   next.hostsAsleep != prev.hostsAsleep ||
+                   next.hostsTransitioning != prev.hostsTransitioning ||
+                   next.emptyOn != prev.emptyOn;
+    racks_[rack] = next;
+}
+
+void
+FleetTree::refresh()
+{
+    PROF_ZONE("fleet_tree.refresh");
+    if (cluster_ == nullptr)
+        sim::panic("FleetTree::refresh before configure");
+    FleetStore &fleet = cluster_->fleet();
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        if (!fleet.rackDirty(r)) {
+            racks_[r].changed = false;
+            continue;
+        }
+        fleet.clearRackDirty(r);
+        recomputeRack(r);
+    }
+    // Pods and the root fold rack rows in id order: cheap (racks, not
+    // hosts) and FP-stable because rack rows are themselves recomputed
+    // from scratch in a fixed order.
+    for (std::size_t p = 0; p < pods_.size(); ++p) {
+        FleetAggregate next;
+        next.begin = pods_[p].begin;
+        next.end = pods_[p].end;
+        bool changed = false;
+        for (std::size_t r = next.begin; r < next.end; ++r) {
+            const FleetAggregate &rack = racks_[r];
+            next.demandMhz += rack.demandMhz;
+            next.onEffectiveCapMhz += rack.onEffectiveCapMhz;
+            next.cpuCapacityMhz += rack.cpuCapacityMhz;
+            next.hostsOn += rack.hostsOn;
+            next.hostsAsleep += rack.hostsAsleep;
+            next.hostsTransitioning += rack.hostsTransitioning;
+            next.emptyOn += rack.emptyOn;
+            changed = changed || rack.changed;
+        }
+        next.changed = changed;
+        pods_[p] = next;
+    }
+    FleetAggregate next;
+    next.end = pods_.size();
+    bool changed = false;
+    for (const FleetAggregate &pod : pods_) {
+        next.demandMhz += pod.demandMhz;
+        next.onEffectiveCapMhz += pod.onEffectiveCapMhz;
+        next.cpuCapacityMhz += pod.cpuCapacityMhz;
+        next.hostsOn += pod.hostsOn;
+        next.hostsAsleep += pod.hostsAsleep;
+        next.hostsTransitioning += pod.hostsTransitioning;
+        next.emptyOn += pod.emptyOn;
+        changed = changed || pod.changed;
+    }
+    next.changed = changed;
+    root_ = next;
+}
+
+} // namespace vpm::dc

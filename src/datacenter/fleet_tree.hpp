@@ -1,0 +1,104 @@
+/**
+ * @file
+ * FleetTree: rack → pod → cluster aggregate tree over a FleetStore.
+ *
+ * Hierarchical management needs fleet-shaped summaries — "which racks
+ * have sleeping hosts", "how much effective capacity is on in this pod" —
+ * without walking 100k individual hosts per decision. The tree keeps one
+ * aggregate row per rack and per pod, maintained incrementally: the store
+ * marks a rack dirty whenever any member host's flags are marked (demand,
+ * membership, power phase, frequency — everything that can move an
+ * aggregate), and refresh() recomputes exactly the dirty racks, each from
+ * scratch in host-id order so the FP sums are reproducible regardless of
+ * which mutations dirtied them. Pods and the root fold rack rows (id
+ * order), so the whole tree is a pure function of the store's columns.
+ *
+ * Rack geometry deliberately mirrors bench_e6's topology convention:
+ * hosts are assigned round-robin-free, contiguously — rack r holds hosts
+ * [r*W, (r+1)*W) — which is also how topology.cpp lays racks out.
+ */
+
+#ifndef VPM_DATACENTER_FLEET_TREE_HPP
+#define VPM_DATACENTER_FLEET_TREE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "datacenter/fleet_store.hpp"
+
+namespace vpm::dc {
+
+class Cluster;
+
+/** Aggregate row of one rack (or pod / the root, which reuse the shape). */
+struct FleetAggregate
+{
+    std::size_t begin = 0; ///< first member index (host for racks,
+                           ///< rack for pods, pod for the root)
+    std::size_t end = 0;   ///< one past the last member index
+
+    double demandMhz = 0.0;          ///< sum of member demand aggregates
+    double onEffectiveCapMhz = 0.0;  ///< effective capacity of On hosts
+    double cpuCapacityMhz = 0.0;     ///< nominal capacity, all hosts
+    int hostsOn = 0;
+    int hostsAsleep = 0;
+    int hostsTransitioning = 0;
+    int emptyOn = 0; ///< On hosts with no resident VMs (sleep candidates)
+
+    /** true when the last refresh() recomputed this row and any field
+     *  moved; the manager descends only into changed racks. */
+    bool changed = false;
+};
+
+/** Incrementally maintained aggregate tree; see file comment. */
+class FleetTree
+{
+  public:
+    /**
+     * Bind to @p cluster and fix the geometry: @p hosts_per_rack
+     * contiguous hosts per rack, @p racks_per_pod contiguous racks per
+     * pod (the last rack/pod may be short). Enables the store's rack
+     * dirty-bit bookkeeping and marks everything dirty, so the first
+     * refresh() builds the whole tree. Call after the fleet is built.
+     */
+    void configure(Cluster &cluster, std::size_t hosts_per_rack,
+                   std::size_t racks_per_pod);
+
+    bool configured() const { return cluster_ != nullptr; }
+
+    /**
+     * Recompute dirty racks from the store columns, then fold racks into
+     * pods and the root. O(dirty racks x rack width + racks).
+     */
+    void refresh();
+
+    const std::vector<FleetAggregate> &racks() const { return racks_; }
+    const std::vector<FleetAggregate> &pods() const { return pods_; }
+    const FleetAggregate &root() const { return root_; }
+
+    /** The pod containing @p rack. */
+    std::size_t podOfRack(std::size_t rack) const
+    {
+        return rack / racksPerPod_;
+    }
+
+    /** The rack containing @p host. */
+    std::size_t rackOfHost(HostId host) const
+    {
+        return static_cast<std::size_t>(host) / hostsPerRack_;
+    }
+
+  private:
+    void recomputeRack(std::size_t rack);
+
+    Cluster *cluster_ = nullptr;
+    std::size_t hostsPerRack_ = 0;
+    std::size_t racksPerPod_ = 0;
+    std::vector<FleetAggregate> racks_;
+    std::vector<FleetAggregate> pods_;
+    FleetAggregate root_;
+};
+
+} // namespace vpm::dc
+
+#endif // VPM_DATACENTER_FLEET_TREE_HPP

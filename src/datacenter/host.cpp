@@ -11,20 +11,54 @@ namespace vpm::dc {
 
 Host::Host(sim::Simulator &simulator, HostId id, std::string name,
            const HostConfig &config, const power::HostPowerSpec &power_spec)
-    : simulator_(simulator), id_(id), name_(std::move(name)),
-      config_(config), fsm_(simulator, power_spec),
+    : simulator_(simulator), id_(id), store_(nullptr),
+      name_(std::move(name)), config_(config), fsm_(simulator, power_spec),
       meter_(simulator.now(), power_spec.idlePowerWatts())
 {
+    ownedStore_ = std::make_unique<FleetStore>();
+    store_ = ownedStore_.get();
+    store_->registerHost(id_, config_.cpuCapacityMhz);
+    init(power_spec);
+}
+
+Host::Host(sim::Simulator &simulator, HostId id, std::string name,
+           const HostConfig &config, const power::HostPowerSpec &power_spec,
+           FleetStore &store)
+    : simulator_(simulator), id_(id), store_(&store),
+      name_(std::move(name)), config_(config), fsm_(simulator, power_spec),
+      meter_(simulator.now(), power_spec.idlePowerWatts())
+{
+    // The cluster registers the row before constructing the view.
+    if (static_cast<std::size_t>(id_) >= store_->hostCount())
+        sim::panic("Host '%s': id %d not registered in the fleet store",
+                   name_.c_str(), id_);
+    init(power_spec);
+}
+
+void
+Host::init(const power::HostPowerSpec &power_spec)
+{
+    (void)power_spec;
     if (config_.cpuCapacityMhz <= 0.0)
         sim::fatal("Host '%s': CPU capacity must be positive", name_.c_str());
     if (config_.memoryCapacityMb <= 0.0)
         sim::fatal("Host '%s': memory capacity must be positive",
                    name_.c_str());
 
+    // Seed the store's phase byte and power mirror from the live objects
+    // (registerHost defaults assume a host born On at idle draw).
+    store_->setHostPhase(id_, static_cast<std::uint8_t>(fsm_.phase()));
+    store_->setHostHeldWatts(id_, meter_.heldWatts());
+
     // Keep the meter exact across phase changes. A phase change also
-    // flips the allocator's on/off branch, so the grants are stale.
-    fsm_.addObserver([this](power::PowerPhase, power::PowerPhase) {
-        allocDirty_ = true;
+    // flips the allocator's on/off branch, so the grants are stale. This
+    // observer is registered before any outside observer, so the store's
+    // phase byte and O(1) counts are already updated when later observers
+    // (e.g. DatacenterSim's hosts-on tracker) read them.
+    fsm_.addObserver([this](power::PowerPhase, power::PowerPhase to) {
+        store_->setHostPhase(id_, static_cast<std::uint8_t>(to));
+        store_->markHost(id_, FleetStore::kAllocDirty);
+        store_->queueAllocDirty(id_);
         updatePowerDraw();
     });
 
@@ -43,14 +77,19 @@ Host::~Host() = default;
 void
 Host::updatePowerDraw()
 {
-    meter_.update(simulator_.now(), powerWatts());
+    const double watts = powerWatts();
+    meter_.update(simulator_.now(), watts);
+    // heldWatts() may differ from the requested watts (the meter clamps
+    // backwards time); mirror what the meter actually holds.
+    store_->setHostHeldWatts(id_, meter_.heldWatts());
 }
 
 double
 Host::powerWatts() const
 {
     double watts;
-    if (!isOn() || frequencyFraction_ >= 1.0) {
+    const double freq = frequencyFraction();
+    if (!isOn() || freq >= 1.0) {
         watts = fsm_.powerWatts(utilization());
     } else {
         // DVFS model: static (idle) power is frequency-independent; the
@@ -60,8 +99,7 @@ Host::powerWatts() const
         const power::HostPowerSpec &spec = fsm_.spec();
         const double idle = spec.idlePowerWatts();
         const double at_full = spec.activePowerWatts(utilization());
-        watts = idle +
-                (at_full - idle) * frequencyFraction_ * frequencyFraction_;
+        watts = idle + (at_full - idle) * freq * freq;
     }
     // Idle-hierarchy residency shaves the static share while On (the
     // hierarchy reports zero savings when paused, i.e. off-phase power
@@ -78,12 +116,18 @@ Host::attachIdleHierarchy(std::unique_ptr<power::IdleHierarchy> hierarchy)
         sim::panic("Host '%s': idle hierarchy attached twice",
                    name_.c_str());
     idleHierarchy_ = std::move(hierarchy);
+    store_->setHostHasHierarchy(id_, true);
 
     // Transition energy is an impulse on the meter; any residency change
     // also moves the On draw, so re-hold.
     idleHierarchy_->setTransitionCallback([this](double joules) {
         meter_.addEnergyJoules(joules);
         updatePowerDraw();
+        // Depth changes move wakeLatency(), a latency-factor input the
+        // evaluate pass otherwise has no way to see (busy-count and
+        // pause/resume changes all ride host events that mark the flags
+        // themselves).
+        store_->markHostFactorDirty(id_);
     });
     idleHierarchy_->setTelemetryTrack(id_);
 
@@ -105,8 +149,10 @@ Host::setFrequencyFraction(double fraction)
     if (fraction <= 0.0 || fraction > 1.0)
         sim::panic("Host '%s': frequency fraction %g outside (0, 1]",
                    name_.c_str(), fraction);
-    frequencyFraction_ = fraction;
-    allocDirty_ = true; // effective capacity moved; grants must respread
+    store_->setHostFrequencyFraction(id_, fraction);
+    // Effective capacity moved; grants must respread.
+    store_->markHost(id_, FleetStore::kAllocDirty);
+    store_->queueAllocDirty(id_);
     updatePowerDraw();
 }
 
@@ -123,6 +169,7 @@ Host::addVm(Vm &vm)
         sim::panic("Host '%s': VM '%s' added twice", name_.c_str(),
                    vm.name().c_str());
     vms_.push_back(&vm);
+    vmIds_.push_back(vm.id());
     vm.setResidentHost(this);
     markMembershipChanged();
 }
@@ -134,6 +181,7 @@ Host::removeVm(Vm &vm)
     if (it == vms_.end())
         sim::panic("Host '%s': VM '%s' not resident", name_.c_str(),
                    vm.name().c_str());
+    vmIds_.erase(vmIds_.begin() + (it - vms_.begin()));
     vms_.erase(it);
     vm.setResidentHost(nullptr);
     markMembershipChanged();
@@ -142,53 +190,53 @@ Host::removeVm(Vm &vm)
 double
 Host::vmDemandMhz() const
 {
-    if (vmDemandDirty_) {
+    if (store_->hostFlags(id_) & FleetStore::kDemandDirty) {
         double total = 0.0;
         for (const Vm *vm : vms_)
             total += vm->currentDemandMhz();
-        vmDemandCache_ = total;
-        vmDemandDirty_ = false;
+        store_->setHostDemandCacheClean(id_, total);
     }
-    return vmDemandCache_;
+    return store_->hostDemandCacheMhz(id_);
 }
 
 double
 Host::grantedMhz() const
 {
-    if (grantedDirty_) {
+    if (store_->hostFlags(id_) & FleetStore::kGrantedDirty) {
         double total = 0.0;
         for (const Vm *vm : vms_)
             total += vm->grantedMhz();
-        grantedCache_ = total;
-        grantedDirty_ = false;
+        store_->setHostGrantedCacheClean(id_, total);
     }
-    return grantedCache_;
+    return store_->hostGrantedCacheMhz(id_);
 }
 
 double
 Host::committedMemoryMb() const
 {
-    if (memoryDirty_) {
+    if (store_->hostFlags(id_) & FleetStore::kMemoryDirty) {
         double total = 0.0;
         for (const Vm *vm : vms_)
             total += vm->memoryMb();
-        memoryCache_ = total;
-        memoryDirty_ = false;
+        store_->setHostMemoryCacheClean(id_, total);
     }
-    return memoryCache_;
+    return store_->hostMemoryCacheMb(id_);
 }
 
 void
 Host::addMigrationOverheadMhz(double mhz)
 {
-    migrationOverheadMhz_ += mhz;
-    if (migrationOverheadMhz_ < -1e-6)
+    double overhead = store_->hostMigrationOverheadMhz(id_) + mhz;
+    if (overhead < -1e-6)
         sim::panic("Host '%s': migration overhead went negative (%g MHz)",
-                   name_.c_str(), migrationOverheadMhz_);
+                   name_.c_str(), overhead);
     // Snap accumulation residue so an idle host reads exactly zero.
-    if (migrationOverheadMhz_ < 1e-9)
-        migrationOverheadMhz_ = 0.0;
-    allocDirty_ = true; // overhead competes with VM grants for capacity
+    if (overhead < 1e-9)
+        overhead = 0.0;
+    store_->setHostMigrationOverheadMhz(id_, overhead);
+    // Overhead competes with VM grants for capacity.
+    store_->markHost(id_, FleetStore::kAllocDirty);
+    store_->queueAllocDirty(id_);
 }
 
 double
@@ -196,14 +244,14 @@ Host::utilization() const
 {
     if (!isOn())
         return 0.0;
-    const double busy = grantedMhz() + migrationOverheadMhz_;
+    const double busy = grantedMhz() + migrationOverheadMhz();
     return std::clamp(busy / effectiveCpuCapacityMhz(), 0.0, 1.0);
 }
 
 double
 Host::demandUtilization() const
 {
-    const double demand = vmDemandMhz() + migrationOverheadMhz_;
+    const double demand = vmDemandMhz() + migrationOverheadMhz();
     return demand / effectiveCpuCapacityMhz();
 }
 

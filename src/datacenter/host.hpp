@@ -6,6 +6,16 @@
  * its PowerStateMachine says whether VMs can run, and its EnergyMeter
  * integrates the exact piecewise-constant power draw (re-held on every
  * demand re-evaluation and every FSM phase change).
+ *
+ * Since the FleetStore refactor the Host is a thin view: the hot fields
+ * (aggregate caches + dirty flags, migration overhead, frequency fraction,
+ * phase byte, held-watts mirror) live in dense columns of a FleetStore
+ * indexed by the host's id. Cluster-owned hosts share the cluster's store;
+ * a standalone Host (unit tests) owns a private store so the historical
+ * constructor keeps working. The lazy aggregate recomputes iterate the
+ * resident Vm objects — never vmIds() — so they stay correct even when a
+ * standalone VM from a foreign store is added; the id list is for the
+ * shared-store fast paths in DatacenterSim only.
  */
 
 #ifndef VPM_DATACENTER_HOST_HPP
@@ -41,6 +51,7 @@ class Host
 {
   public:
     /**
+     * Standalone constructor (unit tests): the host owns a private store.
      * @param simulator Owning event loop.
      * @param id Cluster-assigned identifier.
      * @param name Stable name, e.g. "host07".
@@ -49,6 +60,12 @@ class Host
      */
     Host(sim::Simulator &simulator, HostId id, std::string name,
          const HostConfig &config, const power::HostPowerSpec &power_spec);
+
+    /** Cluster constructor: the row @p id must already be registered in
+     *  @p store (the cluster registers it before constructing the view). */
+    Host(sim::Simulator &simulator, HostId id, std::string name,
+         const HostConfig &config, const power::HostPowerSpec &power_spec,
+         FleetStore &store);
 
     Host(const Host &) = delete;
     Host &operator=(const Host &) = delete;
@@ -60,6 +77,10 @@ class Host
 
     double cpuCapacityMhz() const { return config_.cpuCapacityMhz; }
     double memoryCapacityMb() const { return config_.memoryCapacityMb; }
+
+    /** The store this host's row lives in (the cluster's, or private). */
+    FleetStore &fleet() { return *store_; }
+    const FleetStore &fleet() const { return *store_; }
 
     /** @name Power */
     ///@{
@@ -109,7 +130,10 @@ class Host
      * P = idle + (curve(util) - idle) x f^2, with util measured against
      * the scaled capacity. f = 1 reproduces the plain curve.
      */
-    double frequencyFraction() const { return frequencyFraction_; }
+    double frequencyFraction() const
+    {
+        return store_->hostFrequencyFraction(id_);
+    }
 
     /** Set the frequency fraction; must be in (0, 1]. Re-holds power. */
     void setFrequencyFraction(double fraction);
@@ -117,13 +141,20 @@ class Host
     /** Usable CPU capacity at the current frequency, in MHz. */
     double effectiveCpuCapacityMhz() const
     {
-        return config_.cpuCapacityMhz * frequencyFraction_;
+        return store_->hostEffectiveCapacityMhz(id_);
     }
     ///@}
 
     /** @name Resident VMs (maintained by Cluster) */
     ///@{
     const std::vector<Vm *> &vms() const { return vms_; }
+
+    /** Resident VM ids, in the same order as vms(). Only meaningful when
+     *  every resident VM shares this host's store (cluster-owned fleets);
+     *  DatacenterSim's store-direct allocator iterates this instead of
+     *  the object list. */
+    const std::vector<VmId> &vmIds() const { return vmIds_; }
+
     void addVm(Vm &vm);
     void removeVm(Vm &vm);
     bool empty() const { return vms_.empty(); }
@@ -152,7 +183,10 @@ class Host
     void adjustInboundReservedMemoryMb(double delta_mb);
 
     /** Migration CPU overhead currently charged to this host, in MHz. */
-    double migrationOverheadMhz() const { return migrationOverheadMhz_; }
+    double migrationOverheadMhz() const
+    {
+        return store_->hostMigrationOverheadMhz(id_);
+    }
     void addMigrationOverheadMhz(double mhz);
 
     /**
@@ -171,15 +205,22 @@ class Host
 
     /** @name Incremental bookkeeping (see DESIGN.md) */
     ///@{
-    /** A resident VM's demand changed: demand aggregate + grants stale. */
+    /** A resident VM's demand changed: demand aggregate + grants stale.
+     *  Main-thread entry point, so it also queues the host for the next
+     *  reallocate() drain (the sharded refresh kernel marks flags only —
+     *  evaluate() itself services those). */
     void markLoadChanged()
     {
-        vmDemandDirty_ = true;
-        allocDirty_ = true;
+        store_->markHost(id_,
+                         FleetStore::kDemandDirty | FleetStore::kAllocDirty);
+        store_->queueAllocDirty(id_);
     }
 
     /** A resident VM's granted CPU changed: granted aggregate stale. */
-    void markGrantedChanged() { grantedDirty_ = true; }
+    void markGrantedChanged()
+    {
+        store_->markHost(id_, FleetStore::kGrantedDirty);
+    }
 
     /**
      * true when the per-VM grants may differ from what an allocation pass
@@ -187,44 +228,39 @@ class Host
      * frequency, and power-phase changes; cleared by DatacenterSim after
      * it re-runs the allocator on this host.
      */
-    bool allocDirty() const { return allocDirty_; }
-    void clearAllocDirty() { allocDirty_ = false; }
+    bool allocDirty() const
+    {
+        return (store_->hostFlags(id_) & FleetStore::kAllocDirty) != 0;
+    }
+    void clearAllocDirty()
+    {
+        store_->clearHostFlags(id_, FleetStore::kAllocDirty);
+    }
     ///@}
 
   private:
+    void init(const power::HostPowerSpec &power_spec);
+
     /** A VM arrived or departed: every cached aggregate is stale. */
     void markMembershipChanged()
     {
-        vmDemandDirty_ = true;
-        grantedDirty_ = true;
-        memoryDirty_ = true;
-        allocDirty_ = true;
+        store_->markHost(id_, FleetStore::kAllDirty);
+        store_->queueAllocDirty(id_);
     }
 
     sim::Simulator &simulator_;
     HostId id_;
+    FleetStore *store_;
     std::string name_;
     HostConfig config_;
     power::PowerStateMachine fsm_;
     power::EnergyMeter meter_;
     std::unique_ptr<power::IdleHierarchy> idleHierarchy_;
+    std::unique_ptr<FleetStore> ownedStore_; ///< standalone ctor only
     std::vector<Vm *> vms_;
-    double migrationOverheadMhz_ = 0.0;
+    std::vector<VmId> vmIds_; ///< parallel to vms_
     double inboundReservedMemoryMb_ = 0.0;
-    double frequencyFraction_ = 1.0;
     int activeMigrations_ = 0;
-
-    // Memoized aggregates over vms_. The recompute loops are identical to
-    // the pre-cache implementations, so a refresh after any sequence of
-    // mutations yields bit-identical sums; the flags only elide recomputes
-    // whose inputs provably did not change.
-    mutable double vmDemandCache_ = 0.0;
-    mutable double grantedCache_ = 0.0;
-    mutable double memoryCache_ = 0.0;
-    mutable bool vmDemandDirty_ = true;
-    mutable bool grantedDirty_ = true;
-    mutable bool memoryDirty_ = true;
-    bool allocDirty_ = true;
 };
 
 } // namespace vpm::dc

@@ -7,8 +7,8 @@
 
 namespace vpm::dc {
 
-Vm::Vm(VmId id, workload::VmWorkloadSpec spec)
-    : id_(id), spec_(std::move(spec))
+void
+Vm::validateSpec() const
 {
     if (!spec_.trace)
         sim::fatal("Vm '%s': demand trace must be non-null",
@@ -21,6 +21,26 @@ Vm::Vm(VmId id, workload::VmWorkloadSpec spec)
                    spec_.name.c_str(), spec_.memoryMb);
 }
 
+Vm::Vm(VmId id, workload::VmWorkloadSpec spec)
+    : id_(id), store_(nullptr), spec_(std::move(spec))
+{
+    validateSpec();
+    ownedStore_ = std::make_unique<FleetStore>();
+    store_ = ownedStore_.get();
+    store_->registerVm(id_, spec_.cpuMhz, spec_.memoryMb,
+                       spec_.trace.get());
+}
+
+Vm::Vm(VmId id, workload::VmWorkloadSpec spec, FleetStore &store)
+    : id_(id), store_(&store), spec_(std::move(spec))
+{
+    validateSpec();
+    // The cluster registers the row before constructing the view.
+    if (static_cast<std::size_t>(id_) >= store_->vmCount())
+        sim::panic("Vm '%s': id %d not registered in the fleet store",
+                   spec_.name.c_str(), id_);
+}
+
 double
 Vm::demandMhzAt(sim::SimTime t) const
 {
@@ -30,9 +50,10 @@ Vm::demandMhzAt(sim::SimTime t) const
 void
 Vm::setCurrentDemandMhz(double mhz)
 {
-    currentDemandMhz_ = mhz;
+    store_->setVmDemandMhz(id_, mhz);
     // External writes bypass the trace, so any cached span is void.
-    demandValidUntil_ = neverValid();
+    store_->setVmValidUntilUs(
+        id_, std::numeric_limits<std::int64_t>::min());
     if (hostPtr_)
         hostPtr_->markLoadChanged();
 }
@@ -40,14 +61,14 @@ Vm::setCurrentDemandMhz(double mhz)
 bool
 Vm::refreshDemand(sim::SimTime now)
 {
-    if (now < demandValidUntil_)
+    if (now.micros() < store_->vmValidUntilUs(id_))
         return false;
     const workload::DemandSpan span = spec_.trace->spanAt(now);
-    demandValidUntil_ = span.validUntil;
+    store_->setVmValidUntilUs(id_, span.validUntil.micros());
     const double demand = span.utilization * spec_.cpuMhz;
-    if (demand == currentDemandMhz_)
+    if (demand == store_->vmDemandMhz(id_))
         return false;
-    currentDemandMhz_ = demand;
+    store_->setVmDemandMhz(id_, demand);
     if (hostPtr_)
         hostPtr_->markLoadChanged();
     return true;
@@ -56,7 +77,7 @@ Vm::refreshDemand(sim::SimTime now)
 void
 Vm::setGrantedMhz(double mhz)
 {
-    grantedMhz_ = mhz;
+    store_->setVmGrantedMhz(id_, mhz);
     if (hostPtr_)
         hostPtr_->markGrantedChanged();
 }

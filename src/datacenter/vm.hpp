@@ -7,6 +7,12 @@
  * by the host-level allocator each evaluation interval and may be lower when
  * capacity is short — the gap is the performance cost the SLA tracker
  * records.
+ *
+ * Since the FleetStore refactor the Vm is a thin view: all hot fields
+ * (demand, granted, resident-host id, trace-span horizon) live in dense
+ * columns of a FleetStore, indexed by the VM's id. Cluster-owned VMs share
+ * the cluster's store; a standalone Vm (unit tests) owns a private
+ * single-row store so the historical constructor keeps working.
  */
 
 #ifndef VPM_DATACENTER_VM_HPP
@@ -14,8 +20,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 
+#include "datacenter/fleet_store.hpp"
 #include "simcore/sim_time.hpp"
 #include "workload/mix.hpp"
 
@@ -23,24 +31,24 @@ namespace vpm::dc {
 
 class Host;
 
-/** Dense, stable VM identifier within a Cluster. */
-using VmId = int;
-
-/** Dense, stable host identifier within a Cluster. */
-using HostId = int;
-
-/** Sentinel for "no host". */
-inline constexpr HostId invalidHostId = -1;
-
-/** A virtual machine: immutable workload spec plus mutable placement. */
+/** A virtual machine: immutable workload spec plus a view of its row in
+ *  the fleet's hot-state columns. */
 class Vm
 {
   public:
     /**
+     * Standalone constructor (unit tests): the Vm owns a private store.
      * @param id Cluster-assigned identifier.
      * @param spec Workload half (name, size, trace); trace must be non-null.
      */
     Vm(VmId id, workload::VmWorkloadSpec spec);
+
+    /** Cluster constructor: the row @p id must already be registered in
+     *  @p store (the cluster registers it before constructing the view). */
+    Vm(VmId id, workload::VmWorkloadSpec spec, FleetStore &store);
+
+    Vm(const Vm &) = delete;
+    Vm &operator=(const Vm &) = delete;
 
     VmId id() const { return id_; }
     const std::string &name() const { return spec_.name; }
@@ -56,9 +64,9 @@ class Vm
 
     /** @name Placement (maintained by Cluster) */
     ///@{
-    HostId host() const { return host_; }
-    bool placed() const { return host_ != invalidHostId; }
-    void setHost(HostId host) { host_ = host; }
+    HostId host() const { return store_->vmHost(id_); }
+    bool placed() const { return host() != invalidHostId; }
+    void setHost(HostId host) { store_->setVmHost(id_, host); }
 
     /**
      * Direct pointer to the resident host, kept in lockstep with addVm /
@@ -72,7 +80,7 @@ class Vm
     /** @name Per-interval allocation (maintained by DatacenterSim) */
     ///@{
     /** Demand captured at the last evaluation, in MHz. */
-    double currentDemandMhz() const { return currentDemandMhz_; }
+    double currentDemandMhz() const { return store_->vmDemandMhz(id_); }
 
     /** Overwrite the captured demand, dropping any cached trace span. */
     void setCurrentDemandMhz(double mhz);
@@ -80,15 +88,20 @@ class Vm
     /**
      * Re-sample demand from the trace at @p now unless the cached span
      * still covers it. Returns true when the value actually changed (the
-     * resident host's aggregates are invalidated in that case).
+     * resident host's aggregates are invalidated in that case). Main-
+     * thread only — the evaluation engine's sharded refresh goes through
+     * FleetStore::refreshPlacedDemand instead.
      */
     bool refreshDemand(sim::SimTime now);
 
     /** End of the cached demand span, exclusive (exposed for tests). */
-    sim::SimTime demandValidUntil() const { return demandValidUntil_; }
+    sim::SimTime demandValidUntil() const
+    {
+        return sim::SimTime::micros(store_->vmValidUntilUs(id_));
+    }
 
     /** CPU granted at the last evaluation, in MHz. */
-    double grantedMhz() const { return grantedMhz_; }
+    double grantedMhz() const { return store_->vmGrantedMhz(id_); }
     void setGrantedMhz(double mhz);
     ///@}
 
@@ -106,22 +119,18 @@ class Vm
     ///@}
 
   private:
-    /** Sentinel horizon that forces the next refreshDemand to re-sample. */
-    static sim::SimTime neverValid()
-    {
-        return sim::SimTime::micros(
-            std::numeric_limits<std::int64_t>::min());
-    }
+    void validateSpec() const;
 
+    // Hot members first: the lazy host-aggregate recomputes walk Vm
+    // objects reading only id_ + store_, so those sit in the first cache
+    // line of the object.
     VmId id_;
-    workload::VmWorkloadSpec spec_;
-    HostId host_ = invalidHostId;
+    FleetStore *store_;
     Host *hostPtr_ = nullptr;
-    double currentDemandMhz_ = 0.0;
-    double grantedMhz_ = 0.0;
-    sim::SimTime demandValidUntil_ = neverValid();
     bool migrating_ = false;
     bool retired_ = false;
+    workload::VmWorkloadSpec spec_;
+    std::unique_ptr<FleetStore> ownedStore_; ///< standalone ctor only
 };
 
 } // namespace vpm::dc

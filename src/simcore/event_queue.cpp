@@ -1,16 +1,49 @@
 #include "simcore/event_queue.hpp"
 
+#include <limits>
 #include <utility>
 
 #include "simcore/logging.hpp"
-#include "telemetry/profiler.hpp"
 
 namespace vpm::sim {
+
+const EventQueue::Slot *
+EventQueue::decodeLive(EventId id) const
+{
+    const std::uint64_t biased = id & 0xffffffffull;
+    if (biased == 0)
+        return nullptr;
+    const auto slot = static_cast<std::uint32_t>(biased - 1);
+    if (slot >= slots_.size())
+        return nullptr;
+    const Slot &s = slots_[slot];
+    if (!s.live || s.gen != static_cast<std::uint32_t>(id >> 32))
+        return nullptr;
+    return &s;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.live = false;
+    ++s.gen;
+    // Drop captured resources now (matches the old map-erase semantics:
+    // cancelling an event releases whatever its closure kept alive). clear()
+    // keeps the label's capacity for the next tenant.
+    s.callback = nullptr;
+    s.label.clear();
+    s.context = {};
+    freeSlots_.push_back(slot);
+    --liveCount_;
+}
 
 EventId
 EventQueue::schedule(SimTime when, EventCallback callback, std::string label)
 {
-    PROF_ZONE("sim.queue.push");
+    // No PROF_ZONE here: the owning Simulator wraps push/pop in zones
+    // with shared clock reads (see Simulator::dispatchOne), keeping the
+    // profiled per-event cost down at fleet-scale event rates.
     if (!callback)
         panic("EventQueue::schedule: null callback (label '%s')",
               label.c_str());
@@ -18,31 +51,56 @@ EventQueue::schedule(SimTime when, EventCallback callback, std::string label)
         panic("EventQueue::schedule: negative time %lld us (label '%s')",
               static_cast<long long>(when.micros()), label.c_str());
 
-    const EventId id = nextId_++;
-    live_.emplace(id, Record{std::move(callback), std::move(label),
-                             telemetry::currentContext()});
-    heap_.push(HeapEntry{when, nextSeq_++, id});
-    return id;
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        if (slots_.size() >
+            static_cast<std::size_t>(
+                std::numeric_limits<std::uint32_t>::max()) - 1)
+            panic("EventQueue::schedule: slot arena overflow");
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &s = slots_[slot];
+    s.callback = std::move(callback);
+    s.label = std::move(label);
+    s.context = telemetry::currentContext();
+    s.live = true;
+    ++liveCount_;
+
+    heap_.push(HeapEntry{when, nextSeq_++, slot, s.gen});
+    return encodeId(slot, s.gen);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // Lazy deletion: drop the record; the heap entry is skipped on pop.
-    return live_.erase(id) > 0;
+    // Lazy deletion: free the slot; the heap entry's stale generation makes
+    // it skippable on pop.
+    if (decodeLive(id) == nullptr)
+        return false;
+    releaseSlot(static_cast<std::uint32_t>((id & 0xffffffffull) - 1));
+    return true;
 }
 
 bool
 EventQueue::pending(EventId id) const
 {
-    return live_.contains(id);
+    return decodeLive(id) != nullptr;
 }
 
 void
 EventQueue::skipDead() const
 {
-    while (!heap_.empty() && !live_.contains(heap_.top().id))
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.top();
+        const Slot &s = slots_[top.slot];
+        if (s.live && s.gen == top.gen)
+            break;
         heap_.pop();
+    }
 }
 
 SimTime
@@ -57,7 +115,6 @@ EventQueue::nextTime() const
 EventQueue::Fired
 EventQueue::pop()
 {
-    PROF_ZONE("sim.queue.pop");
     skipDead();
     if (heap_.empty())
         panic("EventQueue::pop called on empty queue");
@@ -65,17 +122,22 @@ EventQueue::pop()
     const HeapEntry entry = heap_.top();
     heap_.pop();
 
-    auto it = live_.find(entry.id);
-    Fired fired{entry.id, entry.when, std::move(it->second.callback),
-                std::move(it->second.label), it->second.context};
-    live_.erase(it);
+    Slot &s = slots_[entry.slot];
+    Fired fired{encodeId(entry.slot, entry.gen), entry.when,
+                std::move(s.callback), std::move(s.label), s.context};
+    releaseSlot(entry.slot);
     return fired;
 }
 
 void
 EventQueue::clear()
 {
-    live_.clear();
+    // Recycle every live slot (bumping generations) rather than destroying
+    // the arena: ids handed out before clear() must stay dead forever, and a
+    // fresh arena would restart generations and could re-mint them.
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot)
+        if (slots_[slot].live)
+            releaseSlot(slot);
     heap_ = {};
 }
 

@@ -21,6 +21,7 @@ Simulator::schedule(SimTime delay, EventCallback callback, std::string label)
     if (delay < SimTime())
         panic("Simulator::schedule: negative delay %lld us (label '%s')",
               static_cast<long long>(delay.micros()), label.c_str());
+    PROF_ZONE("sim.queue.push");
     return queue_.schedule(now_ + delay, std::move(callback),
                            std::move(label));
 }
@@ -33,14 +34,42 @@ Simulator::scheduleAt(SimTime when, EventCallback callback, std::string label)
               "(now %lld us, label '%s')",
               static_cast<long long>(when.micros()),
               static_cast<long long>(now_.micros()), label.c_str());
+    PROF_ZONE("sim.queue.push");
     return queue_.schedule(when, std::move(callback), std::move(label));
 }
 
 void
 Simulator::dispatchOne()
 {
-    PROF_ZONE("sim.dispatch");
+    if (!telemetry::Profiler::profilingEnabled()) {
+        EventQueue::Fired fired = queue_.pop();
+        if (fired.when < now_)
+            panic("Simulator: event '%s' would move the clock backwards "
+                  "(%lld us < %lld us)", fired.label.c_str(),
+                  static_cast<long long>(fired.when.micros()),
+                  static_cast<long long>(now_.micros()));
+        now_ = fired.when;
+        ++eventsProcessed_;
+        dispatchCounter_.increment();
+        // Run the callback under the context its scheduler captured, so
+        // any events it schedules — and any journal records it emits —
+        // inherit the decision that ultimately caused it.
+        telemetry::TraceScope scope(fired.context);
+        fired.callback();
+        return;
+    }
+
+    // Profiled path: the "sim.dispatch" / "sim.queue.pop" zones and the
+    // per-label dispatch timing share three clock reads per event instead
+    // of six ProfileScope-managed ones — at fleet-scale event rates the
+    // clock reads themselves would otherwise dominate the profile.
+    telemetry::Profiler &prof = telemetry::Profiler::instance();
+    const std::uint64_t t0 = telemetry::Profiler::nowNs();
+    const std::uint32_t dispatch_zone = prof.enter("sim.dispatch");
+    const std::uint32_t pop_zone = prof.enter("sim.queue.pop");
     EventQueue::Fired fired = queue_.pop();
+    const std::uint64_t t1 = telemetry::Profiler::nowNs();
+    prof.leaveAt(pop_zone, t0, t1);
     if (fired.when < now_)
         panic("Simulator: event '%s' would move the clock backwards "
               "(%lld us < %lld us)", fired.label.c_str(),
@@ -49,21 +78,16 @@ Simulator::dispatchOne()
     now_ = fired.when;
     ++eventsProcessed_;
     dispatchCounter_.increment();
-    // Run the callback under the context its scheduler captured, so any
-    // events it schedules — and any journal records it emits — inherit the
-    // decision that ultimately caused it.
-    telemetry::TraceScope scope(fired.context);
-    if (telemetry::Profiler::profilingEnabled()) {
-        // Per-event-label wall-clock timing: which event *type* burns the
-        // time, complementing the hierarchical zones inside the callback.
-        const std::uint64_t start = telemetry::Profiler::nowNs();
-        fired.callback();
-        telemetry::Profiler::instance().recordDispatch(
-            fired.label.empty() ? "(unlabeled)" : fired.label,
-            telemetry::Profiler::nowNs() - start);
-    } else {
+    {
+        telemetry::TraceScope scope(fired.context);
         fired.callback();
     }
+    const std::uint64_t t2 = telemetry::Profiler::nowNs();
+    // Per-event-label wall-clock timing: which event *type* burns the
+    // time, complementing the hierarchical zones inside the callback.
+    prof.recordDispatch(fired.label.empty() ? "(unlabeled)" : fired.label,
+                        t2 - t1);
+    prof.leaveAt(dispatch_zone, t0, t2);
 }
 
 SimTime

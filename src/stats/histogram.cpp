@@ -24,22 +24,6 @@ Histogram::bucketWidth() const
 }
 
 void
-Histogram::add(double x)
-{
-    ++count_;
-    if (x < lo_) {
-        ++underflow_;
-        return;
-    }
-    if (x >= hi_) {
-        ++overflow_;
-        return;
-    }
-    const auto index = static_cast<std::size_t>((x - lo_) / width_);
-    ++counts_[std::min(index, counts_.size() - 1)];
-}
-
-void
 Histogram::merge(const Histogram &other)
 {
     if (other.lo_ != lo_ || other.hi_ != hi_ ||

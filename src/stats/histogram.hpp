@@ -6,6 +6,7 @@
 #ifndef VPM_STATS_HISTOGRAM_HPP
 #define VPM_STATS_HISTOGRAM_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -27,8 +28,22 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t buckets);
 
-    /** Record one sample (out-of-range samples land in under/overflow). */
-    void add(double x);
+    /** Record one sample (out-of-range samples land in under/overflow).
+     *  Inline: called once per VM per evaluation tick, twice. */
+    void add(double x)
+    {
+        ++count_;
+        if (x < lo_) {
+            ++underflow_;
+            return;
+        }
+        if (x >= hi_) {
+            ++overflow_;
+            return;
+        }
+        const auto index = static_cast<std::size_t>((x - lo_) / width_);
+        ++counts_[std::min(index, counts_.size() - 1)];
+    }
 
     /**
      * Add another histogram's counts into this one. Both must have been

@@ -13,27 +13,6 @@ SlaTracker::SlaTracker(double violation_threshold)
 }
 
 void
-SlaTracker::record(double requested_mhz, double granted_mhz)
-{
-    if (requested_mhz < 0.0 || granted_mhz < 0.0)
-        sim::panic("SlaTracker::record: negative sample (%g, %g)",
-                   requested_mhz, granted_mhz);
-    if (granted_mhz > requested_mhz + 1e-6)
-        sim::panic("SlaTracker::record: granted %g exceeds requested %g",
-                   granted_mhz, requested_mhz);
-
-    const double ratio =
-        requested_mhz > 0.0 ? granted_mhz / requested_mhz : 1.0;
-
-    totalRequested_ += requested_mhz;
-    totalGranted_ += granted_mhz;
-    ratios_.add(ratio);
-    ratioHist_.add(ratio);
-    if (ratio < threshold_)
-        ++violations_;
-}
-
-void
 SlaTracker::merge(const SlaTracker &other)
 {
     if (other.threshold_ != threshold_)

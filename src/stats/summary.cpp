@@ -30,17 +30,6 @@ medianExact(std::vector<double> samples)
 }
 
 void
-Summary::add(double x)
-{
-    ++count_;
-    const double delta = x - mean_;
-    mean_ += delta / static_cast<double>(count_);
-    m2_ += delta * (x - mean_);
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-}
-
-void
 Summary::merge(const Summary &other)
 {
     if (other.count_ == 0)

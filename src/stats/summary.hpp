@@ -6,6 +6,7 @@
 #ifndef VPM_STATS_SUMMARY_HPP
 #define VPM_STATS_SUMMARY_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -38,8 +39,18 @@ double medianExact(std::vector<double> samples);
 class Summary
 {
   public:
-    /** Add one sample. */
-    void add(double x);
+    /** Add one sample. Inline: this is the per-VM-per-tick hot path of
+     *  the evaluation sweep, and the call itself costs as much as the
+     *  arithmetic. */
+    void add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
 
     /** Merge another summary into this one (parallel-combine rule). */
     void merge(const Summary &other);

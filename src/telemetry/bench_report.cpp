@@ -294,6 +294,26 @@ compareBenchReports(const BenchReport &base, const BenchReport &next,
              pctChange(base.eventsPerSec, next.eventsPerSec)});
     }
 
+    // Peak RSS: a fleet-scale bench growing its footprint is worth a loud
+    // note even though RSS is too allocator-dependent to gate on. A zero
+    // baseline (old-schema report, or a platform without getrusage) makes
+    // any candidate value "(new)" — still advisory, and the candidate RSS
+    // is carried so the rendering can print it instead of a bare marker.
+    const bool rss_new =
+        base.peakRssKb <= 0 && next.peakRssKb > 0;
+    const bool rss_grew =
+        base.peakRssKb > 0 && next.peakRssKb > 0 &&
+        static_cast<double>(next.peakRssKb) >
+            static_cast<double>(base.peakRssKb) *
+                (1.0 + options.rssThresholdPct / 100.0);
+    if (rss_new || rss_grew) {
+        result.advisories.push_back(
+            {"peak_rss_kb", static_cast<double>(base.peakRssKb),
+             static_cast<double>(next.peakRssKb),
+             pctChange(static_cast<double>(base.peakRssKb),
+                       static_cast<double>(next.peakRssKb))});
+    }
+
     std::map<std::string, const BenchZoneRow *> byPath;
     for (const BenchZoneRow &zone : base.zones)
         byPath[zone.path] = &zone;
@@ -399,6 +419,29 @@ writeComparison(const BenchReport &base, const BenchReport &next,
             out << "removed zone: " << path << "\n";
         else if (!pair.first && pair.second)
             out << "new zone: " << path << "\n";
+    }
+
+    if (!result.advisories.empty()) {
+        std::snprintf(line, sizeof(line),
+                      "\nADVISORY (never fails the gate; RSS threshold "
+                      "%.0f%%):\n",
+                      options.rssThresholdPct);
+        out << line;
+        for (const Regression &advisory : result.advisories) {
+            // The zero-baseline "(new)" case still prints the candidate
+            // value: "(new)" alone tells a reader nothing about whether
+            // 100 MB or 10 GB just appeared.
+            if (std::isinf(advisory.deltaPct))
+                std::snprintf(line, sizeof(line),
+                              "  %s: (no baseline) -> %.0f kb (new)\n",
+                              advisory.what.c_str(), advisory.newValue);
+            else
+                std::snprintf(line, sizeof(line),
+                              "  %s: %.0f -> %.0f kb (%+.1f%%)\n",
+                              advisory.what.c_str(), advisory.oldValue,
+                              advisory.newValue, advisory.deltaPct);
+            out << line;
+        }
     }
 
     if (result.regressed()) {

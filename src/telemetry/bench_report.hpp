@@ -125,6 +125,16 @@ struct CompareOptions
      * median-rank run's zone table).
      */
     bool ciGate = true;
+
+    /**
+     * Peak-RSS growth threshold, in percent. RSS deltas past it are
+     * ADVISORY — printed loudly but never failing the exit code — because
+     * RSS is an allocator-and-OS artifact noisier than wall time, yet a
+     * fleet-scale bench doubling its footprint is exactly what this tool
+     * should surface. A zero RSS on either side (an old-schema report or
+     * a platform without getrusage) is never flagged.
+     */
+    double rssThresholdPct = 10.0;
 };
 
 /** One regressed metric (headline or zone). */
@@ -142,6 +152,10 @@ struct CompareResult
     bool comparable = false; ///< schemas matched and both parsed
     std::string error;       ///< set when !comparable
     std::vector<Regression> regressions;
+
+    /** Non-gating findings (peak-RSS growth past the threshold): printed
+     *  by the CLI but never part of regressed(). */
+    std::vector<Regression> advisories;
 
     /** True when the headline wall-clock gate ran on CI overlap (both
      *  reports had >= 3 runs and CompareOptions::ciGate was set). */

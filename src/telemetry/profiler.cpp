@@ -69,7 +69,12 @@ Profiler::enter(const char *name)
     std::vector<ZoneNode> &nodes = state.nodes;
     ZoneNode &parent = nodes[state.current];
     for (const std::uint32_t child : parent.children) {
-        if (nodes[child].name == name) {
+        // PROF_ZONE names are string literals: after the first visit the
+        // pointer itself identifies the node, so the steady-state lookup
+        // is one compare per sibling with no character scan.
+        ZoneNode &candidate = nodes[child];
+        if (candidate.key == name || candidate.name == name) {
+            candidate.key = name;
             state.current = child;
             return child;
         }
@@ -77,6 +82,7 @@ Profiler::enter(const char *name)
     const auto index = static_cast<std::uint32_t>(nodes.size());
     ZoneNode node;
     node.name = name;
+    node.key = name;
     node.parent = state.current;
     node.depth = parent.depth + 1;
     nodes.push_back(std::move(node));
@@ -89,6 +95,13 @@ Profiler::enter(const char *name)
 void
 Profiler::leave(std::uint32_t node, std::uint64_t start_ns)
 {
+    leaveAt(node, start_ns, nowNs());
+}
+
+void
+Profiler::leaveAt(std::uint32_t node, std::uint64_t start_ns,
+                  std::uint64_t now_ns)
+{
     ThreadState &state = localState();
     // A reset() between enter and leave invalidates the index; tolerate it
     // (the harness only resets outside any zone, but be safe).
@@ -96,7 +109,7 @@ Profiler::leave(std::uint32_t node, std::uint64_t start_ns)
         state.current = 0;
         return;
     }
-    const std::uint64_t now = nowNs();
+    const std::uint64_t now = now_ns;
     const std::uint64_t dt = now > start_ns ? now - start_ns : 0;
     ZoneNode &n = state.nodes[node];
     n.inclusiveNs += dt;

@@ -77,6 +77,10 @@ extern std::atomic<std::uint64_t> allocBytes;
 struct ZoneNode
 {
     std::string name;          ///< zone label as passed to PROF_ZONE
+    const char *key = nullptr; ///< last literal pointer that matched this
+                               ///< node: enter()'s fast path is a pointer
+                               ///< compare, since PROF_ZONE names are
+                               ///< string literals with stable addresses
     std::uint32_t parent = 0;  ///< index into Profiler::nodes(); the root
                                ///< (index 0) is its own parent
     std::uint32_t depth = 0;   ///< root = 0, its children = 1, ...
@@ -164,6 +168,14 @@ class Profiler
      *  calling thread's current zone. Must pair LIFO with enter() on the
      *  same thread (RAII guarantees it). */
     void leave(std::uint32_t node, std::uint64_t start_ns);
+
+    /** leave() with the clock read hoisted out: @p now_ns must be a
+     *  nowNs() taken after the zone's work. Lets per-event hot paths
+     *  (Simulator::dispatchOne) share one timestamp between the end of
+     *  one zone and the start of the next instead of reading the clock
+     *  twice. */
+    void leaveAt(std::uint32_t node, std::uint64_t start_ns,
+                 std::uint64_t now_ns);
 
     /** Record one event dispatch of @p label taking @p ns wall-clock.
      *  Main-thread only (fed by Simulator::dispatchOne). */

@@ -65,6 +65,18 @@ class DemandTrace
     {
         return {utilizationAt(t), t};
     }
+
+    /**
+     * True when spanAt(t) is known to always return the point span
+     * {utilizationAt(t), t} — i.e. the signal varies continuously and a
+     * fresh sample is needed at every evaluation anyway. Bulk samplers
+     * (FleetStore's demand-refresh kernel) use this to skip the span
+     * plumbing and the validity bookkeeping for such traces; the sampled
+     * values are identical either way. Defaults to false (the generic
+     * span path is always correct), so only traces whose point-ness is
+     * provable from their configuration override it.
+     */
+    virtual bool pointSpan() const { return false; }
 };
 
 /** Shared handle to a trace; traces are immutable once built. */
@@ -119,6 +131,10 @@ class ScaledTrace : public DemandTrace
 
     double utilizationAt(sim::SimTime t) const override;
     DemandSpan spanAt(sim::SimTime t) const override;
+
+    /** Point iff the inner trace is: both paths scale the same inner
+     *  utilization by the same factor, so they stay bit-identical. */
+    bool pointSpan() const override { return inner_->pointSpan(); }
 
   private:
     TracePtr inner_;

@@ -37,11 +37,27 @@ DiurnalTrace::utilizationAt(sim::SimTime t) const
     }
 
     if (config_.noiseStd > 0.0) {
-        const auto interval = static_cast<std::uint64_t>(
-            t.micros() / config_.noiseInterval.micros());
-        if (interval != noiseIntervalIdx_) {
+        const std::int64_t us = t.micros();
+        if (us < noiseSpanStartUs_ || us >= noiseSpanEndUs_) {
+            const std::int64_t width = config_.noiseInterval.micros();
+            const auto interval = static_cast<std::uint64_t>(us / width);
             noiseIntervalIdx_ = interval;
             noiseValue_ = sim::hashedNormal(config_.seed, interval);
+            // Cache bounds only for t >= 0, where truncated division
+            // means us/width == interval exactly over [interval*width,
+            // (interval+1)*width). Negative t (cold — simulations run
+            // forward) must RESET the bounds, not merely skip them:
+            // noiseValue_ now belongs to its interval, and bounds left
+            // over from an earlier positive query would serve it to the
+            // wrong span.
+            if (us >= 0) {
+                noiseSpanStartUs_ =
+                    static_cast<std::int64_t>(interval) * width;
+                noiseSpanEndUs_ = noiseSpanStartUs_ + width;
+            } else {
+                noiseSpanStartUs_ = 0;
+                noiseSpanEndUs_ = 0;
+            }
         }
         u += config_.noiseStd * noiseValue_;
     }

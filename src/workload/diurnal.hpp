@@ -67,6 +67,13 @@ class DiurnalTrace : public DemandTrace
     double utilizationAt(sim::SimTime t) const override;
     DemandSpan spanAt(sim::SimTime t) const override;
 
+    /** The sinusoid varies continuously unless the cycle is flat; this
+     *  mirrors the branch at the top of spanAt(). */
+    bool pointSpan() const override
+    {
+        return config_.amplitude != 0.0 || config_.weekendFactor != 1.0;
+    }
+
     const DiurnalConfig &config() const { return config_; }
 
   private:
@@ -81,6 +88,17 @@ class DiurnalTrace : public DemandTrace
      */
     mutable std::uint64_t noiseIntervalIdx_ = ~0ull;
     mutable double noiseValue_ = 0.0;
+
+    /**
+     * Bounds of the memoized interval in micros, [start, end). Hits skip
+     * even the 64-bit interval division — at fleet scale that division
+     * costs as much as the cosine. start == end == 0 misses every query
+     * (including negative t, where truncated division would make the
+     * bounds arithmetic lie), so stale bounds can never alias a fresh
+     * interval.
+     */
+    mutable std::int64_t noiseSpanStartUs_ = 0;
+    mutable std::int64_t noiseSpanEndUs_ = 0;
 };
 
 } // namespace vpm::workload

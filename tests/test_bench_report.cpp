@@ -333,6 +333,80 @@ TEST(BenchCompare, ZeroBaselineGrowthBelowNoiseFloorStillPasses)
     EXPECT_FALSE(result.regressed());
 }
 
+TEST(BenchCompare, RssGrowthIsAdvisoryNotARegression)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.peakRssKb = base.peakRssKb * 2; // +100%, far past the 10% default
+
+    const CompareOptions options;
+    const CompareResult result = compareBenchReports(base, next, options);
+    ASSERT_TRUE(result.comparable);
+    EXPECT_FALSE(result.regressed()); // advisory must never gate
+    ASSERT_EQ(result.advisories.size(), 1u);
+    EXPECT_EQ(result.advisories[0].what, "peak_rss_kb");
+    EXPECT_EQ(result.advisories[0].newValue,
+              static_cast<double>(next.peakRssKb));
+
+    std::ostringstream out;
+    writeComparison(base, next, options, result, out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("ADVISORY"), std::string::npos);
+    EXPECT_NE(text.find("131072"), std::string::npos); // the candidate RSS
+    EXPECT_NE(text.find("no regression"), std::string::npos);
+}
+
+TEST(BenchCompare, RssGrowthBelowThresholdIsSilent)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.peakRssKb = static_cast<std::int64_t>(
+        static_cast<double>(base.peakRssKb) * 1.05); // +5% < 10%
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_TRUE(result.advisories.empty());
+}
+
+TEST(BenchCompare, RssFromZeroBaselinePrintsTheCandidateValue)
+{
+    // An old-schema baseline carries no RSS; the candidate's value must
+    // still be visible in the advisory — "(new)" alone says nothing about
+    // how big the footprint actually is.
+    BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    base.peakRssKb = 0;
+    next.peakRssKb = 262144;
+
+    const CompareOptions options;
+    const CompareResult result = compareBenchReports(base, next, options);
+    ASSERT_TRUE(result.comparable);
+    EXPECT_FALSE(result.regressed());
+    ASSERT_EQ(result.advisories.size(), 1u);
+
+    std::ostringstream out;
+    writeComparison(base, next, options, result, out);
+    const std::string text = out.str();
+    const std::size_t advisory = text.find("ADVISORY");
+    ASSERT_NE(advisory, std::string::npos);
+    EXPECT_NE(text.find("262144", advisory), std::string::npos);
+    EXPECT_NE(text.find("(new)", advisory), std::string::npos);
+}
+
+TEST(BenchCompare, RssShrinkingIsNeverFlagged)
+{
+    const BenchReport base = sampleReport();
+    BenchReport next = sampleReport();
+    next.peakRssKb = base.peakRssKb / 4;
+
+    const CompareResult result =
+        compareBenchReports(base, next, CompareOptions{});
+    ASSERT_TRUE(result.comparable);
+    EXPECT_TRUE(result.advisories.empty());
+    EXPECT_FALSE(result.regressed());
+}
+
 TEST(BenchCompare, SchemaMismatchIsNotComparable)
 {
     BenchReport base = sampleReport();

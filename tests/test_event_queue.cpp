@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <vector>
 
 #include "simcore/event_queue.hpp"
@@ -109,6 +110,59 @@ TEST(EventQueueTest, IdsAreUniqueAndMonotone)
         const EventId id = queue.schedule(SimTime(), [] {});
         EXPECT_GT(id, previous);
         previous = id;
+    }
+}
+
+TEST(EventQueueTest, RecycledSlotsStillYieldUniqueIds)
+{
+    // The arena recycles slots aggressively; the generation half of the
+    // id must keep every handle unique across heavy schedule/fire/cancel
+    // churn ("never reused within a run").
+    EventQueue queue;
+    std::set<EventId> seen;
+    for (int round = 0; round < 50; ++round) {
+        std::vector<EventId> ids;
+        for (int i = 0; i < 8; ++i) {
+            const EventId id =
+                queue.schedule(SimTime::seconds(i), [] {});
+            EXPECT_TRUE(seen.insert(id).second) << "duplicate id";
+            ids.push_back(id);
+        }
+        for (std::size_t i = 0; i < ids.size(); i += 2)
+            queue.cancel(ids[i]);
+        while (!queue.empty())
+            queue.pop();
+    }
+    EXPECT_EQ(seen.size(), 400u);
+}
+
+TEST(EventQueueTest, StaleIdsStayDeadAfterSlotReuse)
+{
+    EventQueue queue;
+    const EventId first = queue.schedule(SimTime::seconds(1), [] {});
+    queue.pop(); // frees the slot
+    const EventId second = queue.schedule(SimTime::seconds(2), [] {});
+    EXPECT_NE(first, second);
+    // The old handle must not alias the new tenant of its slot.
+    EXPECT_FALSE(queue.pending(first));
+    EXPECT_FALSE(queue.cancel(first));
+    EXPECT_TRUE(queue.pending(second));
+    EXPECT_TRUE(queue.cancel(second));
+}
+
+TEST(EventQueueTest, IdsFromBeforeClearStayDead)
+{
+    EventQueue queue;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10; ++i)
+        ids.push_back(queue.schedule(SimTime::seconds(i), [] {}));
+    queue.clear();
+    std::set<EventId> fresh;
+    for (int i = 0; i < 10; ++i)
+        fresh.insert(queue.schedule(SimTime::seconds(i), [] {}));
+    for (const EventId id : ids) {
+        EXPECT_FALSE(queue.pending(id));
+        EXPECT_FALSE(fresh.contains(id)) << "pre-clear id re-minted";
     }
 }
 

@@ -412,6 +412,64 @@ TEST(HeterogeneityTest, AwareManagerParksLegacyHostsFirst)
     EXPECT_DOUBLE_EQ(dcsim.sla().satisfaction(), 1.0);
 }
 
+TEST_F(ManagerTest, HierarchicalModeSleepsEmptyAndWakesOnDemand)
+{
+    // VMs live on hosts 0-1 (rack 0); hosts 2-3 (rack 1) are born empty.
+    // Hierarchical mode never migrates, so rack 1 is the only sleep
+    // material — and the step at t = 2 h must wake it back up.
+    for (int h = 0; h < 2; ++h) {
+        Vm &vm = cluster.addVm(makeSpec(
+            "vm" + std::to_string(h), 30000.0, 4096.0,
+            std::make_shared<workload::StepTrace>(
+                std::vector<workload::StepTrace::Step>{
+                    {SimTime(), 0.05}, {SimTime::hours(2.0), 0.85}})));
+        cluster.placeVm(vm.id(), h);
+    }
+    VpmConfig config;
+    config.hierarchical = true;
+    config.hostsPerRack = 2;
+    config.racksPerPod = 2;
+    config.sleepState = "S3";
+    const auto manager = makeManager(config);
+
+    // Stop shy of the step: the cycle at exactly t = 2 h already sees
+    // the high demand and starts waking.
+    dcsim.runFor(SimTime::hours(1.9));
+    EXPECT_GT(manager->stats().sleepsIssued, 0u);
+    EXPECT_EQ(cluster.hostsOn(), 2);
+    EXPECT_EQ(cluster.hostsAsleep(), 2);
+    // Loaded hosts hold VMs, so they are never candidates.
+    EXPECT_TRUE(cluster.host(0).isOn());
+    EXPECT_TRUE(cluster.host(1).isOn());
+    // No migrations in hierarchical mode, ever.
+    EXPECT_EQ(manager->stats().migrationsRequested, 0u);
+
+    dcsim.runFor(SimTime::hours(1.1));
+    EXPECT_GT(manager->stats().wakesIssued, 0u);
+    EXPECT_GT(cluster.hostsOn(), 2);
+    EXPECT_GT(dcsim.sla().satisfaction(), 0.90);
+}
+
+TEST_F(ManagerTest, HierarchicalModeMatchesCycleCadence)
+{
+    populate(0.5);
+    VpmConfig config;
+    config.hierarchical = true;
+    config.hostsPerRack = 2;
+    config.racksPerPod = 2;
+    config.period = SimTime::minutes(10.0);
+    const auto manager = makeManager(config);
+
+    dcsim.runFor(SimTime::hours(1.0));
+    // Cycles at t = 0, 10, ..., 60 min (the run is end-inclusive).
+    EXPECT_EQ(manager->stats().cycles, 7u);
+    // Half-loaded everywhere: no shortfall, nothing to sleep (no host is
+    // empty), so the triage must have been a no-op.
+    EXPECT_EQ(manager->stats().sleepsIssued, 0u);
+    EXPECT_EQ(manager->stats().wakesIssued, 0u);
+    EXPECT_EQ(cluster.hostsOn(), 4);
+}
+
 TEST(ManagerConfigDeathTest, RejectsBadConfigs)
 {
     sim::Simulator simulator;

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "simcore/thread_pool.hpp"
@@ -144,6 +145,70 @@ TEST(ThreadPoolTest, EmptyRangeRunsNothing)
                          ran = true;
                      });
     EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeMakesOneFullShard)
+{
+    ThreadPool pool(4);
+    // grain >> n: a single shard must still cover the whole range.
+    std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> calls;
+    pool.parallelFor(5, 1000,
+                     [&](std::size_t shard, std::size_t begin,
+                         std::size_t end) {
+                         calls.emplace_back(shard, begin, end);
+                     });
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_EQ(calls[0], std::make_tuple(std::size_t{0}, std::size_t{0},
+                                        std::size_t{5}));
+    EXPECT_EQ(ThreadPool::shardCount(5, 1000), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroGrainIsClampedToOne)
+{
+    // grain 0 would divide by zero naively; it must behave like grain 1.
+    EXPECT_EQ(ThreadPool::shardCount(5, 0), 5u);
+    ThreadPool pool(2);
+    std::atomic<std::size_t> items{0};
+    pool.parallelFor(5, 0,
+                     [&](std::size_t, std::size_t begin, std::size_t end) {
+                         items.fetch_add(end - begin,
+                                         std::memory_order_relaxed);
+                     });
+    EXPECT_EQ(items.load(), 5u);
+}
+
+TEST(ThreadPoolTest, SingleShardRunsInlineOnTheCaller)
+{
+    // One shard never pays the fork-join handshake: the body must run on
+    // the calling thread itself (the non-racy observable of the inline
+    // fallback path).
+    ThreadPool pool(8);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::thread::id body_thread;
+    pool.parallelFor(3, 8,
+                     [&](std::size_t, std::size_t, std::size_t) {
+                         body_thread = std::this_thread::get_id();
+                     });
+    EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedOnceWhenGrainExceedsRange)
+{
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        const std::size_t n = 13;
+        std::vector<std::atomic<int>> visits(n);
+        pool.parallelFor(n, 64,
+                         [&](std::size_t, std::size_t begin,
+                             std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i)
+                                 visits[i].fetch_add(
+                                     1, std::memory_order_relaxed);
+                         });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(visits[i].load(std::memory_order_relaxed), 1)
+                << "item " << i << " at threads=" << threads;
+    }
 }
 
 TEST(ThreadPoolTest, NestedParallelForRunsInline)

@@ -5,7 +5,8 @@
  * Usage:
  *     bench_compare <baseline.json> <candidate.json>
  *                   [--threshold-pct <p>] [--zone-threshold-pct <p>]
- *                   [--min-zone-ms <ms>] [--no-ci] [--advisory]
+ *                   [--min-zone-ms <ms>] [--rss-threshold-pct <p>]
+ *                   [--no-ci] [--advisory]
  *
  * Headline gating: when BOTH reports carry >= 3 measured runs, the wall
  * time is gated on 95% confidence-interval overlap (a regression needs
@@ -41,6 +42,9 @@ printUsage(std::FILE *out)
         "       [--zone-threshold-pct <p>]  per-zone exclusive-time gate "
         "(default 25)\n"
         "       [--min-zone-ms <ms>]        zone noise floor (default 1)\n"
+        "       [--rss-threshold-pct <p>]   peak-RSS advisory threshold "
+        "(default 10;\n"
+        "                                   never fails the exit code)\n"
         "       [--no-ci]                   force the raw %% headline gate "
         "even\n"
         "                                   when both sides have >= 3 runs\n"
@@ -125,6 +129,14 @@ main(int argc, char **argv)
             if (!parseDouble(value("--min-zone-ms"), options.minZoneMs)) {
                 std::fprintf(stderr,
                              "bench_compare: bad --min-zone-ms value\n");
+                return 2;
+            }
+        } else if (arg == "--rss-threshold-pct") {
+            if (!parseDouble(value("--rss-threshold-pct"),
+                             options.rssThresholdPct)) {
+                std::fprintf(
+                    stderr,
+                    "bench_compare: bad --rss-threshold-pct value\n");
                 return 2;
             }
         } else if (!arg.empty() && arg[0] == '-') {
