@@ -82,6 +82,8 @@ void
 JointPolicyController::controlCycle()
 {
     ++cycles_;
+    if (!active_)
+        return;
     if (rhoEwma_.size() < cluster_.hosts().size()) {
         rhoEwma_.resize(cluster_.hosts().size(), -1.0);
         demandWindow_.resize(cluster_.hosts().size());
@@ -228,6 +230,31 @@ JointPolicyController::controlCycle()
     // Frequencies moved: grants and power draws must follow.
     if (any_speed_change)
         dcsim_.reallocate();
+}
+
+void
+JointPolicyController::serializeState(std::vector<std::uint8_t> &out) const
+{
+    const auto append = [&out](const void *data, std::size_t n) {
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        out.insert(out.end(), bytes, bytes + n);
+    };
+    const auto appendU64 = [&append](std::uint64_t v) {
+        append(&v, sizeof(v));
+    };
+    appendU64(active_ ? 1 : 0);
+    appendU64(config_.controlSpeed ? 1 : 0);
+    appendU64(evaluationsSeen_);
+    appendU64(speedTransitions_);
+    appendU64(idleTransitions_);
+    appendU64(cycles_);
+    appendU64(rhoEwma_.size());
+    append(rhoEwma_.data(), rhoEwma_.size() * sizeof(double));
+    appendU64(demandWindow_.size());
+    for (const std::vector<double> &window : demandWindow_) {
+        appendU64(window.size());
+        append(window.data(), window.size() * sizeof(double));
+    }
 }
 
 } // namespace vpm::mgmt

@@ -115,11 +115,38 @@ class JointPolicyController
 
     const JointPolicyConfig &config() const { return config_; }
 
+    /** @name Replay / what-if branching
+     *
+     * Branch variants reuse one fully-built session (manager + joint
+     * controller + hierarchies) and switch knobs at the fork point
+     * instead of rebuilding, so the pre-fork history is shared by
+     * construction. An inactive controller still counts cycles — the
+     * evaluation cadence must stay identical across variants — but
+     * touches neither knob.
+     */
+    ///@{
+    /** Enable/disable the whole controller at a branch point. */
+    void setActive(bool active) { active_ = active; }
+    bool active() const { return active_; }
+
+    /** Toggle just the DVFS knob (C-states-only variants). The caller
+     *  owns resetting frequencies already lowered before the switch. */
+    void setControlSpeed(bool on) { config_.controlSpeed = on; }
+
+    /**
+     * Append the controller's mutable state to @p out, byte-stable.
+     * Captured by replay checkpoints for equality proofs; never loaded
+     * back (restore re-executes the prefix).
+     */
+    void serializeState(std::vector<std::uint8_t> &out) const;
+    ///@}
+
   private:
     dc::Cluster &cluster_;
     dc::DatacenterSim &dcsim_;
     JointPolicyConfig config_;
     bool started_ = false;
+    bool active_ = true;
     std::uint64_t evaluationsSeen_ = 0;
     std::uint64_t evaluationsPerCycle_ = 1;
     std::uint64_t speedTransitions_ = 0;

@@ -995,4 +995,125 @@ VpmManager::cancelDrain(dc::HostId host)
         ++stats_.drainsCancelled;
 }
 
+namespace {
+
+// Raw little-endian-free appends for the checkpoint capture: same
+// machine writes and compares, so native byte order is fine (the
+// vpm-ckpt-1 file as a whole is documented as host-endian).
+void
+appendRaw(std::vector<std::uint8_t> &out, const void *data, std::size_t n)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    out.insert(out.end(), bytes, bytes + n);
+}
+
+void
+appendU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    appendRaw(out, &v, sizeof(v));
+}
+
+void
+appendI64(std::vector<std::uint8_t> &out, std::int64_t v)
+{
+    appendRaw(out, &v, sizeof(v));
+}
+
+void
+appendDoubles(std::vector<std::uint8_t> &out,
+              const std::vector<double> &values)
+{
+    appendU64(out, values.size());
+    appendRaw(out, values.data(), values.size() * sizeof(double));
+}
+
+void
+appendHostSet(std::vector<std::uint8_t> &out,
+              const std::set<dc::HostId> &hosts)
+{
+    appendU64(out, hosts.size());
+    for (const dc::HostId h : hosts)
+        appendI64(out, h);
+}
+
+void
+appendHostTimeMap(std::vector<std::uint8_t> &out,
+                  const std::map<dc::HostId, sim::SimTime> &entries)
+{
+    appendU64(out, entries.size());
+    for (const auto &[host, when] : entries) {
+        appendI64(out, host);
+        appendI64(out, when.micros());
+    }
+}
+
+} // namespace
+
+void
+VpmManager::serializeState(std::vector<std::uint8_t> &out) const
+{
+    std::vector<double> scratch;
+    appendU64(out, vmPredictors_.size());
+    for (const auto &predictor : vmPredictors_) {
+        appendU64(out, predictor ? 1 : 0);
+        if (predictor) {
+            scratch.clear();
+            predictor->appendState(scratch);
+            appendDoubles(out, scratch);
+        }
+    }
+    appendU64(out, aggregatePredictor_ ? 1 : 0);
+    if (aggregatePredictor_) {
+        scratch.clear();
+        aggregatePredictor_->appendState(scratch);
+        appendDoubles(out, scratch);
+    }
+
+    appendHostSet(out, draining_);
+    appendHostSet(out, maintenance_);
+    appendHostSet(out, parked_);
+    appendHostTimeMap(out, parkedAt_);
+    appendHostTimeMap(out, sleepStartedAt_);
+
+    appendI64(out, expectedIdle_.micros());
+    appendI64(out, surplusStreak_);
+    appendU64(out, evaluationsSeen_);
+    appendU64(out, evaluationsPerCycle_);
+
+    appendU64(out, stats_.cycles);
+    appendU64(out, stats_.migrationsRequested);
+    appendU64(out, stats_.balanceMoves);
+    appendU64(out, stats_.evacuationsStarted);
+    appendU64(out, stats_.evacuationsAbandoned);
+    appendU64(out, stats_.drainsCancelled);
+    appendU64(out, stats_.sleepsIssued);
+    appendU64(out, stats_.wakesIssued);
+    appendU64(out, stats_.hostsParked);
+    appendU64(out, stats_.hostsUnparked);
+    appendU64(out, stats_.wakesDeniedByCap);
+    appendU64(out, stats_.shortfallCycles);
+    appendU64(out, stats_.haRestarts);
+}
+
+void
+VpmManager::applyPolicyDelta(const VpmConfig &next)
+{
+    config_.loadBalance = next.loadBalance;
+    config_.powerManage = next.powerManage;
+    config_.targetUtilization = next.targetUtilization;
+    config_.imbalanceThreshold = next.imbalanceThreshold;
+    config_.maxMigrationsPerCycle = next.maxMigrationsPerCycle;
+    config_.capacityBuffer = next.capacityBuffer;
+    config_.hysteresisCycles = next.hysteresisCycles;
+    config_.maxEvacuationsPerCycle = next.maxEvacuationsPerCycle;
+    config_.sleepState = next.sleepState;
+    config_.heterogeneityAware = next.heterogeneityAware;
+    config_.rackAffinity = next.rackAffinity;
+    config_.clusterPowerCapWatts = next.clusterPowerCapWatts;
+    config_.hostSleep = next.hostSleep;
+    config_.parkedReserve = next.parkedReserve;
+    config_.haRestart = next.haRestart;
+    config_.spareHostsFloor = next.spareHostsFloor;
+}
+
 } // namespace vpm::mgmt

@@ -276,6 +276,34 @@ class VpmManager
     /** Current estimate of a sleeping host's idle interval. */
     sim::SimTime expectedIdle() const { return expectedIdle_; }
 
+    /** @name Replay / checkpoint support */
+    ///@{
+    /** The aggregate tree (configured only in hierarchical mode). */
+    const dc::FleetTree &fleetTree() const { return tree_; }
+
+    /**
+     * Append the manager's complete mutable policy state — per-VM and
+     * aggregate predictors, drain/maintenance/park sets and timestamps,
+     * hysteresis streak, idle estimate, cycle counters, stats — to
+     * @p out as raw bytes. Byte-stable given identical history; replay
+     * checkpoints compare this against a deterministically re-executed
+     * run (it is never loaded back).
+     */
+    void serializeState(std::vector<std::uint8_t> &out) const;
+
+    /**
+     * What-if branching: overwrite the runtime-safe knob subset of the
+     * live config with @p next. Structural knobs are deliberately kept —
+     * period (baked into the evaluation cadence), predictor family and
+     * PeriodicProfile geometry (built state), hierarchical mode and rack
+     * geometry (tree already configured), anti-affinity groups and the
+     * expectedIdle seed (already consumed). Everything else (balancing,
+     * power management, sleep state, parking, caps, buffers) takes
+     * effect from the next management cycle.
+     */
+    void applyPolicyDelta(const VpmConfig &next);
+    ///@}
+
   private:
     /**
      * Build a predictor of the configured family. PeriodicProfile

@@ -168,6 +168,45 @@ PeriodicProfilePredictor::clone() const
                                                       alpha_, lookahead_);
 }
 
+// Checkpoint-capture appends: every mutable member, fixed order, flags
+// as 0/1 doubles. Comparisons are byte-wise, so ordering is part of the
+// vpm-ckpt-1 contract (DESIGN.md).
+
+void
+LastValuePredictor::appendState(std::vector<double> &out) const
+{
+    out.push_back(last_);
+}
+
+void
+EwmaPredictor::appendState(std::vector<double> &out) const
+{
+    out.push_back(value_);
+    out.push_back(seeded_ ? 1.0 : 0.0);
+}
+
+void
+WindowMaxPredictor::appendState(std::vector<double> &out) const
+{
+    out.push_back(static_cast<double>(values_.size()));
+    out.insert(out.end(), values_.begin(), values_.end());
+}
+
+void
+LinearTrendPredictor::appendState(std::vector<double> &out) const
+{
+    out.push_back(static_cast<double>(values_.size()));
+    out.insert(out.end(), values_.begin(), values_.end());
+}
+
+void
+PeriodicProfilePredictor::appendState(std::vector<double> &out) const
+{
+    out.push_back(static_cast<double>(count_));
+    out.push_back(last_);
+    out.insert(out.end(), profile_.begin(), profile_.end());
+}
+
 const char *
 toString(PredictorKind kind)
 {

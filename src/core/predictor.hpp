@@ -35,6 +35,19 @@ class DemandPredictor
 
     /** Fresh instance of the same kind and configuration. */
     virtual std::unique_ptr<DemandPredictor> clone() const = 0;
+
+    /**
+     * Append the predictor's full mutable state to @p out as raw doubles
+     * (scalars, then window/profile contents in order, flags as 0/1).
+     * Byte-stable: identical observation histories yield identical
+     * appends. Replay checkpoints compare these across a deterministically
+     * re-executed run; nothing ever loads them back, so the default (no
+     * state) is safe for stateless test doubles.
+     */
+    virtual void appendState(std::vector<double> &out) const
+    {
+        (void)out;
+    }
 };
 
 /** Naive persistence: tomorrow looks exactly like right now. */
@@ -44,6 +57,7 @@ class LastValuePredictor final : public DemandPredictor
     void observe(double value) override { last_ = value; }
     double predict() const override { return last_; }
     std::unique_ptr<DemandPredictor> clone() const override;
+    void appendState(std::vector<double> &out) const override;
 
   private:
     double last_ = 0.0;
@@ -59,6 +73,7 @@ class EwmaPredictor final : public DemandPredictor
     void observe(double value) override;
     double predict() const override { return value_; }
     std::unique_ptr<DemandPredictor> clone() const override;
+    void appendState(std::vector<double> &out) const override;
 
   private:
     double alpha_;
@@ -80,6 +95,7 @@ class WindowMaxPredictor final : public DemandPredictor
     void observe(double value) override;
     double predict() const override;
     std::unique_ptr<DemandPredictor> clone() const override;
+    void appendState(std::vector<double> &out) const override;
 
   private:
     std::size_t window_;
@@ -100,6 +116,7 @@ class LinearTrendPredictor final : public DemandPredictor
     void observe(double value) override;
     double predict() const override;
     std::unique_ptr<DemandPredictor> clone() const override;
+    void appendState(std::vector<double> &out) const override;
 
   private:
     std::size_t window_;
@@ -134,6 +151,7 @@ class PeriodicProfilePredictor final : public DemandPredictor
     void observe(double value) override;
     double predict() const override;
     std::unique_ptr<DemandPredictor> clone() const override;
+    void appendState(std::vector<double> &out) const override;
 
     /** true once a full period has been observed (profile is trusted). */
     bool profileComplete() const { return count_ >= profile_.size(); }

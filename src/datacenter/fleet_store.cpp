@@ -192,6 +192,57 @@ FleetStore::refreshPlacedDemand(const VmId *ids, std::size_t n,
 }
 
 void
+FleetStore::appendSnapshot(std::vector<std::uint8_t> &out) const
+{
+    const auto append = [&out](const void *data, std::size_t n) {
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        out.insert(out.end(), bytes, bytes + n);
+    };
+    const auto appendU64 = [&append](std::uint64_t v) {
+        append(&v, sizeof(v));
+    };
+    const auto appendColumn = [&append](const auto &col, std::size_t n,
+                                        std::size_t elem) {
+        if (n > 0)
+            append(col.get(), n * elem);
+    };
+
+    appendU64(vmCount_);
+    appendColumn(vmDemand_, vmCount_, sizeof(double));
+    appendColumn(vmGranted_, vmCount_, sizeof(double));
+    appendColumn(vmCpuMhz_, vmCount_, sizeof(double));
+    appendColumn(vmValidUntilUs_, vmCount_, sizeof(std::int64_t));
+    appendColumn(vmHost_, vmCount_, sizeof(HostId));
+    appendColumn(vmPointSpan_, vmCount_, sizeof(std::uint8_t));
+
+    appendU64(hostCount_);
+    appendColumn(hostCapMhz_, hostCount_, sizeof(double));
+    appendColumn(hostFreqFraction_, hostCount_, sizeof(double));
+    appendColumn(hostMigOverheadMhz_, hostCount_, sizeof(double));
+    appendColumn(hostDemandCache_, hostCount_, sizeof(double));
+    appendColumn(hostGrantedCache_, hostCount_, sizeof(double));
+    appendColumn(hostMemoryCache_, hostCount_, sizeof(double));
+    appendColumn(hostHeldWatts_, hostCount_, sizeof(double));
+    appendColumn(latencyFactor_, hostCount_, sizeof(double));
+    for (std::size_t i = 0; i < hostCount_; ++i) {
+        const std::uint8_t f =
+            hostFlags_[i].load(std::memory_order_relaxed);
+        append(&f, 1);
+    }
+    appendColumn(hostQueued_, hostCount_, sizeof(std::uint8_t));
+    appendColumn(hostPhase_, hostCount_, sizeof(std::uint8_t));
+    appendColumn(hostHasHierarchy_, hostCount_, sizeof(std::uint8_t));
+
+    appendU64(static_cast<std::uint64_t>(hostsOn_));
+    appendU64(static_cast<std::uint64_t>(hostsAsleep_));
+    appendU64(static_cast<std::uint64_t>(hostsTransitioning_));
+
+    appendU64(allocQueue_.size());
+    if (!allocQueue_.empty())
+        append(allocQueue_.data(), allocQueue_.size() * sizeof(HostId));
+}
+
+void
 FleetStore::setRackWidth(std::size_t hosts_per_rack)
 {
     if (hosts_per_rack == 0)

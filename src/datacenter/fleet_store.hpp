@@ -317,6 +317,17 @@ class FleetStore
     }
     ///@}
 
+    /**
+     * Append every simulation-visible column to @p out in a fixed,
+     * documented order (vpm-ckpt-1 "fleet" section). Byte-stable: two
+     * stores that went through identical mutation histories produce
+     * identical bytes. The atomic flag bytes are read relaxed — callers
+     * capture between evaluation passes, when no shard workers run. The
+     * trace pointers are excluded (addresses are not reproducible);
+     * per-VM trace identity is carried by the replay spec instead.
+     */
+    void appendSnapshot(std::vector<std::uint8_t> &out) const;
+
     /** @name Raw column access (read-only, for linear sweeps) */
     ///@{
     const double *vmDemandData() const { return vmDemand_.get(); }

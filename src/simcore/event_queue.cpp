@@ -141,4 +141,23 @@ EventQueue::clear()
     heap_ = {};
 }
 
+std::vector<EventQueue::PendingEvent>
+EventQueue::pendingSnapshot() const
+{
+    // Draining a copy of the min-heap yields (when, seq) ascending — the
+    // exact firing order — while dead entries are filtered by the same
+    // generation compare pop() uses.
+    std::vector<PendingEvent> out;
+    out.reserve(liveCount_);
+    std::priority_queue<HeapEntry> copy = heap_;
+    while (!copy.empty()) {
+        const HeapEntry entry = copy.top();
+        copy.pop();
+        const Slot &slot = slots_[entry.slot];
+        if (slot.live && slot.gen == entry.gen)
+            out.push_back({entry.when, entry.seq, slot.label});
+    }
+    return out;
+}
+
 } // namespace vpm::sim

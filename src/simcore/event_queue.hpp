@@ -104,6 +104,24 @@ class EventQueue
     /** Drop all pending events. */
     void clear();
 
+    /** Metadata of one live pending event (see pendingSnapshot()). */
+    struct PendingEvent
+    {
+        SimTime when;
+        std::uint64_t seq = 0;
+        std::string label;
+    };
+
+    /**
+     * Metadata of every live pending event, in firing order (when, seq).
+     * Callbacks are deliberately absent: std::function closures are not
+     * serializable, so replay checkpoints capture this metadata and prove
+     * queue equality after deterministic re-execution instead of trying
+     * to persist the closures themselves (DESIGN.md "Replay &
+     * checkpointing"). O(n log n); read-only.
+     */
+    std::vector<PendingEvent> pendingSnapshot() const;
+
   private:
     struct HeapEntry
     {

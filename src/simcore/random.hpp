@@ -72,6 +72,20 @@ class Rng
     /** Bernoulli draw: true with probability p (clamped to [0,1]). */
     bool bernoulli(double p);
 
+    /** @name Checkpoint capture (read-only)
+     *
+     * The raw engine words plus the buffered Box–Muller spare are the
+     * generator's complete reproducibility state; replay checkpoints
+     * record them to prove a re-executed run reached the same stream
+     * position. There is deliberately no setter: restore re-executes the
+     * prefix instead of poking state (DESIGN.md "Replay & checkpointing").
+     */
+    ///@{
+    const std::array<std::uint64_t, 4> &state() const { return state_; }
+    bool hasSpareNormal() const { return hasSpareNormal_; }
+    double spareNormal() const { return spareNormal_; }
+    ///@}
+
   private:
     std::array<std::uint64_t, 4> state_;
     bool hasSpareNormal_ = false;

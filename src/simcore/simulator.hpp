@@ -63,6 +63,14 @@ class Simulator
     /** Number of pending events. */
     std::size_t pendingCount() const { return queue_.size(); }
 
+    /** Metadata of every pending event in firing order — the replay
+     *  checkpoint's event-queue section (see EventQueue::pendingSnapshot
+     *  for why callbacks are absent). */
+    std::vector<EventQueue::PendingEvent> pendingSnapshot() const
+    {
+        return queue_.pendingSnapshot();
+    }
+
     /**
      * Run until the event set drains or stop() is called.
      * @return The time of the last event processed.

@@ -218,4 +218,44 @@ expandGrid(const SweepManifest &manifest)
     return cells;
 }
 
+std::string
+manifestContentHash(const SweepManifest &manifest)
+{
+    // Canonical text of the result-determining fields, hashed FNV-1a.
+    // Axis values render through axisNum so the hash matches however the
+    // JSON spelled the number ("15" vs "15.0").
+    std::string text = "duration=" + axisNum(manifest.durationHours);
+    text += ";policies=";
+    for (const std::string &v : manifest.policies)
+        text += v + ",";
+    text += ";workloads=";
+    for (const std::string &v : manifest.workloads)
+        text += v + ",";
+    text += ";exit=";
+    for (const double v : manifest.exitLatenciesS)
+        text += axisNum(v) + ",";
+    text += ";load=";
+    for (const double v : manifest.loadScales)
+        text += axisNum(v) + ",";
+    text += ";hosts=";
+    for (const int v : manifest.hostCounts)
+        text += std::to_string(v) + ",";
+    text += ";vms=";
+    for (const int v : manifest.vmCounts)
+        text += std::to_string(v) + ",";
+    text += ";seeds=";
+    for (const std::uint64_t v : manifest.seeds)
+        text += std::to_string(v) + ",";
+
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const char c : text) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 1099511628211ull;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return hex;
+}
+
 } // namespace vpm::sweep

@@ -98,6 +98,15 @@ bool parseManifest(std::istream &in, SweepManifest &out,
                    std::string *error);
 
 /**
+ * Content fingerprint of everything that determines a cell's RESULTS:
+ * duration, the six grid axes, and the seed list — deliberately not the
+ * name (cosmetic) or repeats (wall-clock sampling only). FNV-1a as 16
+ * hex digits. Cells are stamped with it so `--resume` against an edited
+ * grid re-runs stale cells instead of silently trusting them.
+ */
+std::string manifestContentHash(const SweepManifest &manifest);
+
+/**
  * Expand the manifest's axes into the canonical cell list. Pure function
  * of the manifest: byte-identical ids and indices on every call.
  */

@@ -131,6 +131,7 @@ skeletonCell(const CellSpec &spec, const SweepManifest &manifest,
     };
     cell.seeds = manifest.seeds;
     cell.repeats = repeats;
+    cell.manifestHash = manifestContentHash(manifest);
     return cell;
 }
 
@@ -192,11 +193,20 @@ cellFilePath(const std::string &out_dir, std::uint64_t index)
 
 namespace {
 
-/** Try to reload a finished cell from a previous run. */
+/**
+ * Try to reload a finished cell from a previous run. A cell only resumes
+ * when its id matches, it finished Ok, AND it was produced by a manifest
+ * with the same content hash — an edited grid (duration, axis values,
+ * seeds) used to be silently trusted because the cell id alone cannot see
+ * changes to duration or the seed list. A hash mismatch sets @p stale so
+ * the caller can say why the cell is re-running.
+ */
 bool
 tryResume(const std::string &path, const CellSpec &spec,
-          telemetry::SweepCell &out)
+          const std::string &manifest_hash, telemetry::SweepCell &out,
+          bool &stale)
 {
+    stale = false;
     std::ifstream in(path);
     if (!in)
         return false;
@@ -206,6 +216,10 @@ tryResume(const std::string &path, const CellSpec &spec,
         return false;
     if (cell.id != spec.id || cell.status != telemetry::CellStatus::Ok)
         return false;
+    if (cell.manifestHash != manifest_hash) {
+        stale = true;
+        return false;
+    }
     out = std::move(cell);
     return true;
 }
@@ -360,6 +374,7 @@ runSweep(const SweepManifest &manifest, const std::vector<CellSpec> &cells,
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
     std::mutex log_mutex;
+    const std::string manifest_hash = manifestContentHash(manifest);
 
     const auto worker = [&] {
         for (;;) {
@@ -373,9 +388,16 @@ runSweep(const SweepManifest &manifest, const std::vector<CellSpec> &cells,
 
             telemetry::SweepCell cell;
             bool resumed = false;
-            if (options.resume && tryResume(path, spec, cell)) {
+            bool stale = false;
+            if (options.resume &&
+                tryResume(path, spec, manifest_hash, cell, stale)) {
                 resumed = true;
             } else {
+                if (stale) {
+                    const std::lock_guard<std::mutex> guard(log_mutex);
+                    log << "[sweep] " << spec.id
+                        << ": stale cell (manifest changed), re-running\n";
+                }
 #if !defined(_WIN32)
                 if (options.exec == ExecMode::Process)
                     cell = runCellProcess(manifest, spec, repeats, options);

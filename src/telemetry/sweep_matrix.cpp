@@ -47,6 +47,8 @@ writeCellBody(const SweepCell &cell, std::ostream &out,
     out << indent << "\"index\": " << cell.index << ",\n";
     out << indent << "\"status\": \"" << toString(cell.status) << "\",\n";
     out << indent << "\"error\": \"" << jsonEscape(cell.error) << "\",\n";
+    out << indent << "\"manifest_hash\": \""
+        << jsonEscape(cell.manifestHash) << "\",\n";
     out << indent << "\"axes\": {";
     for (std::size_t i = 0; i < cell.axes.size(); ++i) {
         if (i > 0)
@@ -113,6 +115,7 @@ parseCell(const JsonValue &node, SweepCell &cell, std::string *error)
         return false;
     }
     cell.error = stringOr(node.find("error"), "");
+    cell.manifestHash = stringOr(node.find("manifest_hash"), "");
     if (const JsonValue *axes = node.find("axes");
         axes && axes->isObject()) {
         for (const auto &[key, value] : axes->object)

@@ -93,6 +93,12 @@ struct SweepCell
     std::uint64_t index = 0;
     CellStatus status = CellStatus::Ok;
     std::string error;
+
+    /** Content hash of the manifest that produced this cell (see
+     *  sweep::manifestContentHash). `--resume` refuses cells whose hash
+     *  differs from the live grid's; empty on pre-hash artifacts, which
+     *  are likewise treated as stale. */
+    std::string manifestHash;
     std::vector<AxisValue> axes;
     std::vector<std::uint64_t> seeds;
     int repeats = 0;

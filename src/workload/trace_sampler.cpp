@@ -1,0 +1,36 @@
+#include "workload/trace_sampler.hpp"
+
+#include "simcore/logging.hpp"
+
+namespace vpm::workload {
+
+std::vector<TraceSample>
+sampleTrace(const DemandTrace &trace, sim::SimTime start, sim::SimTime end,
+            sim::SimTime fallbackInterval)
+{
+    if (fallbackInterval <= sim::SimTime())
+        sim::fatal("sampleTrace: fallback interval must be positive");
+    if (end <= start)
+        sim::fatal("sampleTrace: empty window [%lld, %lld)",
+                   static_cast<long long>(start.micros()),
+                   static_cast<long long>(end.micros()));
+
+    std::vector<TraceSample> out;
+    sim::SimTime t = start;
+    while (t < end) {
+        const DemandSpan span = trace.spanAt(t);
+        if (out.empty() || span.utilization != out.back().utilization)
+            out.push_back({t.micros(), span.utilization});
+        if (span.validUntil > t && span.validUntil < end) {
+            t = span.validUntil;
+        } else if (span.validUntil >= end) {
+            break; // constant through the rest of the window
+        } else {
+            // Point span (or a degenerate one): step by the fallback.
+            t = t + fallbackInterval;
+        }
+    }
+    return out;
+}
+
+} // namespace vpm::workload

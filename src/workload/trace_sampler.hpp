@@ -1,0 +1,52 @@
+/**
+ * @file
+ * TraceSampler: flatten any DemandTrace into explicit breakpoints.
+ *
+ * The streaming trace format (vpm-trace-1, src/replay/trace_file.hpp)
+ * stores per-VM piecewise-constant demand as (timestamp, level)
+ * breakpoints. This helper produces those breakpoints from a live
+ * DemandTrace: piecewise-constant traces are walked span-by-span via
+ * spanAt() — one breakpoint per constant segment, exact by the span
+ * contract — while continuously-varying (point-span) traces are sampled
+ * at a caller-chosen interval, which quantizes them into a step signal.
+ * Equal consecutive values are merged, so a flat trace yields one
+ * breakpoint no matter how long the window.
+ */
+
+#ifndef VPM_WORKLOAD_TRACE_SAMPLER_HPP
+#define VPM_WORKLOAD_TRACE_SAMPLER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+#include "workload/demand_trace.hpp"
+
+namespace vpm::workload {
+
+/** One breakpoint: the trace holds @p utilization from tUs onward. */
+struct TraceSample
+{
+    std::int64_t tUs = 0;
+    double utilization = 0.0;
+};
+
+/**
+ * Breakpoints of @p trace over [start, end), first one at @p start.
+ *
+ * Span-exact traces contribute one sample per constant segment; traces
+ * that answer with point spans (or spans shorter than progress requires)
+ * are sampled every @p fallbackInterval instead. Consecutive equal
+ * values are merged. The result is non-empty (the value at @p start is
+ * always reported) and strictly increasing in tUs.
+ *
+ * @param fallbackInterval Sampling step for point-span stretches; must
+ *        be positive.
+ */
+std::vector<TraceSample> sampleTrace(const DemandTrace &trace,
+                                     sim::SimTime start, sim::SimTime end,
+                                     sim::SimTime fallbackInterval);
+
+} // namespace vpm::workload
+
+#endif // VPM_WORKLOAD_TRACE_SAMPLER_HPP

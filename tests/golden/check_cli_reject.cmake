@@ -1,0 +1,19 @@
+# Asserts a CLI invocation is REJECTED: exit code 2 (usage error) and a
+# diagnostic on stderr. Guards the strict flag parsing — a bare atoi()
+# regression would make "--hosts banana" run a 0-host sim instead of
+# failing fast. Driven by tests/CMakeLists.txt; variables: TOOL (binary),
+# ARGS (semicolon-separated argv tail).
+execute_process(
+    COMMAND ${TOOL} ${ARGS}
+    OUTPUT_QUIET
+    ERROR_VARIABLE tool_stderr
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 2)
+    message(FATAL_ERROR
+        "${TOOL} ${ARGS}: expected usage-error exit 2, got rc=${run_rc}")
+endif()
+if(tool_stderr STREQUAL "")
+    message(FATAL_ERROR
+        "${TOOL} ${ARGS}: rejected silently — expected a diagnostic on "
+        "stderr naming the bad flag value")
+endif()

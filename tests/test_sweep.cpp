@@ -482,6 +482,82 @@ TEST(SweepRunnerTest, ResumeIgnoresMismatchedCellFile)
     std::filesystem::remove_all(options.outDir);
 }
 
+TEST(SweepManifestTest, ContentHashTracksResultsNotCosmetics)
+{
+    const SweepManifest base = tinyManifest();
+    const std::string hash = manifestContentHash(base);
+    EXPECT_EQ(hash.size(), 16u);
+
+    // Cosmetic fields do not move the hash.
+    SweepManifest renamed = base;
+    renamed.name = "totally_different";
+    renamed.repeats = 99;
+    EXPECT_EQ(manifestContentHash(renamed), hash);
+
+    // Every result-determining field does.
+    SweepManifest longer = base;
+    longer.durationHours = 1.0;
+    EXPECT_NE(manifestContentHash(longer), hash);
+    SweepManifest reseeded = base;
+    reseeded.seeds = {42};
+    EXPECT_NE(manifestContentHash(reseeded), hash);
+    SweepManifest bigger = base;
+    bigger.vmCounts = {24};
+    EXPECT_NE(manifestContentHash(bigger), hash);
+}
+
+TEST(SweepRunnerTest, ResumeRerunsCellsFromAnEditedManifest)
+{
+    const SweepManifest manifest = tinyManifest();
+    const std::vector<CellSpec> cells = expandGrid(manifest);
+
+    RunOptions options;
+    options.outDir = freshDir("resume_stale");
+    options.threads = 1;
+    telemetry::SweepMatrix first;
+    std::ostringstream log;
+    std::string error;
+    ASSERT_TRUE(runSweep(manifest, cells, options, first, log, &error));
+
+    // Tamper with cell 0 so a silent resume would be visible.
+    const std::string path = cellFilePath(options.outDir, 0);
+    telemetry::SweepCell tampered;
+    {
+        std::ifstream in(path);
+        ASSERT_TRUE(telemetry::readCellJson(in, tampered, &error));
+    }
+    for (telemetry::CellMetric &metric : tampered.metrics)
+        if (metric.name == "energy_j")
+            metric.ci.point = 1234.5;
+    {
+        std::ofstream out(path);
+        telemetry::writeCellJson(tampered, out);
+    }
+
+    // Same grid shape (same cell ids!) but a different duration: the id
+    // check alone cannot see this edit — the content hash must.
+    SweepManifest edited = manifest;
+    edited.durationHours = 0.25;
+    options.resume = true;
+    telemetry::SweepMatrix resumed;
+    std::ostringstream stale_log;
+    ASSERT_TRUE(runSweep(edited, expandGrid(edited), options, resumed,
+                         stale_log, &error));
+    EXPECT_NE(resumed.cells[0].metric("energy_j")->ci.point, 1234.5);
+    EXPECT_NE(stale_log.str().find("stale cell (manifest changed)"),
+              std::string::npos);
+
+    // Resuming with the edited manifest AGAIN now reuses its own cells.
+    telemetry::SweepMatrix again;
+    std::ostringstream quiet_log;
+    ASSERT_TRUE(runSweep(edited, expandGrid(edited), options, again,
+                         quiet_log, &error));
+    EXPECT_NE(quiet_log.str().find("(resumed)"), std::string::npos);
+    EXPECT_EQ(quiet_log.str().find("stale cell"), std::string::npos);
+
+    std::filesystem::remove_all(options.outDir);
+}
+
 TEST(SweepReportTest, FrontierMinimizesAllThreeObjectives)
 {
     telemetry::SweepMatrix matrix;

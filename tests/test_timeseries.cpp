@@ -268,6 +268,58 @@ TEST(TimeSeriesStoreTest, EvictsOldestBlocksUnderMemoryBudget)
     EXPECT_EQ(buckets.back().startUs, 3'999'000);
 }
 
+/**
+ * Property: per-series eviction counters survive the vpm-ts-1 serialize
+ * boundary exactly. Random series counts, sample counts and budgets —
+ * whatever writeSnapshot() says was evicted must be what readSnapshot()
+ * reports, series by series, and at least one trial must actually evict
+ * (otherwise the property is vacuous).
+ */
+TEST(TimeSeriesStoreTest, EvictionCountsSurviveSnapshotRoundTrip)
+{
+    bool any_evicted = false;
+    for (std::uint64_t trial = 0; trial < 8; ++trial) {
+        TimeSeriesStore store;
+        SplitMix rng(0x5eed0000 + trial);
+        const int series_count = 1 + static_cast<int>(rng.next() % 4);
+        // Budgets from starved to roomy: some trials evict heavily,
+        // some not at all — zero must round-trip too.
+        const std::size_t budget = 300u + rng.next() % 2000u;
+        store.configure(smallConfig(1000, budget, 4), true);
+
+        std::vector<std::uint32_t> ids;
+        for (int s = 0; s < series_count; ++s)
+            ids.push_back(
+                store.seriesId("series." + std::to_string(s)));
+        const int samples = 500 + static_cast<int>(rng.next() % 3000);
+        for (int i = 0; i < samples; ++i) {
+            const std::uint32_t id = ids[rng.next() % ids.size()];
+            store.record(id, static_cast<std::int64_t>(i) * 1000,
+                         rng.uniform() * 1e6);
+        }
+
+        std::ostringstream out;
+        store.writeSnapshot(out);
+        std::istringstream in(out.str());
+        TsSnapshot snapshot;
+        std::string error;
+        ASSERT_TRUE(readSnapshot(in, snapshot, &error)) << error;
+
+        ASSERT_EQ(snapshot.series.size(), ids.size());
+        for (std::size_t s = 0; s < ids.size(); ++s) {
+            const TsSnapshot::Series *series =
+                snapshot.find("series." + std::to_string(s));
+            ASSERT_NE(series, nullptr);
+            EXPECT_EQ(series->evicted, store.evictedBuckets(ids[s]))
+                << "trial " << trial << " series " << s;
+            if (series->evicted > 0)
+                any_evicted = true;
+        }
+    }
+    EXPECT_TRUE(any_evicted)
+        << "no trial evicted anything; the property never bit";
+}
+
 TEST(TimeSeriesStoreTest, MergeRecorderMatchesDirectRecording)
 {
     // One producer recording directly vs. two shard recorders folded in

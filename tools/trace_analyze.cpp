@@ -24,6 +24,8 @@
  * Exit codes: 0 ok, 1 I/O error, 2 usage error, 3 --check failed.
  */
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,13 +95,39 @@ parseArgs(int argc, char **argv, Options &opts)
                 return false;
             opts.jsonPath = argv[++i];
         } else if (std::strcmp(argv[i], "--tolerance-us") == 0) {
+            // Strict whole-token parse: "--tolerance-us bogus" used to
+            // strtoll() to 0 and silently tighten the sum check.
             if (!needValue(i))
                 return false;
-            opts.analyzer.toleranceUs = std::strtoll(argv[++i], nullptr, 10);
+            const char *text = argv[++i];
+            char *end = nullptr;
+            errno = 0;
+            const long long parsed = std::strtoll(text, &end, 10);
+            if (end == text || *end != '\0' || errno == ERANGE ||
+                parsed < 0) {
+                std::fprintf(stderr,
+                             "trace_analyze: --tolerance-us wants an "
+                             "integer >= 0, got '%s'\n",
+                             text);
+                return false;
+            }
+            opts.analyzer.toleranceUs = parsed;
         } else if (std::strcmp(argv[i], "--respread-window-s") == 0) {
             if (!needValue(i))
                 return false;
-            opts.analyzer.respreadWindowS = std::strtod(argv[++i], nullptr);
+            const char *text = argv[++i];
+            char *end = nullptr;
+            errno = 0;
+            const double parsed = std::strtod(text, &end);
+            if (end == text || *end != '\0' || errno == ERANGE ||
+                !std::isfinite(parsed) || parsed < 0.0) {
+                std::fprintf(stderr,
+                             "trace_analyze: --respread-window-s wants a "
+                             "number >= 0, got '%s'\n",
+                             text);
+                return false;
+            }
+            opts.analyzer.respreadWindowS = parsed;
         } else {
             std::fprintf(stderr, "trace_analyze: unknown option '%s'\n",
                          argv[i]);

@@ -13,6 +13,9 @@
  *   vpm_sim --policy s3 --churn 6 --dvfs --hours 24
  */
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -87,6 +90,44 @@ usage(const char *argv0, int code)
     std::exit(code);
 }
 
+/**
+ * Strict numeric flag values: the whole token must parse, in range.
+ * `--hosts banana` or `--threads 0` used to sail through atoi() as 0 and
+ * either die later in the scenario builder or silently run the wrong
+ * experiment; now every malformed value prints the reason plus usage and
+ * exits 2 (the usage-error convention the benches and tools/replay use).
+ */
+long long
+parseIntValue(const char *argv0, const char *flag, const char *text,
+              long long min)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || parsed < min) {
+        std::fprintf(stderr, "%s wants an integer >= %lld, got '%s'\n\n",
+                     flag, min, text);
+        usage(argv0, 2);
+    }
+    return parsed;
+}
+
+double
+parseNumValue(const char *argv0, const char *flag, const char *text,
+              double min)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(parsed) || parsed < min) {
+        std::fprintf(stderr, "%s wants a number >= %g, got '%s'\n\n",
+                     flag, min, text);
+        usage(argv0, 2);
+    }
+    return parsed;
+}
+
 mgmt::PolicyKind
 parsePolicy(const std::string &name, const char *argv0)
 {
@@ -111,7 +152,7 @@ parseArgs(int argc, char **argv)
     const auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "missing value for %s\n\n", argv[i]);
-            usage(argv[0], 1);
+            usage(argv[0], 2);
         }
         return argv[++i];
     };
@@ -123,27 +164,39 @@ parseArgs(int argc, char **argv)
         else if (arg == "--policy")
             opts.policy = parsePolicy(need_value(i), argv[0]);
         else if (arg == "--hosts")
-            opts.hosts = std::atoi(need_value(i));
+            opts.hosts = static_cast<int>(std::min<long long>(
+                parseIntValue(argv[0], "--hosts", need_value(i), 1),
+                INT_MAX));
         else if (arg == "--vms")
-            opts.vms = std::atoi(need_value(i));
+            opts.vms = static_cast<int>(std::min<long long>(
+                parseIntValue(argv[0], "--vms", need_value(i), 0),
+                INT_MAX));
         else if (arg == "--hours")
-            opts.hours = std::atof(need_value(i));
+            opts.hours =
+                parseNumValue(argv[0], "--hours", need_value(i), 1e-9);
         else if (arg == "--load-scale")
-            opts.loadScale = std::atof(need_value(i));
+            opts.loadScale = parseNumValue(argv[0], "--load-scale",
+                                           need_value(i), 0.0);
         else if (arg == "--seed")
-            opts.seed = std::strtoull(need_value(i), nullptr, 10);
+            opts.seed = static_cast<std::uint64_t>(
+                parseIntValue(argv[0], "--seed", need_value(i), 0));
         else if (arg == "--period")
-            opts.managerMinutes = std::atof(need_value(i));
+            opts.managerMinutes =
+                parseNumValue(argv[0], "--period", need_value(i), 1.0);
         else if (arg == "--churn")
-            opts.churnPerHour = std::atof(need_value(i));
+            opts.churnPerHour =
+                parseNumValue(argv[0], "--churn", need_value(i), 0.0);
         else if (arg == "--dvfs")
             opts.dvfs = true;
         else if (arg == "--legacy-mix")
             opts.legacyMix = true;
         else if (arg == "--weekend")
-            opts.weekendFactor = std::atof(need_value(i));
+            opts.weekendFactor =
+                parseNumValue(argv[0], "--weekend", need_value(i), 0.0);
         else if (arg == "--threads")
-            opts.threads = std::atoi(need_value(i));
+            opts.threads = static_cast<int>(std::min<long long>(
+                parseIntValue(argv[0], "--threads", need_value(i), 1),
+                1u << 16));
         else if (arg == "--csv")
             opts.csvPath = need_value(i);
         else if (arg == "--spec")
@@ -154,17 +207,10 @@ parseArgs(int argc, char **argv)
             opts.watchdogPath = need_value(i);
         else {
             std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
-            usage(argv[0], 1);
+            usage(argv[0], 2);
         }
     }
 
-    if (opts.hosts < 1 || opts.vms < 0 || opts.hours <= 0.0 ||
-        opts.loadScale < 0.0 || opts.managerMinutes < 1.0 ||
-        opts.churnPerHour < 0.0 || opts.weekendFactor < 0.0 ||
-        opts.threads < 1) {
-        std::fprintf(stderr, "invalid option values\n\n");
-        usage(argv[0], 1);
-    }
     return opts;
 }
 
